@@ -1,0 +1,132 @@
+// Figures 4.2 and 4.4 — Prob-reachable region map visualizations.
+//
+// Fig 4.2: regions for L = 5 and 10 min at Prob = 20%.
+// Fig 4.4: regions for Prob = 20/60/80/100% at L = 10 min.
+//
+// Writes one GeoJSON FeatureCollection per panel (render with geojson.io
+// or any slippy-map tool); segments carry a `prob_reachable` property and
+// the start location is a Point feature. Shape checks assert the
+// monotone-shrink behaviour visible in the paper's maps, and that the
+// highway backbone survives longer than local streets as Prob rises.
+#include <cstdio>
+#include <filesystem>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "geo/geojson.h"
+
+using namespace strr;        // NOLINT
+using namespace strr::bench;  // NOLINT
+
+namespace {
+
+/// Dumps a region to GeoJSON.
+Status WriteRegionMap(const std::string& path, const Dataset& dataset,
+                      const RegionResult& region, const XyPoint& start) {
+  GeoJsonWriter geo;
+  const RoadNetwork& net = dataset.network;
+  for (SegmentId s : region.segments) {
+    std::vector<GeoPoint> coords;
+    for (const XyPoint& p : net.segment(s).shape.points()) {
+      coords.push_back(dataset.projection.ToGeo(p));
+    }
+    geo.AddLineString(coords,
+                      {{"segment", std::to_string(s)},
+                       {"level",
+                        GeoJsonWriter::Quoted(RoadLevelName(net.segment(s).level))}});
+  }
+  geo.AddPoint(dataset.projection.ToGeo(start),
+               {{"role", GeoJsonWriter::Quoted("query-location")}});
+  return geo.WriteFile(path);
+}
+
+size_t CountLevel(const RoadNetwork& net, const std::vector<SegmentId>& segs,
+                  RoadLevel level) {
+  size_t n = 0;
+  for (SegmentId s : segs) {
+    if (net.segment(s).level == level) ++n;
+  }
+  return n;
+}
+
+}  // namespace
+
+int main() {
+  auto maybe_stack = LoadBenchStack();
+  if (!maybe_stack.ok()) {
+    std::fprintf(stderr, "FATAL: %s\n",
+                 maybe_stack.status().ToString().c_str());
+    return 1;
+  }
+  BenchStack& stack = **maybe_stack;
+  ReachabilityEngine& engine = *stack.engine;
+  const RoadNetwork& net = engine.network();
+  XyPoint loc = stack.query_location;
+  std::string out_dir = "bench_maps";
+  std::filesystem::create_directories(out_dir);
+
+  std::printf("Figures 4.2 & 4.4: region maps (GeoJSON under %s/)\n",
+              out_dir.c_str());
+  PrintRow({"panel", "L(min)", "Prob", "segments", "len_km", "file"});
+
+  // Fig 4.2: L sweep at Prob=20%.
+  std::vector<double> lengths_by_L;
+  for (int minutes : {5, 10}) {
+    SQuery q{loc, HMS(11), minutes * 60, 0.2};
+    auto r = engine.SQueryIndexed(q);
+    if (!r.ok()) return 1;
+    std::string file =
+        out_dir + "/fig4_2_L" + std::to_string(minutes) + "min.geojson";
+    if (!WriteRegionMap(file, stack.dataset, *r, loc).ok()) return 1;
+    PrintRow({"fig4.2", std::to_string(minutes), "20%",
+              std::to_string(r->segments.size()),
+              Cell(r->total_length_m / 1000.0, 1), file});
+    lengths_by_L.push_back(r->total_length_m);
+  }
+
+  // Fig 4.4: Prob sweep at L=10.
+  std::vector<std::vector<SegmentId>> regions_by_prob;
+  for (int prob_pct : {20, 60, 80, 100}) {
+    SQuery q{loc, HMS(11), 600, prob_pct / 100.0};
+    auto r = engine.SQueryIndexed(q);
+    if (!r.ok()) return 1;
+    std::string file =
+        out_dir + "/fig4_4_prob" + std::to_string(prob_pct) + ".geojson";
+    if (!WriteRegionMap(file, stack.dataset, *r, loc).ok()) return 1;
+    PrintRow({"fig4.4", "10", std::to_string(prob_pct) + "%",
+              std::to_string(r->segments.size()),
+              Cell(r->total_length_m / 1000.0, 1), file});
+    regions_by_prob.push_back(r->segments);
+  }
+
+  bool shrink = true;
+  for (size_t i = 1; i < regions_by_prob.size(); ++i) {
+    if (regions_by_prob[i].size() > regions_by_prob[i - 1].size()) {
+      shrink = false;
+    }
+  }
+  ShapeCheck("fig4.2.region_grows_with_L",
+             lengths_by_L.size() == 2 && lengths_by_L[1] >= lengths_by_L[0],
+             "L=10 region >= L=5 region");
+  ShapeCheck("fig4.4.region_shrinks_with_prob", shrink,
+             "region size non-increasing across 20/60/80/100%");
+
+  // Highway backbone persists while local streets drop out (paper: the
+  // overall reachable structure formed by highways remains).
+  const auto& low = regions_by_prob.front();
+  const auto& high = regions_by_prob[regions_by_prob.size() - 2];  // 80%
+  double hw_keep =
+      low.empty() || CountLevel(net, low, RoadLevel::kHighway) == 0
+          ? 1.0
+          : static_cast<double>(CountLevel(net, high, RoadLevel::kHighway)) /
+                CountLevel(net, low, RoadLevel::kHighway);
+  double local_keep =
+      low.empty() || CountLevel(net, low, RoadLevel::kLocal) == 0
+          ? 1.0
+          : static_cast<double>(CountLevel(net, high, RoadLevel::kLocal)) /
+                CountLevel(net, low, RoadLevel::kLocal);
+  ShapeCheck("fig4.4.highway_backbone_stable", hw_keep >= local_keep,
+             "highway kept " + Cell(hw_keep * 100, 0) + "% vs local " +
+                 Cell(local_keep * 100, 0) + "% (20% -> 80%)");
+  return 0;
+}

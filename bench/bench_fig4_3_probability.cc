@@ -1,0 +1,78 @@
+// Figure 4.3 — Effect of the query probability Prob on s-query processing.
+//
+// (a) running time for Prob ∈ {20..100%} with L = 10 and 15 min plus the
+//     ES reference; (b) reachable road length vs Prob.
+//
+// Expected shapes (paper): running time nearly flat in Prob (the bounding
+// regions don't depend on it), well below ES; reachable length decreases
+// as Prob rises.
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_common.h"
+
+using namespace strr;        // NOLINT
+using namespace strr::bench;  // NOLINT
+
+int main() {
+  auto maybe_stack = LoadBenchStack();
+  if (!maybe_stack.ok()) {
+    std::fprintf(stderr, "FATAL: %s\n",
+                 maybe_stack.status().ToString().c_str());
+    return 1;
+  }
+  BenchStack& stack = **maybe_stack;
+  ReachabilityEngine& engine = *stack.engine;
+  XyPoint loc = stack.query_location;
+
+  std::printf("Figure 4.3(a,b): effect of probability (T=11:00)\n");
+  PrintRow({"Prob", "L10_ms", "L15_ms", "ES10_ms", "len10_km", "len15_km",
+            "L10_lists", "ES10_lists"});
+
+  std::vector<double> times10;
+  double prev_len10 = 1e18, prev_len15 = 1e18;
+  bool length_decreases = true;
+  bool below_es = true;
+
+  for (int prob_pct = 20; prob_pct <= 100; prob_pct += 20) {
+    double prob = prob_pct / 100.0;
+    SQuery q10{loc, HMS(11), 600, prob};
+    SQuery q15{loc, HMS(11), 900, prob};
+    auto r10 = ColdSQueryIndexed(engine, q10);
+    auto r15 = ColdSQueryIndexed(engine, q15);
+    auto es10 = ColdSQueryExhaustive(engine, q10);
+    if (!r10.ok() || !r15.ok() || !es10.ok()) {
+      std::fprintf(stderr, "FATAL: query failed at Prob=%d%%\n", prob_pct);
+      return 1;
+    }
+    PrintRow({std::to_string(prob_pct) + "%", Cell(r10->stats.wall_ms, 2),
+              Cell(r15->stats.wall_ms, 2), Cell(es10->stats.wall_ms, 2),
+              Cell(r10->total_length_m / 1000.0, 1),
+              Cell(r15->total_length_m / 1000.0, 1),
+              std::to_string(r10->stats.time_lists_read),
+              std::to_string(es10->stats.time_lists_read)});
+    times10.push_back(r10->stats.wall_ms);
+    if (r10->total_length_m > prev_len10 + 1e-6) length_decreases = false;
+    if (r15->total_length_m > prev_len15 + 1e-6) length_decreases = false;
+    prev_len10 = r10->total_length_m;
+    prev_len15 = r15->total_length_m;
+    below_es = below_es &&
+               r10->stats.time_lists_read <= es10->stats.time_lists_read;
+  }
+
+  double tmin = times10[0], tmax = times10[0];
+  for (double t : times10) {
+    tmin = std::min(tmin, t);
+    tmax = std::max(tmax, t);
+  }
+  // "Almost unchanged": spread within a generous factor (wall clock noise).
+  bool flat = tmax <= 2.0 * tmin + 1.0;
+
+  ShapeCheck("fig4.3.time_flat_in_prob", flat,
+             "L=10 times " + Cell(tmin, 2) + ".." + Cell(tmax, 2) + " ms");
+  ShapeCheck("fig4.3.length_decreases_with_prob", length_decreases,
+             "reachable length non-increasing in Prob");
+  ShapeCheck("fig4.3.indexed_below_es", below_es,
+             "SQMB+TBS I/O <= ES at every Prob");
+  return 0;
+}

@@ -1,0 +1,68 @@
+// Figure 4.6 — Region maps at different start times (01:00, 06:00, 12:00,
+// 18:00), Prob = 80%, L = 5 min.
+//
+// Writes GeoJSON per panel. Shape check: the 18:00 (evening rush) region
+// is the smallest of the daytime panels, as in the paper.
+#include <cstdio>
+#include <filesystem>
+
+#include "bench/bench_common.h"
+#include "geo/geojson.h"
+
+using namespace strr;        // NOLINT
+using namespace strr::bench;  // NOLINT
+
+int main() {
+  auto maybe_stack = LoadBenchStack();
+  if (!maybe_stack.ok()) {
+    std::fprintf(stderr, "FATAL: %s\n",
+                 maybe_stack.status().ToString().c_str());
+    return 1;
+  }
+  BenchStack& stack = **maybe_stack;
+  ReachabilityEngine& engine = *stack.engine;
+  XyPoint loc = stack.query_location;
+  std::string out_dir = "bench_maps";
+  std::filesystem::create_directories(out_dir);
+
+  std::printf("Figure 4.6: region maps by start time "
+              "(Prob=80%%, L=5min; GeoJSON under %s/)\n", out_dir.c_str());
+  PrintRow({"T", "segments", "len_km", "file"});
+
+  double len_noon = 0, len_evening_rush = 0;
+  // The paper shows 01:00/06:00/12:00/18:00; our synthetic fleet parks
+  // overnight, so 01:00 and 06:00 mainly demonstrate the (near-)empty
+  // night regions — which is itself the paper's point: the answer depends
+  // on the querying time.
+  for (int hour : {1, 6, 12, 18}) {
+    SQuery q{loc, HMS(hour), 300, 0.8};
+    auto r = engine.SQueryIndexed(q);
+    if (!r.ok()) {
+      std::fprintf(stderr, "FATAL: %s\n", r.status().ToString().c_str());
+      return 1;
+    }
+    GeoJsonWriter geo;
+    for (SegmentId s : r->segments) {
+      std::vector<GeoPoint> coords;
+      for (const XyPoint& p :
+           engine.network().segment(s).shape.points()) {
+        coords.push_back(stack.dataset.projection.ToGeo(p));
+      }
+      geo.AddLineString(coords, {{"segment", std::to_string(s)}});
+    }
+    geo.AddPoint(stack.dataset.projection.ToGeo(loc),
+                 {{"role", GeoJsonWriter::Quoted("query-location")}});
+    std::string file = out_dir + "/fig4_6_T" + std::to_string(hour) +
+                       "h.geojson";
+    if (!geo.WriteFile(file).ok()) return 1;
+    PrintRow({FormatTimeOfDay(HMS(hour)), std::to_string(r->segments.size()),
+              Cell(r->total_length_m / 1000.0, 1), file});
+    if (hour == 12) len_noon = r->total_length_m;
+    if (hour == 18) len_evening_rush = r->total_length_m;
+  }
+
+  ShapeCheck("fig4.6.evening_rush_smallest", len_evening_rush < len_noon,
+             "18:00 region " + Cell(len_evening_rush / 1000, 1) +
+                 " km < 12:00 region " + Cell(len_noon / 1000, 1) + " km");
+  return 0;
+}

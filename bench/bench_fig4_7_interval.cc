@@ -1,0 +1,85 @@
+// Figure 4.7 — Processing time over different time intervals Δt.
+//
+// Sweeps Δt ∈ {1, 5, 10, 20} min (rebuilding the ST-Index/Con-Index per
+// Δt, as the paper does: Δt is an index-construction knob), running
+// SQMB+TBS at L = 5 and 10 min, with ES as the reference line.
+//
+// Expected shapes (paper): SQMB+TBS running time roughly flat across Δt
+// and below ES.
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_common.h"
+
+using namespace strr;        // NOLINT
+using namespace strr::bench;  // NOLINT
+
+int main() {
+  auto dataset = LoadOrBuildBenchDataset();
+  if (!dataset.ok()) {
+    std::fprintf(stderr, "FATAL: %s\n", dataset.status().ToString().c_str());
+    return 1;
+  }
+
+  std::printf("Figure 4.7: processing time over time interval dt "
+              "(T=11:00, Prob=20%%)\n");
+  PrintRow({"dt(min)", "L5_ms", "L10_ms", "ES10_ms", "L10_lists",
+            "ES10_lists"});
+
+  std::vector<double> times10;
+  std::vector<uint64_t> lists10;
+  bool below_es = true;
+  for (int dt_min : {1, 5, 10, 20}) {
+    auto engine = BuildBenchEngine(*dataset, dt_min * 60);
+    if (!engine.ok()) {
+      std::fprintf(stderr, "FATAL: %s\n", engine.status().ToString().c_str());
+      return 1;
+    }
+    XyPoint loc = PickBusyLocation(**engine, *dataset, HMS(11));
+    SQuery q5{loc, HMS(11), 300, 0.2};
+    SQuery q10{loc, HMS(11), 600, 0.2};
+    auto r5 = ColdSQueryIndexed(**engine, q5);
+    auto r10 = ColdSQueryIndexed(**engine, q10);
+    auto es10 = ColdSQueryExhaustive(**engine, q10);
+    if (!r5.ok() || !r10.ok() || !es10.ok()) {
+      std::fprintf(stderr, "FATAL: query failed at dt=%d\n", dt_min);
+      return 1;
+    }
+    PrintRow({std::to_string(dt_min), Cell(r5->stats.wall_ms, 2),
+              Cell(r10->stats.wall_ms, 2), Cell(es10->stats.wall_ms, 2),
+              std::to_string(r10->stats.time_lists_read),
+              std::to_string(es10->stats.time_lists_read)});
+    times10.push_back(r10->stats.wall_ms);
+    lists10.push_back(r10->stats.time_lists_read);
+    // Gate only the sensible configurations Δt <= L: with Δt=20 > L=10 the
+    // single hop expands a 20-minute cone for a 10-minute query (Algorithm
+    // 1's quantization), which can cost more than ES's L-bounded cone.
+    if (dt_min * 60 <= 600) {
+      below_es = below_es && r10->stats.wall_ms <= es10->stats.wall_ms * 1.25;
+    }
+  }
+
+  double tmin = times10[0], tmax = times10[0];
+  for (double t : times10) {
+    tmin = std::min(tmin, t);
+    tmax = std::max(tmax, t);
+  }
+  uint64_t lmin = lists10[0], lmax = lists10[0];
+  for (uint64_t l : lists10) {
+    lmin = std::min(lmin, l);
+    lmax = std::max(lmax, l);
+  }
+  // Δt is a granularity knob, not a semantic one: the deterministic work
+  // metric (time lists read) stays within the same order of magnitude
+  // (Δt=20 > L=10 pays a one-hop cone overshoot — a quantization the
+  // paper's Algorithm 1 shares). Wall time is reported but not gated; it
+  // is too noisy at millisecond scale to assert a tight band on.
+  ShapeCheck("fig4.7.work_stable_in_dt",
+             lmax <= 8 * lmin + 8,
+             "L=10 lists " + std::to_string(lmin) + ".." +
+                 std::to_string(lmax) + ", times " + Cell(tmin, 2) + ".." +
+                 Cell(tmax, 2) + " ms");
+  ShapeCheck("fig4.7.at_or_below_es", below_es,
+             "SQMB+TBS time <= ~ES for every dt <= L");
+  return 0;
+}

@@ -1,0 +1,130 @@
+// Figure 4.8 — m-query: MQMB+TBS vs repeated SQMB+TBS.
+//
+// (a) running time over duration L for a 3-location m-query;
+// (b) running time over the number of locations n ∈ {1..9}, L = 20 min.
+//
+// Expected shapes (paper): MQMB+TBS beats repeated s-queries for n >= 2
+// and is slightly slower at n = 1 (the extra overlap-elimination stage);
+// repeated s-query cost grows ~linearly in n while MQMB flattens out.
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_common.h"
+
+using namespace strr;        // NOLINT
+using namespace strr::bench;  // NOLINT
+
+namespace {
+
+/// n spread-out query locations: the busy downtown spot plus points spaced
+/// around it at 25-45% of the city span.
+std::vector<XyPoint> MakeLocations(const BenchStack& stack, int n) {
+  std::vector<XyPoint> out;
+  Mbr box = stack.dataset.network.BoundingBox();
+  out.push_back(stack.query_location);
+  for (int i = 1; i < n; ++i) {
+    double angle = 2.0 * M_PI * i / 9.0;
+    double rx = box.Width() * (0.18 + 0.04 * (i % 3));
+    double ry = box.Height() * (0.18 + 0.04 * ((i + 1) % 3));
+    out.push_back({stack.dataset.center.x + std::cos(angle) * rx,
+                   stack.dataset.center.y + std::sin(angle) * ry});
+  }
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  auto maybe_stack = LoadBenchStack();
+  if (!maybe_stack.ok()) {
+    std::fprintf(stderr, "FATAL: %s\n",
+                 maybe_stack.status().ToString().c_str());
+    return 1;
+  }
+  BenchStack& stack = **maybe_stack;
+  ReachabilityEngine& engine = *stack.engine;
+
+  std::printf("Figure 4.8(a): 3-location m-query over duration "
+              "(T=10:00, Prob=20%%)\n");
+  PrintRow({"L(min)", "mq_ms", "rep_ms", "mq_lists", "rep_lists",
+            "mq_len_km"});
+  bool mq_wins_duration = true;
+  for (int minutes = 5; minutes <= 35; minutes += 5) {
+    MQuery q;
+    q.locations = MakeLocations(stack, 3);
+    q.start_tod = HMS(10);
+    q.duration = minutes * 60;
+    q.prob = 0.2;
+    engine.ResetIoStats(true);
+    auto warm_m = engine.MQueryIndexed(q);
+    engine.ResetIoStats(true);
+    auto mq = engine.MQueryIndexed(q);
+    engine.ResetIoStats(true);
+    auto warm_r = engine.MQueryRepeatedSQuery(q);
+    engine.ResetIoStats(true);
+    auto rep = engine.MQueryRepeatedSQuery(q);
+    if (!mq.ok() || !rep.ok() || !warm_m.ok() || !warm_r.ok()) {
+      std::fprintf(stderr, "FATAL at L=%d\n", minutes);
+      return 1;
+    }
+    PrintRow({std::to_string(minutes), Cell(mq->stats.wall_ms, 2),
+              Cell(rep->stats.wall_ms, 2),
+              std::to_string(mq->stats.time_lists_read),
+              std::to_string(rep->stats.time_lists_read),
+              Cell(mq->total_length_m / 1000.0, 1)});
+    if (minutes >= 15 &&
+        mq->stats.time_lists_read > rep->stats.time_lists_read) {
+      mq_wins_duration = false;
+    }
+  }
+  ShapeCheck("fig4.8a.mqmb_fewer_lists", mq_wins_duration,
+             "MQMB reads fewer time lists than 3x SQMB for L >= 15");
+
+  std::printf("\nFigure 4.8(b): m-query over #locations "
+              "(T=10:00, L=20min, Prob=20%%)\n");
+  PrintRow({"n", "mq_ms", "rep_ms", "mq_lists", "rep_lists"});
+  double rep1 = 0, rep9 = 0, mq1 = 0, mq9 = 0;
+  bool mq_wins_counts = true;
+  for (int n = 1; n <= 9; n += 2) {
+    MQuery q;
+    q.locations = MakeLocations(stack, n);
+    q.start_tod = HMS(10);
+    q.duration = 1200;
+    q.prob = 0.2;
+    engine.ResetIoStats(true);
+    auto warm_m = engine.MQueryIndexed(q);
+    engine.ResetIoStats(true);
+    auto mq = engine.MQueryIndexed(q);
+    engine.ResetIoStats(true);
+    auto warm_r = engine.MQueryRepeatedSQuery(q);
+    engine.ResetIoStats(true);
+    auto rep = engine.MQueryRepeatedSQuery(q);
+    if (!mq.ok() || !rep.ok() || !warm_m.ok() || !warm_r.ok()) {
+      std::fprintf(stderr, "FATAL at n=%d\n", n);
+      return 1;
+    }
+    PrintRow({std::to_string(n), Cell(mq->stats.wall_ms, 2),
+              Cell(rep->stats.wall_ms, 2),
+              std::to_string(mq->stats.time_lists_read),
+              std::to_string(rep->stats.time_lists_read)});
+    if (n == 1) {
+      rep1 = rep->stats.wall_ms;
+      mq1 = mq->stats.wall_ms;
+    }
+    if (n == 9) {
+      rep9 = rep->stats.wall_ms;
+      mq9 = mq->stats.wall_ms;
+    }
+    if (n >= 3 && mq->stats.time_lists_read > rep->stats.time_lists_read) {
+      mq_wins_counts = false;
+    }
+  }
+
+  ShapeCheck("fig4.8b.mqmb_fewer_lists", mq_wins_counts,
+             "MQMB reads fewer time lists than n x SQMB for n >= 3");
+  ShapeCheck("fig4.8b.repeated_grows_faster",
+             (rep9 - rep1) > (mq9 - mq1),
+             "repeated s-query grows " + Cell(rep9 - rep1, 1) +
+                 " ms (1->9 locs) vs MQMB " + Cell(mq9 - mq1, 1) + " ms");
+  return 0;
+}

@@ -1,0 +1,169 @@
+// Micro-benchmarks (google-benchmark) for the index/storage components:
+// R-tree build & queries, B+-tree ops, network expansion, posting store
+// reads, probability intersection. These are the inner loops every query
+// pays; the figure benches measure the end-to-end behaviour.
+#include <benchmark/benchmark.h>
+
+#include <filesystem>
+
+#include "index/bplus_tree.h"
+#include "index/rtree.h"
+#include "query/probability.h"
+#include "roadnet/city_generator.h"
+#include "roadnet/expansion.h"
+#include "storage/posting_store.h"
+#include "util/rng.h"
+
+namespace strr {
+namespace {
+
+std::vector<RTree::Entry> MakeEntries(size_t n) {
+  Rng rng(42);
+  std::vector<RTree::Entry> entries;
+  entries.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    double x = rng.Uniform(0, 20000), y = rng.Uniform(0, 14000);
+    entries.push_back({Mbr(x, y, x + 400, y + 400), i});
+  }
+  return entries;
+}
+
+void BM_RTreeBulkLoad(benchmark::State& state) {
+  auto entries = MakeEntries(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    RTree tree(16);
+    tree.BulkLoad(entries);
+    benchmark::DoNotOptimize(tree.size());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_RTreeBulkLoad)->Arg(1000)->Arg(10000);
+
+void BM_RTreeInsert(benchmark::State& state) {
+  auto entries = MakeEntries(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    RTree tree(16);
+    for (const auto& e : entries) tree.Insert(e.box, e.value);
+    benchmark::DoNotOptimize(tree.size());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_RTreeInsert)->Arg(1000)->Arg(5000);
+
+void BM_RTreeSearch(benchmark::State& state) {
+  auto entries = MakeEntries(10000);
+  RTree tree(16);
+  tree.BulkLoad(entries);
+  Rng rng(7);
+  for (auto _ : state) {
+    double x = rng.Uniform(0, 20000), y = rng.Uniform(0, 14000);
+    auto hits = tree.Search(Mbr(x, y, x + 1500, y + 1500));
+    benchmark::DoNotOptimize(hits);
+  }
+}
+BENCHMARK(BM_RTreeSearch);
+
+void BM_RTreeNearest(benchmark::State& state) {
+  auto entries = MakeEntries(10000);
+  RTree tree(16);
+  tree.BulkLoad(entries);
+  Rng rng(7);
+  for (auto _ : state) {
+    XyPoint p{rng.Uniform(0, 20000), rng.Uniform(0, 14000)};
+    auto hits = tree.Nearest(p, 8);
+    benchmark::DoNotOptimize(hits);
+  }
+}
+BENCHMARK(BM_RTreeNearest);
+
+void BM_BPlusTreeInsert(benchmark::State& state) {
+  Rng rng(3);
+  std::vector<int64_t> keys;
+  for (int i = 0; i < state.range(0); ++i) {
+    keys.push_back(rng.UniformInt(0, 1 << 26));
+  }
+  for (auto _ : state) {
+    BPlusTree tree(32);
+    for (int64_t k : keys) tree.Insert(k, 1);
+    benchmark::DoNotOptimize(tree.size());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_BPlusTreeInsert)->Arg(10000);
+
+void BM_BPlusTreeFloor(benchmark::State& state) {
+  BPlusTree tree(32);
+  for (int64_t k = 0; k < 86400; k += 300) {
+    tree.Insert(k, static_cast<uint32_t>(k / 300));
+  }
+  Rng rng(5);
+  for (auto _ : state) {
+    auto hit = tree.Floor(rng.UniformInt(0, 86399));
+    benchmark::DoNotOptimize(hit);
+  }
+}
+BENCHMARK(BM_BPlusTreeFloor);
+
+void BM_NetworkExpansion(benchmark::State& state) {
+  CityOptions opt;
+  opt.grid_cols = 18;
+  opt.grid_rows = 13;
+  auto city = GenerateCity(opt);
+  const RoadNetwork& net = city->network;
+  SpeedFn speeds = FreeFlowSpeeds(net);
+  Rng rng(11);
+  const double budget = static_cast<double>(state.range(0));
+  for (auto _ : state) {
+    SegmentId src =
+        static_cast<SegmentId>(rng.UniformInt(0, net.NumSegments() - 1));
+    auto hits = ExpandFrom(net, src, budget, speeds);
+    benchmark::DoNotOptimize(hits);
+  }
+}
+BENCHMARK(BM_NetworkExpansion)->Arg(300)->Arg(1200);
+
+void BM_PostingStoreGet(benchmark::State& state) {
+  std::string path = std::filesystem::temp_directory_path() /
+                     "strr_micro_postings.bin";
+  constexpr int kEntries = 5000;
+  {
+    auto builder = PostingStoreBuilder::Create(path);
+    Rng rng(9);
+    for (int i = 0; i < kEntries; ++i) {
+      std::string blob(static_cast<size_t>(rng.UniformInt(20, 400)), 'x');
+      (void)(*builder)->Add(static_cast<PostingKey>(i), blob);
+    }
+    (void)(*builder)->Finish();
+  }
+  auto store = PostingStore::Open(path, static_cast<size_t>(state.range(0)));
+  Rng rng(13);
+  for (auto _ : state) {
+    auto blob =
+        (*store)->Get(static_cast<PostingKey>(rng.UniformInt(0, kEntries - 1)));
+    benchmark::DoNotOptimize(blob);
+  }
+  state.counters["hit_rate"] =
+      static_cast<double>((*store)->stats().cache_hits) /
+      std::max<uint64_t>(1, (*store)->stats().TotalRequests());
+}
+BENCHMARK(BM_PostingStoreGet)->Arg(16)->Arg(4096);
+
+void BM_SortedIntersects(benchmark::State& state) {
+  Rng rng(17);
+  std::vector<TrajectoryId> a, b;
+  for (int i = 0; i < state.range(0); ++i) {
+    a.push_back(static_cast<TrajectoryId>(rng.UniformInt(0, 1 << 20)));
+    b.push_back(static_cast<TrajectoryId>(rng.UniformInt(0, 1 << 20)));
+  }
+  std::sort(a.begin(), a.end());
+  std::sort(b.begin(), b.end());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SortedIntersects(a, b));
+  }
+}
+BENCHMARK(BM_SortedIntersects)->Arg(32)->Arg(512);
+
+}  // namespace
+}  // namespace strr
+
+BENCHMARK_MAIN();

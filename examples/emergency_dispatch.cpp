@@ -1,0 +1,68 @@
+// Emergency dispatching analysis (paper §1.1, application 4): given an
+// ambulance depot, which parts of the road network can historically be
+// reached within the response deadline — and how does that change across
+// the day? A dispatcher uses the high-probability (90%) region as the
+// "guaranteed" service area and the 50% region as best-effort.
+//
+// Run:  ./build/examples/emergency_dispatch
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "core/dataset.h"
+#include "core/reachability_engine.h"
+
+using namespace strr;  // NOLINT
+
+int main() {
+  auto dataset = BuildDataset(TestDatasetOptions());
+  if (!dataset.ok()) {
+    std::fprintf(stderr, "dataset: %s\n", dataset.status().ToString().c_str());
+    return 1;
+  }
+  EngineOptions options;
+  options.work_dir = "/tmp/strr_dispatch_example";
+  auto engine =
+      ReachabilityEngine::Build(dataset->network, *dataset->store, options);
+  if (!engine.ok()) {
+    std::fprintf(stderr, "engine: %s\n", engine.status().ToString().c_str());
+    return 1;
+  }
+
+  const XyPoint depot = dataset->center;
+  const int64_t deadline = 8 * 60;  // 8-minute response target
+
+  std::printf("Depot service area within an 8-minute response target:\n");
+  std::printf("%-8s %-28s %-28s\n", "time", "guaranteed (90% of days)",
+              "best-effort (50% of days)");
+  for (int hour : {7, 8, 11, 14, 18, 21}) {
+    SQuery guaranteed{depot, HMS(hour), deadline, 0.9};
+    SQuery best_effort{depot, HMS(hour), deadline, 0.5};
+    auto rg = (*engine)->SQueryIndexed(guaranteed);
+    auto rb = (*engine)->SQueryIndexed(best_effort);
+    if (!rg.ok() || !rb.ok()) {
+      std::fprintf(stderr, "query failed at %02d:00\n", hour);
+      return 1;
+    }
+    std::printf("%02d:00    %4zu segs / %6.1f km      %4zu segs / %6.1f km\n",
+                hour, rg->segments.size(), rg->total_length_m / 1000.0,
+                rb->segments.size(), rb->total_length_m / 1000.0);
+  }
+
+  // Check a specific incident location against the 11:00 service area.
+  Mbr box = dataset->network.BoundingBox();
+  XyPoint incident{box.min_x() + box.Width() * 0.7,
+                   box.min_y() + box.Height() * 0.6};
+  auto incident_seg = (*engine)->st_index().LocateSegment(incident);
+  SQuery q{depot, HMS(11), deadline, 0.5};
+  auto region = (*engine)->SQueryIndexed(q);
+  if (incident_seg.ok() && region.ok()) {
+    bool covered = std::binary_search(region->segments.begin(),
+                                      region->segments.end(), *incident_seg);
+    std::printf("\nIncident at (%.0f, %.0f): %s the 11:00 best-effort "
+                "service area.\n",
+                incident.x, incident.y,
+                covered ? "INSIDE" : "OUTSIDE");
+  }
+  return 0;
+}

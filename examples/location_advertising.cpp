@@ -1,0 +1,85 @@
+// Location-based advertising (paper Fig. 1.2): a shopping mall wants to
+// distribute coupons across the area from which customers can actually
+// reach it quickly. Because traffic varies, the catchment at 13:00 is much
+// larger than at 18:00 (evening rush) — this example computes both and
+// writes GeoJSON overlays you can drop onto geojson.io.
+//
+// Run:  ./build/examples/location_advertising
+#include <cstdio>
+#include <filesystem>
+
+#include "core/dataset.h"
+#include "core/reachability_engine.h"
+#include "geo/geojson.h"
+
+using namespace strr;  // NOLINT
+
+namespace {
+
+Status WriteRegion(const Dataset& dataset, const RegionResult& region,
+                   const XyPoint& mall, const std::string& path) {
+  GeoJsonWriter geo;
+  for (SegmentId s : region.segments) {
+    std::vector<GeoPoint> coords;
+    for (const XyPoint& p : dataset.network.segment(s).shape.points()) {
+      coords.push_back(dataset.projection.ToGeo(p));
+    }
+    geo.AddLineString(coords, {{"segment", std::to_string(s)}});
+  }
+  geo.AddPoint(dataset.projection.ToGeo(mall),
+               {{"role", GeoJsonWriter::Quoted("mall")}});
+  return geo.WriteFile(path);
+}
+
+}  // namespace
+
+int main() {
+  auto dataset = BuildDataset(TestDatasetOptions());
+  if (!dataset.ok()) {
+    std::fprintf(stderr, "dataset: %s\n", dataset.status().ToString().c_str());
+    return 1;
+  }
+  EngineOptions options;
+  options.work_dir = "/tmp/strr_ads_example";
+  auto engine =
+      ReachabilityEngine::Build(dataset->network, *dataset->store, options);
+  if (!engine.ok()) {
+    std::fprintf(stderr, "engine: %s\n", engine.status().ToString().c_str());
+    return 1;
+  }
+
+  const XyPoint mall = dataset->center;  // the mall sits downtown
+  std::filesystem::create_directories("example_maps");
+
+  std::printf("Coupon catchment for the downtown mall "
+              "(15 min travel, reachable on >= 30%% of days):\n");
+  double len_13 = 0, len_18 = 0;
+  for (int hour : {13, 18}) {
+    SQuery q{mall, HMS(hour), 15 * 60, 0.3};
+    auto region = (*engine)->SQueryIndexed(q);
+    if (!region.ok()) {
+      std::fprintf(stderr, "query: %s\n", region.status().ToString().c_str());
+      return 1;
+    }
+    std::string file = "example_maps/ads_catchment_" + std::to_string(hour) +
+                       "h.geojson";
+    if (auto s = WriteRegion(*dataset, *region, mall, file); !s.ok()) {
+      std::fprintf(stderr, "geojson: %s\n", s.ToString().c_str());
+      return 1;
+    }
+    std::printf("  %02d:00  %4zu segments  %6.1f km of road  -> %s\n", hour,
+                region->segments.size(), region->total_length_m / 1000.0,
+                file.c_str());
+    if (hour == 13) len_13 = region->total_length_m;
+    if (hour == 18) len_18 = region->total_length_m;
+  }
+
+  if (len_18 < len_13) {
+    std::printf("\nEvening rush shrinks the catchment by %.0f%% — "
+                "schedule the coupon push for early afternoon.\n",
+                100.0 * (1.0 - len_18 / len_13));
+  } else {
+    std::printf("\nNo rush-hour shrink detected in this synthetic run.\n");
+  }
+  return 0;
+}

@@ -1,0 +1,75 @@
+// Quickstart: the smallest end-to-end use of the library.
+//
+//   1. Build a synthetic city + taxi fleet (stand-in for your own
+//      map-matched trajectory data).
+//   2. Build the ReachabilityEngine (speed profile, ST-Index, Con-Index).
+//   3. Ask: "which road segments are reachable from downtown at 11:00
+//      within 10 minutes on at least 20% of days?"
+//
+// Run:  ./build/examples/quickstart
+#include <cstdio>
+
+#include "core/dataset.h"
+#include "core/reachability_engine.h"
+
+using namespace strr;  // NOLINT
+
+int main() {
+  // 1. Data. TestDatasetOptions() is a small deterministic city; swap in
+  //    your own RoadNetwork + TrajectoryStore for real data.
+  auto dataset = BuildDataset(TestDatasetOptions());
+  if (!dataset.ok()) {
+    std::fprintf(stderr, "dataset: %s\n", dataset.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("city: %zu road segments, %llu trajectories over %d days\n",
+              dataset->network.NumSegments(),
+              static_cast<unsigned long long>(dataset->store->NumTrajectories()),
+              dataset->store->num_days());
+
+  // 2. Engine. work_dir holds the on-disk ST-Index time lists.
+  EngineOptions options;
+  options.work_dir = "/tmp/strr_quickstart";
+  options.delta_t_seconds = 300;  // 5-minute index slots (the paper's Δt)
+  auto engine =
+      ReachabilityEngine::Build(dataset->network, *dataset->store, options);
+  if (!engine.ok()) {
+    std::fprintf(stderr, "engine: %s\n", engine.status().ToString().c_str());
+    return 1;
+  }
+
+  // 3. Query: s-query q = (S, T, L, Prob).
+  SQuery query;
+  query.location = dataset->center;  // S: downtown
+  query.start_tod = HMS(11);         // T: 11:00
+  query.duration = 10 * 60;          // L: 10 minutes
+  query.prob = 0.2;                  // Prob: reachable on >= 20% of days
+
+  auto region = (*engine)->SQueryIndexed(query);
+  if (!region.ok()) {
+    std::fprintf(stderr, "query: %s\n", region.status().ToString().c_str());
+    return 1;
+  }
+
+  std::printf("Prob-reachable region: %zu segments, %.1f km of road\n",
+              region->segments.size(), region->total_length_m / 1000.0);
+  std::printf("  bounding regions: max=%zu min=%zu segments\n",
+              region->stats.max_region_segments,
+              region->stats.min_region_segments);
+  std::printf("  work: %llu segments verified, %llu time lists read, "
+              "%.2f ms\n",
+              static_cast<unsigned long long>(region->stats.segments_verified),
+              static_cast<unsigned long long>(region->stats.time_lists_read),
+              region->stats.wall_ms);
+
+  // Compare with the exhaustive baseline — same answer contract, more I/O.
+  auto baseline = (*engine)->SQueryExhaustive(query);
+  if (baseline.ok()) {
+    std::printf("ES baseline: %zu segments, %llu time lists read, %.2f ms\n",
+                baseline->segments.size(),
+                static_cast<unsigned long long>(
+                    baseline->stats.time_lists_read),
+                baseline->stats.wall_ms);
+  }
+  return 0;
+}

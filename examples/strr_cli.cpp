@@ -1,0 +1,215 @@
+// strr_cli — command-line front end for the reachability engine.
+//
+// Subcommands:
+//   generate --out DIR [--taxis N] [--days N] [--seed N]
+//       Build a synthetic dataset and persist it (network, trajectories).
+//   query --data DIR --time HH:MM --minutes L --prob P [--x M --y M]
+//         [--exhaustive] [--geojson FILE]
+//       Load a dataset, build the indexes, answer one s-query.
+//   stats --data DIR
+//       Print dataset statistics (Table 4.1 style).
+//
+// Examples:
+//   ./strr_cli generate --out /tmp/city --taxis 120 --days 12
+//   ./strr_cli query --data /tmp/city --time 11:00 --minutes 10 \
+//       --prob 0.2 --geojson region.geojson
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <string>
+
+#include "core/dataset.h"
+#include "core/persist.h"
+#include "core/reachability_engine.h"
+#include "geo/geojson.h"
+
+using namespace strr;  // NOLINT
+
+namespace {
+
+/// Tiny --key value parser; flags without values get "true".
+std::map<std::string, std::string> ParseArgs(int argc, char** argv,
+                                             int first) {
+  std::map<std::string, std::string> args;
+  for (int i = first; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--", 2) != 0) continue;
+    std::string key = argv[i] + 2;
+    if (i + 1 < argc && std::strncmp(argv[i + 1], "--", 2) != 0) {
+      args[key] = argv[++i];
+    } else {
+      args[key] = "true";
+    }
+  }
+  return args;
+}
+
+int64_t ParseTimeOfDay(const std::string& hhmm) {
+  int h = 0, m = 0;
+  if (std::sscanf(hhmm.c_str(), "%d:%d", &h, &m) < 1) return -1;
+  return HMS(h, m);
+}
+
+int CmdGenerate(const std::map<std::string, std::string>& args) {
+  auto it = args.find("out");
+  if (it == args.end()) {
+    std::fprintf(stderr, "generate: --out DIR is required\n");
+    return 2;
+  }
+  DatasetOptions opt = TestDatasetOptions();
+  if (args.count("taxis")) opt.fleet.num_taxis = std::stoul(args.at("taxis"));
+  if (args.count("days")) opt.fleet.num_days = std::stoi(args.at("days"));
+  if (args.count("seed")) {
+    opt.city.seed = std::stoull(args.at("seed"));
+    opt.fleet.seed = opt.city.seed * 31 + 7;
+  }
+  auto dataset = BuildDataset(opt);
+  if (!dataset.ok()) {
+    std::fprintf(stderr, "generate: %s\n",
+                 dataset.status().ToString().c_str());
+    return 1;
+  }
+  if (Status s = SaveDataset(*dataset, it->second); !s.ok()) {
+    std::fprintf(stderr, "generate: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  DatasetStats stats = dataset->store->ComputeStats();
+  std::printf("wrote %s: %zu segments, %u taxis x %d days, %llu samples\n",
+              it->second.c_str(), dataset->network.NumSegments(),
+              stats.num_taxis, stats.num_days,
+              static_cast<unsigned long long>(stats.num_samples));
+  return 0;
+}
+
+int CmdStats(const std::map<std::string, std::string>& args) {
+  auto it = args.find("data");
+  if (it == args.end()) {
+    std::fprintf(stderr, "stats: --data DIR is required\n");
+    return 2;
+  }
+  auto dataset = LoadDataset(it->second);
+  if (!dataset.ok()) {
+    std::fprintf(stderr, "stats: %s\n", dataset.status().ToString().c_str());
+    return 1;
+  }
+  DatasetStats stats = dataset->store->ComputeStats();
+  Mbr box = dataset->network.BoundingBox();
+  std::printf("segments:      %zu\n", dataset->network.NumSegments());
+  std::printf("road length:   %.1f km\n",
+              dataset->network.TotalLengthMeters() / 1000.0);
+  std::printf("extent:        %.1f x %.1f km\n", box.Width() / 1000.0,
+              box.Height() / 1000.0);
+  std::printf("days:          %d\n", stats.num_days);
+  std::printf("taxis:         %u\n", stats.num_taxis);
+  std::printf("trajectories:  %llu\n",
+              static_cast<unsigned long long>(stats.num_trajectories));
+  std::printf("samples:       %llu\n",
+              static_cast<unsigned long long>(stats.num_samples));
+  std::printf("mean speed:    %.1f m/s\n", stats.mean_speed_mps);
+  return 0;
+}
+
+int CmdQuery(const std::map<std::string, std::string>& args) {
+  if (!args.count("data")) {
+    std::fprintf(stderr, "query: --data DIR is required\n");
+    return 2;
+  }
+  auto dataset = LoadDataset(args.at("data"));
+  if (!dataset.ok()) {
+    std::fprintf(stderr, "query: %s\n", dataset.status().ToString().c_str());
+    return 1;
+  }
+
+  SQuery q;
+  q.location = dataset->center;
+  if (args.count("x")) q.location.x = std::stod(args.at("x"));
+  if (args.count("y")) q.location.y = std::stod(args.at("y"));
+  if (args.count("time")) {
+    q.start_tod = ParseTimeOfDay(args.at("time"));
+    if (q.start_tod < 0) {
+      std::fprintf(stderr, "query: bad --time (want HH:MM)\n");
+      return 2;
+    }
+  } else {
+    q.start_tod = HMS(11);
+  }
+  q.duration = args.count("minutes")
+                   ? std::stoll(args.at("minutes")) * 60
+                   : 600;
+  q.prob = args.count("prob") ? std::stod(args.at("prob")) : 0.2;
+
+  EngineOptions eopt;
+  eopt.work_dir = args.at("data") + "/index";
+  auto engine =
+      ReachabilityEngine::Build(dataset->network, *dataset->store, eopt);
+  if (!engine.ok()) {
+    std::fprintf(stderr, "query: %s\n", engine.status().ToString().c_str());
+    return 1;
+  }
+
+  auto region = args.count("exhaustive") ? (*engine)->SQueryExhaustive(q)
+                                         : (*engine)->SQueryIndexed(q);
+  if (!region.ok()) {
+    std::fprintf(stderr, "query: %s\n", region.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("q = (S=(%.0f, %.0f), T=%s, L=%s, Prob=%.0f%%)  [%s]\n",
+              q.location.x, q.location.y,
+              FormatTimeOfDay(q.start_tod).c_str(),
+              FormatDuration(q.duration).c_str(), q.prob * 100.0,
+              args.count("exhaustive") ? "ES" : "SQMB+TBS");
+  std::printf("region: %zu segments, %.1f km\n", region->segments.size(),
+              region->total_length_m / 1000.0);
+  std::printf("work:   %.2f ms, %llu verified, %llu time lists, "
+              "%llu disk page reads\n",
+              region->stats.wall_ms,
+              static_cast<unsigned long long>(region->stats.segments_verified),
+              static_cast<unsigned long long>(region->stats.time_lists_read),
+              static_cast<unsigned long long>(
+                  region->stats.io.disk_page_reads));
+
+  if (args.count("geojson")) {
+    GeoJsonWriter geo;
+    for (SegmentId s : region->segments) {
+      std::vector<GeoPoint> coords;
+      for (const XyPoint& p : dataset->network.segment(s).shape.points()) {
+        coords.push_back(dataset->projection.ToGeo(p));
+      }
+      geo.AddLineString(coords, {{"segment", std::to_string(s)}});
+    }
+    geo.AddPoint(dataset->projection.ToGeo(q.location),
+                 {{"role", GeoJsonWriter::Quoted("query-location")}});
+    if (Status s = geo.WriteFile(args.at("geojson")); !s.ok()) {
+      std::fprintf(stderr, "query: %s\n", s.ToString().c_str());
+      return 1;
+    }
+    std::printf("wrote %s\n", args.at("geojson").c_str());
+  }
+  return 0;
+}
+
+void Usage() {
+  std::fprintf(stderr,
+               "usage: strr_cli <generate|stats|query> [--key value ...]\n"
+               "  generate --out DIR [--taxis N] [--days N] [--seed N]\n"
+               "  stats    --data DIR\n"
+               "  query    --data DIR [--time HH:MM] [--minutes L]\n"
+               "           [--prob P] [--x M --y M] [--exhaustive]\n"
+               "           [--geojson FILE]\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    Usage();
+    return 2;
+  }
+  std::string cmd = argv[1];
+  auto args = ParseArgs(argc, argv, 2);
+  if (cmd == "generate") return CmdGenerate(args);
+  if (cmd == "stats") return CmdStats(args);
+  if (cmd == "query") return CmdQuery(args);
+  Usage();
+  return 2;
+}

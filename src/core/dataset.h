@@ -1,0 +1,51 @@
+// Dataset: the end-to-end pre-processing pipeline (paper §3.1).
+//
+// Generates the synthetic city, runs the 500 m road re-segmentation, and
+// simulates the taxi fleet, producing the cleaned (map-matched) trajectory
+// database the indexes are built from. Everything is deterministic in the
+// seeds carried by the options.
+#ifndef STRR_CORE_DATASET_H_
+#define STRR_CORE_DATASET_H_
+
+#include <memory>
+
+#include "roadnet/city_generator.h"
+#include "roadnet/resegmenter.h"
+#include "traj/fleet_simulator.h"
+#include "traj/trajectory_store.h"
+#include "util/result.h"
+
+namespace strr {
+
+/// Pipeline knobs: city -> re-segmentation -> fleet.
+struct DatasetOptions {
+  CityOptions city;
+  ResegmentOptions reseg;
+  FleetOptions fleet;
+  int raw_gps_days = 0;  ///< materialize raw GPS for the first N days
+};
+
+/// A ready-to-index dataset.
+struct Dataset {
+  RoadNetwork network;          ///< re-segmented road network
+  Projection projection;        ///< geo <-> local meters
+  XyPoint center;               ///< city centre (projected)
+  std::unique_ptr<TrajectoryStore> store;  ///< matched trajectories
+  std::vector<RawTrajectory> raw_sample;   ///< raw GPS (if requested)
+  uint64_t num_trips = 0;
+  uint64_t approx_gps_points = 0;
+};
+
+/// Runs the full pre-processing pipeline.
+StatusOr<Dataset> BuildDataset(const DatasetOptions& options);
+
+/// Options for a small dataset suitable for unit/integration tests
+/// (seconds to build).
+DatasetOptions TestDatasetOptions();
+
+/// Options for the benchmark-scale dataset (the Table 4.1 stand-in).
+DatasetOptions BenchDatasetOptions();
+
+}  // namespace strr
+
+#endif  // STRR_CORE_DATASET_H_

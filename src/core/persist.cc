@@ -1,0 +1,224 @@
+#include "core/persist.h"
+
+#include <filesystem>
+#include <fstream>
+
+#include "util/serialize.h"
+
+namespace strr {
+
+namespace {
+
+constexpr uint64_t kNetworkMagic = 0x5354525f4e455431ULL;   // "STR_NET1"
+constexpr uint64_t kTrajMagic = 0x5354525f54524a31ULL;      // "STR_TRJ1"
+constexpr uint64_t kMetaMagic = 0x5354525f4d455431ULL;      // "STR_MET1"
+constexpr uint32_t kFormatVersion = 1;
+
+Status WriteFileBytes(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return Status::IoError("cannot open for write: " + path);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  if (!out) return Status::IoError("short write: " + path);
+  return Status::OK();
+}
+
+StatusOr<std::string> ReadFileBytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  if (!in) return Status::IoError("cannot open for read: " + path);
+  std::streamsize size = in.tellg();
+  in.seekg(0);
+  std::string bytes(static_cast<size_t>(size), '\0');
+  in.read(bytes.data(), size);
+  if (!in) return Status::IoError("short read: " + path);
+  return bytes;
+}
+
+}  // namespace
+
+std::string SerializeNetwork(const RoadNetwork& network) {
+  BinaryWriter w;
+  w.PutU64(kNetworkMagic);
+  w.PutU32(kFormatVersion);
+  w.PutU64(network.NumNodes());
+  for (size_t i = 0; i < network.NumNodes(); ++i) {
+    const XyPoint& p = network.node(static_cast<NodeId>(i));
+    w.PutDouble(p.x);
+    w.PutDouble(p.y);
+  }
+  w.PutU64(network.NumSegments());
+  for (const RoadSegment& seg : network.segments()) {
+    w.PutU32(seg.from_node);
+    w.PutU32(seg.to_node);
+    w.PutU8(static_cast<uint8_t>(seg.level));
+    w.PutU8(seg.two_way ? 1 : 0);
+    w.PutU32(seg.reverse_id);
+    w.PutVarint32(static_cast<uint32_t>(seg.shape.NumPoints()));
+    for (const XyPoint& p : seg.shape.points()) {
+      w.PutDouble(p.x);
+      w.PutDouble(p.y);
+    }
+  }
+  return w.Release();
+}
+
+StatusOr<RoadNetwork> DeserializeNetwork(const std::string& bytes) {
+  BinaryReader r(bytes);
+  STRR_ASSIGN_OR_RETURN(uint64_t magic, r.GetU64());
+  if (magic != kNetworkMagic) {
+    return Status::Corruption("bad network magic");
+  }
+  STRR_ASSIGN_OR_RETURN(uint32_t version, r.GetU32());
+  if (version != kFormatVersion) {
+    return Status::Corruption("unsupported network format version " +
+                              std::to_string(version));
+  }
+  RoadNetwork net;
+  STRR_ASSIGN_OR_RETURN(uint64_t num_nodes, r.GetU64());
+  for (uint64_t i = 0; i < num_nodes; ++i) {
+    STRR_ASSIGN_OR_RETURN(double x, r.GetDouble());
+    STRR_ASSIGN_OR_RETURN(double y, r.GetDouble());
+    net.AddNode({x, y});
+  }
+  STRR_ASSIGN_OR_RETURN(uint64_t num_segments, r.GetU64());
+  std::vector<std::pair<bool, SegmentId>> twins;  // (two_way, reverse)
+  twins.reserve(num_segments);
+  for (uint64_t i = 0; i < num_segments; ++i) {
+    STRR_ASSIGN_OR_RETURN(uint32_t from, r.GetU32());
+    STRR_ASSIGN_OR_RETURN(uint32_t to, r.GetU32());
+    STRR_ASSIGN_OR_RETURN(uint8_t level, r.GetU8());
+    if (level > 2) return Status::Corruption("bad road level");
+    STRR_ASSIGN_OR_RETURN(uint8_t two_way, r.GetU8());
+    STRR_ASSIGN_OR_RETURN(uint32_t reverse, r.GetU32());
+    STRR_ASSIGN_OR_RETURN(uint32_t num_points, r.GetVarint32());
+    if (num_points < 2) return Status::Corruption("segment shape too short");
+    std::vector<XyPoint> points;
+    points.reserve(num_points);
+    for (uint32_t k = 0; k < num_points; ++k) {
+      STRR_ASSIGN_OR_RETURN(double x, r.GetDouble());
+      STRR_ASSIGN_OR_RETURN(double y, r.GetDouble());
+      points.push_back({x, y});
+    }
+    STRR_ASSIGN_OR_RETURN(
+        SegmentId id, net.AddSegment(from, to, static_cast<RoadLevel>(level),
+                                     Polyline(std::move(points))));
+    (void)id;
+    twins.emplace_back(two_way != 0, reverse);
+  }
+  // Restore twin links after all segments exist (link each pair once).
+  for (SegmentId i = 0; i < twins.size(); ++i) {
+    if (!twins[i].first || twins[i].second < i) continue;
+    if (twins[i].second >= num_segments) {
+      return Status::Corruption("twin id out of range");
+    }
+    STRR_RETURN_IF_ERROR(net.LinkTwins(i, twins[i].second));
+  }
+  STRR_RETURN_IF_ERROR(net.Finalize());
+  return net;
+}
+
+Status SaveDataset(const Dataset& dataset, const std::string& dir) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) return Status::IoError("cannot create dir " + dir);
+
+  STRR_RETURN_IF_ERROR(
+      WriteFileBytes(dir + "/network.strr", SerializeNetwork(dataset.network)));
+
+  BinaryWriter t;
+  t.PutU64(kTrajMagic);
+  t.PutU32(kFormatVersion);
+  t.PutU32(static_cast<uint32_t>(dataset.store->num_days()));
+  t.PutU64(dataset.store->NumTrajectories());
+  dataset.store->ForEach([&](const MatchedTrajectory& traj) {
+    t.PutU32(traj.id);
+    t.PutU32(traj.taxi);
+    t.PutU32(static_cast<uint32_t>(traj.day));
+    t.PutVarint32(static_cast<uint32_t>(traj.samples.size()));
+    Timestamp prev = MakeTimestamp(traj.day, 0);
+    for (const MatchedSample& s : traj.samples) {
+      t.PutVarint32(s.segment);
+      t.PutVarint64(static_cast<uint64_t>(s.timestamp - prev));
+      prev = s.timestamp;
+      // Speed at cm/s resolution keeps the file compact.
+      t.PutVarint32(static_cast<uint32_t>(s.speed_mps * 100.0f + 0.5f));
+    }
+  });
+  STRR_RETURN_IF_ERROR(WriteFileBytes(dir + "/trajectories.strr", t.data()));
+
+  BinaryWriter m;
+  m.PutU64(kMetaMagic);
+  m.PutU32(kFormatVersion);
+  m.PutDouble(dataset.projection.origin().lat);
+  m.PutDouble(dataset.projection.origin().lon);
+  m.PutDouble(dataset.center.x);
+  m.PutDouble(dataset.center.y);
+  m.PutU64(dataset.num_trips);
+  m.PutU64(dataset.approx_gps_points);
+  STRR_RETURN_IF_ERROR(WriteFileBytes(dir + "/meta.strr", m.data()));
+  return Status::OK();
+}
+
+StatusOr<Dataset> LoadDataset(const std::string& dir) {
+  Dataset dataset;
+  {
+    STRR_ASSIGN_OR_RETURN(std::string bytes,
+                          ReadFileBytes(dir + "/network.strr"));
+    STRR_ASSIGN_OR_RETURN(dataset.network, DeserializeNetwork(bytes));
+  }
+  {
+    STRR_ASSIGN_OR_RETURN(std::string bytes,
+                          ReadFileBytes(dir + "/trajectories.strr"));
+    BinaryReader r(bytes);
+    STRR_ASSIGN_OR_RETURN(uint64_t magic, r.GetU64());
+    if (magic != kTrajMagic) return Status::Corruption("bad trajectory magic");
+    STRR_ASSIGN_OR_RETURN(uint32_t version, r.GetU32());
+    if (version != kFormatVersion) {
+      return Status::Corruption("unsupported trajectory format version");
+    }
+    STRR_ASSIGN_OR_RETURN(uint32_t num_days, r.GetU32());
+    STRR_ASSIGN_OR_RETURN(uint64_t num_trajs, r.GetU64());
+    dataset.store = std::make_unique<TrajectoryStore>(
+        static_cast<int32_t>(num_days));
+    for (uint64_t i = 0; i < num_trajs; ++i) {
+      MatchedTrajectory traj;
+      STRR_ASSIGN_OR_RETURN(traj.id, r.GetU32());
+      STRR_ASSIGN_OR_RETURN(traj.taxi, r.GetU32());
+      STRR_ASSIGN_OR_RETURN(uint32_t day, r.GetU32());
+      traj.day = static_cast<DayIndex>(day);
+      STRR_ASSIGN_OR_RETURN(uint32_t num_samples, r.GetVarint32());
+      traj.samples.reserve(num_samples);
+      Timestamp prev = MakeTimestamp(traj.day, 0);
+      for (uint32_t k = 0; k < num_samples; ++k) {
+        MatchedSample s;
+        STRR_ASSIGN_OR_RETURN(s.segment, r.GetVarint32());
+        STRR_ASSIGN_OR_RETURN(uint64_t delta, r.GetVarint64());
+        s.timestamp = prev + static_cast<Timestamp>(delta);
+        prev = s.timestamp;
+        STRR_ASSIGN_OR_RETURN(uint32_t speed_cms, r.GetVarint32());
+        s.speed_mps = speed_cms / 100.0f;
+        traj.samples.push_back(s);
+      }
+      STRR_RETURN_IF_ERROR(dataset.store->Add(std::move(traj)));
+    }
+  }
+  {
+    STRR_ASSIGN_OR_RETURN(std::string bytes, ReadFileBytes(dir + "/meta.strr"));
+    BinaryReader r(bytes);
+    STRR_ASSIGN_OR_RETURN(uint64_t magic, r.GetU64());
+    if (magic != kMetaMagic) return Status::Corruption("bad meta magic");
+    STRR_ASSIGN_OR_RETURN(uint32_t version, r.GetU32());
+    if (version != kFormatVersion) {
+      return Status::Corruption("unsupported meta format version");
+    }
+    STRR_ASSIGN_OR_RETURN(double lat, r.GetDouble());
+    STRR_ASSIGN_OR_RETURN(double lon, r.GetDouble());
+    dataset.projection = Projection({lat, lon});
+    STRR_ASSIGN_OR_RETURN(dataset.center.x, r.GetDouble());
+    STRR_ASSIGN_OR_RETURN(dataset.center.y, r.GetDouble());
+    STRR_ASSIGN_OR_RETURN(dataset.num_trips, r.GetU64());
+    STRR_ASSIGN_OR_RETURN(dataset.approx_gps_points, r.GetU64());
+  }
+  return dataset;
+}
+
+}  // namespace strr

@@ -1,0 +1,35 @@
+// Dataset persistence: save/load the pre-processed dataset (re-segmented
+// road network + matched trajectory database) in a versioned binary format.
+//
+// Generating the benchmark-scale dataset costs tens of seconds (fleet
+// routing dominates); the bench harness generates once and reloads. The
+// format is also the library's interchange format for users bringing their
+// own pre-processed data.
+#ifndef STRR_CORE_PERSIST_H_
+#define STRR_CORE_PERSIST_H_
+
+#include <string>
+
+#include "core/dataset.h"
+#include "util/result.h"
+#include "util/status.h"
+
+namespace strr {
+
+/// Writes `dataset` under `dir` (created if missing): network.strr,
+/// trajectories.strr, meta.strr.
+Status SaveDataset(const Dataset& dataset, const std::string& dir);
+
+/// Loads a dataset previously written by SaveDataset. Fails with
+/// Corruption on format/version mismatches.
+StatusOr<Dataset> LoadDataset(const std::string& dir);
+
+/// Serializes one road network to a byte string (exposed for tests).
+std::string SerializeNetwork(const RoadNetwork& network);
+
+/// Parses a network serialized by SerializeNetwork.
+StatusOr<RoadNetwork> DeserializeNetwork(const std::string& bytes);
+
+}  // namespace strr
+
+#endif  // STRR_CORE_PERSIST_H_

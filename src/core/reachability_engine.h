@@ -1,0 +1,98 @@
+// ReachabilityEngine: the library's public query facade.
+//
+// Owns the full index stack (speed profile, ST-Index, Con-Index) over one
+// road network + trajectory database, and answers:
+//  * s-queries with SQMB + TBS (the paper's indexed path),
+//  * s-queries with ES (the exhaustive baseline),
+//  * m-queries with MQMB + shared TBS,
+//  * m-queries as n independent s-queries (the paper's m-query baseline).
+//
+// Typical use:
+//   auto dataset = BuildDataset(DatasetOptions{...});
+//   auto engine = ReachabilityEngine::Build(dataset->network, *dataset->store,
+//                                           {.work_dir = "/tmp/strr"});
+//   auto region = engine->SQueryIndexed({.location = p, .start_tod =
+//       HMS(11), .duration = 10 * 60, .prob = 0.2});
+#ifndef STRR_CORE_REACHABILITY_ENGINE_H_
+#define STRR_CORE_REACHABILITY_ENGINE_H_
+
+#include <memory>
+#include <string>
+
+#include "index/con_index.h"
+#include "index/speed_profile.h"
+#include "index/st_index.h"
+#include "query/bounding_region.h"
+#include "query/query.h"
+#include "traj/trajectory_store.h"
+#include "util/result.h"
+
+namespace strr {
+
+/// Engine construction knobs.
+struct EngineOptions {
+  /// Directory for index files (the ST-Index posting file). Required.
+  std::string work_dir;
+  int64_t delta_t_seconds = 300;          ///< Δt (index slot & query window)
+  int64_t profile_slot_seconds = 3600;    ///< speed-profile granularity
+  size_t cache_pages = 4096;              ///< ST-Index buffer-pool pages
+  uint32_t page_size = kDefaultPageSize;
+  bool precompute_con_index = false;      ///< BuildAll vs lazy tables
+  int build_threads = 4;
+};
+
+/// Facade over the whole query stack. Thread-compatible (concurrent reads
+/// of distinct queries are safe; the lazy Con-Index locks internally).
+class ReachabilityEngine {
+ public:
+  /// Builds every index. The network and store must outlive the engine.
+  static StatusOr<std::unique_ptr<ReachabilityEngine>> Build(
+      const RoadNetwork& network, const TrajectoryStore& store,
+      const EngineOptions& options);
+
+  /// s-query via SQMB + TBS (indexed path).
+  StatusOr<RegionResult> SQueryIndexed(const SQuery& query);
+
+  /// s-query via exhaustive search (baseline).
+  StatusOr<RegionResult> SQueryExhaustive(const SQuery& query);
+
+  /// m-query via MQMB + one shared TBS pass.
+  StatusOr<RegionResult> MQueryIndexed(const MQuery& query);
+
+  /// m-query as n s-queries whose regions are unioned (baseline; pays
+  /// duplicate verification in overlapping areas).
+  StatusOr<RegionResult> MQueryRepeatedSQuery(const MQuery& query);
+
+  // --- Introspection ---------------------------------------------------------
+
+  const StIndex& st_index() const { return *st_index_; }
+  StIndex& st_index() { return *st_index_; }
+  const ConIndex& con_index() const { return *con_index_; }
+  ConIndex& con_index() { return *con_index_; }
+  const SpeedProfile& speed_profile() const { return *profile_; }
+  const RoadNetwork& network() const { return *network_; }
+  int64_t delta_t_seconds() const { return options_.delta_t_seconds; }
+
+  /// Resets ST-Index I/O counters and optionally drops the page cache.
+  void ResetIoStats(bool drop_cache = false);
+
+ private:
+  ReachabilityEngine(const RoadNetwork& network, EngineOptions options)
+      : network_(&network), options_(std::move(options)) {}
+
+  /// Shared tail of the indexed paths: boundary seeding, TBS, stats.
+  StatusOr<RegionResult> RunTraceBack(const BoundingRegions& regions,
+                                      int64_t start_tod, int64_t duration,
+                                      double prob, double setup_ms,
+                                      const StorageStats& io_before);
+
+  const RoadNetwork* network_;
+  EngineOptions options_;
+  std::unique_ptr<SpeedProfile> profile_;
+  std::unique_ptr<StIndex> st_index_;
+  std::unique_ptr<ConIndex> con_index_;
+};
+
+}  // namespace strr
+
+#endif  // STRR_CORE_REACHABILITY_ENGINE_H_

@@ -1,0 +1,81 @@
+#include "geo/geojson.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace strr {
+
+namespace {
+std::string FormatCoord(const GeoPoint& p) {
+  char buf[64];
+  // GeoJSON is [lon, lat].
+  std::snprintf(buf, sizeof(buf), "[%.6f,%.6f]", p.lon, p.lat);
+  return buf;
+}
+}  // namespace
+
+std::string GeoJsonWriter::Quoted(const std::string& s) {
+  std::string out = "\"";
+  for (char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  out.push_back('"');
+  return out;
+}
+
+std::string GeoJsonWriter::PropsToJson(const Properties& props) {
+  std::ostringstream os;
+  os << "{";
+  bool first = true;
+  for (const auto& [k, v] : props) {
+    if (!first) os << ",";
+    first = false;
+    os << Quoted(k) << ":" << v;
+  }
+  os << "}";
+  return os.str();
+}
+
+void GeoJsonWriter::AddLineString(const std::vector<GeoPoint>& coords,
+                                  const Properties& props) {
+  std::ostringstream os;
+  os << "{\"type\":\"Feature\",\"properties\":" << PropsToJson(props)
+     << ",\"geometry\":{\"type\":\"LineString\",\"coordinates\":[";
+  for (size_t i = 0; i < coords.size(); ++i) {
+    if (i > 0) os << ",";
+    os << FormatCoord(coords[i]);
+  }
+  os << "]}}";
+  features_.push_back(os.str());
+}
+
+void GeoJsonWriter::AddPoint(const GeoPoint& p, const Properties& props) {
+  std::ostringstream os;
+  os << "{\"type\":\"Feature\",\"properties\":" << PropsToJson(props)
+     << ",\"geometry\":{\"type\":\"Point\",\"coordinates\":" << FormatCoord(p)
+     << "}}";
+  features_.push_back(os.str());
+}
+
+std::string GeoJsonWriter::ToString() const {
+  std::ostringstream os;
+  os << "{\"type\":\"FeatureCollection\",\"features\":[";
+  for (size_t i = 0; i < features_.size(); ++i) {
+    if (i > 0) os << ",";
+    os << features_[i];
+  }
+  os << "]}";
+  return os.str();
+}
+
+Status GeoJsonWriter::WriteFile(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return Status::IoError("cannot open " + path + " for writing");
+  out << ToString();
+  if (!out) return Status::IoError("short write to " + path);
+  return Status::OK();
+}
+
+}  // namespace strr

@@ -1,0 +1,49 @@
+// GeoJSON FeatureCollection writer, used to regenerate the paper's map
+// figures (Figs 4.2, 4.4, 4.6, 4.9) as files a browser or geojson.io can
+// render.
+#ifndef STRR_GEO_GEOJSON_H_
+#define STRR_GEO_GEOJSON_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "geo/point.h"
+#include "util/status.h"
+
+namespace strr {
+
+/// Accumulates features and serializes them as a GeoJSON FeatureCollection.
+class GeoJsonWriter {
+ public:
+  /// Property bag attached to a feature; values are emitted verbatim for
+  /// numbers and quoted for strings.
+  using Properties = std::map<std::string, std::string>;
+
+  /// Adds a LineString feature from geographic coordinates.
+  void AddLineString(const std::vector<GeoPoint>& coords,
+                     const Properties& props = {});
+
+  /// Adds a Point feature.
+  void AddPoint(const GeoPoint& p, const Properties& props = {});
+
+  /// Serializes the collection to a JSON string.
+  std::string ToString() const;
+
+  /// Writes the collection to `path`.
+  Status WriteFile(const std::string& path) const;
+
+  size_t NumFeatures() const { return features_.size(); }
+
+  /// Helper: quotes a string value for use in Properties.
+  static std::string Quoted(const std::string& s);
+
+ private:
+  std::vector<std::string> features_;
+
+  static std::string PropsToJson(const Properties& props);
+};
+
+}  // namespace strr
+
+#endif  // STRR_GEO_GEOJSON_H_

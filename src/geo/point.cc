@@ -1,0 +1,37 @@
+#include "geo/point.h"
+
+namespace strr {
+
+namespace {
+constexpr double kEarthRadiusMeters = 6371008.8;
+constexpr double kDegToRad = M_PI / 180.0;
+}  // namespace
+
+double HaversineMeters(const GeoPoint& a, const GeoPoint& b) {
+  double lat1 = a.lat * kDegToRad;
+  double lat2 = b.lat * kDegToRad;
+  double dlat = (b.lat - a.lat) * kDegToRad;
+  double dlon = (b.lon - a.lon) * kDegToRad;
+  double s = std::sin(dlat / 2.0);
+  double t = std::sin(dlon / 2.0);
+  double h = s * s + std::cos(lat1) * std::cos(lat2) * t * t;
+  return 2.0 * kEarthRadiusMeters * std::asin(std::sqrt(h));
+}
+
+Projection::Projection(GeoPoint origin) : origin_(origin) {
+  meters_per_deg_lat_ = kEarthRadiusMeters * kDegToRad;
+  meters_per_deg_lon_ =
+      kEarthRadiusMeters * kDegToRad * std::cos(origin.lat * kDegToRad);
+}
+
+XyPoint Projection::ToXy(const GeoPoint& p) const {
+  return {(p.lon - origin_.lon) * meters_per_deg_lon_,
+          (p.lat - origin_.lat) * meters_per_deg_lat_};
+}
+
+GeoPoint Projection::ToGeo(const XyPoint& p) const {
+  return {origin_.lat + p.y / meters_per_deg_lat_,
+          origin_.lon + p.x / meters_per_deg_lon_};
+}
+
+}  // namespace strr

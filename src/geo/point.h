@@ -1,0 +1,78 @@
+// Geographic and projected point types.
+//
+// The library works in two coordinate spaces:
+//  * GeoPoint  — WGS84 latitude/longitude in degrees (what GPS emits).
+//  * XyPoint   — meters in a local equirectangular projection anchored at a
+//                reference GeoPoint (what geometry and distance code uses).
+#ifndef STRR_GEO_POINT_H_
+#define STRR_GEO_POINT_H_
+
+#include <cmath>
+#include <ostream>
+
+namespace strr {
+
+/// WGS84 coordinate, degrees.
+struct GeoPoint {
+  double lat = 0.0;
+  double lon = 0.0;
+
+  bool operator==(const GeoPoint& o) const {
+    return lat == o.lat && lon == o.lon;
+  }
+};
+
+/// Local planar coordinate, meters east (x) / north (y) of the projection
+/// anchor.
+struct XyPoint {
+  double x = 0.0;
+  double y = 0.0;
+
+  XyPoint operator+(const XyPoint& o) const { return {x + o.x, y + o.y}; }
+  XyPoint operator-(const XyPoint& o) const { return {x - o.x, y - o.y}; }
+  XyPoint operator*(double s) const { return {x * s, y * s}; }
+
+  double Dot(const XyPoint& o) const { return x * o.x + y * o.y; }
+  double NormSquared() const { return x * x + y * y; }
+  double Norm() const { return std::sqrt(NormSquared()); }
+
+  bool operator==(const XyPoint& o) const { return x == o.x && y == o.y; }
+};
+
+/// Euclidean distance between two projected points, meters.
+inline double Distance(const XyPoint& a, const XyPoint& b) {
+  return (a - b).Norm();
+}
+
+/// Great-circle (haversine) distance between two geographic points, meters.
+double HaversineMeters(const GeoPoint& a, const GeoPoint& b);
+
+/// Bidirectional local projection anchored at `origin`. Accurate to well
+/// under 0.1% over a metropolitan extent (tens of km), which is all the
+/// algorithms need — distances feed travel-time heuristics, not geodesy.
+class Projection {
+ public:
+  explicit Projection(GeoPoint origin);
+  Projection() : Projection(GeoPoint{0.0, 0.0}) {}
+
+  XyPoint ToXy(const GeoPoint& p) const;
+  GeoPoint ToGeo(const XyPoint& p) const;
+
+  const GeoPoint& origin() const { return origin_; }
+
+ private:
+  GeoPoint origin_;
+  double meters_per_deg_lat_;
+  double meters_per_deg_lon_;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const GeoPoint& p) {
+  return os << "(" << p.lat << ", " << p.lon << ")";
+}
+inline std::ostream& operator<<(std::ostream& os, const XyPoint& p) {
+  return os << "(" << p.x << "m, " << p.y << "m)";
+}
+
+}  // namespace strr
+
+#endif  // STRR_GEO_POINT_H_

@@ -1,0 +1,104 @@
+#include "geo/polyline.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace strr {
+
+double PointSegmentDistance(const XyPoint& p, const XyPoint& a,
+                            const XyPoint& b, XyPoint* closest, double* t) {
+  XyPoint ab = b - a;
+  double len2 = ab.NormSquared();
+  double tt = 0.0;
+  if (len2 > 0.0) {
+    tt = std::clamp((p - a).Dot(ab) / len2, 0.0, 1.0);
+  }
+  XyPoint c = a + ab * tt;
+  if (closest != nullptr) *closest = c;
+  if (t != nullptr) *t = tt;
+  return Distance(p, c);
+}
+
+Polyline::Polyline(std::vector<XyPoint> points) : points_(std::move(points)) {
+  cumulative_.reserve(points_.size());
+  double acc = 0.0;
+  for (size_t i = 0; i < points_.size(); ++i) {
+    if (i > 0) acc += Distance(points_[i - 1], points_[i]);
+    cumulative_.push_back(acc);
+    mbr_.Extend(points_[i]);
+  }
+}
+
+XyPoint Polyline::Interpolate(double offset) const {
+  if (points_.empty()) return {};
+  if (points_.size() == 1 || offset <= 0.0) return points_.front();
+  if (offset >= Length()) return points_.back();
+  // Find first vertex whose cumulative length exceeds the offset.
+  auto it = std::upper_bound(cumulative_.begin(), cumulative_.end(), offset);
+  size_t i = static_cast<size_t>(it - cumulative_.begin());
+  assert(i > 0 && i < points_.size());
+  double seg_start = cumulative_[i - 1];
+  double seg_len = cumulative_[i] - seg_start;
+  double t = seg_len > 0.0 ? (offset - seg_start) / seg_len : 0.0;
+  return points_[i - 1] + (points_[i] - points_[i - 1]) * t;
+}
+
+PolylineProjection Polyline::Project(const XyPoint& p) const {
+  PolylineProjection best;
+  best.distance = std::numeric_limits<double>::max();
+  if (points_.empty()) return best;
+  if (points_.size() == 1) {
+    best.closest = points_[0];
+    best.distance = Distance(p, points_[0]);
+    best.offset = 0.0;
+    return best;
+  }
+  for (size_t i = 0; i + 1 < points_.size(); ++i) {
+    XyPoint closest;
+    double t;
+    double d = PointSegmentDistance(p, points_[i], points_[i + 1], &closest, &t);
+    if (d < best.distance) {
+      best.distance = d;
+      best.closest = closest;
+      best.segment_index = i;
+      best.offset = cumulative_[i] + t * (cumulative_[i + 1] - cumulative_[i]);
+    }
+  }
+  return best;
+}
+
+std::vector<Polyline> Polyline::SplitAt(
+    const std::vector<double>& offsets) const {
+  std::vector<Polyline> out;
+  if (IsEmpty()) {
+    out.push_back(*this);
+    return out;
+  }
+  const double total = Length();
+  std::vector<XyPoint> current;
+  current.push_back(points_.front());
+  size_t vertex = 1;  // next original vertex to consume
+  double prev_cut = 0.0;
+  for (double cut : offsets) {
+    if (cut <= prev_cut || cut >= total) continue;
+    // Consume original vertices strictly before the cut point.
+    while (vertex < points_.size() && cumulative_[vertex] < cut) {
+      current.push_back(points_[vertex]);
+      ++vertex;
+    }
+    XyPoint at = Interpolate(cut);
+    current.push_back(at);
+    out.emplace_back(std::move(current));
+    current.clear();
+    current.push_back(at);
+    prev_cut = cut;
+  }
+  while (vertex < points_.size()) {
+    current.push_back(points_[vertex]);
+    ++vertex;
+  }
+  out.emplace_back(std::move(current));
+  return out;
+}
+
+}  // namespace strr

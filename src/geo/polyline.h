@@ -1,0 +1,62 @@
+// Polyline geometry helpers for road-segment shapes: length, interpolation,
+// point-to-polyline projection (the map-matcher's inner loop).
+#ifndef STRR_GEO_POLYLINE_H_
+#define STRR_GEO_POLYLINE_H_
+
+#include <vector>
+
+#include "geo/mbr.h"
+#include "geo/point.h"
+
+namespace strr {
+
+/// Result of projecting a point onto a polyline.
+struct PolylineProjection {
+  XyPoint closest;        ///< nearest point on the polyline
+  double distance = 0.0;  ///< meters from query point to `closest`
+  double offset = 0.0;    ///< arc-length from the polyline start to `closest`
+  size_t segment_index = 0;  ///< index of the vertex pair containing it
+};
+
+/// Immutable sequence of projected points with cached cumulative lengths.
+class Polyline {
+ public:
+  Polyline() = default;
+  explicit Polyline(std::vector<XyPoint> points);
+
+  const std::vector<XyPoint>& points() const { return points_; }
+  size_t NumPoints() const { return points_.size(); }
+  bool IsEmpty() const { return points_.size() < 2; }
+
+  /// Total arc length, meters.
+  double Length() const { return cumulative_.empty() ? 0.0 : cumulative_.back(); }
+
+  /// Tight bounding rectangle of all vertices.
+  const Mbr& BoundingBox() const { return mbr_; }
+
+  /// Point at arc-length `offset` from the start (clamped to [0, Length]).
+  XyPoint Interpolate(double offset) const;
+
+  /// Nearest point on the polyline to `p`.
+  PolylineProjection Project(const XyPoint& p) const;
+
+  /// Splits this polyline at the given sorted arc-length offsets, returning
+  /// the resulting pieces in order. Offsets outside (0, Length) are ignored.
+  /// Used by road re-segmentation.
+  std::vector<Polyline> SplitAt(const std::vector<double>& offsets) const;
+
+ private:
+  std::vector<XyPoint> points_;
+  std::vector<double> cumulative_;  // cumulative_[i] = length up to points_[i]
+  Mbr mbr_;
+};
+
+/// Distance from point `p` to the segment [a, b], plus the projection
+/// parameter t in [0,1] and the closest point.
+double PointSegmentDistance(const XyPoint& p, const XyPoint& a,
+                            const XyPoint& b, XyPoint* closest = nullptr,
+                            double* t = nullptr);
+
+}  // namespace strr
+
+#endif  // STRR_GEO_POLYLINE_H_

@@ -1,0 +1,66 @@
+// BPlusTree: in-memory B+ tree keyed by int64, valued by uint32.
+//
+// The temporal component of the paper's ST-Index: keys are time-slot start
+// offsets (seconds since midnight) and values are slot ids pointing at the
+// per-slot spatial structures. A header-only generic-enough implementation
+// with range scans and a floor lookup (largest key <= query), which is the
+// operation the temporal index actually performs ("which slot covers T?").
+#ifndef STRR_INDEX_BPLUS_TREE_H_
+#define STRR_INDEX_BPLUS_TREE_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <vector>
+
+namespace strr {
+
+/// B+ tree with linked leaves. Insert-only (the temporal index never
+/// deletes slots); duplicate keys overwrite.
+class BPlusTree {
+ public:
+  using Key = int64_t;
+  using Value = uint32_t;
+
+  struct Node;  // public for the implementation's free helpers
+
+  /// `order` = max keys per node (fan-out - 1 for internals).
+  explicit BPlusTree(size_t order = 32);
+  ~BPlusTree();
+
+  BPlusTree(BPlusTree&&) noexcept;
+  BPlusTree& operator=(BPlusTree&&) noexcept;
+  BPlusTree(const BPlusTree&) = delete;
+  BPlusTree& operator=(const BPlusTree&) = delete;
+
+  /// Inserts or overwrites `key`.
+  void Insert(Key key, Value value);
+
+  /// Exact lookup.
+  std::optional<Value> Find(Key key) const;
+
+  /// Largest entry with key <= `key` (the "slot covering time T" query).
+  std::optional<std::pair<Key, Value>> Floor(Key key) const;
+
+  /// Visits entries with lo <= key <= hi in ascending order; return false
+  /// to stop.
+  void Range(Key lo, Key hi,
+             const std::function<bool(Key, Value)>& visit) const;
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  int Height() const;
+
+  /// Structural checks (ordering, fill, leaf chain); used by tests.
+  bool CheckInvariants() const;
+
+ private:
+  std::unique_ptr<Node> root_;
+  size_t order_;
+  size_t size_ = 0;
+};
+
+}  // namespace strr
+
+#endif  // STRR_INDEX_BPLUS_TREE_H_

@@ -1,0 +1,131 @@
+#include "index/con_index.h"
+
+#include <algorithm>
+
+#include "roadnet/expansion.h"
+#include "util/thread_pool.h"
+
+namespace strr {
+
+ConIndex::ConIndex(const RoadNetwork& network, const SpeedProfile& profile,
+                   const ConIndexOptions& options)
+    : network_(&network), profile_(&profile), options_(options) {
+  num_slots_ = profile.num_slots();
+  slots_.resize(num_slots_);
+  for (auto& slot : slots_) {
+    slot = std::make_unique<SlotTables>();
+    slot->near.resize(network.NumSegments());
+    slot->far.resize(network.NumSegments());
+    slot->ready.assign(network.NumSegments(), 0);
+  }
+}
+
+StatusOr<std::unique_ptr<ConIndex>> ConIndex::Create(
+    const RoadNetwork& network, const SpeedProfile& profile,
+    const ConIndexOptions& options) {
+  if (!network.finalized()) {
+    return Status::FailedPrecondition("ConIndex: network not finalized");
+  }
+  if (options.delta_t_seconds <= 0) {
+    return Status::InvalidArgument("ConIndex: delta_t must be positive");
+  }
+  return std::unique_ptr<ConIndex>(new ConIndex(network, profile, options));
+}
+
+void ConIndex::ComputeTables(SegmentId seg, SlotId slot,
+                             SlotTables& bucket) const {
+  const int64_t slot_tod = static_cast<int64_t>(slot) *
+                           profile_->slot_seconds();
+  const double budget = static_cast<double>(options_.delta_t_seconds);
+
+  SpeedFn max_speed = [this, slot_tod](SegmentId id) {
+    return profile_->MaxSpeed(id, slot_tod);
+  };
+  SpeedFn min_speed = [this, slot_tod](SegmentId id) {
+    return profile_->MinSpeed(id, slot_tod);
+  };
+
+  std::vector<ExpansionHit> far_hits =
+      ExpandFrom(*network_, seg, budget, max_speed);
+  std::vector<ExpansionHit> near_hits =
+      ExpandFrom(*network_, seg, budget, min_speed);
+
+  std::vector<SegmentId> far_list, near_list;
+  far_list.reserve(far_hits.size());
+  for (const ExpansionHit& h : far_hits) far_list.push_back(h.segment);
+  near_list.reserve(near_hits.size());
+  for (const ExpansionHit& h : near_hits) near_list.push_back(h.segment);
+  std::sort(far_list.begin(), far_list.end());
+  std::sort(near_list.begin(), near_list.end());
+
+  std::lock_guard<std::mutex> lock(bucket.mu);
+  if (bucket.ready[seg]) return;  // lost a race; keep the first result
+  bucket.far[seg] = std::move(far_list);
+  bucket.near[seg] = std::move(near_list);
+  bucket.ready[seg] = 1;
+}
+
+ConIndex::SlotTables& ConIndex::EnsureTables(SegmentId seg,
+                                             SlotId slot) const {
+  SlotTables& bucket = *slots_[slot];
+  {
+    std::lock_guard<std::mutex> lock(bucket.mu);
+    if (bucket.ready[seg]) return bucket;
+  }
+  ComputeTables(seg, slot, bucket);
+  return bucket;
+}
+
+const std::vector<SegmentId>& ConIndex::Far(SegmentId seg,
+                                            int64_t time_of_day_sec) const {
+  SlotId slot = SlotOfTimeOfDay(
+      ((time_of_day_sec % kSecondsPerDay) + kSecondsPerDay) % kSecondsPerDay,
+      profile_->slot_seconds());
+  return EnsureTables(seg, slot).far[seg];
+}
+
+const std::vector<SegmentId>& ConIndex::Near(SegmentId seg,
+                                             int64_t time_of_day_sec) const {
+  SlotId slot = SlotOfTimeOfDay(
+      ((time_of_day_sec % kSecondsPerDay) + kSecondsPerDay) % kSecondsPerDay,
+      profile_->slot_seconds());
+  return EnsureTables(seg, slot).near[seg];
+}
+
+Status ConIndex::BuildAll() {
+  ThreadPool pool(options_.num_build_threads > 0 ? options_.num_build_threads
+                                                 : 1);
+  for (SlotId slot = 0; slot < num_slots_; ++slot) {
+    pool.Submit([this, slot] {
+      for (SegmentId seg = 0; seg < network_->NumSegments(); ++seg) {
+        EnsureTables(seg, slot);
+      }
+    });
+  }
+  pool.Wait();
+  return Status::OK();
+}
+
+size_t ConIndex::MaterializedTables() const {
+  size_t count = 0;
+  for (const auto& slot : slots_) {
+    std::lock_guard<std::mutex> lock(slot->mu);
+    for (uint8_t r : slot->ready) count += r;
+  }
+  return count;
+}
+
+size_t ConIndex::TotalListEntries() const {
+  size_t count = 0;
+  for (const auto& slot : slots_) {
+    std::lock_guard<std::mutex> lock(slot->mu);
+    for (size_t i = 0; i < slot->ready.size(); ++i) {
+      if (slot->ready[i]) {
+        count += slot->near[i].size() + slot->far[i].size();
+      }
+    }
+  }
+  return count;
+}
+
+}  // namespace strr

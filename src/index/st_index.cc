@@ -1,0 +1,189 @@
+#include "index/st_index.h"
+
+#include <algorithm>
+
+#include "util/serialize.h"
+
+namespace strr {
+
+namespace {
+
+/// Build-time tuple; sorting groups (segment, slot) together, then days,
+/// then ids (so duplicates from multi-sample traversals collapse).
+struct BuildTuple {
+  PostingKey key;  // (segment << 32) | slot
+  uint32_t day;
+  TrajectoryId traj;
+
+  bool operator<(const BuildTuple& o) const {
+    if (key != o.key) return key < o.key;
+    if (day != o.day) return day < o.day;
+    return traj < o.traj;
+  }
+  bool operator==(const BuildTuple& o) const {
+    return key == o.key && day == o.day && traj == o.traj;
+  }
+};
+
+/// Encodes one time list: varint day count, then per present day:
+/// varint day, sorted-delta id list.
+std::string EncodeTimeList(
+    const std::vector<std::pair<uint32_t, std::vector<TrajectoryId>>>& days) {
+  BinaryWriter w;
+  w.PutVarint32(static_cast<uint32_t>(days.size()));
+  for (const auto& [day, ids] : days) {
+    w.PutVarint32(day);
+    w.PutU32List(ids, /*sorted=*/true);
+  }
+  return w.Release();
+}
+
+}  // namespace
+
+StatusOr<std::unique_ptr<StIndex>> StIndex::Build(
+    const RoadNetwork& network, const TrajectoryStore& store,
+    const StIndexOptions& options) {
+  if (!network.finalized()) {
+    return Status::FailedPrecondition("StIndex::Build: network not finalized");
+  }
+  if (options.slot_seconds <= 0 || options.slot_seconds > kSecondsPerDay) {
+    return Status::InvalidArgument("StIndex: slot width out of range");
+  }
+  if (options.posting_path.empty()) {
+    return Status::InvalidArgument("StIndex: posting_path is required");
+  }
+
+  auto index = std::unique_ptr<StIndex>(new StIndex(network, options));
+  index->slots_per_day_ = SlotsPerDay(options.slot_seconds);
+  index->num_days_ = store.num_days();
+
+  // Temporal B+-tree: slot start second -> slot id.
+  for (SlotId s = 0; s < index->slots_per_day_; ++s) {
+    index->temporal_.Insert(static_cast<int64_t>(s) * options.slot_seconds,
+                            static_cast<uint32_t>(s));
+  }
+
+  // Shared spatial R-tree, STR bulk-loaded over segment MBRs.
+  {
+    std::vector<RTree::Entry> entries;
+    entries.reserve(network.NumSegments());
+    for (const RoadSegment& seg : network.segments()) {
+      entries.push_back({seg.bounding_box(), seg.id});
+    }
+    index->rtree_.BulkLoad(std::move(entries));
+  }
+
+  // Time lists: gather (segment, slot, day, traj) tuples, sort, encode.
+  std::vector<BuildTuple> tuples;
+  {
+    uint64_t total_samples = 0;
+    store.ForEach([&](const MatchedTrajectory& t) {
+      total_samples += t.samples.size();
+    });
+    tuples.reserve(total_samples);
+  }
+  store.ForEach([&](const MatchedTrajectory& traj) {
+    for (const MatchedSample& s : traj.samples) {
+      if (s.segment >= network.NumSegments()) continue;
+      SlotId slot = SlotOf(s.timestamp, options.slot_seconds);
+      tuples.push_back({MakePostingKey(s.segment, static_cast<uint32_t>(slot)),
+                        static_cast<uint32_t>(traj.day), traj.id});
+    }
+  });
+  std::sort(tuples.begin(), tuples.end());
+  tuples.erase(std::unique(tuples.begin(), tuples.end()), tuples.end());
+
+  STRR_ASSIGN_OR_RETURN(
+      std::unique_ptr<PostingStoreBuilder> builder,
+      PostingStoreBuilder::Create(options.posting_path, options.page_size));
+
+  size_t i = 0;
+  while (i < tuples.size()) {
+    PostingKey key = tuples[i].key;
+    std::vector<std::pair<uint32_t, std::vector<TrajectoryId>>> days;
+    while (i < tuples.size() && tuples[i].key == key) {
+      uint32_t day = tuples[i].day;
+      std::vector<TrajectoryId> ids;
+      while (i < tuples.size() && tuples[i].key == key &&
+             tuples[i].day == day) {
+        ids.push_back(tuples[i].traj);
+        ++i;
+      }
+      days.emplace_back(day, std::move(ids));
+    }
+    STRR_RETURN_IF_ERROR(builder->Add(key, EncodeTimeList(days)));
+  }
+  STRR_RETURN_IF_ERROR(builder->Finish());
+
+  STRR_ASSIGN_OR_RETURN(index->postings_,
+                        PostingStore::Open(options.posting_path,
+                                           options.cache_pages,
+                                           options.page_size));
+  return index;
+}
+
+StatusOr<SegmentId> StIndex::LocateSegment(const XyPoint& p) const {
+  // The R-tree ranks by box distance; re-rank the top candidates by true
+  // geometric distance to pick the segment the location actually lies on.
+  std::vector<uint32_t> candidates = rtree_.Nearest(p, 8);
+  if (candidates.empty()) return Status::NotFound("no segments in index");
+  SegmentId best = candidates.front();
+  double best_dist = network_->segment(best).shape.Project(p).distance;
+  for (size_t i = 1; i < candidates.size(); ++i) {
+    double d = network_->segment(candidates[i]).shape.Project(p).distance;
+    if (d < best_dist) {
+      best_dist = d;
+      best = candidates[i];
+    }
+  }
+  return best;
+}
+
+std::vector<SegmentId> StIndex::SegmentsInRange(const Mbr& box) const {
+  return rtree_.Search(box);
+}
+
+SlotId StIndex::SlotForTime(int64_t time_of_day_sec) const {
+  int64_t tod = ((time_of_day_sec % kSecondsPerDay) + kSecondsPerDay) %
+                kSecondsPerDay;
+  auto hit = temporal_.Floor(tod);
+  return hit ? static_cast<SlotId>(hit->second) : 0;
+}
+
+std::vector<SlotId> StIndex::SlotsCovering(int64_t begin_tod,
+                                           int64_t end_tod) const {
+  std::vector<SlotId> slots;
+  if (end_tod <= begin_tod) return slots;
+  begin_tod = std::max<int64_t>(0, begin_tod);
+  end_tod = std::min<int64_t>(kSecondsPerDay, end_tod);
+  SlotId first = SlotForTime(begin_tod);
+  SlotId last = SlotForTime(end_tod - 1);
+  for (SlotId s = first; s <= last; ++s) slots.push_back(s);
+  return slots;
+}
+
+StatusOr<TimeList> StIndex::ReadTimeList(SegmentId seg, SlotId slot) const {
+  TimeList lists(static_cast<size_t>(num_days_));
+  PostingKey key = MakePostingKey(seg, static_cast<uint32_t>(slot));
+  if (!postings_->Contains(key)) return lists;  // no traffic at all
+  STRR_ASSIGN_OR_RETURN(std::string blob, postings_->Get(key));
+  BinaryReader r(blob);
+  STRR_ASSIGN_OR_RETURN(uint32_t day_count, r.GetVarint32());
+  for (uint32_t i = 0; i < day_count; ++i) {
+    STRR_ASSIGN_OR_RETURN(uint32_t day, r.GetVarint32());
+    STRR_ASSIGN_OR_RETURN(std::vector<uint32_t> ids,
+                          r.GetU32List(/*sorted=*/true));
+    if (day < lists.size()) {
+      lists[day] = std::move(ids);
+    } else {
+      return Status::Corruption("time list day out of range");
+    }
+  }
+  return lists;
+}
+
+bool StIndex::HasTraffic(SegmentId seg, SlotId slot) const {
+  return postings_->Contains(MakePostingKey(seg, static_cast<uint32_t>(slot)));
+}
+
+}  // namespace strr

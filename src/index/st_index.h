@@ -1,0 +1,109 @@
+// StIndex: the paper's Spatio-Temporal Index (§3.2.1).
+//
+// Three components, exactly as Figure 3.2 lays them out:
+//  * Temporal index — a B+-tree over the day's Δt-wide time slots
+//    (key = slot start second, value = slot id).
+//  * Spatial index — an R-tree over the re-segmented road network. The
+//    network is static, so all temporal leaves share ONE R-tree (the paper
+//    makes the same observation).
+//  * Time lists — for each (segment, slot), the per-date lists of
+//    trajectory IDs that traversed the segment in that slot. These live on
+//    disk in a PostingStore and are read through a BufferPool, so every
+//    access is measurable I/O.
+#ifndef STRR_INDEX_ST_INDEX_H_
+#define STRR_INDEX_ST_INDEX_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "index/bplus_tree.h"
+#include "index/rtree.h"
+#include "roadnet/road_network.h"
+#include "storage/posting_store.h"
+#include "traj/trajectory_store.h"
+#include "util/result.h"
+#include "util/time_util.h"
+
+namespace strr {
+
+/// ST-Index construction knobs.
+struct StIndexOptions {
+  int64_t slot_seconds = 300;   ///< Δt: temporal granularity (default 5 min)
+  std::string posting_path;     ///< where the time-list file goes (required)
+  size_t cache_pages = 4096;    ///< buffer-pool capacity for reads
+  uint32_t page_size = kDefaultPageSize;
+};
+
+/// Per-day trajectory-ID lists for one (segment, slot): time_lists[d] is
+/// the sorted list of trajectory ids active on day d.
+using TimeList = std::vector<std::vector<TrajectoryId>>;
+
+/// Built index; immutable and thread-safe for reads.
+class StIndex {
+ public:
+  /// Builds from the matched-trajectory database, writing the posting file
+  /// and loading its directory back for querying.
+  static StatusOr<std::unique_ptr<StIndex>> Build(
+      const RoadNetwork& network, const TrajectoryStore& store,
+      const StIndexOptions& options);
+
+  // --- Spatial -------------------------------------------------------------
+
+  /// Segment whose geometry is nearest to `p` (query location -> start
+  /// road segment, the first step of every query). NotFound when empty.
+  StatusOr<SegmentId> LocateSegment(const XyPoint& p) const;
+
+  /// Segments intersecting the rectangle (spatial range selection).
+  std::vector<SegmentId> SegmentsInRange(const Mbr& box) const;
+
+  // --- Temporal ------------------------------------------------------------
+
+  /// Slot covering a time of day (floor lookup through the B+-tree).
+  SlotId SlotForTime(int64_t time_of_day_sec) const;
+
+  /// All slot ids whose windows intersect [begin_tod, end_tod) within one
+  /// day; clamps to the day.
+  std::vector<SlotId> SlotsCovering(int64_t begin_tod, int64_t end_tod) const;
+
+  int64_t slot_seconds() const { return options_.slot_seconds; }
+  int32_t slots_per_day() const { return slots_per_day_; }
+  int32_t num_days() const { return num_days_; }
+
+  // --- Time lists ------------------------------------------------------------
+
+  /// Reads the time list of (segment, slot) from disk. Days with no
+  /// traversals have empty lists. Costs buffer-pool I/O.
+  StatusOr<TimeList> ReadTimeList(SegmentId seg, SlotId slot) const;
+
+  /// True when some trajectory traversed (segment, slot) on any day —
+  /// directory-only check, no I/O.
+  bool HasTraffic(SegmentId seg, SlotId slot) const;
+
+  // --- Introspection -----------------------------------------------------------
+
+  StorageStats storage_stats() const { return postings_->stats(); }
+  void ResetStorageStats() { postings_->ResetStats(); }
+  void DropCache() { postings_->DropCache(); }
+
+  const RTree& rtree() const { return rtree_; }
+  const BPlusTree& temporal_tree() const { return temporal_; }
+  uint64_t NumPostings() const { return postings_->NumEntries(); }
+  const RoadNetwork& network() const { return *network_; }
+
+ private:
+  StIndex(const RoadNetwork& network, StIndexOptions options)
+      : network_(&network), options_(std::move(options)) {}
+
+  const RoadNetwork* network_;
+  StIndexOptions options_;
+  int32_t slots_per_day_ = 0;
+  int32_t num_days_ = 0;
+  RTree rtree_;
+  BPlusTree temporal_;
+  std::unique_ptr<PostingStore> postings_;
+};
+
+}  // namespace strr
+
+#endif  // STRR_INDEX_ST_INDEX_H_

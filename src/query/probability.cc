@@ -1,0 +1,83 @@
+#include "query/probability.h"
+
+#include <algorithm>
+
+namespace strr {
+
+bool SortedIntersects(const std::vector<TrajectoryId>& a,
+                      const std::vector<TrajectoryId>& b) {
+  size_t i = 0, j = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i] < b[j]) {
+      ++i;
+    } else if (b[j] < a[i]) {
+      ++j;
+    } else {
+      return true;
+    }
+  }
+  return false;
+}
+
+StatusOr<ReachabilityProbability> ReachabilityProbability::Create(
+    const StIndex& st_index, const std::vector<SegmentId>& starts,
+    int64_t start_tod, int64_t window_seconds, int64_t duration_seconds) {
+  if (starts.empty()) {
+    return Status::InvalidArgument("probability: no start segments");
+  }
+  if (window_seconds <= 0 || duration_seconds <= 0) {
+    return Status::InvalidArgument("probability: window/duration must be > 0");
+  }
+  ReachabilityProbability p(st_index, start_tod, duration_seconds);
+  p.candidate_slots_ =
+      st_index.SlotsCovering(start_tod, start_tod + duration_seconds);
+
+  // Union the start segments' trajectory ids per day over the start window.
+  p.start_ids_.assign(static_cast<size_t>(st_index.num_days()), {});
+  std::vector<SlotId> start_slots =
+      st_index.SlotsCovering(start_tod, start_tod + window_seconds);
+  for (SegmentId s : starts) {
+    for (SlotId slot : start_slots) {
+      STRR_ASSIGN_OR_RETURN(TimeList lists, st_index.ReadTimeList(s, slot));
+      ++p.time_lists_read_;
+      for (size_t d = 0; d < lists.size() && d < p.start_ids_.size(); ++d) {
+        if (lists[d].empty()) continue;
+        auto& day = p.start_ids_[d];
+        day.insert(day.end(), lists[d].begin(), lists[d].end());
+      }
+    }
+  }
+  for (auto& day : p.start_ids_) {
+    std::sort(day.begin(), day.end());
+    day.erase(std::unique(day.begin(), day.end()), day.end());
+    if (!day.empty()) ++p.start_active_days_;
+  }
+  return p;
+}
+
+StatusOr<double> ReachabilityProbability::Probability(SegmentId r) {
+  ++verifications_;
+  const int num_days = st_index_->num_days();
+  if (num_days == 0 || start_active_days_ == 0) return 0.0;
+
+  // Accumulate r's per-day ids over the duration slots, testing days
+  // against the start lists. A day counts once some common id appears.
+  std::vector<uint8_t> day_hit(static_cast<size_t>(num_days), 0);
+  int hits = 0;
+  for (SlotId slot : candidate_slots_) {
+    if (!st_index_->HasTraffic(r, slot)) continue;  // directory check, no IO
+    STRR_ASSIGN_OR_RETURN(TimeList lists, st_index_->ReadTimeList(r, slot));
+    ++time_lists_read_;
+    for (int d = 0; d < num_days; ++d) {
+      if (day_hit[d] || lists[d].empty() || start_ids_[d].empty()) continue;
+      if (SortedIntersects(start_ids_[d], lists[d])) {
+        day_hit[d] = 1;
+        ++hits;
+      }
+    }
+    if (hits == num_days) break;  // cannot improve further
+  }
+  return static_cast<double>(hits) / static_cast<double>(num_days);
+}
+
+}  // namespace strr

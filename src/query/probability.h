@@ -1,0 +1,71 @@
+// ReachabilityProbability: Eq. 3.1 of the paper.
+//
+//   probability(r, r0) = m* / m,
+//
+// where m* is the number of days d with Tr(r0, [T, T+Δt), d) ∩
+// Tr(r, [T, T+L], d) ≠ ∅: some trajectory passed the start segment right
+// after T *and* passed r within the duration, on that day.
+//
+// One instance is built per query execution: it reads and caches the start
+// segment's time lists once, then verifies candidates one by one, reading
+// their time lists from the ST-Index (this is the disk I/O the SQMB/TBS
+// machinery exists to minimize). Multi-location queries pass several start
+// segments; their per-day ID lists are unioned (reachable from ANY start).
+#ifndef STRR_QUERY_PROBABILITY_H_
+#define STRR_QUERY_PROBABILITY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "index/st_index.h"
+#include "util/result.h"
+
+namespace strr {
+
+/// Per-query probability oracle.
+class ReachabilityProbability {
+ public:
+  /// Prepares the start-side lists: trajectories leaving any of `starts`
+  /// during [start_tod, start_tod + window). The paper uses window = Δt
+  /// (one index slot).
+  static StatusOr<ReachabilityProbability> Create(
+      const StIndex& st_index, const std::vector<SegmentId>& starts,
+      int64_t start_tod, int64_t window_seconds, int64_t duration_seconds);
+
+  /// probability(r, starts) in [0, 1]; reads r's time lists from disk.
+  StatusOr<double> Probability(SegmentId r);
+
+  /// Number of candidate verifications performed so far.
+  uint64_t verifications() const { return verifications_; }
+  /// Number of time-list reads issued (start + candidates).
+  uint64_t time_lists_read() const { return time_lists_read_; }
+
+  /// True when no trajectory left the start segments in the window on any
+  /// day (every probability will be 0).
+  bool StartHasNoTraffic() const { return start_active_days_ == 0; }
+
+ private:
+  ReachabilityProbability(const StIndex& st_index, int64_t start_tod,
+                          int64_t duration_seconds)
+      : st_index_(&st_index),
+        start_tod_(start_tod),
+        duration_(duration_seconds) {}
+
+  const StIndex* st_index_;
+  int64_t start_tod_;
+  int64_t duration_;
+  std::vector<SlotId> candidate_slots_;  // slots covering [T, T+L]
+  /// start_ids_[d] = sorted trajectory ids leaving the starts on day d.
+  std::vector<std::vector<TrajectoryId>> start_ids_;
+  int start_active_days_ = 0;
+  uint64_t verifications_ = 0;
+  uint64_t time_lists_read_ = 0;
+};
+
+/// Sorted-vector intersection test (exposed for tests).
+bool SortedIntersects(const std::vector<TrajectoryId>& a,
+                      const std::vector<TrajectoryId>& b);
+
+}  // namespace strr
+
+#endif  // STRR_QUERY_PROBABILITY_H_

@@ -1,0 +1,51 @@
+// Query and result types for spatio-temporal reachability queries.
+#ifndef STRR_QUERY_QUERY_H_
+#define STRR_QUERY_QUERY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "geo/point.h"
+#include "roadnet/segment.h"
+#include "storage/page.h"
+#include "util/time_util.h"
+
+namespace strr {
+
+/// Single-location ST reachability query q = (S, T, L, Prob).
+struct SQuery {
+  XyPoint location;        ///< S: query location (projected)
+  int64_t start_tod = 0;   ///< T: start time of day, seconds
+  int64_t duration = 600;  ///< L: query duration, seconds
+  double prob = 0.2;       ///< Prob in (0, 1]
+};
+
+/// Multi-location ST reachability query q = ({s1..sn}, T, L, Prob).
+struct MQuery {
+  std::vector<XyPoint> locations;
+  int64_t start_tod = 0;
+  int64_t duration = 600;
+  double prob = 0.2;
+};
+
+/// Work/IO accounting for one query execution.
+struct QueryStats {
+  double wall_ms = 0.0;            ///< end-to-end processing time
+  uint64_t time_lists_read = 0;    ///< ST-Index time-list fetches
+  uint64_t segments_verified = 0;  ///< probability computations performed
+  StorageStats io;                 ///< buffer-pool/disk delta for the query
+  size_t max_region_segments = 0;  ///< |maximum bounding region|
+  size_t min_region_segments = 0;  ///< |minimum bounding region|
+  size_t boundary_segments = 0;    ///< |outer boundary| seeded into TBS
+};
+
+/// A Prob-reachable region: the answer to a query.
+struct RegionResult {
+  std::vector<SegmentId> segments;  ///< sorted segment ids in the region
+  double total_length_m = 0.0;      ///< summed road length (Fig 4.x metric)
+  QueryStats stats;
+};
+
+}  // namespace strr
+
+#endif  // STRR_QUERY_QUERY_H_

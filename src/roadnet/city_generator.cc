@@ -1,0 +1,192 @@
+#include "roadnet/city_generator.h"
+
+#include <cmath>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace strr {
+
+namespace {
+
+/// Straight two-point shape between node positions.
+Polyline Straight(const XyPoint& a, const XyPoint& b) {
+  return Polyline(std::vector<XyPoint>{a, b});
+}
+
+}  // namespace
+
+StatusOr<City> GenerateCity(const CityOptions& opt) {
+  if (opt.grid_cols < 2 || opt.grid_rows < 2) {
+    return Status::InvalidArgument("GenerateCity: grid must be >= 2x2");
+  }
+  if (opt.block_meters <= 0.0) {
+    return Status::InvalidArgument("GenerateCity: block size must be > 0");
+  }
+
+  Rng rng(opt.seed);
+  City city;
+  city.projection = Projection(opt.geo_origin);
+  RoadNetwork& net = city.network;
+
+  const int cols = opt.grid_cols;
+  const int rows = opt.grid_rows;
+  const double width = (cols - 1) * opt.block_meters;
+  const double height = (rows - 1) * opt.block_meters;
+  city.center = {width / 2.0, height / 2.0};
+
+  // --- Grid nodes with jitter (border nodes kept straight so the ring
+  // highway hugs the perimeter cleanly).
+  std::vector<std::vector<NodeId>> grid(rows, std::vector<NodeId>(cols));
+  for (int r = 0; r < rows; ++r) {
+    for (int c = 0; c < cols; ++c) {
+      bool border = r == 0 || c == 0 || r == rows - 1 || c == cols - 1;
+      double jx = border ? 0.0 : rng.Gaussian(0.0, opt.jitter_meters);
+      double jy = border ? 0.0 : rng.Gaussian(0.0, opt.jitter_meters);
+      grid[r][c] =
+          net.AddNode({c * opt.block_meters + jx, r * opt.block_meters + jy});
+    }
+  }
+
+  auto line_level = [&](int index) {
+    return (opt.local_every > 1 && index % opt.local_every != 0)
+               ? RoadLevel::kLocal
+               : RoadLevel::kArterial;
+  };
+
+  // --- Grid streets. Horizontal lines take the row's class, vertical the
+  // column's, so arterials form a coarser super-grid over local streets.
+  auto add_street = [&](NodeId a, NodeId b, RoadLevel level) -> Status {
+    Polyline shape = Straight(net.node(a), net.node(b));
+    if (rng.Chance(opt.one_way_fraction)) {
+      // One-way direction chosen by coin flip.
+      if (rng.Chance(0.5)) std::swap(a, b);
+      Polyline s = rng.Chance(1.0) ? Straight(net.node(a), net.node(b)) : shape;
+      STRR_ASSIGN_OR_RETURN(SegmentId id, net.AddSegment(a, b, level, s));
+      (void)id;
+    } else {
+      STRR_ASSIGN_OR_RETURN(SegmentId id,
+                            net.AddTwoWaySegment(a, b, level, shape));
+      (void)id;
+    }
+    return Status::OK();
+  };
+
+  for (int r = 0; r < rows; ++r) {
+    for (int c = 0; c + 1 < cols; ++c) {
+      STRR_RETURN_IF_ERROR(add_street(grid[r][c], grid[r][c + 1], line_level(r)));
+    }
+  }
+  for (int c = 0; c < cols; ++c) {
+    for (int r = 0; r + 1 < rows; ++r) {
+      STRR_RETURN_IF_ERROR(add_street(grid[r][c], grid[r + 1][c], line_level(c)));
+    }
+  }
+
+  // --- Ring highway along the perimeter, offset slightly outward, with
+  // on/off connections at the grid corners and edge midpoints.
+  if (opt.ring_highway) {
+    const double off = opt.block_meters * 0.35;
+    std::vector<XyPoint> ring_pts;
+    // Collect perimeter grid nodes clockwise: top row, right col, bottom
+    // row reversed, left col reversed.
+    std::vector<NodeId> perimeter;
+    for (int c = 0; c < cols; ++c) perimeter.push_back(grid[0][c]);
+    for (int r = 1; r < rows; ++r) perimeter.push_back(grid[r][cols - 1]);
+    for (int c = cols - 2; c >= 0; --c) perimeter.push_back(grid[rows - 1][c]);
+    for (int r = rows - 2; r >= 1; --r) perimeter.push_back(grid[r][0]);
+
+    // Ring nodes sit outward of every second perimeter node.
+    std::vector<NodeId> ring_nodes;
+    std::vector<NodeId> anchor_nodes;
+    for (size_t i = 0; i < perimeter.size(); i += 2) {
+      const XyPoint p = net.node(perimeter[i]);
+      XyPoint dir{0.0, 0.0};
+      if (p.y <= 0.0) dir.y = -1.0;
+      if (p.y >= height) dir.y = 1.0;
+      if (p.x <= 0.0) dir.x = -1.0;
+      if (p.x >= width) dir.x = 1.0;
+      NodeId rn = net.AddNode({p.x + dir.x * off, p.y + dir.y * off});
+      ring_nodes.push_back(rn);
+      anchor_nodes.push_back(perimeter[i]);
+    }
+    for (size_t i = 0; i < ring_nodes.size(); ++i) {
+      NodeId a = ring_nodes[i];
+      NodeId b = ring_nodes[(i + 1) % ring_nodes.size()];
+      STRR_ASSIGN_OR_RETURN(
+          SegmentId id, net.AddTwoWaySegment(a, b, RoadLevel::kHighway,
+                                             Straight(net.node(a), net.node(b))));
+      (void)id;
+      // Ramp connecting the ring to the grid.
+      STRR_ASSIGN_OR_RETURN(
+          SegmentId ramp,
+          net.AddTwoWaySegment(ring_nodes[i], anchor_nodes[i],
+                               RoadLevel::kArterial,
+                               Straight(net.node(ring_nodes[i]),
+                                        net.node(anchor_nodes[i]))));
+      (void)ramp;
+    }
+  }
+
+  // --- Radial highways from border midpoints to the centre node, riding
+  // over dedicated elevated nodes with ramps every few blocks.
+  if (opt.radial_highways > 0) {
+    int cr = rows / 2;
+    int cc = cols / 2;
+    NodeId center_node = grid[cr][cc];
+    struct Radial {
+      int r, c, dr, dc;
+    };
+    std::vector<Radial> starts = {
+        {0, cc, 1, 0}, {rows - 1, cc, -1, 0}, {cr, 0, 0, 1}, {cr, cols - 1, 0, -1}};
+    int n_radials = std::min<int>(opt.radial_highways, starts.size());
+    for (int k = 0; k < n_radials; ++k) {
+      Radial rad = starts[k];
+      NodeId prev_elev = kInvalidNode;
+      int r = rad.r, c = rad.c;
+      int step = 0;
+      while (true) {
+        NodeId grid_node = grid[r][c];
+        bool is_center = (grid_node == center_node);
+        // Elevated node runs alongside the grid node, offset like a real
+        // viaduct (also keeps its geometry distinguishable from the
+        // surface street for point-to-segment matching).
+        XyPoint elev_pos = net.node(grid_node);
+        elev_pos.x += 28.0;
+        elev_pos.y += 22.0;
+        NodeId elev = net.AddNode(elev_pos);
+        if (prev_elev != kInvalidNode) {
+          STRR_ASSIGN_OR_RETURN(
+              SegmentId id,
+              net.AddTwoWaySegment(prev_elev, elev, RoadLevel::kHighway,
+                                   Straight(net.node(prev_elev),
+                                            net.node(elev))));
+          (void)id;
+        }
+        // Ramp to the surface grid every 3rd stop, plus endpoints.
+        if (step % 3 == 0 || is_center) {
+          std::vector<XyPoint> ramp_shape{net.node(elev), net.node(grid_node)};
+          // Tiny offset so the ramp has positive length.
+          ramp_shape[0].x += 15.0;
+          ramp_shape[0].y += 15.0;
+          STRR_ASSIGN_OR_RETURN(
+              SegmentId ramp,
+              net.AddTwoWaySegment(elev, grid_node, RoadLevel::kLocal,
+                                   Polyline(ramp_shape)));
+          (void)ramp;
+        }
+        if (is_center) break;
+        prev_elev = elev;
+        r += rad.dr;
+        c += rad.dc;
+        ++step;
+        if (r < 0 || r >= rows || c < 0 || c >= cols) break;
+      }
+    }
+  }
+
+  STRR_RETURN_IF_ERROR(net.Finalize());
+  return city;
+}
+
+}  // namespace strr

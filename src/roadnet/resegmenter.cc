@@ -1,0 +1,83 @@
+#include "roadnet/resegmenter.h"
+
+#include <cmath>
+
+namespace strr {
+
+namespace {
+
+/// Equal-length cut offsets for a segment of `length` at `granularity`.
+std::vector<double> CutOffsets(double length, double granularity) {
+  std::vector<double> cuts;
+  if (length <= granularity || granularity <= 0.0) return cuts;
+  int pieces = static_cast<int>(std::ceil(length / granularity));
+  double piece_len = length / pieces;
+  cuts.reserve(pieces - 1);
+  for (int i = 1; i < pieces; ++i) cuts.push_back(i * piece_len);
+  return cuts;
+}
+
+}  // namespace
+
+StatusOr<ResegmentResult> Resegment(const RoadNetwork& input,
+                                    const ResegmentOptions& options) {
+  if (!input.finalized()) {
+    return Status::FailedPrecondition("Resegment: input not finalized");
+  }
+  if (options.granularity_meters <= 0.0) {
+    return Status::InvalidArgument("Resegment: granularity must be positive");
+  }
+
+  ResegmentResult result;
+  RoadNetwork& out = result.network;
+
+  // Copy nodes; original node ids are preserved so the loop below can use
+  // them directly.
+  for (size_t i = 0; i < input.NumNodes(); ++i) {
+    out.AddNode(input.node(static_cast<NodeId>(i)));
+  }
+
+  // Process two-way pairs once (via the lower-id twin) so that cut nodes are
+  // shared between the two directions; one-way segments individually.
+  std::vector<SegmentId> done(input.NumSegments(), 0);
+  for (const RoadSegment& seg : input.segments()) {
+    if (done[seg.id]) continue;
+    done[seg.id] = 1;
+    bool paired = seg.two_way && seg.reverse_id != kInvalidSegment;
+    if (paired) done[seg.reverse_id] = 1;
+
+    std::vector<double> cuts =
+        CutOffsets(seg.length, options.granularity_meters);
+    std::vector<Polyline> pieces = seg.shape.SplitAt(cuts);
+
+    // Create intermediate nodes at the cut points.
+    std::vector<NodeId> chain;
+    chain.push_back(seg.from_node);
+    for (size_t i = 0; i + 1 < pieces.size(); ++i) {
+      chain.push_back(out.AddNode(pieces[i].points().back()));
+    }
+    chain.push_back(seg.to_node);
+
+    for (size_t i = 0; i < pieces.size(); ++i) {
+      if (paired) {
+        STRR_ASSIGN_OR_RETURN(
+            SegmentId fwd, out.AddTwoWaySegment(chain[i], chain[i + 1],
+                                                seg.level, pieces[i]));
+        result.parent_of.push_back(seg.id);          // forward piece
+        result.parent_of.push_back(seg.reverse_id);  // its twin
+        (void)fwd;
+      } else {
+        STRR_ASSIGN_OR_RETURN(
+            SegmentId id,
+            out.AddSegment(chain[i], chain[i + 1], seg.level, pieces[i]));
+        result.parent_of.push_back(seg.id);
+        (void)id;
+      }
+    }
+  }
+
+  STRR_RETURN_IF_ERROR(out.Finalize());
+  return result;
+}
+
+}  // namespace strr

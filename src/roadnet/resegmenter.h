@@ -1,0 +1,40 @@
+// Road re-segmentation (paper §3.1, "Pre-Processing").
+//
+// Long roads (highways especially) would make the reachable-region result
+// set too coarse, so the pre-processing step chops every segment longer
+// than a spatial granularity (default 500 m) into near-equal pieces,
+// inserting new intersection nodes at the cut points. Twin (two-way)
+// segments are cut at mirrored offsets so the twin relationship survives.
+#ifndef STRR_ROADNET_RESEGMENTER_H_
+#define STRR_ROADNET_RESEGMENTER_H_
+
+#include <vector>
+
+#include "roadnet/road_network.h"
+#include "util/result.h"
+
+namespace strr {
+
+/// Options for the re-segmentation pass.
+struct ResegmentOptions {
+  /// Target maximum segment length, meters. Pieces are equal-length
+  /// subdivisions, so every output segment is <= granularity_meters.
+  double granularity_meters = 500.0;
+};
+
+/// Result of re-segmentation: the new network plus a mapping from each new
+/// segment back to the original segment it came from.
+struct ResegmentResult {
+  RoadNetwork network;
+  /// parent_of[new_segment_id] == original segment id.
+  std::vector<SegmentId> parent_of;
+};
+
+/// Produces a finalized copy of `input` in which no segment exceeds the
+/// configured granularity. The input must be finalized.
+StatusOr<ResegmentResult> Resegment(const RoadNetwork& input,
+                                    const ResegmentOptions& options);
+
+}  // namespace strr
+
+#endif  // STRR_ROADNET_RESEGMENTER_H_

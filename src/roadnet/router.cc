@@ -1,0 +1,102 @@
+#include "roadnet/router.h"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+
+namespace strr {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+struct AStarEntry {
+  double f;
+  SegmentId segment;
+  bool operator>(const AStarEntry& o) const { return f > o.f; }
+};
+}  // namespace
+
+Router::Router(const RoadNetwork& network, SpeedFn speed_fn,
+               double max_speed_mps)
+    : network_(network),
+      speed_fn_(std::move(speed_fn)),
+      max_speed_(max_speed_mps > 0 ? max_speed_mps : 1.0) {
+  size_t n = network.NumSegments();
+  g_score_.assign(n, kInf);
+  parent_.assign(n, kInvalidSegment);
+  touched_gen_.assign(n, 0);
+}
+
+double Router::Heuristic(SegmentId from, SegmentId target) const {
+  // Straight-line distance between segment head and target tail, at the
+  // global maximum speed: admissible since no path can do better.
+  const XyPoint a = network_.node(network_.segment(from).to_node);
+  const XyPoint b = network_.node(network_.segment(target).from_node);
+  return Distance(a, b) / max_speed_;
+}
+
+std::vector<SegmentId> Router::Route(SegmentId source, SegmentId target) {
+  const size_t n = network_.NumSegments();
+  if (source >= n || target >= n) return {};
+  ++generation_;
+  auto touch = [&](SegmentId id) {
+    if (touched_gen_[id] != generation_) {
+      touched_gen_[id] = generation_;
+      g_score_[id] = kInf;
+      parent_[id] = kInvalidSegment;
+    }
+  };
+
+  std::priority_queue<AStarEntry, std::vector<AStarEntry>, std::greater<>> open;
+  double src_speed = speed_fn_(source);
+  if (src_speed <= 0.0) return {};
+  touch(source);
+  g_score_[source] = network_.segment(source).TravelTimeSeconds(src_speed);
+  open.push({g_score_[source] + Heuristic(source, target), source});
+
+  while (!open.empty()) {
+    AStarEntry top = open.top();
+    open.pop();
+    SegmentId cur = top.segment;
+    touch(cur);
+    if (cur == target) break;
+    if (top.f > g_score_[cur] + Heuristic(cur, target) + 1e-9) continue;
+    for (SegmentId next : network_.OutgoingOf(cur)) {
+      double speed = speed_fn_(next);
+      if (speed <= 0.0) continue;
+      touch(next);
+      double g = g_score_[cur] + network_.segment(next).TravelTimeSeconds(speed);
+      if (g < g_score_[next]) {
+        g_score_[next] = g;
+        parent_[next] = cur;
+        open.push({g + Heuristic(next, target), next});
+      }
+    }
+  }
+
+  touch(target);
+  if (g_score_[target] == kInf) return {};
+  std::vector<SegmentId> path;
+  for (SegmentId cur = target; cur != kInvalidSegment; cur = parent_[cur]) {
+    path.push_back(cur);
+    if (cur == source) break;
+  }
+  std::reverse(path.begin(), path.end());
+  if (path.front() != source) return {};
+  return path;
+}
+
+const std::vector<SegmentId>& Router::RouteCached(SegmentId source,
+                                                  SegmentId target) {
+  uint64_t key = (static_cast<uint64_t>(source) << 32) | target;
+  auto it = cache_.find(key);
+  if (it != cache_.end()) {
+    ++cache_hits_;
+    return it->second;
+  }
+  ++cache_misses_;
+  auto [ins, inserted] = cache_.emplace(key, Route(source, target));
+  return ins->second;
+}
+
+}  // namespace strr

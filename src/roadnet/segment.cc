@@ -1,0 +1,29 @@
+#include "roadnet/segment.h"
+
+namespace strr {
+
+const char* RoadLevelName(RoadLevel level) {
+  switch (level) {
+    case RoadLevel::kHighway:
+      return "highway";
+    case RoadLevel::kArterial:
+      return "arterial";
+    case RoadLevel::kLocal:
+      return "local";
+  }
+  return "?";
+}
+
+double FreeFlowSpeed(RoadLevel level) {
+  switch (level) {
+    case RoadLevel::kHighway:
+      return 25.0;  // 90 km/h
+    case RoadLevel::kArterial:
+      return 13.9;  // 50 km/h
+    case RoadLevel::kLocal:
+      return 8.3;  // 30 km/h
+  }
+  return 8.3;
+}
+
+}  // namespace strr

@@ -1,0 +1,61 @@
+// RoadSegment: the unit of space in the whole system.
+//
+// Matches the paper's road-network model: each segment has a unique ID, an
+// adjacency list (kept in RoadNetwork), a shape polyline with two terminal
+// points, a length, a direction indicator, a road-class level, and an MBR.
+// Segments are *directed*: a two-way street contributes two segments that
+// reference each other via `reverse_id`.
+#ifndef STRR_ROADNET_SEGMENT_H_
+#define STRR_ROADNET_SEGMENT_H_
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "geo/mbr.h"
+#include "geo/polyline.h"
+
+namespace strr {
+
+using SegmentId = uint32_t;
+using NodeId = uint32_t;
+
+inline constexpr SegmentId kInvalidSegment =
+    std::numeric_limits<SegmentId>::max();
+inline constexpr NodeId kInvalidNode = std::numeric_limits<NodeId>::max();
+
+/// Road class; determines free-flow speed and congestion sensitivity.
+enum class RoadLevel : uint8_t {
+  kHighway = 0,    ///< limited-access expressway
+  kArterial = 1,   ///< primary urban road
+  kLocal = 2,      ///< secondary / residential street
+};
+
+const char* RoadLevelName(RoadLevel level);
+
+/// Free-flow design speed for a road class, meters/second.
+double FreeFlowSpeed(RoadLevel level);
+
+/// One directed road segment.
+struct RoadSegment {
+  SegmentId id = kInvalidSegment;
+  NodeId from_node = kInvalidNode;  ///< tail intersection
+  NodeId to_node = kInvalidNode;    ///< head intersection
+  RoadLevel level = RoadLevel::kLocal;
+  bool two_way = false;             ///< true when a reverse twin exists
+  SegmentId reverse_id = kInvalidSegment;  ///< twin segment, if two_way
+  Polyline shape;                   ///< geometry from tail to head
+  double length = 0.0;              ///< meters (cached shape.Length())
+
+  const Mbr& bounding_box() const { return shape.BoundingBox(); }
+
+  /// Travel time along the whole segment at `speed_mps`.
+  double TravelTimeSeconds(double speed_mps) const {
+    return speed_mps > 0.0 ? length / speed_mps : 0.0;
+  }
+};
+
+}  // namespace strr
+
+#endif  // STRR_ROADNET_SEGMENT_H_

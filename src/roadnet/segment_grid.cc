@@ -1,0 +1,65 @@
+#include "roadnet/segment_grid.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <unordered_set>
+
+namespace strr {
+
+SegmentGrid::SegmentGrid(const RoadNetwork& network, double cell_meters)
+    : network_(network), cell_(cell_meters > 0 ? cell_meters : 250.0) {
+  for (const RoadSegment& seg : network.segments()) {
+    const Mbr& box = seg.bounding_box();
+    int x0 = CellX(box.min_x());
+    int x1 = CellX(box.max_x());
+    int y0 = CellY(box.min_y());
+    int y1 = CellY(box.max_y());
+    for (int cx = x0; cx <= x1; ++cx) {
+      for (int cy = y0; cy <= y1; ++cy) {
+        cells_[KeyFor(cx, cy)].push_back(seg.id);
+      }
+    }
+  }
+}
+
+std::vector<SegmentId> SegmentGrid::WithinRadius(const XyPoint& p,
+                                                 double radius) const {
+  std::vector<std::pair<double, SegmentId>> found;
+  std::unordered_set<SegmentId> seen;
+  int x0 = CellX(p.x - radius);
+  int x1 = CellX(p.x + radius);
+  int y0 = CellY(p.y - radius);
+  int y1 = CellY(p.y + radius);
+  for (int cx = x0; cx <= x1; ++cx) {
+    for (int cy = y0; cy <= y1; ++cy) {
+      auto it = cells_.find(KeyFor(cx, cy));
+      if (it == cells_.end()) continue;
+      for (SegmentId id : it->second) {
+        if (!seen.insert(id).second) continue;
+        double d = network_.segment(id).shape.Project(p).distance;
+        if (d <= radius) found.emplace_back(d, id);
+      }
+    }
+  }
+  std::sort(found.begin(), found.end());
+  std::vector<SegmentId> out;
+  out.reserve(found.size());
+  for (const auto& [d, id] : found) out.push_back(id);
+  return out;
+}
+
+SegmentId SegmentGrid::Nearest(const XyPoint& p) const {
+  if (network_.NumSegments() == 0) return kInvalidSegment;
+  double radius = cell_;
+  for (int attempt = 0; attempt < 24; ++attempt) {
+    std::vector<SegmentId> hits = WithinRadius(p, radius);
+    if (!hits.empty()) return hits.front();
+    radius *= 2.0;
+  }
+  // Degenerate fallback: brute force (covers points absurdly far away).
+  auto result = network_.NearestSegmentBruteForce(p);
+  return result.ok() ? result.value() : kInvalidSegment;
+}
+
+}  // namespace strr

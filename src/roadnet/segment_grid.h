@@ -1,0 +1,49 @@
+// SegmentGrid: uniform spatial hash over segment geometry.
+//
+// Supports fixed-radius candidate queries ("segments within d meters of a
+// GPS point"), the map-matcher's inner need. The R-tree in src/index is the
+// paper's ST-Index spatial component; this grid exists so the trajectory
+// layer does not depend on the index layer.
+#ifndef STRR_ROADNET_SEGMENT_GRID_H_
+#define STRR_ROADNET_SEGMENT_GRID_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "roadnet/road_network.h"
+
+namespace strr {
+
+/// Buckets segment ids by the grid cells their MBRs overlap.
+class SegmentGrid {
+ public:
+  /// Builds the grid with the given cell size (meters). A cell size near
+  /// the typical query radius keeps candidate lists short.
+  SegmentGrid(const RoadNetwork& network, double cell_meters = 250.0);
+
+  /// Returns segments whose shape lies within `radius` meters of `p`,
+  /// sorted by distance (nearest first).
+  std::vector<SegmentId> WithinRadius(const XyPoint& p, double radius) const;
+
+  /// Nearest segment to `p`, searching outward ring by ring.
+  /// Returns kInvalidSegment for an empty network.
+  SegmentId Nearest(const XyPoint& p) const;
+
+  double cell_meters() const { return cell_; }
+
+ private:
+  using CellKey = int64_t;
+  CellKey KeyFor(int cx, int cy) const {
+    return (static_cast<int64_t>(cx) << 32) ^ (cy & 0xffffffffLL);
+  }
+  int CellX(double x) const { return static_cast<int>(std::floor(x / cell_)); }
+  int CellY(double y) const { return static_cast<int>(std::floor(y / cell_)); }
+
+  const RoadNetwork& network_;
+  double cell_;
+  std::unordered_map<CellKey, std::vector<SegmentId>> cells_;
+};
+
+}  // namespace strr
+
+#endif  // STRR_ROADNET_SEGMENT_GRID_H_

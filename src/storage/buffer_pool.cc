@@ -1,0 +1,89 @@
+#include "storage/buffer_pool.h"
+
+namespace strr {
+
+BufferPool::Frame* BufferPool::InstallLocked(PageId id) {
+  while (capacity_ > 0 && frames_.size() >= capacity_) {
+    PageId victim = lru_.back();
+    lru_.pop_back();
+    frames_.erase(victim);
+    ++pool_stats_.evictions;
+  }
+  auto frame = std::make_unique<Frame>(file_->page_size());
+  lru_.push_front(id);
+  frame->lru_it = lru_.begin();
+  Frame* raw = frame.get();
+  frames_[id] = std::move(frame);
+  return raw;
+}
+
+StatusOr<const Page*> BufferPool::Fetch(PageId id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (capacity_ == 0) {
+    // Degenerate pool: cache nothing. Every request is a miss served from
+    // a private scratch frame (valid until the next Fetch).
+    ++pool_stats_.cache_misses;
+    if (scratch_ == nullptr) {
+      scratch_ = std::make_unique<Page>(file_->page_size());
+    }
+    STRR_RETURN_IF_ERROR(file_->ReadPage(id, scratch_.get()));
+    return const_cast<const Page*>(scratch_.get());
+  }
+  auto it = frames_.find(id);
+  if (it != frames_.end()) {
+    ++pool_stats_.cache_hits;
+    lru_.erase(it->second->lru_it);
+    lru_.push_front(id);
+    it->second->lru_it = lru_.begin();
+    return const_cast<const Page*>(&it->second->page);
+  }
+  ++pool_stats_.cache_misses;
+  Frame* frame = InstallLocked(id);
+  Status s = file_->ReadPage(id, &frame->page);
+  if (!s.ok()) {
+    lru_.erase(frame->lru_it);
+    frames_.erase(id);
+    return s;
+  }
+  return const_cast<const Page*>(&frame->page);
+}
+
+Status BufferPool::WriteThrough(PageId id, const Page& page) {
+  std::lock_guard<std::mutex> lock(mu_);
+  STRR_RETURN_IF_ERROR(file_->WritePage(id, page));
+  auto it = frames_.find(id);
+  if (it != frames_.end()) {
+    it->second->page = page;
+    lru_.erase(it->second->lru_it);
+    lru_.push_front(id);
+    it->second->lru_it = lru_.begin();
+  }
+  return Status::OK();
+}
+
+void BufferPool::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  frames_.clear();
+  lru_.clear();
+}
+
+StorageStats BufferPool::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  StorageStats out = pool_stats_;
+  out.disk_page_reads = file_->stats().disk_page_reads;
+  out.disk_page_writes = file_->stats().disk_page_writes;
+  return out;
+}
+
+void BufferPool::ResetStats() {
+  std::lock_guard<std::mutex> lock(mu_);
+  pool_stats_ = StorageStats{};
+  file_->ResetStats();
+}
+
+size_t BufferPool::CachedPages() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return frames_.size();
+}
+
+}  // namespace strr

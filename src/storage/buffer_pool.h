@@ -1,0 +1,78 @@
+// BufferPool: LRU page cache over a FileManager.
+//
+// Every page request is either a cache hit (no disk traffic) or a miss
+// (one disk_page_read). Capacity is configurable so the benchmarks can
+// study the index algorithms under different memory pressure — the
+// ablation bench sweeps this knob.
+#ifndef STRR_STORAGE_BUFFER_POOL_H_
+#define STRR_STORAGE_BUFFER_POOL_H_
+
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+#include "storage/file_manager.h"
+#include "storage/page.h"
+#include "util/result.h"
+
+namespace strr {
+
+/// LRU page cache. Thread-safe.
+class BufferPool {
+ public:
+  /// `capacity_pages` of 0 means "cache nothing" (every request is a miss),
+  /// which is how the benches emulate a cold disk.
+  BufferPool(FileManager* file, size_t capacity_pages)
+      : file_(file), capacity_(capacity_pages) {}
+
+  BufferPool(const BufferPool&) = delete;
+  BufferPool& operator=(const BufferPool&) = delete;
+
+  /// Fetches page `id`, reading it from disk on a miss. The returned
+  /// pointer is owned by the pool and remains valid until eviction; callers
+  /// copy what they need before the next Fetch (the PostingStore and index
+  /// readers do exactly that).
+  StatusOr<const Page*> Fetch(PageId id);
+
+  /// Writes `page` through to disk and refreshes/installs the cached copy.
+  Status WriteThrough(PageId id, const Page& page);
+
+  /// Drops all cached pages (stats are preserved).
+  void Clear();
+
+  /// Combined statistics: pool-level hits/misses/evictions merged with the
+  /// underlying file's disk counters.
+  StorageStats stats() const;
+
+  /// Zeroes both pool and file counters.
+  void ResetStats();
+
+  size_t capacity() const { return capacity_; }
+  size_t CachedPages() const;
+  FileManager* file() { return file_; }
+
+ private:
+  struct Frame {
+    Page page;
+    std::list<PageId>::iterator lru_it;
+    explicit Frame(uint32_t page_size) : page(page_size) {}
+  };
+
+  /// Installs a frame for `id`, evicting LRU victims as needed. Caller
+  /// holds mu_.
+  Frame* InstallLocked(PageId id);
+
+  FileManager* file_;
+  size_t capacity_;
+
+  mutable std::mutex mu_;
+  std::unordered_map<PageId, std::unique_ptr<Frame>> frames_;
+  std::list<PageId> lru_;  // front = most recent
+  std::unique_ptr<Page> scratch_;  // capacity-0 pools read into this
+  StorageStats pool_stats_;
+};
+
+}  // namespace strr
+
+#endif  // STRR_STORAGE_BUFFER_POOL_H_

@@ -1,0 +1,109 @@
+#include "storage/file_manager.h"
+
+#include <sys/stat.h>
+
+namespace strr {
+
+FileManager::~FileManager() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+StatusOr<std::unique_ptr<FileManager>> FileManager::Create(
+    const std::string& path, uint32_t page_size) {
+  if (page_size < 64) {
+    return Status::InvalidArgument("page size too small: " +
+                                   std::to_string(page_size));
+  }
+  std::FILE* f = std::fopen(path.c_str(), "wb+");
+  if (f == nullptr) {
+    return Status::IoError("cannot create page file: " + path);
+  }
+  return std::unique_ptr<FileManager>(
+      new FileManager(path, f, page_size, /*num_pages=*/0));
+}
+
+StatusOr<std::unique_ptr<FileManager>> FileManager::Open(
+    const std::string& path, uint32_t page_size) {
+  std::FILE* f = std::fopen(path.c_str(), "rb+");
+  if (f == nullptr) {
+    return Status::IoError("cannot open page file: " + path);
+  }
+  if (std::fseek(f, 0, SEEK_END) != 0) {
+    std::fclose(f);
+    return Status::IoError("cannot seek page file: " + path);
+  }
+  long size = std::ftell(f);
+  if (size < 0) {
+    std::fclose(f);
+    return Status::IoError("cannot size page file: " + path);
+  }
+  if (static_cast<uint64_t>(size) % page_size != 0) {
+    std::fclose(f);
+    return Status::Corruption("file size " + std::to_string(size) +
+                              " is not a multiple of page size " +
+                              std::to_string(page_size) + ": " + path);
+  }
+  uint64_t pages = static_cast<uint64_t>(size) / page_size;
+  return std::unique_ptr<FileManager>(
+      new FileManager(path, f, page_size, pages));
+}
+
+StatusOr<PageId> FileManager::AllocatePage() {
+  Page zero(page_size_);
+  PageId id = num_pages_;
+  if (std::fseek(file_, static_cast<long>(id * page_size_), SEEK_SET) != 0) {
+    return Status::IoError("seek failed allocating page");
+  }
+  if (std::fwrite(zero.data(), 1, page_size_, file_) != page_size_) {
+    return Status::IoError("short write allocating page");
+  }
+  ++num_pages_;
+  ++stats_.disk_page_writes;
+  return id;
+}
+
+Status FileManager::ReadPage(PageId id, Page* page) {
+  if (id >= num_pages_) {
+    return Status::OutOfRange("read of page " + std::to_string(id) +
+                              " beyond EOF (" + std::to_string(num_pages_) +
+                              " pages)");
+  }
+  if (page->size() != page_size_) {
+    return Status::InvalidArgument("page buffer size mismatch");
+  }
+  if (std::fseek(file_, static_cast<long>(id * page_size_), SEEK_SET) != 0) {
+    return Status::IoError("seek failed reading page " + std::to_string(id));
+  }
+  if (std::fread(page->data(), 1, page_size_, file_) != page_size_) {
+    return Status::IoError("short read of page " + std::to_string(id));
+  }
+  ++stats_.disk_page_reads;
+  return Status::OK();
+}
+
+Status FileManager::WritePage(PageId id, const Page& page) {
+  if (id >= num_pages_) {
+    return Status::OutOfRange("write of page " + std::to_string(id) +
+                              " beyond EOF");
+  }
+  if (page.size() != page_size_) {
+    return Status::InvalidArgument("page buffer size mismatch");
+  }
+  if (std::fseek(file_, static_cast<long>(id * page_size_), SEEK_SET) != 0) {
+    return Status::IoError("seek failed writing page " + std::to_string(id));
+  }
+  if (std::fwrite(page.data(), 1, page_size_, file_) != page_size_) {
+    return Status::IoError("short write of page " + std::to_string(id));
+  }
+  ++stats_.disk_page_writes;
+  return Status::OK();
+}
+
+Status FileManager::Sync() {
+  if (std::fflush(file_) != 0) {
+    return Status::IoError("fflush failed for " + path_);
+  }
+  return Status::OK();
+}
+
+}  // namespace strr

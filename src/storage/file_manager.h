@@ -1,0 +1,73 @@
+// FileManager: page-granular access to one backing file.
+//
+// The lowest storage layer: allocates, reads and writes whole pages and
+// counts every transfer. Sits below the BufferPool, which adds caching.
+#ifndef STRR_STORAGE_FILE_MANAGER_H_
+#define STRR_STORAGE_FILE_MANAGER_H_
+
+#include <cstdio>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "storage/page.h"
+#include "util/result.h"
+#include "util/status.h"
+
+namespace strr {
+
+/// Owns a stdio file handle and exposes page-level I/O.
+///
+/// Thread-compatible: callers serialize access (the BufferPool does).
+class FileManager {
+ public:
+  ~FileManager();
+
+  FileManager(const FileManager&) = delete;
+  FileManager& operator=(const FileManager&) = delete;
+
+  /// Creates (truncating) a new page file at `path`.
+  static StatusOr<std::unique_ptr<FileManager>> Create(
+      const std::string& path, uint32_t page_size = kDefaultPageSize);
+
+  /// Opens an existing page file read/write.
+  static StatusOr<std::unique_ptr<FileManager>> Open(
+      const std::string& path, uint32_t page_size = kDefaultPageSize);
+
+  /// Extends the file by one zeroed page; returns its id.
+  StatusOr<PageId> AllocatePage();
+
+  /// Reads page `id` into `*page` (page must match page_size()).
+  Status ReadPage(PageId id, Page* page);
+
+  /// Writes `page` at page `id` (must be < NumPages()).
+  Status WritePage(PageId id, const Page& page);
+
+  /// Flushes stdio buffers to the OS.
+  Status Sync();
+
+  uint32_t page_size() const { return page_size_; }
+  uint64_t NumPages() const { return num_pages_; }
+  const std::string& path() const { return path_; }
+
+  const StorageStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = StorageStats{}; }
+
+ private:
+  FileManager(std::string path, std::FILE* file, uint32_t page_size,
+              uint64_t num_pages)
+      : path_(std::move(path)),
+        file_(file),
+        page_size_(page_size),
+        num_pages_(num_pages) {}
+
+  std::string path_;
+  std::FILE* file_;
+  uint32_t page_size_;
+  uint64_t num_pages_;
+  StorageStats stats_;
+};
+
+}  // namespace strr
+
+#endif  // STRR_STORAGE_FILE_MANAGER_H_

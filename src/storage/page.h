@@ -1,0 +1,62 @@
+// Fixed-size page abstraction for the on-disk stores.
+#ifndef STRR_STORAGE_PAGE_H_
+#define STRR_STORAGE_PAGE_H_
+
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+namespace strr {
+
+using PageId = uint64_t;
+
+inline constexpr uint32_t kDefaultPageSize = 4096;
+
+/// A page-sized byte buffer. Pages are the unit of disk transfer and of
+/// buffer-pool caching; every read/write statistic counts pages.
+class Page {
+ public:
+  explicit Page(uint32_t size = kDefaultPageSize) : data_(size, 0) {}
+
+  uint32_t size() const { return static_cast<uint32_t>(data_.size()); }
+  char* data() { return data_.data(); }
+  const char* data() const { return data_.data(); }
+
+  /// Copies `n` bytes into the page at `offset`; caller guarantees bounds.
+  void Write(uint32_t offset, const void* src, uint32_t n) {
+    std::memcpy(data_.data() + offset, src, n);
+  }
+
+  /// Copies `n` bytes out of the page at `offset`; caller guarantees bounds.
+  void Read(uint32_t offset, void* dst, uint32_t n) const {
+    std::memcpy(dst, data_.data() + offset, n);
+  }
+
+  void Zero() { std::fill(data_.begin(), data_.end(), 0); }
+
+ private:
+  std::vector<char> data_;
+};
+
+/// Counters describing storage-layer activity. The query algorithms are
+/// compared primarily on these numbers: the paper's efficiency claim is
+/// about avoided trajectory-data disk accesses.
+struct StorageStats {
+  uint64_t disk_page_reads = 0;   ///< pages fetched from the backing file
+  uint64_t disk_page_writes = 0;  ///< pages flushed to the backing file
+  uint64_t cache_hits = 0;        ///< page requests served from memory
+  uint64_t cache_misses = 0;      ///< page requests that went to disk
+  uint64_t evictions = 0;         ///< pages dropped by LRU pressure
+
+  StorageStats operator-(const StorageStats& o) const {
+    return {disk_page_reads - o.disk_page_reads,
+            disk_page_writes - o.disk_page_writes, cache_hits - o.cache_hits,
+            cache_misses - o.cache_misses, evictions - o.evictions};
+  }
+
+  uint64_t TotalRequests() const { return cache_hits + cache_misses; }
+};
+
+}  // namespace strr
+
+#endif  // STRR_STORAGE_PAGE_H_

@@ -1,0 +1,44 @@
+#include "traj/congestion.h"
+
+#include <cmath>
+
+namespace strr {
+
+namespace {
+double Bump(double t, double center, double width) {
+  double z = (t - center) / width;
+  return std::exp(-0.5 * z * z);
+}
+}  // namespace
+
+double CongestionModel::Multiplier(RoadLevel level,
+                                   int64_t time_of_day_sec) const {
+  double dip, base;
+  switch (level) {
+    case RoadLevel::kHighway:
+      dip = highway_dip;
+      base = highway_base_dip;
+      break;
+    case RoadLevel::kArterial:
+      dip = arterial_dip;
+      base = arterial_base_dip;
+      break;
+    default:
+      dip = local_dip;
+      base = local_base_dip;
+      break;
+  }
+  double t = static_cast<double>(time_of_day_sec);
+  double rush = Bump(t, morning_peak_sec, peak_width_sec) +
+                Bump(t, evening_peak_sec, peak_width_sec);
+  if (rush > 1.0) rush = 1.0;
+  double mult = (1.0 - base) * (1.0 - dip * rush);
+  return mult < 0.05 ? 0.05 : mult;
+}
+
+double CongestionModel::ExpectedSpeed(RoadLevel level,
+                                      int64_t time_of_day_sec) const {
+  return FreeFlowSpeed(level) * Multiplier(level, time_of_day_sec);
+}
+
+}  // namespace strr

@@ -1,0 +1,39 @@
+// Time-of-day congestion model for the synthetic fleet.
+//
+// Travel speeds dip during the morning (~8:00) and evening (~18:00) rush
+// hours; local roads are hit harder than highways, reproducing the paper's
+// observations: smaller reachable regions at rush hours (Fig. 4.5/4.6) and
+// highway-backbone stability across probability levels (Fig. 4.4).
+#ifndef STRR_TRAJ_CONGESTION_H_
+#define STRR_TRAJ_CONGESTION_H_
+
+#include "roadnet/segment.h"
+#include "util/time_util.h"
+
+namespace strr {
+
+/// Parameters of the double-Gaussian congestion dip.
+struct CongestionModel {
+  double morning_peak_sec = HMS(8, 0);   ///< centre of the AM rush
+  double evening_peak_sec = HMS(18, 0);  ///< centre of the PM rush
+  double peak_width_sec = 4500.0;        ///< Gaussian sigma (~75 min)
+  double highway_dip = 0.35;   ///< max fractional speed loss, highways
+  double arterial_dip = 0.50;  ///< … arterials
+  double local_dip = 0.60;     ///< … local streets
+  /// Permanent urban friction: real traffic rarely touches the design
+  /// speed even off-peak (signals, pedestrians, parking). Applied on top
+  /// of the rush-hour dips.
+  double highway_base_dip = 0.05;
+  double arterial_base_dip = 0.10;
+  double local_base_dip = 0.12;
+
+  /// Speed multiplier in (0, 1] for a road class at a time of day.
+  double Multiplier(RoadLevel level, int64_t time_of_day_sec) const;
+
+  /// Effective expected speed (free-flow x multiplier), meters/second.
+  double ExpectedSpeed(RoadLevel level, int64_t time_of_day_sec) const;
+};
+
+}  // namespace strr
+
+#endif  // STRR_TRAJ_CONGESTION_H_

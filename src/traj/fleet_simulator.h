@@ -1,0 +1,71 @@
+// FleetSimulator: synthetic taxi fleet over a road network.
+//
+// Substitute for the Shenzhen taxi dataset (see DESIGN.md §2). Each taxi
+// runs a daily schedule of origin→destination trips; routes come from an
+// A* router under free-flow speeds, but traversal speeds follow the
+// time-of-day CongestionModel plus per-trip noise, so rush hours genuinely
+// slow the fleet. Trips are drawn from a hotspot model (taxis concentrate
+// around popular places, with a bias toward the centre) mixed with fully
+// random trips, which yields the broad-but-uneven coverage real taxi data
+// has.
+//
+// Output: map-matched trajectories (ground truth) and, optionally, raw
+// noisy GPS trajectories for exercising the MapMatcher.
+#ifndef STRR_TRAJ_FLEET_SIMULATOR_H_
+#define STRR_TRAJ_FLEET_SIMULATOR_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "roadnet/road_network.h"
+#include "traj/congestion.h"
+#include "traj/trajectory.h"
+#include "traj/trajectory_store.h"
+#include "util/result.h"
+
+namespace strr {
+
+/// Fleet generation knobs.
+struct FleetOptions {
+  uint32_t num_taxis = 200;
+  int32_t num_days = 30;
+  double trips_per_hour = 1.4;   ///< mean trips a working taxi starts hourly
+  int shift_start_hour = 6;     ///< taxis work [shift_start, shift_end)
+  int shift_end_hour = 24;
+  double night_fraction = 0.15;  ///< share of taxis on the night shift
+  int num_hotspots = 48;         ///< trip endpoint attractors
+  double hotspot_trip_fraction = 0.7;  ///< trips between hotspot segments
+  double gps_interval_sec = 30.0;      ///< raw GPS sampling period
+  double gps_noise_std_m = 18.0;       ///< raw GPS position noise
+  double speed_noise_std = 0.12;       ///< per-trip lognormal-ish speed noise
+  /// Probability that a segment traversal is badly delayed (red light,
+  /// double-parked truck, jam shockwave); such traversals run at a small
+  /// fraction of the expected speed. This produces the near-crawl minimum
+  /// observed speeds real taxi data has, which the Con-Index Near lists
+  /// (and hence minimum bounding regions) depend on.
+  double slow_traversal_prob = 0.08;
+  double slow_traversal_factor_lo = 0.12;  ///< slow traversal speed range
+  double slow_traversal_factor_hi = 0.40;
+  uint64_t seed = 2014;
+  CongestionModel congestion;
+};
+
+/// Result of a simulation run.
+struct FleetResult {
+  std::unique_ptr<TrajectoryStore> store;     ///< matched trajectories
+  std::vector<RawTrajectory> raw_sample;      ///< raw GPS (if requested)
+  uint64_t num_trips = 0;
+  uint64_t num_gps_points = 0;  ///< raw GPS points the fleet would emit
+};
+
+/// Simulates the fleet. When `raw_days` > 0, raw GPS trajectories for the
+/// first `raw_days` days are also materialized (they are bulky, so benches
+/// leave this at 0 and tests use 1).
+StatusOr<FleetResult> SimulateFleet(const RoadNetwork& network,
+                                    const FleetOptions& options,
+                                    int raw_days = 0);
+
+}  // namespace strr
+
+#endif  // STRR_TRAJ_FLEET_SIMULATOR_H_

@@ -1,0 +1,59 @@
+// Trajectory types.
+//
+// Raw side: what GPS sets emit — (trajectory id, lat/lon, timestamp, speed),
+// the five core attributes of the paper's dataset description (§4.1).
+// Matched side: what the indexes consume after map-matching — per-trajectory
+// sequences of (segment, enter timestamp, speed).
+//
+// Per the paper, "one moving object only has one trajectory per day": a
+// TrajectoryId identifies a (taxi, day) pair and is unique dataset-wide.
+#ifndef STRR_TRAJ_TRAJECTORY_H_
+#define STRR_TRAJ_TRAJECTORY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "geo/point.h"
+#include "roadnet/segment.h"
+#include "util/time_util.h"
+
+namespace strr {
+
+using TrajectoryId = uint32_t;
+using TaxiId = uint32_t;
+
+/// One raw GPS fix, in projected coordinates (the projection travels with
+/// the dataset; raw lat/lon conversions happen at the edges).
+struct GpsRecord {
+  XyPoint position;
+  Timestamp timestamp = 0;
+  double speed_mps = 0.0;
+};
+
+/// A raw (pre-map-matching) trajectory: one taxi, one day.
+struct RawTrajectory {
+  TrajectoryId id = 0;
+  TaxiId taxi = 0;
+  DayIndex day = 0;
+  std::vector<GpsRecord> points;
+};
+
+/// One map-matched observation: the trajectory entered `segment` at
+/// `timestamp` traveling at `speed_mps`.
+struct MatchedSample {
+  SegmentId segment = kInvalidSegment;
+  Timestamp timestamp = 0;
+  float speed_mps = 0.0f;
+};
+
+/// A map-matched trajectory: one taxi, one day, ordered samples.
+struct MatchedTrajectory {
+  TrajectoryId id = 0;
+  TaxiId taxi = 0;
+  DayIndex day = 0;
+  std::vector<MatchedSample> samples;
+};
+
+}  // namespace strr
+
+#endif  // STRR_TRAJ_TRAJECTORY_H_

@@ -1,0 +1,50 @@
+// Minimal leveled logger. The library is quiet by default (kWarning);
+// tools and benches raise the level for progress reporting.
+#ifndef STRR_UTIL_LOGGING_H_
+#define STRR_UTIL_LOGGING_H_
+
+#include <cstdio>
+#include <sstream>
+#include <string>
+
+namespace strr {
+
+enum class LogLevel : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarning = 2,
+  kError = 3,
+  kOff = 4,
+};
+
+/// Process-wide minimum level; messages below it are dropped.
+LogLevel GetLogLevel();
+void SetLogLevel(LogLevel level);
+
+namespace internal {
+
+/// Stream-collecting helper behind the STRR_LOG macro.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  const char* file_;
+  int line_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace strr
+
+#define STRR_LOG(level)                                                   \
+  if (::strr::LogLevel::k##level < ::strr::GetLogLevel()) {               \
+  } else                                                                  \
+    ::strr::internal::LogMessage(::strr::LogLevel::k##level, __FILE__,    \
+                                 __LINE__)                                \
+        .stream()
+
+#endif  // STRR_UTIL_LOGGING_H_

@@ -1,0 +1,78 @@
+// StatusOr<T>: a value-or-Status union, the return type of fallible
+// functions that produce a value. Mirrors the absl/Arrow Result idiom.
+#ifndef STRR_UTIL_RESULT_H_
+#define STRR_UTIL_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "util/status.h"
+
+namespace strr {
+
+/// Holds either a `T` or a non-OK Status explaining why there is no `T`.
+///
+/// Accessors assert in debug builds when misused; call ok() (or check
+/// status()) before dereferencing.
+template <typename T>
+class StatusOr {
+ public:
+  /// Constructs from a value (implicit, so `return value;` works).
+  StatusOr(T value) : value_(std::move(value)) {}  // NOLINT
+
+  /// Constructs from a non-OK status (implicit, so STRR_RETURN_IF_ERROR-style
+  /// early returns work).
+  StatusOr(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "StatusOr constructed from OK status");
+  }
+
+  bool ok() const { return value_.has_value(); }
+
+  /// The error status, or OK when a value is present.
+  const Status& status() const { return status_; }
+
+  /// The contained value; requires ok().
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the value, or `fallback` when in the error state.
+  T value_or(T fallback) const& { return ok() ? *value_ : fallback; }
+
+ private:
+  std::optional<T> value_;
+  Status status_;  // OK when value_ is set
+};
+
+}  // namespace strr
+
+/// Assigns the value of a StatusOr expression to `lhs`, or propagates the
+/// error out of the enclosing function.
+#define STRR_ASSIGN_OR_RETURN(lhs, expr)               \
+  STRR_ASSIGN_OR_RETURN_IMPL_(                         \
+      STRR_CONCAT_(_strr_statusor_, __LINE__), lhs, expr)
+
+#define STRR_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, expr) \
+  auto tmp = (expr);                                \
+  if (!tmp.ok()) return tmp.status();               \
+  lhs = std::move(tmp).value()
+
+#define STRR_CONCAT_(a, b) STRR_CONCAT_IMPL_(a, b)
+#define STRR_CONCAT_IMPL_(a, b) a##b
+
+#endif  // STRR_UTIL_RESULT_H_

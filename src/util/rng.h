@@ -1,0 +1,73 @@
+// Seeded pseudo-random number generation for synthetic data.
+//
+// All randomness in the library flows through Rng so that datasets, fleets
+// and workloads are exactly reproducible from a single uint64 seed.
+#ifndef STRR_UTIL_RNG_H_
+#define STRR_UTIL_RNG_H_
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+namespace strr {
+
+/// Deterministic random source (Mersenne engine behind a small facade).
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 42) : engine_(seed) {}
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int64_t UniformInt(int64_t lo, int64_t hi) {
+    std::uniform_int_distribution<int64_t> d(lo, hi);
+    return d(engine_);
+  }
+
+  /// Uniform double in [lo, hi).
+  double Uniform(double lo = 0.0, double hi = 1.0) {
+    std::uniform_real_distribution<double> d(lo, hi);
+    return d(engine_);
+  }
+
+  /// Normal deviate.
+  double Gaussian(double mean = 0.0, double stddev = 1.0) {
+    std::normal_distribution<double> d(mean, stddev);
+    return d(engine_);
+  }
+
+  /// Exponential deviate with the given rate (events per unit).
+  double Exponential(double rate) {
+    std::exponential_distribution<double> d(rate);
+    return d(engine_);
+  }
+
+  /// Bernoulli trial.
+  bool Chance(double p) { return Uniform() < p; }
+
+  /// Samples an index in [0, weights.size()) proportional to weights.
+  /// Returns 0 when all weights are zero.
+  size_t WeightedIndex(const std::vector<double>& weights) {
+    double total = 0.0;
+    for (double w : weights) total += w;
+    if (total <= 0.0) return 0;
+    double x = Uniform(0.0, total);
+    double acc = 0.0;
+    for (size_t i = 0; i < weights.size(); ++i) {
+      acc += weights[i];
+      if (x < acc) return i;
+    }
+    return weights.size() - 1;
+  }
+
+  /// Derives an independent child generator; used to give each simulated
+  /// taxi / day its own stream so adding taxis does not perturb others.
+  Rng Fork() { return Rng(engine_()); }
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace strr
+
+#endif  // STRR_UTIL_RNG_H_

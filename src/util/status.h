@@ -1,0 +1,148 @@
+// Status: lightweight error-reporting value type used across the library.
+//
+// Follows the RocksDB/Arrow idiom: functions that can fail return a Status
+// (or a StatusOr<T>, see result.h) instead of throwing. A Status is cheap to
+// move, carries an error code plus a human-readable message, and converts to
+// bool-like checks via ok().
+#ifndef STRR_UTIL_STATUS_H_
+#define STRR_UTIL_STATUS_H_
+
+#include <cstdint>
+#include <memory>
+#include <ostream>
+#include <string>
+#include <utility>
+
+namespace strr {
+
+/// Error categories used by the library. Kept deliberately small; the
+/// message carries the details.
+enum class StatusCode : uint8_t {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kNotFound = 2,
+  kAlreadyExists = 3,
+  kOutOfRange = 4,
+  kIoError = 5,
+  kCorruption = 6,
+  kFailedPrecondition = 7,
+  kUnimplemented = 8,
+  kInternal = 9,
+  kResourceExhausted = 10,
+};
+
+/// Returns a stable human-readable name for `code` (e.g. "IOError").
+const char* StatusCodeToString(StatusCode code);
+
+/// Value type describing the outcome of an operation.
+///
+/// The OK state is represented with a null rep so that returning OK is a
+/// single pointer move and `ok()` is a null check.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() = default;
+
+  Status(StatusCode code, std::string message)
+      : rep_(code == StatusCode::kOk
+                 ? nullptr
+                 : std::make_unique<Rep>(Rep{code, std::move(message)})) {}
+
+  Status(const Status& other)
+      : rep_(other.rep_ ? std::make_unique<Rep>(*other.rep_) : nullptr) {}
+  Status& operator=(const Status& other) {
+    if (this != &other) {
+      rep_ = other.rep_ ? std::make_unique<Rep>(*other.rep_) : nullptr;
+    }
+    return *this;
+  }
+  Status(Status&&) noexcept = default;
+  Status& operator=(Status&&) noexcept = default;
+
+  /// True iff the operation succeeded.
+  bool ok() const { return rep_ == nullptr; }
+
+  StatusCode code() const { return rep_ ? rep_->code : StatusCode::kOk; }
+
+  /// The error message; empty for OK statuses.
+  const std::string& message() const {
+    static const std::string kEmpty;
+    return rep_ ? rep_->message : kEmpty;
+  }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  bool IsInvalidArgument() const {
+    return code() == StatusCode::kInvalidArgument;
+  }
+  bool IsNotFound() const { return code() == StatusCode::kNotFound; }
+  bool IsAlreadyExists() const { return code() == StatusCode::kAlreadyExists; }
+  bool IsOutOfRange() const { return code() == StatusCode::kOutOfRange; }
+  bool IsIoError() const { return code() == StatusCode::kIoError; }
+  bool IsCorruption() const { return code() == StatusCode::kCorruption; }
+  bool IsFailedPrecondition() const {
+    return code() == StatusCode::kFailedPrecondition;
+  }
+  bool IsUnimplemented() const { return code() == StatusCode::kUnimplemented; }
+  bool IsInternal() const { return code() == StatusCode::kInternal; }
+  bool IsResourceExhausted() const {
+    return code() == StatusCode::kResourceExhausted;
+  }
+
+  // Factory helpers ----------------------------------------------------------
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+
+ private:
+  struct Rep {
+    StatusCode code;
+    std::string message;
+  };
+  std::unique_ptr<Rep> rep_;  // null == OK
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Status& s) {
+  return os << s.ToString();
+}
+
+}  // namespace strr
+
+/// Evaluates `expr`; if the resulting Status is not OK, returns it from the
+/// enclosing function.
+#define STRR_RETURN_IF_ERROR(expr)                \
+  do {                                            \
+    ::strr::Status _strr_status = (expr);         \
+    if (!_strr_status.ok()) return _strr_status;  \
+  } while (0)
+
+#endif  // STRR_UTIL_STATUS_H_

@@ -1,0 +1,38 @@
+// Wall-clock stopwatch used by the query-statistics machinery and benches.
+#ifndef STRR_UTIL_STOPWATCH_H_
+#define STRR_UTIL_STOPWATCH_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace strr {
+
+/// Measures elapsed wall time with steady_clock resolution.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  /// Restarts the measurement from now.
+  void Reset() { start_ = Clock::now(); }
+
+  /// Elapsed time since construction / last Reset, in microseconds.
+  int64_t ElapsedMicros() const {
+    return std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
+                                                                 start_)
+        .count();
+  }
+
+  /// Elapsed time in milliseconds (fractional).
+  double ElapsedMillis() const { return ElapsedMicros() / 1000.0; }
+
+  /// Elapsed time in seconds (fractional).
+  double ElapsedSeconds() const { return ElapsedMicros() / 1e6; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace strr
+
+#endif  // STRR_UTIL_STOPWATCH_H_

@@ -1,0 +1,30 @@
+#include "util/time_util.h"
+
+#include <cstdio>
+
+namespace strr {
+
+std::string FormatTimeOfDay(int64_t time_of_day_sec) {
+  int hours = static_cast<int>(time_of_day_sec / kSecondsPerHour) % 24;
+  int minutes =
+      static_cast<int>((time_of_day_sec % kSecondsPerHour) / kSecondsPerMinute);
+  char buf[8];
+  std::snprintf(buf, sizeof(buf), "%02d:%02d", hours, minutes);
+  return buf;
+}
+
+std::string FormatDuration(int64_t seconds) {
+  char buf[32];
+  if (seconds % kSecondsPerHour == 0 && seconds >= kSecondsPerHour) {
+    std::snprintf(buf, sizeof(buf), "%lldh",
+                  static_cast<long long>(seconds / kSecondsPerHour));
+  } else if (seconds % kSecondsPerMinute == 0 && seconds >= kSecondsPerMinute) {
+    std::snprintf(buf, sizeof(buf), "%lldmin",
+                  static_cast<long long>(seconds / kSecondsPerMinute));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%llds", static_cast<long long>(seconds));
+  }
+  return buf;
+}
+
+}  // namespace strr

@@ -1,0 +1,71 @@
+// Time model used across the library.
+//
+// The trajectory dataset spans `m` calendar days. A timestamp is expressed
+// as seconds since midnight of day 0:
+//
+//   timestamp = day_index * kSecondsPerDay + time_of_day_seconds
+//
+// Indexes partition the day into fixed-width *time slots* of `slot_seconds`
+// each (the paper's Δt, default 5 minutes). Helpers below convert between
+// timestamps, (day, time-of-day) pairs, and slot ids.
+#ifndef STRR_UTIL_TIME_UTIL_H_
+#define STRR_UTIL_TIME_UTIL_H_
+
+#include <cstdint>
+#include <string>
+
+namespace strr {
+
+using Timestamp = int64_t;  ///< seconds since midnight of day 0
+using DayIndex = int32_t;   ///< 0-based calendar day within the dataset
+using SlotId = int32_t;     ///< 0-based time slot within one day
+
+inline constexpr int64_t kSecondsPerMinute = 60;
+inline constexpr int64_t kSecondsPerHour = 3600;
+inline constexpr int64_t kSecondsPerDay = 86400;
+
+/// Day index of `ts` (floor division; negative timestamps are invalid input
+/// and clamp to day 0 semantics only in release builds).
+inline DayIndex DayOf(Timestamp ts) {
+  return static_cast<DayIndex>(ts / kSecondsPerDay);
+}
+
+/// Seconds since midnight of `ts`'s own day, in [0, 86400).
+inline int64_t TimeOfDay(Timestamp ts) { return ts % kSecondsPerDay; }
+
+/// Builds a timestamp from a day index and a time of day in seconds.
+inline Timestamp MakeTimestamp(DayIndex day, int64_t time_of_day_sec) {
+  return static_cast<Timestamp>(day) * kSecondsPerDay + time_of_day_sec;
+}
+
+/// Time-of-day in seconds for h:m:s (24h clock).
+inline int64_t HMS(int hours, int minutes = 0, int seconds = 0) {
+  return hours * kSecondsPerHour + minutes * kSecondsPerMinute + seconds;
+}
+
+/// Slot id within the day for a time-of-day, given the slot width.
+inline SlotId SlotOfTimeOfDay(int64_t time_of_day_sec, int64_t slot_seconds) {
+  return static_cast<SlotId>(time_of_day_sec / slot_seconds);
+}
+
+/// Slot id within the day for a full timestamp.
+inline SlotId SlotOf(Timestamp ts, int64_t slot_seconds) {
+  return SlotOfTimeOfDay(TimeOfDay(ts), slot_seconds);
+}
+
+/// Number of slots per day for the given width (last slot may be short when
+/// 86400 % slot_seconds != 0; widths are validated at index build time).
+inline int32_t SlotsPerDay(int64_t slot_seconds) {
+  return static_cast<int32_t>((kSecondsPerDay + slot_seconds - 1) /
+                              slot_seconds);
+}
+
+/// Formats a time-of-day as "HH:MM" (e.g. 39600 -> "11:00").
+std::string FormatTimeOfDay(int64_t time_of_day_sec);
+
+/// Formats a duration in seconds compactly, e.g. "5min", "90s", "2h".
+std::string FormatDuration(int64_t seconds);
+
+}  // namespace strr
+
+#endif  // STRR_UTIL_TIME_UTIL_H_

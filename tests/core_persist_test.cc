@@ -1,0 +1,141 @@
+// Tests for dataset persistence (save -> load round trip + corruption).
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "core/persist.h"
+#include "tests/test_util.h"
+
+namespace strr {
+namespace {
+
+using testing_util::MakeGridNetwork;
+using testing_util::MakeTempDir;
+
+TEST(PersistNetworkTest, RoundTripGrid) {
+  RoadNetwork net = MakeGridNetwork(3, 4, 250.0);
+  auto restored = DeserializeNetwork(SerializeNetwork(net));
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  ASSERT_EQ(restored->NumNodes(), net.NumNodes());
+  ASSERT_EQ(restored->NumSegments(), net.NumSegments());
+  EXPECT_TRUE(restored->finalized());
+  for (SegmentId i = 0; i < net.NumSegments(); ++i) {
+    const RoadSegment& a = net.segment(i);
+    const RoadSegment& b = restored->segment(i);
+    EXPECT_EQ(a.from_node, b.from_node);
+    EXPECT_EQ(a.to_node, b.to_node);
+    EXPECT_EQ(a.level, b.level);
+    EXPECT_EQ(a.two_way, b.two_way);
+    EXPECT_EQ(a.reverse_id, b.reverse_id);
+    EXPECT_DOUBLE_EQ(a.length, b.length);
+    ASSERT_EQ(a.shape.NumPoints(), b.shape.NumPoints());
+  }
+  // Adjacency rebuilt identically.
+  for (SegmentId i = 0; i < net.NumSegments(); ++i) {
+    EXPECT_EQ(restored->OutgoingOf(i), net.OutgoingOf(i));
+    EXPECT_EQ(restored->NeighborsOf(i), net.NeighborsOf(i));
+  }
+}
+
+TEST(PersistNetworkTest, GarbageRejected) {
+  EXPECT_TRUE(DeserializeNetwork("short").status().IsCorruption());
+  std::string bytes = SerializeNetwork(MakeGridNetwork(2, 2));
+  bytes[0] ^= 0xFF;  // break the magic
+  EXPECT_TRUE(DeserializeNetwork(bytes).status().IsCorruption());
+  bytes = SerializeNetwork(MakeGridNetwork(2, 2));
+  bytes.resize(bytes.size() / 2);  // truncate
+  EXPECT_FALSE(DeserializeNetwork(bytes).ok());
+}
+
+TEST(PersistDatasetTest, RoundTripFullDataset) {
+  DatasetOptions opt = TestDatasetOptions();
+  opt.fleet.num_taxis = 10;
+  opt.fleet.num_days = 3;
+  auto dataset = BuildDataset(opt);
+  ASSERT_TRUE(dataset.ok());
+  std::string dir = MakeTempDir("persist");
+  ASSERT_TRUE(SaveDataset(*dataset, dir).ok());
+
+  auto loaded = LoadDataset(dir);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->network.NumSegments(), dataset->network.NumSegments());
+  EXPECT_EQ(loaded->store->num_days(), dataset->store->num_days());
+  EXPECT_EQ(loaded->store->NumTrajectories(),
+            dataset->store->NumTrajectories());
+  EXPECT_EQ(loaded->num_trips, dataset->num_trips);
+  EXPECT_DOUBLE_EQ(loaded->center.x, dataset->center.x);
+  EXPECT_DOUBLE_EQ(loaded->projection.origin().lat,
+                   dataset->projection.origin().lat);
+
+  // Spot-check trajectory contents (timestamps and speeds survive the
+  // delta/quantized encoding).
+  const auto& orig = dataset->store->TrajectoriesOnDay(1);
+  const auto& got = loaded->store->TrajectoriesOnDay(1);
+  ASSERT_EQ(orig.size(), got.size());
+  for (size_t i = 0; i < orig.size(); ++i) {
+    ASSERT_EQ(orig[i].samples.size(), got[i].samples.size());
+    EXPECT_EQ(orig[i].id, got[i].id);
+    EXPECT_EQ(orig[i].taxi, got[i].taxi);
+    for (size_t k = 0; k < orig[i].samples.size(); ++k) {
+      EXPECT_EQ(orig[i].samples[k].segment, got[i].samples[k].segment);
+      EXPECT_EQ(orig[i].samples[k].timestamp, got[i].samples[k].timestamp);
+      EXPECT_NEAR(orig[i].samples[k].speed_mps, got[i].samples[k].speed_mps,
+                  0.01);
+    }
+  }
+}
+
+TEST(PersistDatasetTest, LoadedDatasetAnswersQueries) {
+  DatasetOptions opt = TestDatasetOptions();
+  opt.fleet.num_taxis = 15;
+  opt.fleet.num_days = 4;
+  auto dataset = BuildDataset(opt);
+  ASSERT_TRUE(dataset.ok());
+  std::string dir = MakeTempDir("persistq");
+  ASSERT_TRUE(SaveDataset(*dataset, dir).ok());
+  auto loaded = LoadDataset(dir);
+  ASSERT_TRUE(loaded.ok());
+
+  EngineOptions eopt;
+  eopt.work_dir = MakeTempDir("persistq_engine");
+  auto engine =
+      ReachabilityEngine::Build(loaded->network, *loaded->store, eopt);
+  ASSERT_TRUE(engine.ok());
+  SQuery q{loaded->center, HMS(11), 600, 0.2};
+  auto result = (*engine)->SQueryIndexed(q);
+  ASSERT_TRUE(result.ok());
+
+  // Identical to the result over the original dataset.
+  EngineOptions eopt2;
+  eopt2.work_dir = MakeTempDir("persistq_engine2");
+  auto engine2 =
+      ReachabilityEngine::Build(dataset->network, *dataset->store, eopt2);
+  ASSERT_TRUE(engine2.ok());
+  auto result2 = (*engine2)->SQueryIndexed(q);
+  ASSERT_TRUE(result2.ok());
+  EXPECT_EQ(result->segments, result2->segments);
+}
+
+TEST(PersistDatasetTest, MissingDirFails) {
+  EXPECT_TRUE(LoadDataset("/nonexistent_dir_xyz").status().IsIoError());
+}
+
+TEST(PersistDatasetTest, CorruptTrajectoryFileFails) {
+  DatasetOptions opt = TestDatasetOptions();
+  opt.fleet.num_taxis = 4;
+  opt.fleet.num_days = 2;
+  auto dataset = BuildDataset(opt);
+  ASSERT_TRUE(dataset.ok());
+  std::string dir = MakeTempDir("persistc");
+  ASSERT_TRUE(SaveDataset(*dataset, dir).ok());
+  {
+    std::ofstream out(dir + "/trajectories.strr",
+                      std::ios::binary | std::ios::trunc);
+    out << "not a trajectory file";
+  }
+  EXPECT_FALSE(LoadDataset(dir).ok());
+}
+
+}  // namespace
+}  // namespace strr

@@ -1,0 +1,345 @@
+// Tests for SpeedProfile, StIndex and ConIndex against the shared small
+// dataset and hand-built fixtures.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "index/con_index.h"
+#include "index/speed_profile.h"
+#include "index/st_index.h"
+#include "roadnet/expansion.h"
+#include "tests/test_util.h"
+
+namespace strr {
+namespace {
+
+using testing_util::GetSharedStack;
+using testing_util::MakeGridNetwork;
+using testing_util::MakeTempDir;
+
+/// Hand-built store: one taxi crossing segment 0 at 08:00 on days 0 and 2,
+/// fast on day 0 (20 m/s) and slow on day 2 (4 m/s).
+std::unique_ptr<TrajectoryStore> TinyStore() {
+  auto store = std::make_unique<TrajectoryStore>(3);
+  MatchedTrajectory t0;
+  t0.id = 0;
+  t0.taxi = 0;
+  t0.day = 0;
+  t0.samples = {{0, MakeTimestamp(0, HMS(8)), 20.0f},
+                {1, MakeTimestamp(0, HMS(8, 1)), 20.0f}};
+  EXPECT_TRUE(store->Add(std::move(t0)).ok());
+  MatchedTrajectory t2;
+  t2.id = 1;
+  t2.taxi = 0;
+  t2.day = 2;
+  t2.samples = {{0, MakeTimestamp(2, HMS(8)), 4.0f}};
+  EXPECT_TRUE(store->Add(std::move(t2)).ok());
+  return store;
+}
+
+// --- SpeedProfile -------------------------------------------------------------
+
+TEST(SpeedProfileTest, MinMaxMeanFromObservations) {
+  RoadNetwork net = MakeGridNetwork(2, 3, 300.0);
+  auto store = TinyStore();
+  auto profile = SpeedProfile::Build(net, *store);
+  ASSERT_TRUE(profile.ok());
+  EXPECT_TRUE(profile->HasObservations(0, HMS(8)));
+  EXPECT_DOUBLE_EQ(profile->MinSpeed(0, HMS(8)), 4.0);
+  EXPECT_DOUBLE_EQ(profile->MaxSpeed(0, HMS(8)), 20.0);
+  EXPECT_DOUBLE_EQ(profile->MeanSpeed(0, HMS(8)), 12.0);
+}
+
+TEST(SpeedProfileTest, FallbackToLevelAggregate) {
+  RoadNetwork net = MakeGridNetwork(2, 3, 300.0);
+  auto store = TinyStore();
+  auto profile = SpeedProfile::Build(net, *store);
+  ASSERT_TRUE(profile.ok());
+  // Segment 5 has no samples but shares the local level with segment 0.
+  EXPECT_FALSE(profile->HasObservations(5, HMS(8)));
+  EXPECT_DOUBLE_EQ(profile->MinSpeed(5, HMS(8)), 4.0);
+  EXPECT_DOUBLE_EQ(profile->MaxSpeed(5, HMS(8)), 20.0);
+}
+
+TEST(SpeedProfileTest, FallbackToFreeFlowWhenNoDataAtAll) {
+  RoadNetwork net = MakeGridNetwork(2, 3, 300.0);
+  auto store = TinyStore();
+  auto profile = SpeedProfile::Build(net, *store);
+  ASSERT_TRUE(profile.ok());
+  // 03:00 slot has no observations anywhere.
+  double ff = FreeFlowSpeed(RoadLevel::kLocal);
+  EXPECT_DOUBLE_EQ(profile->MaxSpeed(0, HMS(3)), ff);
+  EXPECT_DOUBLE_EQ(profile->MinSpeed(0, HMS(3)), 0.2 * ff);
+  EXPECT_DOUBLE_EQ(profile->MeanSpeed(0, HMS(3)), 0.7 * ff);
+}
+
+TEST(SpeedProfileTest, ZeroSpeedsDropped) {
+  RoadNetwork net = MakeGridNetwork(2, 3, 300.0);
+  auto store = std::make_unique<TrajectoryStore>(1);
+  MatchedTrajectory t;
+  t.id = 0;
+  t.day = 0;
+  t.samples = {{0, MakeTimestamp(0, HMS(8)), 0.0f},   // parked: dropped
+               {0, MakeTimestamp(0, HMS(8, 1)), 6.0f}};
+  ASSERT_TRUE(store->Add(std::move(t)).ok());
+  auto profile = SpeedProfile::Build(net, *store);
+  ASSERT_TRUE(profile.ok());
+  EXPECT_DOUBLE_EQ(profile->MinSpeed(0, HMS(8)), 6.0);
+}
+
+TEST(SpeedProfileTest, SlotWidthValidation) {
+  RoadNetwork net = MakeGridNetwork(2, 2, 300.0);
+  auto store = TinyStore();
+  EXPECT_FALSE(SpeedProfile::Build(net, *store, {.slot_seconds = 0}).ok());
+  EXPECT_FALSE(SpeedProfile::Build(net, *store, {.slot_seconds = 7000}).ok());
+  EXPECT_TRUE(SpeedProfile::Build(net, *store, {.slot_seconds = 1800}).ok());
+}
+
+TEST(SpeedProfileTest, CoverageFractionOnSharedDataset) {
+  auto& stack = GetSharedStack();
+  const auto& profile = stack.engine->speed_profile();
+  double coverage = profile.CoverageFraction();
+  EXPECT_GT(coverage, 0.02);
+  EXPECT_LE(coverage, 1.0);
+}
+
+// --- StIndex --------------------------------------------------------------------
+
+class StIndexTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    net_ = MakeGridNetwork(2, 3, 300.0);
+    store_ = TinyStore();
+    StIndexOptions opt;
+    opt.slot_seconds = 300;
+    opt.posting_path = MakeTempDir("st") + "/postings.bin";
+    auto index = StIndex::Build(net_, *store_, opt);
+    ASSERT_TRUE(index.ok()) << index.status().ToString();
+    index_ = std::move(*index);
+  }
+
+  RoadNetwork net_;
+  std::unique_ptr<TrajectoryStore> store_;
+  std::unique_ptr<StIndex> index_;
+};
+
+TEST_F(StIndexTest, SlotLookups) {
+  EXPECT_EQ(index_->slots_per_day(), 288);
+  EXPECT_EQ(index_->SlotForTime(0), 0);
+  EXPECT_EQ(index_->SlotForTime(299), 0);
+  EXPECT_EQ(index_->SlotForTime(HMS(8)), 96);
+  EXPECT_EQ(index_->SlotForTime(HMS(23, 59)), 287);
+}
+
+TEST_F(StIndexTest, SlotsCoveringRanges) {
+  auto slots = index_->SlotsCovering(HMS(8), HMS(8) + 600);
+  EXPECT_EQ(slots, (std::vector<SlotId>{96, 97}));
+  slots = index_->SlotsCovering(HMS(8), HMS(8) + 1);
+  EXPECT_EQ(slots, (std::vector<SlotId>{96}));
+  EXPECT_TRUE(index_->SlotsCovering(100, 100).empty());
+  // Clamped to end of day.
+  slots = index_->SlotsCovering(HMS(23, 55), HMS(23, 55) + 900);
+  EXPECT_EQ(slots, (std::vector<SlotId>{287}));
+}
+
+TEST_F(StIndexTest, LocateSegmentFindsNearest) {
+  // Point just above the middle of segment 0 (bottom-left horizontal road).
+  auto seg = index_->LocateSegment({150.0, 5.0});
+  ASSERT_TRUE(seg.ok());
+  double d = net_.segment(*seg).shape.Project({150.0, 5.0}).distance;
+  auto brute = net_.NearestSegmentBruteForce({150.0, 5.0});
+  ASSERT_TRUE(brute.ok());
+  double bd = net_.segment(*brute).shape.Project({150.0, 5.0}).distance;
+  EXPECT_NEAR(d, bd, 1e-9);
+}
+
+TEST_F(StIndexTest, TimeListsMatchStoreContents) {
+  SlotId slot = index_->SlotForTime(HMS(8));
+  auto lists = index_->ReadTimeList(0, slot);
+  ASSERT_TRUE(lists.ok());
+  ASSERT_EQ(lists->size(), 3u);  // 3 days
+  EXPECT_EQ((*lists)[0], (std::vector<TrajectoryId>{0}));
+  EXPECT_TRUE((*lists)[1].empty());
+  EXPECT_EQ((*lists)[2], (std::vector<TrajectoryId>{1}));
+}
+
+TEST_F(StIndexTest, NoTrafficSlotsEmptyWithoutIo) {
+  SlotId slot = index_->SlotForTime(HMS(3));
+  EXPECT_FALSE(index_->HasTraffic(0, slot));
+  index_->ResetStorageStats();
+  auto lists = index_->ReadTimeList(0, slot);
+  ASSERT_TRUE(lists.ok());
+  for (const auto& day : *lists) EXPECT_TRUE(day.empty());
+  EXPECT_EQ(index_->storage_stats().TotalRequests(), 0u);
+}
+
+TEST_F(StIndexTest, SegmentsInRange) {
+  auto segs = index_->SegmentsInRange(Mbr(-10, -10, 310, 10));
+  // Bottom edge of the grid: both directions of segment pair 0 at least.
+  EXPECT_GE(segs.size(), 2u);
+  for (SegmentId s : segs) {
+    EXPECT_TRUE(net_.segment(s).bounding_box().Intersects(Mbr(-10, -10, 310, 10)));
+  }
+}
+
+TEST_F(StIndexTest, ReadCostsIo) {
+  index_->ResetStorageStats();
+  index_->DropCache();
+  SlotId slot = index_->SlotForTime(HMS(8));
+  ASSERT_TRUE(index_->ReadTimeList(0, slot).ok());
+  auto stats = index_->storage_stats();
+  EXPECT_GE(stats.cache_misses, 1u);
+  ASSERT_TRUE(index_->ReadTimeList(0, slot).ok());
+  stats = index_->storage_stats();
+  EXPECT_GE(stats.cache_hits, 1u);
+}
+
+TEST_F(StIndexTest, BuildValidation) {
+  StIndexOptions opt;  // missing posting path
+  opt.slot_seconds = 300;
+  EXPECT_TRUE(StIndex::Build(net_, *store_, opt).status().IsInvalidArgument());
+  opt.posting_path = MakeTempDir("stbad") + "/p.bin";
+  opt.slot_seconds = 0;
+  EXPECT_TRUE(StIndex::Build(net_, *store_, opt).status().IsInvalidArgument());
+}
+
+TEST(StIndexSharedTest, EveryStoredSampleIsFindable) {
+  auto& stack = GetSharedStack();
+  const StIndex& index = stack.engine->st_index();
+  // Spot-check 200 samples across the dataset: the trajectory id must be
+  // present in the (segment, slot, day) time list.
+  int checked = 0;
+  stack.dataset.store->ForEach([&](const MatchedTrajectory& t) {
+    if (checked >= 200 || t.id % 37 != 0) return;
+    for (size_t i = 0; i < t.samples.size(); i += 25) {
+      const MatchedSample& s = t.samples[i];
+      SlotId slot = SlotOf(s.timestamp, index.slot_seconds());
+      auto lists = index.ReadTimeList(s.segment, slot);
+      ASSERT_TRUE(lists.ok());
+      const auto& day_list = (*lists)[t.day];
+      EXPECT_TRUE(std::binary_search(day_list.begin(), day_list.end(), t.id))
+          << "traj " << t.id << " missing from (" << s.segment << "," << slot
+          << "," << t.day << ")";
+      ++checked;
+    }
+  });
+  EXPECT_GT(checked, 20);
+}
+
+// --- ConIndex --------------------------------------------------------------------
+
+class ConIndexTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    net_ = MakeGridNetwork(4, 4, 300.0);
+    store_ = TinyStore();
+    auto profile = SpeedProfile::Build(net_, *store_);
+    ASSERT_TRUE(profile.ok());
+    profile_ = std::make_unique<SpeedProfile>(std::move(*profile));
+    ConIndexOptions opt;
+    opt.delta_t_seconds = 120;
+    auto con = ConIndex::Create(net_, *profile_, opt);
+    ASSERT_TRUE(con.ok());
+    con_ = std::move(*con);
+  }
+
+  RoadNetwork net_;
+  std::unique_ptr<TrajectoryStore> store_;
+  std::unique_ptr<SpeedProfile> profile_;
+  std::unique_ptr<ConIndex> con_;
+};
+
+TEST_F(ConIndexTest, NearIsSubsetOfFar) {
+  for (SegmentId seg = 0; seg < net_.NumSegments(); seg += 3) {
+    const auto& near = con_->Near(seg, HMS(8));
+    const auto& far = con_->Far(seg, HMS(8));
+    EXPECT_TRUE(std::includes(far.begin(), far.end(), near.begin(), near.end()))
+        << "Near not within Far for segment " << seg;
+  }
+}
+
+TEST_F(ConIndexTest, ListsMatchDirectExpansion) {
+  SegmentId seg = 5;
+  const auto& far = con_->Far(seg, HMS(8));
+  SpeedFn max_speed = [this](SegmentId id) {
+    return profile_->MaxSpeed(id, HMS(8));
+  };
+  auto hits = ExpandFrom(net_, seg, 120.0, max_speed);
+  std::vector<SegmentId> expected;
+  for (const auto& h : hits) expected.push_back(h.segment);
+  std::sort(expected.begin(), expected.end());
+  EXPECT_EQ(far, expected);
+}
+
+TEST_F(ConIndexTest, ContainsSelfWhenTraversable) {
+  const auto& far = con_->Far(0, HMS(8));
+  EXPECT_TRUE(std::binary_search(far.begin(), far.end(), 0u));
+}
+
+TEST_F(ConIndexTest, LazyMaterializationCounts) {
+  EXPECT_EQ(con_->MaterializedTables(), 0u);
+  con_->Far(0, HMS(8));
+  EXPECT_EQ(con_->MaterializedTables(), 1u);
+  con_->Near(0, HMS(8));  // same (seg, slot) table
+  EXPECT_EQ(con_->MaterializedTables(), 1u);
+  con_->Far(1, HMS(8));
+  EXPECT_EQ(con_->MaterializedTables(), 2u);
+  con_->Far(0, HMS(9));  // different profile slot
+  EXPECT_EQ(con_->MaterializedTables(), 3u);
+}
+
+TEST_F(ConIndexTest, BuildAllMaterializesEverything) {
+  ASSERT_TRUE(con_->BuildAll().ok());
+  EXPECT_EQ(con_->MaterializedTables(),
+            net_.NumSegments() * static_cast<size_t>(con_->num_profile_slots()));
+  EXPECT_GT(con_->TotalListEntries(), 0u);
+}
+
+TEST_F(ConIndexTest, LazyEqualsPrecomputed) {
+  ConIndexOptions opt;
+  opt.delta_t_seconds = 120;
+  auto pre = ConIndex::Create(net_, *profile_, opt);
+  ASSERT_TRUE(pre.ok());
+  ASSERT_TRUE((*pre)->BuildAll().ok());
+  for (SegmentId seg = 0; seg < net_.NumSegments(); seg += 5) {
+    EXPECT_EQ(con_->Far(seg, HMS(8)), (*pre)->Far(seg, HMS(8)));
+    EXPECT_EQ(con_->Near(seg, HMS(8)), (*pre)->Near(seg, HMS(8)));
+  }
+}
+
+TEST_F(ConIndexTest, LargerDeltaTReachesFurther) {
+  ConIndexOptions big;
+  big.delta_t_seconds = 360;
+  auto con_big = ConIndex::Create(net_, *profile_, big);
+  ASSERT_TRUE(con_big.ok());
+  const auto& small_far = con_->Far(0, HMS(8));
+  const auto& big_far = (*con_big)->Far(0, HMS(8));
+  EXPECT_GE(big_far.size(), small_far.size());
+  EXPECT_TRUE(std::includes(big_far.begin(), big_far.end(), small_far.begin(),
+                            small_far.end()));
+}
+
+TEST_F(ConIndexTest, CongestionShrinksRushHourFar) {
+  // Shared dataset has genuine rush-hour slowdowns; the tiny fixture does
+  // not, so use the engine's con-index.
+  auto& stack = GetSharedStack();
+  const ConIndex& con = stack.engine->con_index();
+  const RoadNetwork& net = stack.engine->network();
+  size_t rush_total = 0, night_total = 0;
+  for (SegmentId seg = 0; seg < net.NumSegments(); seg += 29) {
+    rush_total += con.Far(seg, HMS(8)).size();
+    night_total += con.Far(seg, HMS(13)).size();
+  }
+  EXPECT_LT(rush_total, night_total);
+}
+
+TEST_F(ConIndexTest, CreateValidation) {
+  ConIndexOptions opt;
+  opt.delta_t_seconds = 0;
+  EXPECT_TRUE(
+      ConIndex::Create(net_, *profile_, opt).status().IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace strr

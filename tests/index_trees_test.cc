@@ -1,0 +1,339 @@
+// Tests for the R-tree and B+-tree, including parameterized property
+// sweeps against brute-force / std::map references.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "index/bplus_tree.h"
+#include "index/rtree.h"
+#include "util/rng.h"
+
+namespace strr {
+namespace {
+
+// --- RTree: basic -----------------------------------------------------------------
+
+TEST(RTreeTest, EmptyTree) {
+  RTree tree;
+  EXPECT_TRUE(tree.empty());
+  EXPECT_EQ(tree.Height(), 0);
+  EXPECT_TRUE(tree.Search(Mbr(0, 0, 10, 10)).empty());
+  EXPECT_TRUE(tree.Nearest({0, 0}, 3).empty());
+  EXPECT_TRUE(tree.CheckInvariants());
+}
+
+TEST(RTreeTest, SingleEntry) {
+  RTree tree;
+  tree.Insert(Mbr(1, 1, 2, 2), 7);
+  EXPECT_EQ(tree.size(), 1u);
+  auto hits = tree.Search(Mbr(0, 0, 3, 3));
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0], 7u);
+  EXPECT_TRUE(tree.Search(Mbr(5, 5, 6, 6)).empty());
+}
+
+TEST(RTreeTest, BulkLoadSmall) {
+  std::vector<RTree::Entry> entries;
+  for (uint32_t i = 0; i < 10; ++i) {
+    entries.push_back({Mbr(i, 0, i + 0.5, 1), i});
+  }
+  RTree tree(4);
+  tree.BulkLoad(entries);
+  EXPECT_EQ(tree.size(), 10u);
+  EXPECT_TRUE(tree.CheckInvariants());
+  auto hits = tree.Search(Mbr(2.2, 0, 4.2, 1));
+  std::sort(hits.begin(), hits.end());
+  EXPECT_EQ(hits, (std::vector<uint32_t>{2, 3, 4}));
+}
+
+TEST(RTreeTest, BulkLoadEmptyAndReload) {
+  RTree tree;
+  tree.BulkLoad({});
+  EXPECT_TRUE(tree.empty());
+  tree.BulkLoad({{Mbr(0, 0, 1, 1), 1}});
+  EXPECT_EQ(tree.size(), 1u);
+  tree.BulkLoad({});
+  EXPECT_TRUE(tree.empty());
+}
+
+TEST(RTreeTest, NearestOrdering) {
+  RTree tree;
+  tree.Insert(Mbr::FromPoint({0, 0}), 0);
+  tree.Insert(Mbr::FromPoint({10, 0}), 1);
+  tree.Insert(Mbr::FromPoint({20, 0}), 2);
+  auto nearest = tree.Nearest({11, 0}, 2);
+  ASSERT_EQ(nearest.size(), 2u);
+  EXPECT_EQ(nearest[0], 1u);
+  EXPECT_EQ(nearest[1], 2u);
+}
+
+TEST(RTreeTest, NearestKLargerThanSize) {
+  RTree tree;
+  tree.Insert(Mbr::FromPoint({0, 0}), 0);
+  EXPECT_EQ(tree.Nearest({5, 5}, 10).size(), 1u);
+}
+
+TEST(RTreeTest, SearchVisitEarlyStop) {
+  RTree tree;
+  for (uint32_t i = 0; i < 20; ++i) tree.Insert(Mbr(i, 0, i + 1, 1), i);
+  int visits = 0;
+  tree.SearchVisit(Mbr(0, 0, 30, 1), [&](const RTree::Entry&) {
+    ++visits;
+    return visits < 5;
+  });
+  EXPECT_EQ(visits, 5);
+}
+
+TEST(RTreeTest, HeightGrowsLogarithmically) {
+  RTree tree(8);
+  for (uint32_t i = 0; i < 1000; ++i) {
+    tree.Insert(Mbr::FromPoint({static_cast<double>(i % 37),
+                                static_cast<double>(i % 53)}),
+                i);
+  }
+  EXPECT_TRUE(tree.CheckInvariants());
+  EXPECT_LE(tree.Height(), 6);
+  EXPECT_GE(tree.Height(), 3);
+}
+
+// --- RTree: parameterized property sweep --------------------------------------------
+
+struct RTreeParam {
+  size_t fanout;
+  size_t count;
+  bool bulk;
+};
+
+class RTreePropertyTest : public ::testing::TestWithParam<RTreeParam> {};
+
+TEST_P(RTreePropertyTest, SearchMatchesBruteForce) {
+  const RTreeParam param = GetParam();
+  Rng rng(1000 + param.count * 7 + param.fanout);
+  std::vector<RTree::Entry> entries;
+  for (uint32_t i = 0; i < param.count; ++i) {
+    double x = rng.Uniform(0, 1000), y = rng.Uniform(0, 1000);
+    entries.push_back(
+        {Mbr(x, y, x + rng.Uniform(0, 30), y + rng.Uniform(0, 30)), i});
+  }
+  RTree tree(param.fanout);
+  if (param.bulk) {
+    tree.BulkLoad(entries);
+  } else {
+    for (const auto& e : entries) tree.Insert(e.box, e.value);
+  }
+  ASSERT_EQ(tree.size(), param.count);
+  ASSERT_TRUE(tree.CheckInvariants());
+
+  for (int trial = 0; trial < 20; ++trial) {
+    double x = rng.Uniform(-50, 1000), y = rng.Uniform(-50, 1000);
+    Mbr query(x, y, x + rng.Uniform(1, 200), y + rng.Uniform(1, 200));
+    std::set<uint32_t> expected;
+    for (const auto& e : entries) {
+      if (e.box.Intersects(query)) expected.insert(e.value);
+    }
+    auto got_vec = tree.Search(query);
+    std::set<uint32_t> got(got_vec.begin(), got_vec.end());
+    ASSERT_EQ(got_vec.size(), got.size()) << "duplicates returned";
+    EXPECT_EQ(got, expected);
+  }
+}
+
+TEST_P(RTreePropertyTest, NearestMatchesBruteForce) {
+  const RTreeParam param = GetParam();
+  Rng rng(2000 + param.count * 3 + param.fanout);
+  std::vector<RTree::Entry> entries;
+  for (uint32_t i = 0; i < param.count; ++i) {
+    double x = rng.Uniform(0, 500), y = rng.Uniform(0, 500);
+    entries.push_back({Mbr::FromPoint({x, y}), i});
+  }
+  RTree tree(param.fanout);
+  if (param.bulk) {
+    tree.BulkLoad(entries);
+  } else {
+    for (const auto& e : entries) tree.Insert(e.box, e.value);
+  }
+  for (int trial = 0; trial < 10; ++trial) {
+    XyPoint p{rng.Uniform(0, 500), rng.Uniform(0, 500)};
+    auto got = tree.Nearest(p, 1);
+    ASSERT_EQ(got.size(), 1u);
+    double got_d = entries[got[0]].box.MinDistance(p);
+    double best = 1e18;
+    for (const auto& e : entries) best = std::min(best, e.box.MinDistance(p));
+    EXPECT_NEAR(got_d, best, 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, RTreePropertyTest,
+    ::testing::Values(RTreeParam{4, 10, false}, RTreeParam{4, 200, false},
+                      RTreeParam{8, 500, false}, RTreeParam{16, 1000, false},
+                      RTreeParam{4, 10, true}, RTreeParam{4, 200, true},
+                      RTreeParam{8, 500, true}, RTreeParam{16, 1000, true},
+                      RTreeParam{32, 2000, true}),
+    [](const ::testing::TestParamInfo<RTreeParam>& info) {
+      return (info.param.bulk ? std::string("Bulk") : std::string("Insert")) +
+             "F" + std::to_string(info.param.fanout) + "N" +
+             std::to_string(info.param.count);
+    });
+
+// --- BPlusTree: basic ------------------------------------------------------------------
+
+TEST(BPlusTreeTest, EmptyTree) {
+  BPlusTree tree;
+  EXPECT_TRUE(tree.empty());
+  EXPECT_EQ(tree.Height(), 0);
+  EXPECT_FALSE(tree.Find(5).has_value());
+  EXPECT_FALSE(tree.Floor(5).has_value());
+  EXPECT_TRUE(tree.CheckInvariants());
+}
+
+TEST(BPlusTreeTest, InsertAndFind) {
+  BPlusTree tree(4);
+  tree.Insert(10, 100);
+  tree.Insert(20, 200);
+  tree.Insert(5, 50);
+  EXPECT_EQ(tree.size(), 3u);
+  EXPECT_EQ(tree.Find(10).value(), 100u);
+  EXPECT_EQ(tree.Find(5).value(), 50u);
+  EXPECT_FALSE(tree.Find(15).has_value());
+  EXPECT_TRUE(tree.CheckInvariants());
+}
+
+TEST(BPlusTreeTest, DuplicateKeyOverwrites) {
+  BPlusTree tree(4);
+  tree.Insert(7, 1);
+  tree.Insert(7, 2);
+  EXPECT_EQ(tree.size(), 1u);
+  EXPECT_EQ(tree.Find(7).value(), 2u);
+}
+
+TEST(BPlusTreeTest, FloorSemantics) {
+  BPlusTree tree(4);
+  for (int64_t k : {0, 300, 600, 900}) {
+    tree.Insert(k, static_cast<uint32_t>(k / 300));
+  }
+  EXPECT_EQ(tree.Floor(0)->second, 0u);
+  EXPECT_EQ(tree.Floor(299)->second, 0u);
+  EXPECT_EQ(tree.Floor(300)->second, 1u);
+  EXPECT_EQ(tree.Floor(899)->second, 2u);
+  EXPECT_EQ(tree.Floor(5000)->second, 3u);
+  EXPECT_FALSE(tree.Floor(-1).has_value());
+}
+
+TEST(BPlusTreeTest, RangeScan) {
+  BPlusTree tree(4);
+  for (int64_t k = 0; k < 50; k += 5) tree.Insert(k, static_cast<uint32_t>(k));
+  std::vector<int64_t> keys;
+  tree.Range(12, 33, [&](int64_t k, uint32_t v) {
+    keys.push_back(k);
+    EXPECT_EQ(v, static_cast<uint32_t>(k));
+    return true;
+  });
+  EXPECT_EQ(keys, (std::vector<int64_t>{15, 20, 25, 30}));
+}
+
+TEST(BPlusTreeTest, RangeEarlyStop) {
+  BPlusTree tree(4);
+  for (int64_t k = 0; k < 100; ++k) tree.Insert(k, 0);
+  int count = 0;
+  tree.Range(0, 99, [&](int64_t, uint32_t) { return ++count < 7; });
+  EXPECT_EQ(count, 7);
+}
+
+TEST(BPlusTreeTest, RangeEmptyAndInverted) {
+  BPlusTree tree(4);
+  tree.Insert(5, 1);
+  int count = 0;
+  tree.Range(10, 4, [&](int64_t, uint32_t) {
+    ++count;
+    return true;
+  });
+  EXPECT_EQ(count, 0);
+}
+
+TEST(BPlusTreeTest, HeightStaysLogarithmic) {
+  BPlusTree tree(8);
+  for (int64_t k = 0; k < 10000; ++k) tree.Insert(k, 0);
+  EXPECT_TRUE(tree.CheckInvariants());
+  EXPECT_LE(tree.Height(), 6);
+}
+
+// --- BPlusTree: parameterized property sweep ----------------------------------------
+
+struct BTreeParam {
+  size_t order;
+  size_t count;
+  bool ascending;
+};
+
+class BPlusTreePropertyTest : public ::testing::TestWithParam<BTreeParam> {};
+
+TEST_P(BPlusTreePropertyTest, MatchesStdMap) {
+  const BTreeParam param = GetParam();
+  Rng rng(500 + param.order * 13 + param.count);
+  BPlusTree tree(param.order);
+  std::map<int64_t, uint32_t> reference;
+  for (size_t i = 0; i < param.count; ++i) {
+    int64_t key = param.ascending
+                      ? static_cast<int64_t>(i) * 3
+                      : rng.UniformInt(-100000, 100000);
+    uint32_t value = static_cast<uint32_t>(rng.UniformInt(0, 1 << 30));
+    tree.Insert(key, value);
+    reference[key] = value;
+  }
+  ASSERT_EQ(tree.size(), reference.size());
+  ASSERT_TRUE(tree.CheckInvariants());
+
+  // Point lookups.
+  for (const auto& [k, v] : reference) {
+    auto got = tree.Find(k);
+    ASSERT_TRUE(got.has_value()) << "missing key " << k;
+    EXPECT_EQ(*got, v);
+  }
+  // Floor lookups at random probes.
+  for (int trial = 0; trial < 50; ++trial) {
+    int64_t probe = rng.UniformInt(-120000, 120000);
+    auto got = tree.Floor(probe);
+    auto it = reference.upper_bound(probe);
+    if (it == reference.begin()) {
+      EXPECT_FALSE(got.has_value());
+    } else {
+      --it;
+      ASSERT_TRUE(got.has_value());
+      EXPECT_EQ(got->first, it->first);
+      EXPECT_EQ(got->second, it->second);
+    }
+  }
+  // A full range scan yields the reference in order.
+  std::vector<std::pair<int64_t, uint32_t>> scanned;
+  tree.Range(std::numeric_limits<int64_t>::min() / 2,
+             std::numeric_limits<int64_t>::max() / 2,
+             [&](int64_t k, uint32_t v) {
+               scanned.emplace_back(k, v);
+               return true;
+             });
+  ASSERT_EQ(scanned.size(), reference.size());
+  size_t i = 0;
+  for (const auto& [k, v] : reference) {
+    EXPECT_EQ(scanned[i].first, k);
+    EXPECT_EQ(scanned[i].second, v);
+    ++i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, BPlusTreePropertyTest,
+    ::testing::Values(BTreeParam{4, 10, false}, BTreeParam{4, 500, false},
+                      BTreeParam{8, 2000, false}, BTreeParam{32, 5000, false},
+                      BTreeParam{4, 500, true}, BTreeParam{16, 3000, true},
+                      BTreeParam{64, 8000, false}),
+    [](const ::testing::TestParamInfo<BTreeParam>& info) {
+      return std::string(info.param.ascending ? "Asc" : "Rand") + "O" +
+             std::to_string(info.param.order) + "N" +
+             std::to_string(info.param.count);
+    });
+
+}  // namespace
+}  // namespace strr

@@ -1,0 +1,146 @@
+// Parameterized property sweeps across the whole stack: invariants that
+// must hold for any (seed, scale, Δt) combination of the pipeline.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/dataset.h"
+#include "core/reachability_engine.h"
+#include "tests/test_util.h"
+
+namespace strr {
+namespace {
+
+using testing_util::MakeTempDir;
+
+struct SweepParam {
+  uint64_t seed;
+  int taxis;
+  int days;
+  int64_t delta_t;
+};
+
+class PipelinePropertyTest : public ::testing::TestWithParam<SweepParam> {
+ protected:
+  void SetUp() override {
+    const SweepParam& p = GetParam();
+    DatasetOptions opt = TestDatasetOptions();
+    opt.city.seed = p.seed;
+    opt.fleet.seed = p.seed * 31 + 7;
+    opt.fleet.num_taxis = p.taxis;
+    opt.fleet.num_days = p.days;
+    auto dataset = BuildDataset(opt);
+    ASSERT_TRUE(dataset.ok()) << dataset.status().ToString();
+    dataset_ = std::make_unique<Dataset>(std::move(*dataset));
+    EngineOptions eopt;
+    eopt.work_dir = MakeTempDir("sweep");
+    eopt.delta_t_seconds = p.delta_t;
+    auto engine =
+        ReachabilityEngine::Build(dataset_->network, *dataset_->store, eopt);
+    ASSERT_TRUE(engine.ok()) << engine.status().ToString();
+    engine_ = std::move(*engine);
+  }
+
+  std::unique_ptr<Dataset> dataset_;
+  std::unique_ptr<ReachabilityEngine> engine_;
+};
+
+TEST_P(PipelinePropertyTest, EsSubsetOfIndexedRegion) {
+  for (int hour : {9, 12, 19}) {
+    SQuery q{dataset_->center, HMS(hour), 600, 0.25};
+    auto indexed = engine_->SQueryIndexed(q);
+    auto es = engine_->SQueryExhaustive(q);
+    ASSERT_TRUE(indexed.ok());
+    ASSERT_TRUE(es.ok());
+    EXPECT_TRUE(std::includes(indexed->segments.begin(),
+                              indexed->segments.end(), es->segments.begin(),
+                              es->segments.end()))
+        << "hour " << hour;
+  }
+}
+
+TEST_P(PipelinePropertyTest, RegionMonotoneInProb) {
+  std::vector<double> probs = {0.1, 0.3, 0.6, 0.9};
+  double prev = 1e18;
+  for (double prob : probs) {
+    SQuery q{dataset_->center, HMS(12), 900, prob};
+    auto r = engine_->SQueryIndexed(q);
+    ASSERT_TRUE(r.ok());
+    EXPECT_LE(r->total_length_m, prev + 1e-6) << "prob " << prob;
+    prev = r->total_length_m;
+  }
+}
+
+TEST_P(PipelinePropertyTest, RegionWithinMaxBoundAndSorted) {
+  SQuery q{dataset_->center, HMS(12), 900, 0.2};
+  auto r = engine_->SQueryIndexed(q);
+  ASSERT_TRUE(r.ok());
+  EXPECT_LE(r->segments.size(), r->stats.max_region_segments);
+  EXPECT_TRUE(std::is_sorted(r->segments.begin(), r->segments.end()));
+  for (SegmentId s : r->segments) {
+    EXPECT_LT(s, engine_->network().NumSegments());
+  }
+}
+
+TEST_P(PipelinePropertyTest, VerificationNeverExceedsEs) {
+  SQuery q{dataset_->center, HMS(12), 900, 0.2};
+  auto indexed = engine_->SQueryIndexed(q);
+  auto es = engine_->SQueryExhaustive(q);
+  ASSERT_TRUE(indexed.ok());
+  ASSERT_TRUE(es.ok());
+  EXPECT_LE(indexed->stats.segments_verified,
+            es->stats.segments_verified + 2);  // twin-set slack
+}
+
+TEST_P(PipelinePropertyTest, DeterministicAnswers) {
+  SQuery q{dataset_->center, HMS(12), 600, 0.3};
+  auto a = engine_->SQueryIndexed(q);
+  auto b = engine_->SQueryIndexed(q);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->segments, b->segments);
+}
+
+TEST_P(PipelinePropertyTest, MQueryCoversWidestSingle) {
+  Mbr box = engine_->network().BoundingBox();
+  MQuery m;
+  m.locations = {dataset_->center,
+                 {box.min_x() + box.Width() * 0.3,
+                  box.min_y() + box.Height() * 0.4}};
+  m.start_tod = HMS(12);
+  m.duration = 900;
+  m.prob = 0.2;
+  auto mr = engine_->MQueryIndexed(m);
+  ASSERT_TRUE(mr.ok());
+  for (const XyPoint& loc : m.locations) {
+    SQuery s{loc, m.start_tod, m.duration, m.prob};
+    auto sr = engine_->SQueryIndexed(s);
+    ASSERT_TRUE(sr.ok());
+    // The m-query is at least as large as the smaller single regions
+    // (union semantics; elimination may trim overlap edges, so compare
+    // against 60% of each single region rather than strict inclusion).
+    std::vector<SegmentId> common;
+    std::set_intersection(mr->segments.begin(), mr->segments.end(),
+                          sr->segments.begin(), sr->segments.end(),
+                          std::back_inserter(common));
+    if (!sr->segments.empty()) {
+      EXPECT_GT(static_cast<double>(common.size()) / sr->segments.size(), 0.6);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, PipelinePropertyTest,
+    ::testing::Values(SweepParam{3, 25, 6, 300},
+                      SweepParam{11, 40, 10, 300},
+                      SweepParam{23, 30, 8, 600},
+                      SweepParam{41, 35, 5, 120}),
+    [](const ::testing::TestParamInfo<SweepParam>& info) {
+      return "Seed" + std::to_string(info.param.seed) + "T" +
+             std::to_string(info.param.taxis) + "D" +
+             std::to_string(info.param.days) + "Dt" +
+             std::to_string(info.param.delta_t);
+    });
+
+}  // namespace
+}  // namespace strr

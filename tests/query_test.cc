@@ -1,0 +1,379 @@
+// Tests for the query layer: probability (Eq. 3.1), SQMB/MQMB bounding
+// regions, TBS, and the ES baseline — validated against brute-force
+// recomputation from the trajectory store.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "query/bounding_region.h"
+#include "query/es_baseline.h"
+#include "query/probability.h"
+#include "query/trace_back.h"
+#include "tests/test_util.h"
+
+namespace strr {
+namespace {
+
+using testing_util::GetSharedStack;
+using testing_util::MakeGridNetwork;
+
+// --- SortedIntersects ------------------------------------------------------------
+
+TEST(SortedIntersectsTest, Basics) {
+  EXPECT_TRUE(SortedIntersects({1, 3, 5}, {5, 7}));
+  EXPECT_TRUE(SortedIntersects({5}, {1, 2, 5}));
+  EXPECT_FALSE(SortedIntersects({1, 3}, {2, 4}));
+  EXPECT_FALSE(SortedIntersects({}, {1}));
+  EXPECT_FALSE(SortedIntersects({}, {}));
+  EXPECT_TRUE(SortedIntersects({2, 2, 2}, {2}));
+}
+
+// --- Probability (Eq. 3.1) vs brute force ------------------------------------------
+
+/// Brute-force probability straight from the matched store: fraction of
+/// days with a trajectory passing `start` in [T, T+window) and `target`
+/// in [T, T+duration].
+double BruteForceProbability(const TrajectoryStore& store, SegmentId start,
+                             SegmentId target, int64_t T, int64_t window,
+                             int64_t duration) {
+  int hits = 0;
+  for (DayIndex d = 0; d < store.num_days(); ++d) {
+    std::set<TrajectoryId> from_start, at_target;
+    for (const MatchedTrajectory& t : store.TrajectoriesOnDay(d)) {
+      for (const MatchedSample& s : t.samples) {
+        int64_t tod = TimeOfDay(s.timestamp);
+        if (s.segment == start && tod >= T && tod < T + window) {
+          from_start.insert(t.id);
+        }
+        if (s.segment == target && tod >= T && tod <= T + duration) {
+          at_target.insert(t.id);
+        }
+      }
+    }
+    for (TrajectoryId id : from_start) {
+      if (at_target.count(id)) {
+        ++hits;
+        break;
+      }
+    }
+  }
+  return store.num_days() > 0 ? static_cast<double>(hits) / store.num_days()
+                              : 0.0;
+}
+
+TEST(ProbabilityTest, MatchesBruteForceOnSharedDataset) {
+  auto& stack = GetSharedStack();
+  const StIndex& index = stack.engine->st_index();
+  const TrajectoryStore& store = *stack.dataset.store;
+  const int64_t T = HMS(11);
+  const int64_t delta_t = index.slot_seconds();
+  const int64_t L = 600;
+
+  // Pick a start segment with traffic at 11:00.
+  SegmentId start = kInvalidSegment;
+  SlotId slot = index.SlotForTime(T);
+  for (SegmentId s = 0; s < index.network().NumSegments(); ++s) {
+    if (index.HasTraffic(s, slot)) {
+      start = s;
+      break;
+    }
+  }
+  ASSERT_NE(start, kInvalidSegment) << "dataset has no 11:00 traffic";
+
+  auto oracle =
+      ReachabilityProbability::Create(index, {start}, T, delta_t, L);
+  ASSERT_TRUE(oracle.ok());
+  // Note: the ST-Index quantizes the start window and the duration to Δt
+  // slots, so compare against a brute force using slot-aligned boundaries.
+  int64_t t_aligned = (T / delta_t) * delta_t;
+  int64_t end_slot_aligned =
+      ((T + L - 1) / delta_t + 1) * delta_t - 1;  // end of last covered slot
+  int checked = 0;
+  for (SegmentId target = 0; target < index.network().NumSegments();
+       target += 17) {
+    auto p = oracle->Probability(target);
+    ASSERT_TRUE(p.ok());
+    double expected =
+        BruteForceProbability(store, start, target, t_aligned, delta_t,
+                              end_slot_aligned - t_aligned);
+    EXPECT_NEAR(*p, expected, 1e-9) << "target " << target;
+    ++checked;
+  }
+  EXPECT_GT(checked, 10);
+}
+
+TEST(ProbabilityTest, StartWithNoTrafficGivesZero) {
+  auto& stack = GetSharedStack();
+  const StIndex& index = stack.engine->st_index();
+  // 03:30 in a quiet corner: find a segment with no traffic.
+  SlotId slot = index.SlotForTime(HMS(3, 30));
+  SegmentId quiet = kInvalidSegment;
+  for (SegmentId s = 0; s < index.network().NumSegments(); ++s) {
+    if (!index.HasTraffic(s, slot)) {
+      quiet = s;
+      break;
+    }
+  }
+  ASSERT_NE(quiet, kInvalidSegment);
+  auto oracle = ReachabilityProbability::Create(index, {quiet}, HMS(3, 30),
+                                                index.slot_seconds(), 600);
+  ASSERT_TRUE(oracle.ok());
+  EXPECT_TRUE(oracle->StartHasNoTraffic());
+  auto p = oracle->Probability(0);
+  ASSERT_TRUE(p.ok());
+  EXPECT_DOUBLE_EQ(*p, 0.0);
+}
+
+TEST(ProbabilityTest, CreateValidation) {
+  auto& stack = GetSharedStack();
+  const StIndex& index = stack.engine->st_index();
+  EXPECT_FALSE(
+      ReachabilityProbability::Create(index, {}, HMS(10), 300, 600).ok());
+  EXPECT_FALSE(
+      ReachabilityProbability::Create(index, {0}, HMS(10), 0, 600).ok());
+  EXPECT_FALSE(
+      ReachabilityProbability::Create(index, {0}, HMS(10), 300, -5).ok());
+}
+
+// --- RegionBoundary -----------------------------------------------------------------
+
+TEST(RegionBoundaryTest, InteriorExcluded) {
+  RoadNetwork net = MakeGridNetwork(5, 5, 100.0);
+  // Region = every segment: no outside neighbours, boundary empty.
+  std::vector<SegmentId> all;
+  for (SegmentId s = 0; s < net.NumSegments(); ++s) all.push_back(s);
+  EXPECT_TRUE(RegionBoundary(net, all).empty());
+}
+
+TEST(RegionBoundaryTest, PartialRegionHasBoundary) {
+  RoadNetwork net = MakeGridNetwork(7, 7, 100.0);
+  // Region: every segment fully inside the [100, 500]^2 window — a 5x5
+  // sub-grid whose central segments are interior (all neighbours inside).
+  std::vector<SegmentId> region;
+  for (const RoadSegment& seg : net.segments()) {
+    const Mbr& box = seg.bounding_box();
+    if (box.min_x() >= 99.0 && box.max_x() <= 501.0 && box.min_y() >= 99.0 &&
+        box.max_y() <= 501.0) {
+      region.push_back(seg.id);
+    }
+  }
+  ASSERT_GT(region.size(), 20u);
+  auto boundary = RegionBoundary(net, region);
+  EXPECT_FALSE(boundary.empty());
+  EXPECT_LT(boundary.size(), region.size());
+  // Every boundary member is in the region and has an outside neighbour.
+  std::set<SegmentId> in(region.begin(), region.end());
+  for (SegmentId b : boundary) {
+    EXPECT_TRUE(in.count(b));
+    bool outside = false;
+    for (SegmentId nb : net.NeighborsOf(b)) {
+      if (!in.count(nb)) outside = true;
+    }
+    EXPECT_TRUE(outside);
+  }
+}
+
+// --- SQMB ------------------------------------------------------------------------------
+
+class SqmbTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto& stack = GetSharedStack();
+    engine_ = stack.engine.get();
+    net_ = &engine_->network();
+    auto start = engine_->st_index().LocateSegment(stack.dataset.center);
+    ASSERT_TRUE(start.ok());
+    start_ = *start;
+  }
+
+  ReachabilityEngine* engine_;
+  const RoadNetwork* net_;
+  SegmentId start_;
+};
+
+TEST_F(SqmbTest, MinRegionInsideMaxRegion) {
+  auto regions = SqmbSearch(*net_, engine_->con_index(), start_, HMS(11), 600);
+  ASSERT_TRUE(regions.ok());
+  EXPECT_FALSE(regions->max_region.empty());
+  EXPECT_FALSE(regions->min_region.empty());
+  EXPECT_TRUE(std::includes(regions->max_region.begin(),
+                            regions->max_region.end(),
+                            regions->min_region.begin(),
+                            regions->min_region.end()));
+}
+
+TEST_F(SqmbTest, StartInsideBothRegions) {
+  auto regions = SqmbSearch(*net_, engine_->con_index(), start_, HMS(11), 600);
+  ASSERT_TRUE(regions.ok());
+  EXPECT_TRUE(std::binary_search(regions->max_region.begin(),
+                                 regions->max_region.end(), start_));
+  EXPECT_TRUE(std::binary_search(regions->min_region.begin(),
+                                 regions->min_region.end(), start_));
+}
+
+TEST_F(SqmbTest, MonotoneInDuration) {
+  auto small = SqmbSearch(*net_, engine_->con_index(), start_, HMS(11), 300);
+  auto large = SqmbSearch(*net_, engine_->con_index(), start_, HMS(11), 1200);
+  ASSERT_TRUE(small.ok());
+  ASSERT_TRUE(large.ok());
+  EXPECT_GT(large->max_region.size(), small->max_region.size());
+  EXPECT_TRUE(std::includes(large->max_region.begin(), large->max_region.end(),
+                            small->max_region.begin(),
+                            small->max_region.end()));
+}
+
+TEST_F(SqmbTest, BoundarySeedsAreValid) {
+  auto regions = SqmbSearch(*net_, engine_->con_index(), start_, HMS(11), 600);
+  ASSERT_TRUE(regions.ok());
+  // The TBS seed set is always inside the max region.
+  EXPECT_TRUE(std::includes(regions->max_region.begin(),
+                            regions->max_region.end(),
+                            regions->boundary.begin(),
+                            regions->boundary.end()));
+  // When the cone has a geometric edge, the seed IS that edge; otherwise
+  // (cone saturated the network) it falls back to the outermost expansion
+  // shell, which is non-empty whenever the region is.
+  auto geometric = RegionBoundary(*net_, regions->max_region);
+  if (!geometric.empty()) {
+    EXPECT_EQ(regions->boundary, geometric);
+  } else {
+    EXPECT_FALSE(regions->boundary.empty());
+  }
+}
+
+TEST_F(SqmbTest, RushHourRegionSmallerThanMidday) {
+  auto rush = SqmbSearch(*net_, engine_->con_index(), start_, HMS(8), 600);
+  auto midday = SqmbSearch(*net_, engine_->con_index(), start_, HMS(13), 600);
+  ASSERT_TRUE(rush.ok());
+  ASSERT_TRUE(midday.ok());
+  EXPECT_LT(rush->max_region.size(), midday->max_region.size());
+}
+
+TEST_F(SqmbTest, InputValidation) {
+  EXPECT_FALSE(SqmbSearch(*net_, engine_->con_index(), kInvalidSegment,
+                          HMS(11), 600)
+                   .ok());
+  EXPECT_FALSE(SqmbSearch(*net_, engine_->con_index(), start_, HMS(11), 0).ok());
+}
+
+// --- MQMB ------------------------------------------------------------------------------
+
+TEST_F(SqmbTest, MqmbSingleLocationMatchesSqmbCone) {
+  auto s = SqmbSearch(*net_, engine_->con_index(), start_, HMS(10), 600);
+  auto m = MqmbSearch(*net_, engine_->con_index(), engine_->speed_profile(),
+                      {start_}, HMS(10), 600);
+  ASSERT_TRUE(s.ok());
+  ASSERT_TRUE(m.ok());
+  EXPECT_EQ(s->max_region, m->max_region);
+  EXPECT_EQ(s->min_region, m->min_region);
+}
+
+TEST_F(SqmbTest, MqmbUnionCoversEachStartsNeighbourhood) {
+  // Pick a second start well away from the first.
+  auto& stack = GetSharedStack();
+  Mbr box = net_->BoundingBox();
+  auto second = engine_->st_index().LocateSegment(
+      {box.min_x() + box.Width() * 0.25, box.min_y() + box.Height() * 0.25});
+  ASSERT_TRUE(second.ok());
+  auto m = MqmbSearch(*net_, engine_->con_index(), engine_->speed_profile(),
+                      {start_, *second}, HMS(10), 600);
+  ASSERT_TRUE(m.ok());
+  // Both starts present.
+  EXPECT_TRUE(std::binary_search(m->max_region.begin(), m->max_region.end(),
+                                 start_));
+  EXPECT_TRUE(std::binary_search(m->max_region.begin(), m->max_region.end(),
+                                 *second));
+  // Union at least as large as each single cone.
+  auto s1 = SqmbSearch(*net_, engine_->con_index(), start_, HMS(10), 600);
+  auto s2 = SqmbSearch(*net_, engine_->con_index(), *second, HMS(10), 600);
+  ASSERT_TRUE(s1.ok());
+  ASSERT_TRUE(s2.ok());
+  EXPECT_GE(m->max_region.size(),
+            std::max(s1->max_region.size(), s2->max_region.size()));
+  (void)stack;
+}
+
+TEST_F(SqmbTest, MqmbDeduplicatesStarts) {
+  auto m = MqmbSearch(*net_, engine_->con_index(), engine_->speed_profile(),
+                      {start_, start_, start_}, HMS(10), 600);
+  ASSERT_TRUE(m.ok());
+  EXPECT_EQ(m->start_segments.size(), 1u);
+}
+
+TEST_F(SqmbTest, MqmbValidation) {
+  EXPECT_FALSE(MqmbSearch(*net_, engine_->con_index(),
+                          engine_->speed_profile(), {}, HMS(10), 600)
+                   .ok());
+  EXPECT_FALSE(MqmbSearch(*net_, engine_->con_index(),
+                          engine_->speed_profile(), {kInvalidSegment}, HMS(10),
+                          600)
+                   .ok());
+}
+
+// --- TBS + ES invariants ------------------------------------------------------------------
+
+TEST_F(SqmbTest, EsRegionSubsetOfTbsRegion) {
+  // Every segment ES verifies as Prob-reachable must appear in the
+  // SQMB+TBS region (TBS additionally trusts the unverified interior).
+  auto& stack = GetSharedStack();
+  SQuery q{stack.dataset.center, HMS(11), 600, 0.3};
+  auto indexed = engine_->SQueryIndexed(q);
+  auto exhaustive = engine_->SQueryExhaustive(q);
+  ASSERT_TRUE(indexed.ok());
+  ASSERT_TRUE(exhaustive.ok());
+  EXPECT_TRUE(std::includes(
+      indexed->segments.begin(), indexed->segments.end(),
+      exhaustive->segments.begin(), exhaustive->segments.end()))
+      << "ES found a qualifying segment TBS rejected";
+}
+
+TEST_F(SqmbTest, TbsVerifiesFewerSegmentsThanEs) {
+  auto& stack = GetSharedStack();
+  SQuery q{stack.dataset.center, HMS(11), 900, 0.2};
+  auto indexed = engine_->SQueryIndexed(q);
+  auto exhaustive = engine_->SQueryExhaustive(q);
+  ASSERT_TRUE(indexed.ok());
+  ASSERT_TRUE(exhaustive.ok());
+  EXPECT_LT(indexed->stats.segments_verified,
+            exhaustive->stats.segments_verified);
+}
+
+TEST_F(SqmbTest, TbsRegionWithinMaxCone) {
+  auto regions = SqmbSearch(*net_, engine_->con_index(), start_, HMS(11), 600);
+  ASSERT_TRUE(regions.ok());
+  auto oracle = ReachabilityProbability::Create(
+      engine_->st_index(), regions->start_segments, HMS(11),
+      engine_->delta_t_seconds(), 600);
+  ASSERT_TRUE(oracle.ok());
+  auto tbs = TraceBackSearch(*net_, *regions, 0.2, *oracle);
+  ASSERT_TRUE(tbs.ok());
+  EXPECT_TRUE(std::includes(regions->max_region.begin(),
+                            regions->max_region.end(), tbs->region.begin(),
+                            tbs->region.end()));
+}
+
+TEST_F(SqmbTest, HigherProbNeverGrowsRegion) {
+  auto& stack = GetSharedStack();
+  SQuery low{stack.dataset.center, HMS(11), 600, 0.2};
+  SQuery high{stack.dataset.center, HMS(11), 600, 0.9};
+  auto r_low = engine_->SQueryIndexed(low);
+  auto r_high = engine_->SQueryIndexed(high);
+  ASSERT_TRUE(r_low.ok());
+  ASSERT_TRUE(r_high.ok());
+  EXPECT_LE(r_high->total_length_m, r_low->total_length_m);
+}
+
+TEST_F(SqmbTest, TbsRejectsBadProb) {
+  auto regions = SqmbSearch(*net_, engine_->con_index(), start_, HMS(11), 600);
+  ASSERT_TRUE(regions.ok());
+  auto oracle = ReachabilityProbability::Create(
+      engine_->st_index(), regions->start_segments, HMS(11),
+      engine_->delta_t_seconds(), 600);
+  ASSERT_TRUE(oracle.ok());
+  EXPECT_FALSE(TraceBackSearch(*net_, *regions, 0.0, *oracle).ok());
+  EXPECT_FALSE(TraceBackSearch(*net_, *regions, 1.5, *oracle).ok());
+}
+
+}  // namespace
+}  // namespace strr

@@ -1,0 +1,357 @@
+// Tests for RoadNetwork topology, re-segmentation and the city generator.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <set>
+
+#include "roadnet/city_generator.h"
+#include "roadnet/resegmenter.h"
+#include "roadnet/road_network.h"
+#include "tests/test_util.h"
+
+namespace strr {
+namespace {
+
+using testing_util::MakeChainNetwork;
+using testing_util::MakeGridNetwork;
+
+// --- RoadNetwork ---------------------------------------------------------------
+
+TEST(RoadNetworkTest, AddNodeAssignsSequentialIds) {
+  RoadNetwork net;
+  EXPECT_EQ(net.AddNode({0, 0}), 0u);
+  EXPECT_EQ(net.AddNode({1, 1}), 1u);
+  EXPECT_EQ(net.NumNodes(), 2u);
+}
+
+TEST(RoadNetworkTest, AddSegmentValidation) {
+  RoadNetwork net;
+  NodeId a = net.AddNode({0, 0});
+  NodeId b = net.AddNode({100, 0});
+  EXPECT_TRUE(net.AddSegment(a, 99, RoadLevel::kLocal,
+                             Polyline({{0, 0}, {1, 1}}))
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(net.AddSegment(a, b, RoadLevel::kLocal, Polyline({{0, 0}}))
+                  .status()
+                  .IsInvalidArgument());
+  auto ok = net.AddSegment(a, b, RoadLevel::kLocal,
+                           Polyline({net.node(a), net.node(b)}));
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(net.segment(*ok).length, 100.0);
+}
+
+TEST(RoadNetworkTest, TwoWayCreatesTwins) {
+  RoadNetwork net;
+  NodeId a = net.AddNode({0, 0});
+  NodeId b = net.AddNode({50, 0});
+  auto fwd = net.AddTwoWaySegment(a, b, RoadLevel::kArterial,
+                                  Polyline({net.node(a), net.node(b)}));
+  ASSERT_TRUE(fwd.ok());
+  const RoadSegment& f = net.segment(*fwd);
+  ASSERT_TRUE(f.two_way);
+  const RoadSegment& r = net.segment(f.reverse_id);
+  EXPECT_EQ(r.reverse_id, f.id);
+  EXPECT_EQ(r.from_node, b);
+  EXPECT_EQ(r.to_node, a);
+  EXPECT_EQ(r.length, f.length);
+  // Reverse shape runs backwards.
+  EXPECT_EQ(r.shape.points().front().x, 50.0);
+  EXPECT_EQ(r.shape.points().back().x, 0.0);
+}
+
+TEST(RoadNetworkTest, OutgoingExcludesUTurn) {
+  // a <-> b <-> c : from segment a->b, outgoing should be b->c only,
+  // not b->a (the U-turn onto its own twin).
+  RoadNetwork net;
+  NodeId a = net.AddNode({0, 0});
+  NodeId b = net.AddNode({10, 0});
+  NodeId c = net.AddNode({20, 0});
+  SegmentId ab = *net.AddTwoWaySegment(a, b, RoadLevel::kLocal,
+                                       Polyline({net.node(a), net.node(b)}));
+  SegmentId bc = *net.AddTwoWaySegment(b, c, RoadLevel::kLocal,
+                                       Polyline({net.node(b), net.node(c)}));
+  ASSERT_TRUE(net.Finalize().ok());
+  const auto& out = net.OutgoingOf(ab);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0], bc);
+}
+
+TEST(RoadNetworkTest, NeighborsIncludeTwinAndEndpointSharers) {
+  RoadNetwork net = MakeGridNetwork(2, 2, 100.0);
+  // Every segment should list its reverse twin among neighbours.
+  for (const RoadSegment& seg : net.segments()) {
+    const auto& nbs = net.NeighborsOf(seg.id);
+    EXPECT_NE(std::find(nbs.begin(), nbs.end(), seg.reverse_id), nbs.end())
+        << "segment " << seg.id << " missing twin";
+    // Never contains itself.
+    EXPECT_EQ(std::find(nbs.begin(), nbs.end(), seg.id), nbs.end());
+  }
+}
+
+TEST(RoadNetworkTest, NeighborsAreSymmetric) {
+  RoadNetwork net = MakeGridNetwork(3, 3, 100.0);
+  for (const RoadSegment& seg : net.segments()) {
+    for (SegmentId nb : net.NeighborsOf(seg.id)) {
+      const auto& back = net.NeighborsOf(nb);
+      EXPECT_NE(std::find(back.begin(), back.end(), seg.id), back.end())
+          << seg.id << " -> " << nb << " not symmetric";
+    }
+  }
+}
+
+TEST(RoadNetworkTest, IncomingMirrorsOutgoing) {
+  RoadNetwork net = MakeGridNetwork(3, 4, 150.0);
+  for (const RoadSegment& seg : net.segments()) {
+    for (SegmentId next : net.OutgoingOf(seg.id)) {
+      const auto& inc = net.IncomingOf(next);
+      EXPECT_NE(std::find(inc.begin(), inc.end(), seg.id), inc.end());
+    }
+  }
+}
+
+TEST(RoadNetworkTest, TotalLengthCountsTwoWayOnce) {
+  RoadNetwork net;
+  NodeId a = net.AddNode({0, 0});
+  NodeId b = net.AddNode({100, 0});
+  NodeId c = net.AddNode({100, 50});
+  ASSERT_TRUE(net.AddTwoWaySegment(a, b, RoadLevel::kLocal,
+                                   Polyline({net.node(a), net.node(b)}))
+                  .ok());
+  ASSERT_TRUE(net.AddSegment(b, c, RoadLevel::kLocal,
+                             Polyline({net.node(b), net.node(c)}))
+                  .ok());
+  ASSERT_TRUE(net.Finalize().ok());
+  EXPECT_DOUBLE_EQ(net.TotalLengthMeters(), 150.0);
+}
+
+TEST(RoadNetworkTest, LengthOfSegmentsSumsAndIgnoresInvalid) {
+  RoadNetwork net = MakeChainNetwork(3, 100.0);
+  EXPECT_DOUBLE_EQ(net.LengthOfSegments({0, 1, 2}), 300.0);
+  EXPECT_DOUBLE_EQ(net.LengthOfSegments({0, 99999}), 100.0);
+  EXPECT_DOUBLE_EQ(net.LengthOfSegments({}), 0.0);
+}
+
+TEST(RoadNetworkTest, BoundingBoxCoversNetwork) {
+  RoadNetwork net = MakeGridNetwork(3, 5, 200.0);
+  Mbr box = net.BoundingBox();
+  EXPECT_DOUBLE_EQ(box.min_x(), 0.0);
+  EXPECT_DOUBLE_EQ(box.max_x(), 800.0);
+  EXPECT_DOUBLE_EQ(box.max_y(), 400.0);
+}
+
+TEST(RoadNetworkTest, NearestSegmentBruteForce) {
+  RoadNetwork net = MakeChainNetwork(4, 100.0);
+  auto hit = net.NearestSegmentBruteForce({250.0, 10.0});
+  ASSERT_TRUE(hit.ok());
+  EXPECT_EQ(*hit, 2u);  // third segment spans [200, 300]
+  RoadNetwork empty;
+  ASSERT_TRUE(empty.Finalize().ok());
+  EXPECT_TRUE(empty.NearestSegmentBruteForce({0, 0}).status().IsNotFound());
+}
+
+TEST(RoadNetworkTest, CountByLevel) {
+  RoadNetwork net;
+  NodeId a = net.AddNode({0, 0});
+  NodeId b = net.AddNode({10, 0});
+  ASSERT_TRUE(net.AddSegment(a, b, RoadLevel::kHighway,
+                             Polyline({net.node(a), net.node(b)}))
+                  .ok());
+  ASSERT_TRUE(net.AddSegment(b, a, RoadLevel::kLocal,
+                             Polyline({net.node(b), net.node(a)}))
+                  .ok());
+  ASSERT_TRUE(net.Finalize().ok());
+  auto counts = net.CountByLevel();
+  EXPECT_EQ(counts[0], 1u);  // highway
+  EXPECT_EQ(counts[1], 0u);  // arterial
+  EXPECT_EQ(counts[2], 1u);  // local
+}
+
+TEST(RoadSegmentTest, TravelTime) {
+  RoadSegment seg;
+  seg.length = 100.0;
+  EXPECT_DOUBLE_EQ(seg.TravelTimeSeconds(10.0), 10.0);
+  EXPECT_DOUBLE_EQ(seg.TravelTimeSeconds(0.0), 0.0);
+}
+
+TEST(RoadSegmentTest, FreeFlowSpeedsOrdered) {
+  EXPECT_GT(FreeFlowSpeed(RoadLevel::kHighway),
+            FreeFlowSpeed(RoadLevel::kArterial));
+  EXPECT_GT(FreeFlowSpeed(RoadLevel::kArterial),
+            FreeFlowSpeed(RoadLevel::kLocal));
+}
+
+// --- Resegmenter ------------------------------------------------------------------
+
+TEST(ResegmenterTest, ShortSegmentsUntouched) {
+  RoadNetwork net = MakeChainNetwork(3, 300.0);
+  auto result = Resegment(net, {.granularity_meters = 500.0});
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->network.NumSegments(), 3u);
+}
+
+TEST(ResegmenterTest, LongSegmentsChopped) {
+  RoadNetwork net = MakeChainNetwork(1, 1200.0);
+  auto result = Resegment(net, {.granularity_meters = 500.0});
+  ASSERT_TRUE(result.ok());
+  // 1200m -> 3 pieces of 400m.
+  EXPECT_EQ(result->network.NumSegments(), 3u);
+  for (const RoadSegment& s : result->network.segments()) {
+    EXPECT_NEAR(s.length, 400.0, 1e-9);
+  }
+}
+
+TEST(ResegmenterTest, EveryOutputWithinGranularity) {
+  CityOptions copt;
+  copt.grid_cols = 6;
+  copt.grid_rows = 5;
+  copt.block_meters = 1100.0;
+  auto city = GenerateCity(copt);
+  ASSERT_TRUE(city.ok());
+  auto result = Resegment(city->network, {.granularity_meters = 500.0});
+  ASSERT_TRUE(result.ok());
+  for (const RoadSegment& s : result->network.segments()) {
+    EXPECT_LE(s.length, 500.0 + 1e-6);
+  }
+}
+
+TEST(ResegmenterTest, TotalLengthPreserved) {
+  RoadNetwork net = MakeGridNetwork(4, 4, 1300.0);
+  auto result = Resegment(net, {.granularity_meters = 500.0});
+  ASSERT_TRUE(result.ok());
+  EXPECT_NEAR(result->network.TotalLengthMeters(), net.TotalLengthMeters(),
+              1e-6);
+}
+
+TEST(ResegmenterTest, ParentMappingCoversAllNewSegments) {
+  RoadNetwork net = MakeGridNetwork(3, 3, 1300.0);
+  auto result = Resegment(net, {.granularity_meters = 500.0});
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->parent_of.size(), result->network.NumSegments());
+  for (size_t i = 0; i < result->parent_of.size(); ++i) {
+    SegmentId parent = result->parent_of[i];
+    ASSERT_LT(parent, net.NumSegments());
+    // Same road level preserved.
+    EXPECT_EQ(result->network.segment(i).level, net.segment(parent).level);
+  }
+}
+
+TEST(ResegmenterTest, TwinsStayPaired) {
+  RoadNetwork net = MakeGridNetwork(2, 3, 1600.0);
+  auto result = Resegment(net, {.granularity_meters = 500.0});
+  ASSERT_TRUE(result.ok());
+  for (const RoadSegment& s : result->network.segments()) {
+    ASSERT_TRUE(s.two_way);
+    const RoadSegment& twin = result->network.segment(s.reverse_id);
+    EXPECT_EQ(twin.reverse_id, s.id);
+    EXPECT_EQ(twin.from_node, s.to_node);
+    EXPECT_EQ(twin.to_node, s.from_node);
+  }
+}
+
+TEST(ResegmenterTest, RejectsBadInput) {
+  RoadNetwork unfinalized;
+  unfinalized.AddNode({0, 0});
+  EXPECT_TRUE(Resegment(unfinalized, {.granularity_meters = 500.0})
+                  .status()
+                  .IsFailedPrecondition());
+  RoadNetwork net = MakeChainNetwork(1);
+  EXPECT_TRUE(Resegment(net, {.granularity_meters = -5.0})
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST(ResegmenterTest, ConnectivityPreserved) {
+  // A path that existed before re-segmentation must still exist.
+  RoadNetwork net = MakeChainNetwork(2, 1500.0);
+  auto result = Resegment(net, {.granularity_meters = 500.0});
+  ASSERT_TRUE(result.ok());
+  const RoadNetwork& out = result->network;
+  // Walk forward from segment 0 through outgoing links; must reach the
+  // last node eventually.
+  std::set<SegmentId> seen{0};
+  std::vector<SegmentId> frontier{0};
+  while (!frontier.empty()) {
+    SegmentId cur = frontier.back();
+    frontier.pop_back();
+    for (SegmentId next : out.OutgoingOf(cur)) {
+      if (seen.insert(next).second) frontier.push_back(next);
+    }
+  }
+  EXPECT_EQ(seen.size(), out.NumSegments());  // chain fully traversable
+}
+
+// --- CityGenerator -------------------------------------------------------------------
+
+TEST(CityGeneratorTest, DeterministicForSameSeed) {
+  CityOptions opt;
+  opt.grid_cols = 6;
+  opt.grid_rows = 5;
+  opt.seed = 33;
+  auto a = GenerateCity(opt);
+  auto b = GenerateCity(opt);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ASSERT_EQ(a->network.NumSegments(), b->network.NumSegments());
+  for (size_t i = 0; i < a->network.NumSegments(); ++i) {
+    EXPECT_EQ(a->network.segment(i).from_node, b->network.segment(i).from_node);
+    EXPECT_DOUBLE_EQ(a->network.segment(i).length,
+                     b->network.segment(i).length);
+  }
+}
+
+TEST(CityGeneratorTest, HasAllRoadLevels) {
+  auto city = GenerateCity(CityOptions{});
+  ASSERT_TRUE(city.ok());
+  auto counts = city->network.CountByLevel();
+  EXPECT_GT(counts[0], 0u) << "no highways";
+  EXPECT_GT(counts[1], 0u) << "no arterials";
+  EXPECT_GT(counts[2], 0u) << "no local roads";
+}
+
+TEST(CityGeneratorTest, MostSegmentsMutuallyReachable) {
+  CityOptions opt;
+  opt.grid_cols = 8;
+  opt.grid_rows = 6;
+  auto city = GenerateCity(opt);
+  ASSERT_TRUE(city.ok());
+  const RoadNetwork& net = city->network;
+  // BFS over outgoing links from segment 0 should reach nearly everything
+  // (one-way streets can strand a few, but the city must be substantially
+  // strongly connected for the simulator to work).
+  std::vector<uint8_t> seen(net.NumSegments(), 0);
+  std::vector<SegmentId> frontier{0};
+  seen[0] = 1;
+  size_t count = 1;
+  while (!frontier.empty()) {
+    SegmentId cur = frontier.back();
+    frontier.pop_back();
+    for (SegmentId next : net.OutgoingOf(cur)) {
+      if (!seen[next]) {
+        seen[next] = 1;
+        ++count;
+        frontier.push_back(next);
+      }
+    }
+  }
+  EXPECT_GT(count, net.NumSegments() * 95 / 100);
+}
+
+TEST(CityGeneratorTest, RejectsDegenerateGrid) {
+  CityOptions opt;
+  opt.grid_cols = 1;
+  EXPECT_TRUE(GenerateCity(opt).status().IsInvalidArgument());
+  opt.grid_cols = 5;
+  opt.block_meters = 0.0;
+  EXPECT_TRUE(GenerateCity(opt).status().IsInvalidArgument());
+}
+
+TEST(CityGeneratorTest, CenterInsideBoundingBox) {
+  auto city = GenerateCity(CityOptions{});
+  ASSERT_TRUE(city.ok());
+  EXPECT_TRUE(city->network.BoundingBox().Contains(city->center));
+}
+
+}  // namespace
+}  // namespace strr

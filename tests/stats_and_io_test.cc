@@ -1,0 +1,101 @@
+// Tests for query-statistics accounting and I/O bookkeeping invariants:
+// these numbers are what the benches report, so they must be trustworthy.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/reachability_engine.h"
+#include "tests/test_util.h"
+
+namespace strr {
+namespace {
+
+using testing_util::GetSharedStack;
+
+TEST(QueryStatsTest, IoDeltaMatchesStoreCounters) {
+  auto& stack = GetSharedStack();
+  StIndex& index = stack.engine->st_index();
+  SQuery q{stack.dataset.center, HMS(11), 600, 0.2};
+
+  stack.engine->ResetIoStats(/*drop_cache=*/true);
+  StorageStats before = index.storage_stats();
+  auto r = stack.engine->SQueryIndexed(q);
+  ASSERT_TRUE(r.ok());
+  StorageStats after = index.storage_stats();
+
+  // The per-query delta the engine reports equals the store-level delta.
+  EXPECT_EQ(r->stats.io.cache_misses, after.cache_misses - before.cache_misses);
+  EXPECT_EQ(r->stats.io.cache_hits, after.cache_hits - before.cache_hits);
+  EXPECT_EQ(r->stats.io.disk_page_reads,
+            after.disk_page_reads - before.disk_page_reads);
+}
+
+TEST(QueryStatsTest, ColdQueryReadsDiskWarmQueryDoesNot) {
+  auto& stack = GetSharedStack();
+  SQuery q{stack.dataset.center, HMS(11), 600, 0.2};
+  stack.engine->ResetIoStats(/*drop_cache=*/true);
+  auto cold = stack.engine->SQueryIndexed(q);
+  ASSERT_TRUE(cold.ok());
+  if (cold->stats.time_lists_read == 0) {
+    GTEST_SKIP() << "no traffic at this start; nothing to measure";
+  }
+  EXPECT_GT(cold->stats.io.disk_page_reads, 0u);
+
+  // Same query again with a warm cache: far fewer (usually zero) reads.
+  auto warm = stack.engine->SQueryIndexed(q);
+  ASSERT_TRUE(warm.ok());
+  EXPECT_LT(warm->stats.io.disk_page_reads, cold->stats.io.disk_page_reads);
+  // Identical answers regardless of cache state.
+  EXPECT_EQ(warm->segments, cold->segments);
+}
+
+TEST(QueryStatsTest, TimeListsReadAtLeastVerifications) {
+  // Every verification reads at least zero lists (quiet candidates are
+  // skipped via the directory), and the start lists are counted once.
+  auto& stack = GetSharedStack();
+  SQuery q{stack.dataset.center, HMS(11), 900, 0.2};
+  auto r = stack.engine->SQueryIndexed(q);
+  ASSERT_TRUE(r.ok());
+  // Candidate slots for L=900 at dt=300 is 3; each verified segment reads
+  // at most that many lists, plus the start-window reads.
+  uint64_t max_possible = r->stats.segments_verified * 3 + 8;
+  EXPECT_LE(r->stats.time_lists_read, max_possible);
+}
+
+TEST(QueryStatsTest, WallTimeIsPositiveAndBounded) {
+  auto& stack = GetSharedStack();
+  SQuery q{stack.dataset.center, HMS(11), 600, 0.2};
+  auto r = stack.engine->SQueryIndexed(q);
+  ASSERT_TRUE(r.ok());
+  EXPECT_GT(r->stats.wall_ms, 0.0);
+  EXPECT_LT(r->stats.wall_ms, 60 * 1000.0);  // sanity: under a minute
+}
+
+TEST(QueryStatsTest, BoundingRegionCountsConsistent) {
+  auto& stack = GetSharedStack();
+  SQuery q{stack.dataset.center, HMS(11), 600, 0.2};
+  auto r = stack.engine->SQueryIndexed(q);
+  ASSERT_TRUE(r.ok());
+  EXPECT_LE(r->stats.min_region_segments, r->stats.max_region_segments);
+  EXPECT_LE(r->stats.boundary_segments, r->stats.max_region_segments);
+  EXPECT_LE(r->segments.size(), r->stats.max_region_segments);
+}
+
+TEST(QueryStatsTest, DropCacheForcesRereads) {
+  auto& stack = GetSharedStack();
+  StIndex& index = stack.engine->st_index();
+  SQuery q{stack.dataset.center, HMS(11), 600, 0.2};
+  auto first = stack.engine->SQueryIndexed(q);
+  ASSERT_TRUE(first.ok());
+  if (first->stats.time_lists_read == 0) {
+    GTEST_SKIP() << "no traffic at this start";
+  }
+  index.ResetStorageStats();
+  index.DropCache();
+  auto after_drop = stack.engine->SQueryIndexed(q);
+  ASSERT_TRUE(after_drop.ok());
+  EXPECT_GT(after_drop->stats.io.cache_misses, 0u);
+}
+
+}  // namespace
+}  // namespace strr

@@ -1,0 +1,384 @@
+// Tests for the storage layer: FileManager, BufferPool, PostingStore.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <string>
+
+#include "storage/buffer_pool.h"
+#include "storage/file_manager.h"
+#include "storage/posting_store.h"
+#include "tests/test_util.h"
+#include "util/rng.h"
+
+namespace strr {
+namespace {
+
+using testing_util::MakeTempDir;
+
+std::string TempFile(const std::string& tag) {
+  return MakeTempDir(tag) + "/file.bin";
+}
+
+// --- FileManager -----------------------------------------------------------------
+
+TEST(FileManagerTest, CreateAllocateWriteRead) {
+  std::string path = TempFile("fm1");
+  auto fm = FileManager::Create(path, 256);
+  ASSERT_TRUE(fm.ok());
+  auto p0 = (*fm)->AllocatePage();
+  ASSERT_TRUE(p0.ok());
+  EXPECT_EQ(*p0, 0u);
+  Page page(256);
+  page.Write(0, "hello", 5);
+  ASSERT_TRUE((*fm)->WritePage(*p0, page).ok());
+  Page out(256);
+  ASSERT_TRUE((*fm)->ReadPage(*p0, &out).ok());
+  EXPECT_EQ(std::string(out.data(), 5), "hello");
+}
+
+TEST(FileManagerTest, PagesArePersistent) {
+  std::string path = TempFile("fm2");
+  {
+    auto fm = FileManager::Create(path, 128);
+    ASSERT_TRUE(fm.ok());
+    ASSERT_TRUE((*fm)->AllocatePage().ok());
+    ASSERT_TRUE((*fm)->AllocatePage().ok());
+    Page page(128);
+    page.Write(10, "xyz", 3);
+    ASSERT_TRUE((*fm)->WritePage(1, page).ok());
+    ASSERT_TRUE((*fm)->Sync().ok());
+  }
+  auto fm = FileManager::Open(path, 128);
+  ASSERT_TRUE(fm.ok());
+  EXPECT_EQ((*fm)->NumPages(), 2u);
+  Page out(128);
+  ASSERT_TRUE((*fm)->ReadPage(1, &out).ok());
+  EXPECT_EQ(std::string(out.data() + 10, 3), "xyz");
+}
+
+TEST(FileManagerTest, ReadBeyondEofFails) {
+  auto fm = FileManager::Create(TempFile("fm3"), 128);
+  ASSERT_TRUE(fm.ok());
+  Page page(128);
+  EXPECT_TRUE((*fm)->ReadPage(0, &page).IsOutOfRange());
+}
+
+TEST(FileManagerTest, WriteBeyondEofFails) {
+  auto fm = FileManager::Create(TempFile("fm4"), 128);
+  ASSERT_TRUE(fm.ok());
+  Page page(128);
+  EXPECT_TRUE((*fm)->WritePage(3, page).IsOutOfRange());
+}
+
+TEST(FileManagerTest, PageSizeMismatchRejected) {
+  auto fm = FileManager::Create(TempFile("fm5"), 128);
+  ASSERT_TRUE(fm.ok());
+  ASSERT_TRUE((*fm)->AllocatePage().ok());
+  Page wrong(256);
+  EXPECT_TRUE((*fm)->ReadPage(0, &wrong).IsInvalidArgument());
+  EXPECT_TRUE((*fm)->WritePage(0, wrong).IsInvalidArgument());
+}
+
+TEST(FileManagerTest, OpenMissingFileFails) {
+  EXPECT_TRUE(
+      FileManager::Open("/nonexistent_dir_xyz/f.bin", 128).status().IsIoError());
+}
+
+TEST(FileManagerTest, OpenMisalignedFileFails) {
+  std::string path = TempFile("fm6");
+  {
+    std::FILE* f = std::fopen(path.c_str(), "wb");
+    std::fputs("not a page multiple", f);
+    std::fclose(f);
+  }
+  EXPECT_TRUE(FileManager::Open(path, 128).status().IsCorruption());
+}
+
+TEST(FileManagerTest, TinyPageSizeRejected) {
+  EXPECT_TRUE(
+      FileManager::Create(TempFile("fm7"), 16).status().IsInvalidArgument());
+}
+
+TEST(FileManagerTest, StatsCountTransfers) {
+  auto fm = FileManager::Create(TempFile("fm8"), 128);
+  ASSERT_TRUE(fm.ok());
+  ASSERT_TRUE((*fm)->AllocatePage().ok());  // counts as a write
+  Page page(128);
+  ASSERT_TRUE((*fm)->WritePage(0, page).ok());
+  ASSERT_TRUE((*fm)->ReadPage(0, &page).ok());
+  ASSERT_TRUE((*fm)->ReadPage(0, &page).ok());
+  EXPECT_EQ((*fm)->stats().disk_page_writes, 2u);
+  EXPECT_EQ((*fm)->stats().disk_page_reads, 2u);
+  (*fm)->ResetStats();
+  EXPECT_EQ((*fm)->stats().disk_page_reads, 0u);
+}
+
+// --- BufferPool ----------------------------------------------------------------------
+
+class BufferPoolTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto fm = FileManager::Create(TempFile("bp"), 128);
+    ASSERT_TRUE(fm.ok());
+    fm_ = std::move(*fm);
+    for (int i = 0; i < 8; ++i) {
+      auto id = fm_->AllocatePage();
+      ASSERT_TRUE(id.ok());
+      Page page(128);
+      page.Write(0, &i, sizeof(i));
+      ASSERT_TRUE(fm_->WritePage(*id, page).ok());
+    }
+    fm_->ResetStats();
+  }
+
+  int PageTag(const Page* p) {
+    int tag;
+    p->Read(0, &tag, sizeof(tag));
+    return tag;
+  }
+
+  std::unique_ptr<FileManager> fm_;
+};
+
+TEST_F(BufferPoolTest, MissThenHit) {
+  BufferPool pool(fm_.get(), 4);
+  auto p = pool.Fetch(2);
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(PageTag(*p), 2);
+  EXPECT_EQ(pool.stats().cache_misses, 1u);
+  p = pool.Fetch(2);
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(pool.stats().cache_hits, 1u);
+  EXPECT_EQ(pool.stats().disk_page_reads, 1u);
+}
+
+TEST_F(BufferPoolTest, EvictsLeastRecentlyUsed) {
+  BufferPool pool(fm_.get(), 2);
+  ASSERT_TRUE(pool.Fetch(0).ok());
+  ASSERT_TRUE(pool.Fetch(1).ok());
+  ASSERT_TRUE(pool.Fetch(0).ok());  // 0 now more recent than 1
+  ASSERT_TRUE(pool.Fetch(2).ok());  // evicts 1
+  EXPECT_EQ(pool.stats().evictions, 1u);
+  pool.ResetStats();
+  ASSERT_TRUE(pool.Fetch(0).ok());  // still cached
+  EXPECT_EQ(pool.stats().cache_hits, 1u);
+  ASSERT_TRUE(pool.Fetch(1).ok());  // was evicted -> miss
+  EXPECT_EQ(pool.stats().cache_misses, 1u);
+}
+
+TEST_F(BufferPoolTest, CapacityZeroAlwaysMisses) {
+  BufferPool pool(fm_.get(), 0);
+  for (int round = 0; round < 3; ++round) {
+    auto p = pool.Fetch(1);
+    ASSERT_TRUE(p.ok());
+    EXPECT_EQ(PageTag(*p), 1);
+  }
+  EXPECT_EQ(pool.stats().cache_misses, 3u);
+  EXPECT_EQ(pool.stats().cache_hits, 0u);
+}
+
+TEST_F(BufferPoolTest, FetchBadPageFails) {
+  BufferPool pool(fm_.get(), 4);
+  EXPECT_FALSE(pool.Fetch(99).ok());
+  // A failed fetch must not leave a poisoned frame behind.
+  EXPECT_EQ(pool.CachedPages(), 0u);
+}
+
+TEST_F(BufferPoolTest, WriteThroughUpdatesDiskAndCache) {
+  BufferPool pool(fm_.get(), 4);
+  ASSERT_TRUE(pool.Fetch(3).ok());
+  Page page(128);
+  int v = 42;
+  page.Write(0, &v, sizeof(v));
+  ASSERT_TRUE(pool.WriteThrough(3, page).ok());
+  auto p = pool.Fetch(3);
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(PageTag(*p), 42);  // cache refreshed
+  Page direct(128);
+  ASSERT_TRUE(fm_->ReadPage(3, &direct).ok());
+  EXPECT_EQ(PageTag(&direct), 42);  // disk updated
+}
+
+TEST_F(BufferPoolTest, ClearDropsPagesKeepsStats) {
+  BufferPool pool(fm_.get(), 4);
+  ASSERT_TRUE(pool.Fetch(0).ok());
+  ASSERT_TRUE(pool.Fetch(1).ok());
+  EXPECT_EQ(pool.CachedPages(), 2u);
+  pool.Clear();
+  EXPECT_EQ(pool.CachedPages(), 0u);
+  EXPECT_EQ(pool.stats().cache_misses, 2u);
+  ASSERT_TRUE(pool.Fetch(0).ok());
+  EXPECT_EQ(pool.stats().cache_misses, 3u);
+}
+
+TEST_F(BufferPoolTest, HitRatioUnderWorkingSet) {
+  BufferPool pool(fm_.get(), 8);
+  Rng rng(5);
+  for (int i = 0; i < 200; ++i) {
+    ASSERT_TRUE(pool.Fetch(rng.UniformInt(0, 7)).ok());
+  }
+  // All 8 pages fit: exactly 8 misses.
+  EXPECT_EQ(pool.stats().cache_misses, 8u);
+  EXPECT_EQ(pool.stats().cache_hits, 192u);
+}
+
+// --- PostingStore ----------------------------------------------------------------------
+
+TEST(PostingStoreTest, RoundTripSmall) {
+  std::string path = TempFile("ps1");
+  auto builder = PostingStoreBuilder::Create(path, 256);
+  ASSERT_TRUE(builder.ok());
+  ASSERT_TRUE((*builder)->Add(MakePostingKey(1, 2), "alpha").ok());
+  ASSERT_TRUE((*builder)->Add(MakePostingKey(3, 4), "beta").ok());
+  ASSERT_TRUE((*builder)->Finish().ok());
+
+  auto store = PostingStore::Open(path, 16, 256);
+  ASSERT_TRUE(store.ok());
+  EXPECT_EQ((*store)->NumEntries(), 2u);
+  EXPECT_EQ((*store)->Get(MakePostingKey(1, 2)).value(), "alpha");
+  EXPECT_EQ((*store)->Get(MakePostingKey(3, 4)).value(), "beta");
+}
+
+TEST(PostingStoreTest, MissingKeyIsNotFound) {
+  std::string path = TempFile("ps2");
+  auto builder = PostingStoreBuilder::Create(path, 256);
+  ASSERT_TRUE(builder.ok());
+  ASSERT_TRUE((*builder)->Add(7, "x").ok());
+  ASSERT_TRUE((*builder)->Finish().ok());
+  auto store = PostingStore::Open(path, 16, 256);
+  ASSERT_TRUE(store.ok());
+  EXPECT_TRUE((*store)->Get(8).status().IsNotFound());
+  EXPECT_TRUE((*store)->Contains(7));
+  EXPECT_FALSE((*store)->Contains(8));
+}
+
+TEST(PostingStoreTest, DuplicateKeyRejected) {
+  auto builder = PostingStoreBuilder::Create(TempFile("ps3"), 256);
+  ASSERT_TRUE(builder.ok());
+  ASSERT_TRUE((*builder)->Add(1, "a").ok());
+  EXPECT_TRUE((*builder)->Add(1, "b").IsAlreadyExists());
+}
+
+TEST(PostingStoreTest, BlobsSpanningPages) {
+  std::string path = TempFile("ps4");
+  auto builder = PostingStoreBuilder::Create(path, 128);
+  ASSERT_TRUE(builder.ok());
+  std::string big(1000, 'q');
+  big[0] = 'A';
+  big[999] = 'Z';
+  ASSERT_TRUE((*builder)->Add(5, big).ok());
+  ASSERT_TRUE((*builder)->Add(6, "tail").ok());
+  ASSERT_TRUE((*builder)->Finish().ok());
+  auto store = PostingStore::Open(path, 16, 128);
+  ASSERT_TRUE(store.ok());
+  EXPECT_EQ((*store)->Get(5).value(), big);
+  EXPECT_EQ((*store)->Get(6).value(), "tail");
+}
+
+TEST(PostingStoreTest, EmptyBlobAllowed) {
+  std::string path = TempFile("ps5");
+  auto builder = PostingStoreBuilder::Create(path, 256);
+  ASSERT_TRUE(builder.ok());
+  ASSERT_TRUE((*builder)->Add(9, "").ok());
+  ASSERT_TRUE((*builder)->Finish().ok());
+  auto store = PostingStore::Open(path, 16, 256);
+  ASSERT_TRUE(store.ok());
+  EXPECT_EQ((*store)->Get(9).value(), "");
+}
+
+TEST(PostingStoreTest, ManyEntriesRandomized) {
+  std::string path = TempFile("ps6");
+  auto builder = PostingStoreBuilder::Create(path, 512);
+  ASSERT_TRUE(builder.ok());
+  Rng rng(21);
+  std::vector<std::pair<PostingKey, std::string>> entries;
+  for (int i = 0; i < 500; ++i) {
+    std::string blob(rng.UniformInt(0, 300), 0);
+    for (auto& c : blob) c = static_cast<char>(rng.UniformInt(0, 255));
+    entries.emplace_back(static_cast<PostingKey>(i * 7 + 1), blob);
+    ASSERT_TRUE((*builder)->Add(entries.back().first, blob).ok());
+  }
+  ASSERT_TRUE((*builder)->Finish().ok());
+  auto store = PostingStore::Open(path, 64, 512);
+  ASSERT_TRUE(store.ok());
+  EXPECT_EQ((*store)->NumEntries(), 500u);
+  for (const auto& [key, blob] : entries) {
+    EXPECT_EQ((*store)->Get(key).value(), blob);
+  }
+}
+
+TEST(PostingStoreTest, AddAfterFinishFails) {
+  auto builder = PostingStoreBuilder::Create(TempFile("ps7"), 256);
+  ASSERT_TRUE(builder.ok());
+  ASSERT_TRUE((*builder)->Finish().ok());
+  EXPECT_TRUE((*builder)->Add(1, "x").IsFailedPrecondition());
+  EXPECT_TRUE((*builder)->Finish().IsFailedPrecondition());
+}
+
+TEST(PostingStoreTest, CorruptMagicRejected) {
+  std::string path = TempFile("ps8");
+  {
+    auto builder = PostingStoreBuilder::Create(path, 256);
+    ASSERT_TRUE(builder.ok());
+    ASSERT_TRUE((*builder)->Add(1, "x").ok());
+    ASSERT_TRUE((*builder)->Finish().ok());
+  }
+  {
+    std::FILE* f = std::fopen(path.c_str(), "rb+");
+    ASSERT_NE(f, nullptr);
+    std::fputs("garbage!", f);
+    std::fclose(f);
+  }
+  EXPECT_TRUE(PostingStore::Open(path, 16, 256).status().IsCorruption());
+}
+
+TEST(PostingStoreTest, WrongPageSizeRejected) {
+  std::string path = TempFile("ps9");
+  auto builder = PostingStoreBuilder::Create(path, 256);
+  ASSERT_TRUE(builder.ok());
+  ASSERT_TRUE((*builder)->Finish().ok());
+  // 512 does not divide the file evenly or match the header.
+  auto opened = PostingStore::Open(path, 16, 512);
+  EXPECT_FALSE(opened.ok());
+}
+
+TEST(PostingStoreTest, StatsCountIo) {
+  std::string path = TempFile("ps10");
+  auto builder = PostingStoreBuilder::Create(path, 256);
+  ASSERT_TRUE(builder.ok());
+  ASSERT_TRUE((*builder)->Add(1, std::string(600, 'a')).ok());
+  ASSERT_TRUE((*builder)->Finish().ok());
+  auto store = PostingStore::Open(path, 16, 256);
+  ASSERT_TRUE(store.ok());
+  (*store)->ResetStats();
+  ASSERT_TRUE((*store)->Get(1).ok());
+  auto stats = (*store)->stats();
+  EXPECT_EQ(stats.cache_misses, 3u);  // 600 bytes over 256B pages
+  ASSERT_TRUE((*store)->Get(1).ok());
+  stats = (*store)->stats();
+  EXPECT_EQ(stats.cache_hits, 3u);
+  (*store)->DropCache();
+  ASSERT_TRUE((*store)->Get(1).ok());
+  stats = (*store)->stats();
+  EXPECT_EQ(stats.cache_misses, 6u);
+}
+
+TEST(PostingStoreTest, TruncatedFileFailsOpen) {
+  std::string path = TempFile("ps11");
+  {
+    auto builder = PostingStoreBuilder::Create(path, 256);
+    ASSERT_TRUE(builder.ok());
+    for (int i = 0; i < 50; ++i) {
+      ASSERT_TRUE((*builder)->Add(i, std::string(100, 'b')).ok());
+    }
+    ASSERT_TRUE((*builder)->Finish().ok());
+  }
+  // Chop the file to half its pages (keeping page alignment).
+  auto size = std::filesystem::file_size(path);
+  std::filesystem::resize_file(path, (size / 2 / 256) * 256);
+  EXPECT_FALSE(PostingStore::Open(path, 16, 256).ok());
+}
+
+}  // namespace
+}  // namespace strr

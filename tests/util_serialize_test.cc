@@ -1,0 +1,198 @@
+#include "util/serialize.h"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <random>
+
+namespace strr {
+namespace {
+
+TEST(SerializeTest, FixedWidthRoundTrip) {
+  BinaryWriter w;
+  w.PutU8(0xAB);
+  w.PutU32(0xDEADBEEF);
+  w.PutU64(0x0123456789ABCDEFULL);
+  w.PutI32(-12345);
+  w.PutI64(-9876543210LL);
+  w.PutDouble(3.14159265358979);
+
+  BinaryReader r(w.data());
+  EXPECT_EQ(r.GetU8().value(), 0xAB);
+  EXPECT_EQ(r.GetU32().value(), 0xDEADBEEFu);
+  EXPECT_EQ(r.GetU64().value(), 0x0123456789ABCDEFULL);
+  EXPECT_EQ(r.GetI32().value(), -12345);
+  EXPECT_EQ(r.GetI64().value(), -9876543210LL);
+  EXPECT_DOUBLE_EQ(r.GetDouble().value(), 3.14159265358979);
+  EXPECT_TRUE(r.AtEnd());
+}
+
+TEST(SerializeTest, VarintSmallValuesAreOneByte) {
+  BinaryWriter w;
+  w.PutVarint32(0);
+  w.PutVarint32(127);
+  EXPECT_EQ(w.size(), 2u);
+}
+
+TEST(SerializeTest, VarintBoundaries32) {
+  std::vector<uint32_t> values = {0,    1,    127,  128,   16383, 16384,
+                                  1u << 21, (1u << 28) - 1,
+                                  std::numeric_limits<uint32_t>::max()};
+  BinaryWriter w;
+  for (uint32_t v : values) w.PutVarint32(v);
+  BinaryReader r(w.data());
+  for (uint32_t v : values) {
+    auto got = r.GetVarint32();
+    ASSERT_TRUE(got.ok());
+    EXPECT_EQ(*got, v);
+  }
+  EXPECT_TRUE(r.AtEnd());
+}
+
+TEST(SerializeTest, VarintBoundaries64) {
+  std::vector<uint64_t> values = {0, 1, 127, 128, 1ull << 35, 1ull << 56,
+                                  std::numeric_limits<uint64_t>::max()};
+  BinaryWriter w;
+  for (uint64_t v : values) w.PutVarint64(v);
+  BinaryReader r(w.data());
+  for (uint64_t v : values) {
+    auto got = r.GetVarint64();
+    ASSERT_TRUE(got.ok());
+    EXPECT_EQ(*got, v);
+  }
+}
+
+TEST(SerializeTest, VarintRandomRoundTrip) {
+  std::mt19937_64 rng(99);
+  BinaryWriter w;
+  std::vector<uint64_t> values;
+  for (int i = 0; i < 1000; ++i) {
+    uint64_t v = rng() >> (rng() % 64);
+    values.push_back(v);
+    w.PutVarint64(v);
+  }
+  BinaryReader r(w.data());
+  for (uint64_t v : values) EXPECT_EQ(r.GetVarint64().value(), v);
+  EXPECT_TRUE(r.AtEnd());
+}
+
+TEST(SerializeTest, StringRoundTrip) {
+  BinaryWriter w;
+  w.PutString("");
+  w.PutString("hello");
+  w.PutString(std::string(1000, 'x'));
+  BinaryReader r(w.data());
+  EXPECT_EQ(r.GetString().value(), "");
+  EXPECT_EQ(r.GetString().value(), "hello");
+  EXPECT_EQ(r.GetString().value(), std::string(1000, 'x'));
+}
+
+TEST(SerializeTest, StringWithEmbeddedNulBytes) {
+  std::string s = std::string("a\0b\0c", 5);
+  BinaryWriter w;
+  w.PutString(s);
+  BinaryReader r(w.data());
+  auto got = r.GetString();
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(got->size(), 5u);
+  EXPECT_EQ(*got, s);
+}
+
+TEST(SerializeTest, U32ListUnsorted) {
+  std::vector<uint32_t> values = {5, 2, 9, 2, 0};
+  BinaryWriter w;
+  w.PutU32List(values, /*sorted=*/false);
+  BinaryReader r(w.data());
+  EXPECT_EQ(r.GetU32List(false).value(), values);
+}
+
+TEST(SerializeTest, U32ListSortedDeltaEncoding) {
+  std::vector<uint32_t> values = {3, 3, 10, 500, 500, 1000000};
+  BinaryWriter w;
+  w.PutU32List(values, /*sorted=*/true);
+  BinaryReader r(w.data());
+  EXPECT_EQ(r.GetU32List(true).value(), values);
+}
+
+TEST(SerializeTest, SortedListIsSmallerForDenseIds) {
+  std::vector<uint32_t> dense;
+  for (uint32_t i = 1000000; i < 1000200; ++i) dense.push_back(i);
+  BinaryWriter sorted, unsorted;
+  sorted.PutU32List(dense, true);
+  unsorted.PutU32List(dense, false);
+  EXPECT_LT(sorted.size(), unsorted.size());
+}
+
+TEST(SerializeTest, EmptyListRoundTrip) {
+  BinaryWriter w;
+  w.PutU32List({}, true);
+  BinaryReader r(w.data());
+  EXPECT_TRUE(r.GetU32List(true).value().empty());
+}
+
+TEST(SerializeTest, TruncatedFixedReadsFail) {
+  BinaryWriter w;
+  w.PutU32(77);
+  BinaryReader r(w.data().data(), 2);  // only half the u32
+  EXPECT_TRUE(r.GetU32().status().IsCorruption());
+}
+
+TEST(SerializeTest, TruncatedVarintFails) {
+  std::string bytes = "\xff\xff";  // continuation bits with no terminator
+  BinaryReader r(bytes);
+  EXPECT_TRUE(r.GetVarint32().status().IsCorruption());
+}
+
+TEST(SerializeTest, OverlongVarint32Fails) {
+  std::string bytes = "\xff\xff\xff\xff\xff\xff";  // > 5 bytes of continuation
+  BinaryReader r(bytes);
+  EXPECT_FALSE(r.GetVarint32().ok());
+}
+
+TEST(SerializeTest, TruncatedStringBodyFails) {
+  BinaryWriter w;
+  w.PutString("hello world");
+  BinaryReader r(w.data().data(), 4);  // header + partial body
+  EXPECT_TRUE(r.GetString().status().IsCorruption());
+}
+
+TEST(SerializeTest, CorruptListCountRejected) {
+  BinaryWriter w;
+  w.PutVarint32(1000000);  // claims a million entries, provides none
+  BinaryReader r(w.data());
+  EXPECT_FALSE(r.GetU32List(false).ok());
+}
+
+TEST(SerializeTest, PositionAndRemaining) {
+  BinaryWriter w;
+  w.PutU32(1);
+  w.PutU32(2);
+  BinaryReader r(w.data());
+  EXPECT_EQ(r.position(), 0u);
+  EXPECT_EQ(r.RemainingBytes(), 8u);
+  ASSERT_TRUE(r.GetU32().ok());
+  EXPECT_EQ(r.position(), 4u);
+  EXPECT_EQ(r.RemainingBytes(), 4u);
+  EXPECT_FALSE(r.AtEnd());
+  ASSERT_TRUE(r.GetU32().ok());
+  EXPECT_TRUE(r.AtEnd());
+}
+
+TEST(SerializeTest, RawBytesRoundTrip) {
+  BinaryWriter w;
+  const char raw[4] = {1, 2, 3, 4};
+  w.PutRaw(raw, 4);
+  EXPECT_EQ(w.size(), 4u);
+  BinaryReader r(w.data());
+  EXPECT_EQ(r.GetU8().value(), 1);
+}
+
+TEST(SerializeTest, ReleaseMovesBuffer) {
+  BinaryWriter w;
+  w.PutU32(9);
+  std::string data = w.Release();
+  EXPECT_EQ(data.size(), 4u);
+}
+
+}  // namespace
+}  // namespace strr

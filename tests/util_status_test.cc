@@ -1,0 +1,161 @@
+#include "util/status.h"
+
+#include <gtest/gtest.h>
+
+#include "util/result.h"
+
+namespace strr {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.message(), "");
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, OkFactory) {
+  EXPECT_TRUE(Status::OK().ok());
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::NotFound("missing key");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kNotFound);
+  EXPECT_EQ(s.message(), "missing key");
+  EXPECT_EQ(s.ToString(), "NotFound: missing key");
+}
+
+TEST(StatusTest, PredicateHelpers) {
+  EXPECT_TRUE(Status::InvalidArgument("x").IsInvalidArgument());
+  EXPECT_TRUE(Status::NotFound("x").IsNotFound());
+  EXPECT_TRUE(Status::AlreadyExists("x").IsAlreadyExists());
+  EXPECT_TRUE(Status::OutOfRange("x").IsOutOfRange());
+  EXPECT_TRUE(Status::IoError("x").IsIoError());
+  EXPECT_TRUE(Status::Corruption("x").IsCorruption());
+  EXPECT_TRUE(Status::FailedPrecondition("x").IsFailedPrecondition());
+  EXPECT_TRUE(Status::Unimplemented("x").IsUnimplemented());
+  EXPECT_TRUE(Status::Internal("x").IsInternal());
+  EXPECT_TRUE(Status::ResourceExhausted("x").IsResourceExhausted());
+}
+
+TEST(StatusTest, PredicatesAreExclusive) {
+  Status s = Status::IoError("x");
+  EXPECT_FALSE(s.IsNotFound());
+  EXPECT_FALSE(s.IsCorruption());
+  EXPECT_FALSE(s.ok());
+}
+
+TEST(StatusTest, CopyPreservesState) {
+  Status s = Status::Corruption("bad page");
+  Status copy = s;
+  EXPECT_EQ(copy.code(), StatusCode::kCorruption);
+  EXPECT_EQ(copy.message(), "bad page");
+  EXPECT_EQ(s.code(), StatusCode::kCorruption);  // source intact
+}
+
+TEST(StatusTest, CopyAssignOverOk) {
+  Status ok;
+  Status err = Status::Internal("boom");
+  ok = err;
+  EXPECT_TRUE(ok.IsInternal());
+  err = Status::OK();
+  EXPECT_TRUE(err.ok());
+  EXPECT_TRUE(ok.IsInternal());  // deep copy, not aliasing
+}
+
+TEST(StatusTest, MoveTransfersState) {
+  Status s = Status::OutOfRange("past end");
+  Status moved = std::move(s);
+  EXPECT_TRUE(moved.IsOutOfRange());
+  EXPECT_EQ(moved.message(), "past end");
+}
+
+TEST(StatusTest, SelfAssignmentSafe) {
+  Status s = Status::NotFound("x");
+  Status& alias = s;
+  s = alias;
+  EXPECT_TRUE(s.IsNotFound());
+}
+
+TEST(StatusTest, CodeToStringNames) {
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kOk), "OK");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kIoError), "IOError");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kCorruption), "Corruption");
+}
+
+TEST(StatusTest, ReturnIfErrorPropagates) {
+  auto inner = []() { return Status::IoError("disk gone"); };
+  auto outer = [&]() -> Status {
+    STRR_RETURN_IF_ERROR(inner());
+    return Status::Internal("unreachable");
+  };
+  Status s = outer();
+  EXPECT_TRUE(s.IsIoError());
+}
+
+TEST(StatusTest, ReturnIfErrorPassesOk) {
+  auto inner = []() { return Status::OK(); };
+  auto outer = [&]() -> Status {
+    STRR_RETURN_IF_ERROR(inner());
+    return Status::Internal("reached");
+  };
+  EXPECT_TRUE(outer().IsInternal());
+}
+
+TEST(StatusOrTest, HoldsValue) {
+  StatusOr<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_EQ(*r, 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(StatusOrTest, HoldsError) {
+  StatusOr<int> r(Status::NotFound("nope"));
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsNotFound());
+}
+
+TEST(StatusOrTest, ValueOrFallback) {
+  StatusOr<int> good(7);
+  StatusOr<int> bad(Status::Internal("x"));
+  EXPECT_EQ(good.value_or(-1), 7);
+  EXPECT_EQ(bad.value_or(-1), -1);
+}
+
+TEST(StatusOrTest, MoveOutValue) {
+  StatusOr<std::string> r(std::string("payload"));
+  std::string s = std::move(r).value();
+  EXPECT_EQ(s, "payload");
+}
+
+TEST(StatusOrTest, ArrowOperator) {
+  StatusOr<std::string> r(std::string("abc"));
+  EXPECT_EQ(r->size(), 3u);
+}
+
+TEST(StatusOrTest, AssignOrReturnMacroPropagates) {
+  auto fail = []() -> StatusOr<int> { return Status::OutOfRange("x"); };
+  auto outer = [&]() -> Status {
+    STRR_ASSIGN_OR_RETURN(int v, fail());
+    (void)v;
+    return Status::OK();
+  };
+  EXPECT_TRUE(outer().IsOutOfRange());
+}
+
+TEST(StatusOrTest, AssignOrReturnMacroAssigns) {
+  auto make = []() -> StatusOr<int> { return 13; };
+  auto outer = [&]() -> StatusOr<int> {
+    STRR_ASSIGN_OR_RETURN(int v, make());
+    return v * 2;
+  };
+  auto r = outer();
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 26);
+}
+
+}  // namespace
+}  // namespace strr
