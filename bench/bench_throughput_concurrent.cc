@@ -1,0 +1,134 @@
+// Concurrent query throughput — queries/sec vs executor worker count.
+//
+// Not a paper figure: the paper evaluates one query at a time, but the
+// production north star is a stream of s-/m-queries from many clients.
+// This bench plans a fixed mixed workload once, then executes it through
+// QueryExecutor::ExecuteBatch with 1/2/4/8 workers, reporting throughput
+// and the scaling ratio vs the single-worker run. Results are checked
+// bit-identical across worker counts (threading must never change a
+// region).
+//
+// Expected shape: near-linear scaling while workers <= physical cores
+// (the workload is dominated by per-query CPU — expansion, TBS, sorted
+// intersections — with short critical sections in the buffer pool).
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "core/query_executor.h"
+#include "query/query_plan.h"
+#include "util/stopwatch.h"
+
+using namespace strr;         // NOLINT
+using namespace strr::bench;  // NOLINT
+
+namespace {
+
+/// The fixed workload: a ring of s-queries around downtown at staggered
+/// rush-hour start times, plus every 8th query an m-query (3 locations,
+/// repeated-s strategy so its legs can exploit intra-query parallelism).
+std::vector<QueryPlan> PlanWorkload(const BenchStack& stack, int n) {
+  const QueryPlanner& planner = stack.engine->planner();
+  Mbr box = stack.dataset.network.BoundingBox();
+  std::vector<QueryPlan> plans;
+  plans.reserve(n);
+  for (int i = 0; plans.size() < static_cast<size_t>(n); ++i) {
+    double angle = 2.0 * M_PI * (i % 16) / 16.0;
+    double rx = box.Width() * 0.10 * (1 + i % 3);
+    double ry = box.Height() * 0.10 * (1 + (i / 3) % 3);
+    XyPoint p{stack.dataset.center.x + std::cos(angle) * rx,
+              stack.dataset.center.y + std::sin(angle) * ry};
+    int64_t tod = HMS(9 + (i % 4), 15 * (i % 4));
+    if (i % 8 == 7) {
+      MQuery m;
+      m.locations = {stack.query_location, p,
+                     {stack.dataset.center.x - std::cos(angle) * rx,
+                      stack.dataset.center.y - std::sin(angle) * ry}};
+      m.start_tod = tod;
+      m.duration = 600;
+      m.prob = 0.2;
+      auto plan = planner.PlanMQuery(m, QueryStrategy::kRepeatedS);
+      if (plan.ok()) plans.push_back(std::move(plan).value());
+      continue;
+    }
+    SQuery q{p, tod, 600 + 300 * (i % 3), 0.1 + 0.1 * (i % 3)};
+    auto plan = planner.PlanSQuery(q);
+    if (plan.ok()) plans.push_back(std::move(plan).value());
+  }
+  return plans;
+}
+
+}  // namespace
+
+int main() {
+  auto maybe_stack = LoadBenchStack();
+  if (!maybe_stack.ok()) {
+    std::fprintf(stderr, "FATAL: %s\n",
+                 maybe_stack.status().ToString().c_str());
+    return 1;
+  }
+  BenchStack& stack = **maybe_stack;
+
+  const int kQueries = 64;
+  std::vector<QueryPlan> plans = PlanWorkload(stack, kQueries);
+  std::fprintf(stderr, "# workload: %zu plans\n", plans.size());
+
+  // Warm-up on one worker: materializes the lazy Con-Index tables and the
+  // page cache so every measured run sees the same warm engine, and
+  // provides the reference regions for the identity check.
+  auto reference_exec = stack.engine->MakeExecutor({.num_threads = 1});
+  auto reference = reference_exec->ExecuteBatch(plans);
+  for (size_t i = 0; i < reference.size(); ++i) {
+    if (!reference[i].ok()) {
+      std::fprintf(stderr, "FATAL: plan %zu: %s\n", i,
+                   reference[i].status().ToString().c_str());
+      return 1;
+    }
+  }
+
+  std::printf("Concurrent throughput: %zu mixed s-/m-queries per batch\n",
+              plans.size());
+  PrintRow({"workers", "batch_ms", "qps", "speedup", "identical"});
+  double qps1 = 0.0, qps4 = 0.0;
+  for (int workers : {1, 2, 4, 8}) {
+    auto executor = stack.engine->MakeExecutor({.num_threads = workers});
+    // Median of three timed runs.
+    std::vector<double> times;
+    bool identical = true;
+    for (int run = 0; run < 3; ++run) {
+      Stopwatch watch;
+      auto results = executor->ExecuteBatch(plans);
+      times.push_back(watch.ElapsedMillis());
+      for (size_t i = 0; i < results.size(); ++i) {
+        if (!results[i].ok() ||
+            results[i]->segments != reference[i]->segments) {
+          identical = false;
+        }
+      }
+    }
+    std::sort(times.begin(), times.end());
+    double batch_ms = times[1];
+    double qps = plans.size() / (batch_ms / 1000.0);
+    if (workers == 1) qps1 = qps;
+    if (workers == 4) qps4 = qps;
+    PrintRow({std::to_string(workers), Cell(batch_ms, 1), Cell(qps, 1),
+              Cell(qps1 > 0 ? qps / qps1 : 0.0, 2),
+              identical ? "yes" : "NO"});
+    if (!identical) {
+      std::fprintf(stderr, "FATAL: results diverged at %d workers\n",
+                   workers);
+      return 1;
+    }
+  }
+
+  ShapeCheck("throughput_scales_with_workers", qps4 >= 2.0 * qps1,
+             "4-worker qps " + Cell(qps4, 1) + " vs 1-worker " +
+                 Cell(qps1, 1) + " (>=2x expected on >=4 cores; this host has " +
+                 std::to_string(std::thread::hardware_concurrency()) +
+                 " hardware threads)");
+  return 0;
+}

@@ -1,0 +1,215 @@
+#include "core/query_executor.h"
+
+#include <algorithm>
+#include <future>
+#include <string>
+
+#include "query/es_baseline.h"
+#include "query/probability.h"
+#include "query/trace_back.h"
+#include "util/stopwatch.h"
+
+namespace strr {
+
+namespace {
+
+/// Sanity checks a plan before execution. Plans from QueryPlanner always
+/// pass; this guards hand-built or mutated plans so a bad one surfaces as
+/// a per-plan Status instead of undefined behaviour mid-batch.
+Status ValidatePlan(const QueryPlan& plan) {
+  if (plan.locations.empty() || plan.location_starts.empty()) {
+    return Status::InvalidArgument("QueryPlan: no resolved locations");
+  }
+  if (plan.locations.size() != plan.location_starts.size()) {
+    return Status::InvalidArgument(
+        "QueryPlan: locations/location_starts size mismatch");
+  }
+  for (const auto& starts : plan.location_starts) {
+    if (starts.empty()) {
+      return Status::InvalidArgument(
+          "QueryPlan: a location resolved to no start segments");
+    }
+  }
+  if (plan.prob <= 0.0 || plan.prob > 1.0) {
+    return Status::InvalidArgument("QueryPlan: Prob must be in (0, 1]");
+  }
+  if (plan.duration <= 0) {
+    return Status::InvalidArgument("QueryPlan: duration must be positive");
+  }
+  if (plan.strategy == QueryStrategy::kExhaustive &&
+      plan.locations.size() > 1) {
+    return Status::InvalidArgument(
+        "QueryPlan: exhaustive strategy is single-location");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+QueryExecutor::QueryExecutor(const RoadNetwork& network,
+                             const StIndex& st_index,
+                             const ConIndex& con_index,
+                             const SpeedProfile& profile,
+                             int64_t delta_t_seconds,
+                             const QueryExecutorOptions& options)
+    : network_(&network),
+      st_index_(&st_index),
+      con_index_(&con_index),
+      profile_(&profile),
+      delta_t_seconds_(delta_t_seconds),
+      options_(options),
+      pool_(options.num_threads < 0 ? 1
+                                    : static_cast<size_t>(options.num_threads)) {
+}
+
+StatusOr<RegionResult> QueryExecutor::Execute(const QueryPlan& plan) {
+  STRR_RETURN_IF_ERROR(ValidatePlan(plan));
+  switch (plan.strategy) {
+    case QueryStrategy::kIndexed:
+      return ExecuteIndexed(plan);
+    case QueryStrategy::kExhaustive:
+      return ExecuteExhaustive(plan);
+    case QueryStrategy::kRepeatedS:
+      return ExecuteRepeatedS(plan);
+  }
+  return Status::Internal("QueryPlan: unknown strategy");
+}
+
+std::vector<StatusOr<RegionResult>> QueryExecutor::ExecuteBatch(
+    std::span<const QueryPlan> plans) {
+  std::vector<StatusOr<RegionResult>> results;
+  results.reserve(plans.size());
+  if (pool_.OnWorkerThread() || pool_.num_threads() <= 1) {
+    // Already on a pool worker (nested batch) or no parallelism available:
+    // run inline — submitting and blocking here could starve the pool.
+    for (const QueryPlan& plan : plans) results.push_back(Execute(plan));
+    return results;
+  }
+  std::vector<std::future<StatusOr<RegionResult>>> futures;
+  futures.reserve(plans.size());
+  for (const QueryPlan& plan : plans) {
+    futures.push_back(pool_.Submit(
+        [this, &plan]() -> StatusOr<RegionResult> { return Execute(plan); }));
+  }
+  for (auto& f : futures) results.push_back(f.get());
+  return results;
+}
+
+StatusOr<RegionResult> QueryExecutor::RunTraceBack(
+    const BoundingRegions& regions, int64_t start_tod, int64_t duration,
+    double prob, double setup_ms, const StorageStats& io_before) {
+  Stopwatch watch;
+  STRR_ASSIGN_OR_RETURN(
+      ReachabilityProbability oracle,
+      ReachabilityProbability::Create(*st_index_, regions.start_segments,
+                                      start_tod, delta_t_seconds_, duration));
+
+  RegionResult result;
+  if (oracle.StartHasNoTraffic()) {
+    // No trajectory ever left the start window on any day: every segment's
+    // probability is identically zero, so the Prob-region is empty. (The
+    // bounding regions come from speed *statistics* and can be non-empty
+    // even then; trusting them here would fabricate reachability.)
+    result.segments.clear();
+  } else {
+    STRR_ASSIGN_OR_RETURN(TbsOutcome tbs,
+                          TraceBackSearch(*network_, regions, prob, oracle));
+    result.segments = std::move(tbs.region);
+  }
+  result.total_length_m = network_->LengthOfSegments(result.segments);
+  result.stats.wall_ms = setup_ms + watch.ElapsedMillis();
+  result.stats.sum_wall_ms = result.stats.wall_ms;
+  result.stats.segments_verified = oracle.verifications();
+  result.stats.time_lists_read = oracle.time_lists_read();
+  result.stats.io = st_index_->storage_stats() - io_before;
+  result.stats.max_region_segments = regions.max_region.size();
+  result.stats.min_region_segments = regions.min_region.size();
+  result.stats.boundary_segments = regions.boundary.size();
+  return result;
+}
+
+StatusOr<RegionResult> QueryExecutor::ExecuteIndexed(const QueryPlan& plan) {
+  Stopwatch watch;
+  StorageStats io_before = st_index_->storage_stats();
+  BoundingRegions regions;
+  if (plan.IsMultiLocation()) {
+    STRR_ASSIGN_OR_RETURN(
+        regions, MqmbSearch(*network_, *con_index_, *profile_,
+                            plan.AllStartSegments(), plan.start_tod,
+                            plan.duration));
+  } else {
+    STRR_ASSIGN_OR_RETURN(
+        regions, SqmbSearchSet(*network_, *con_index_, plan.location_starts[0],
+                               plan.start_tod, plan.duration));
+  }
+  return RunTraceBack(regions, plan.start_tod, plan.duration, plan.prob,
+                      watch.ElapsedMillis(), io_before);
+}
+
+StatusOr<RegionResult> QueryExecutor::ExecuteExhaustive(
+    const QueryPlan& plan) {
+  SQuery query{plan.locations[0], plan.start_tod, plan.duration, plan.prob};
+  STRR_ASSIGN_OR_RETURN(
+      RegionResult result,
+      ExhaustiveSearch(*st_index_, *profile_, query, delta_t_seconds_,
+                       plan.location_starts[0]));
+  result.stats.sum_wall_ms = result.stats.wall_ms;
+  return result;
+}
+
+StatusOr<RegionResult> QueryExecutor::ExecuteRepeatedS(const QueryPlan& plan) {
+  Stopwatch watch;
+  StorageStats io_before = st_index_->storage_stats();
+
+  // One independent single-location indexed leg per query location.
+  std::vector<QueryPlan> legs;
+  legs.reserve(plan.locations.size());
+  for (size_t i = 0; i < plan.locations.size(); ++i) {
+    QueryPlan leg;
+    leg.strategy = QueryStrategy::kIndexed;
+    leg.locations = {plan.locations[i]};
+    leg.location_starts = {plan.location_starts[i]};
+    leg.start_tod = plan.start_tod;
+    leg.duration = plan.duration;
+    leg.prob = plan.prob;
+    legs.push_back(std::move(leg));
+  }
+
+  std::vector<StatusOr<RegionResult>> leg_results;
+  if (options_.parallel_mquery_legs) {
+    // ExecuteBatch already degrades to an inline sequential loop on a pool
+    // worker or a single-thread pool — one fan-out decision point.
+    leg_results = ExecuteBatch(legs);
+  } else {
+    leg_results.reserve(legs.size());
+    for (const QueryPlan& leg : legs) leg_results.push_back(Execute(leg));
+  }
+
+  // Merge in location order so the result is independent of scheduling.
+  RegionResult merged;
+  std::vector<SegmentId> all;
+  for (auto& leg_result : leg_results) {
+    if (!leg_result.ok()) return leg_result.status();
+    const RegionResult& r = *leg_result;
+    all.insert(all.end(), r.segments.begin(), r.segments.end());
+    merged.stats.sum_wall_ms += r.stats.wall_ms;
+    merged.stats.segments_verified += r.stats.segments_verified;
+    merged.stats.time_lists_read += r.stats.time_lists_read;
+    merged.stats.max_region_segments += r.stats.max_region_segments;
+    merged.stats.min_region_segments += r.stats.min_region_segments;
+    merged.stats.boundary_segments += r.stats.boundary_segments;
+  }
+  std::sort(all.begin(), all.end());
+  all.erase(std::unique(all.begin(), all.end()), all.end());
+  merged.segments = std::move(all);
+  merged.total_length_m = network_->LengthOfSegments(merged.segments);
+  merged.stats.wall_ms = watch.ElapsedMillis();
+  // The outer counter delta already contains every leg's traffic; summing
+  // the per-leg deltas on top would double-count it (and under parallel
+  // legs the per-leg deltas overlap anyway), so only the outer delta is
+  // reported.
+  merged.stats.io = st_index_->storage_stats() - io_before;
+  return merged;
+}
+
+}  // namespace strr

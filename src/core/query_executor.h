@@ -1,0 +1,93 @@
+// QueryExecutor: the "execute" half of the plan -> execute pipeline.
+//
+// Owns a ThreadPool shared by every query it runs and executes QueryPlans
+// produced by the QueryPlanner:
+//  * Execute()      — one plan, on the calling thread;
+//  * ExecuteBatch() — fans independent plans across the pool and returns
+//    one StatusOr per plan (a failing plan never poisons its neighbours);
+//  * inside one kRepeatedS m-query, the per-location SQMB+TBS legs can run
+//    in parallel on the same pool.
+//
+// Concurrency contract: every index read path underneath (ST-Index
+// time-list reads through the BufferPool, lazy Con-Index materialization,
+// speed-profile lookups) is concurrent-read-safe, so one executor over one
+// engine's indexes can run arbitrarily many plans at once. Results are
+// bit-identical to sequential execution — threading only changes the
+// schedule, never the region (lazy Con-Index build races keep the first
+// deterministic result; batch/leg merges happen in submission order).
+#ifndef STRR_CORE_QUERY_EXECUTOR_H_
+#define STRR_CORE_QUERY_EXECUTOR_H_
+
+#include <span>
+#include <vector>
+
+#include "index/con_index.h"
+#include "index/speed_profile.h"
+#include "index/st_index.h"
+#include "query/bounding_region.h"
+#include "query/query.h"
+#include "query/query_plan.h"
+#include "roadnet/road_network.h"
+#include "util/result.h"
+#include "util/thread_pool.h"
+
+namespace strr {
+
+/// Executor construction knobs.
+struct QueryExecutorOptions {
+  /// Worker threads for batches and parallel m-query legs. 0 = one per
+  /// hardware thread.
+  int num_threads = 0;
+  /// Run the per-location legs of a kRepeatedS plan on the pool (when not
+  /// already on a pool worker). Off = legs run sequentially, reproducing
+  /// the paper's single-threaded m-query baseline timings.
+  bool parallel_mquery_legs = true;
+};
+
+/// Runs query plans over one engine's index stack. Thread-safe: Execute
+/// and ExecuteBatch may be called concurrently from any thread.
+class QueryExecutor {
+ public:
+  /// All referenced structures must outlive the executor.
+  QueryExecutor(const RoadNetwork& network, const StIndex& st_index,
+                const ConIndex& con_index, const SpeedProfile& profile,
+                int64_t delta_t_seconds,
+                const QueryExecutorOptions& options = {});
+
+  /// Executes one plan on the calling thread (kRepeatedS legs may still
+  /// fan out, see QueryExecutorOptions::parallel_mquery_legs).
+  StatusOr<RegionResult> Execute(const QueryPlan& plan);
+
+  /// Executes independent plans concurrently across the pool; result i
+  /// corresponds to plan i. Per-plan errors are reported in place — the
+  /// rest of the batch still runs. Safe to call from a pool worker (runs
+  /// inline sequentially rather than deadlocking the pool on itself).
+  std::vector<StatusOr<RegionResult>> ExecuteBatch(
+      std::span<const QueryPlan> plans);
+
+  ThreadPool& thread_pool() { return pool_; }
+  int64_t delta_t_seconds() const { return delta_t_seconds_; }
+
+ private:
+  StatusOr<RegionResult> ExecuteIndexed(const QueryPlan& plan);
+  StatusOr<RegionResult> ExecuteExhaustive(const QueryPlan& plan);
+  StatusOr<RegionResult> ExecuteRepeatedS(const QueryPlan& plan);
+
+  /// Shared tail of the indexed paths: probability oracle, TBS, stats.
+  StatusOr<RegionResult> RunTraceBack(const BoundingRegions& regions,
+                                      int64_t start_tod, int64_t duration,
+                                      double prob, double setup_ms,
+                                      const StorageStats& io_before);
+
+  const RoadNetwork* network_;
+  const StIndex* st_index_;
+  const ConIndex* con_index_;
+  const SpeedProfile* profile_;
+  int64_t delta_t_seconds_;
+  QueryExecutorOptions options_;
+  ThreadPool pool_;
+};
+
+}  // namespace strr
+
+#endif  // STRR_CORE_QUERY_EXECUTOR_H_

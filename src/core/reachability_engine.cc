@@ -1,12 +1,6 @@
 #include "core/reachability_engine.h"
 
-#include <algorithm>
 #include <filesystem>
-
-#include "query/es_baseline.h"
-#include "query/probability.h"
-#include "query/trace_back.h"
-#include "util/stopwatch.h"
 
 namespace strr {
 
@@ -48,114 +42,47 @@ StatusOr<std::unique_ptr<ReachabilityEngine>> ReachabilityEngine::Build(
   if (options.precompute_con_index) {
     STRR_RETURN_IF_ERROR(engine->con_index_->BuildAll());
   }
+
+  engine->planner_ =
+      std::make_unique<QueryPlanner>(network, *engine->st_index_);
+  QueryExecutorOptions exec_opt;
+  exec_opt.num_threads = options.query_threads;
+  exec_opt.parallel_mquery_legs = options.parallel_mquery_legs;
+  engine->executor_ = engine->MakeExecutor(exec_opt);
   return engine;
 }
 
-StatusOr<RegionResult> ReachabilityEngine::RunTraceBack(
-    const BoundingRegions& regions, int64_t start_tod, int64_t duration,
-    double prob, double setup_ms, const StorageStats& io_before) {
-  Stopwatch watch;
-  STRR_ASSIGN_OR_RETURN(
-      ReachabilityProbability oracle,
-      ReachabilityProbability::Create(*st_index_, regions.start_segments,
-                                      start_tod, options_.delta_t_seconds,
-                                      duration));
-
-  RegionResult result;
-  if (oracle.StartHasNoTraffic()) {
-    // No trajectory ever left the start window on any day: every segment's
-    // probability is identically zero, so the Prob-region is empty. (The
-    // bounding regions come from speed *statistics* and can be non-empty
-    // even then; trusting them here would fabricate reachability.)
-    result.segments.clear();
-  } else {
-    STRR_ASSIGN_OR_RETURN(TbsOutcome tbs,
-                          TraceBackSearch(*network_, regions, prob, oracle));
-    result.segments = std::move(tbs.region);
-  }
-  result.total_length_m = network_->LengthOfSegments(result.segments);
-  result.stats.wall_ms = setup_ms + watch.ElapsedMillis();
-  result.stats.segments_verified = oracle.verifications();
-  result.stats.time_lists_read = oracle.time_lists_read();
-  result.stats.io = st_index_->storage_stats() - io_before;
-  result.stats.max_region_segments = regions.max_region.size();
-  result.stats.min_region_segments = regions.min_region.size();
-  result.stats.boundary_segments = regions.boundary.size();
-  return result;
+std::unique_ptr<QueryExecutor> ReachabilityEngine::MakeExecutor(
+    const QueryExecutorOptions& options) const {
+  return std::make_unique<QueryExecutor>(*network_, *st_index_, *con_index_,
+                                         *profile_, options_.delta_t_seconds,
+                                         options);
 }
 
 StatusOr<RegionResult> ReachabilityEngine::SQueryIndexed(const SQuery& query) {
-  if (query.prob <= 0.0 || query.prob > 1.0) {
-    return Status::InvalidArgument("SQuery: Prob must be in (0, 1]");
-  }
-  Stopwatch watch;
-  StorageStats io_before = st_index_->storage_stats();
-  STRR_ASSIGN_OR_RETURN(SegmentId r0,
-                        st_index_->LocateSegment(query.location));
-  // A location on a two-way street denotes both directed twins.
-  STRR_ASSIGN_OR_RETURN(
-      BoundingRegions regions,
-      SqmbSearchSet(*network_, *con_index_, LocationSegmentSet(*network_, r0),
-                    query.start_tod, query.duration));
-  return RunTraceBack(regions, query.start_tod, query.duration, query.prob,
-                      watch.ElapsedMillis(), io_before);
+  STRR_ASSIGN_OR_RETURN(QueryPlan plan,
+                        planner_->PlanSQuery(query, QueryStrategy::kIndexed));
+  return executor_->Execute(plan);
 }
 
 StatusOr<RegionResult> ReachabilityEngine::SQueryExhaustive(
     const SQuery& query) {
-  return ExhaustiveSearch(*st_index_, *profile_, query,
-                          options_.delta_t_seconds);
+  STRR_ASSIGN_OR_RETURN(
+      QueryPlan plan, planner_->PlanSQuery(query, QueryStrategy::kExhaustive));
+  return executor_->Execute(plan);
 }
 
 StatusOr<RegionResult> ReachabilityEngine::MQueryIndexed(const MQuery& query) {
-  if (query.locations.empty()) {
-    return Status::InvalidArgument("MQuery: no locations");
-  }
-  if (query.prob <= 0.0 || query.prob > 1.0) {
-    return Status::InvalidArgument("MQuery: Prob must be in (0, 1]");
-  }
-  Stopwatch watch;
-  StorageStats io_before = st_index_->storage_stats();
-  std::vector<SegmentId> starts;
-  starts.reserve(query.locations.size() * 2);
-  for (const XyPoint& p : query.locations) {
-    STRR_ASSIGN_OR_RETURN(SegmentId r0, st_index_->LocateSegment(p));
-    for (SegmentId s : LocationSegmentSet(*network_, r0)) starts.push_back(s);
-  }
-  STRR_ASSIGN_OR_RETURN(
-      BoundingRegions regions,
-      MqmbSearch(*network_, *con_index_, *profile_, starts, query.start_tod,
-                 query.duration));
-  return RunTraceBack(regions, query.start_tod, query.duration, query.prob,
-                      watch.ElapsedMillis(), io_before);
+  STRR_ASSIGN_OR_RETURN(QueryPlan plan,
+                        planner_->PlanMQuery(query, QueryStrategy::kIndexed));
+  return executor_->Execute(plan);
 }
 
 StatusOr<RegionResult> ReachabilityEngine::MQueryRepeatedSQuery(
     const MQuery& query) {
-  if (query.locations.empty()) {
-    return Status::InvalidArgument("MQuery: no locations");
-  }
-  Stopwatch watch;
-  StorageStats io_before = st_index_->storage_stats();
-  RegionResult merged;
-  std::vector<SegmentId> all;
-  for (const XyPoint& p : query.locations) {
-    SQuery sub{p, query.start_tod, query.duration, query.prob};
-    STRR_ASSIGN_OR_RETURN(RegionResult r, SQueryIndexed(sub));
-    all.insert(all.end(), r.segments.begin(), r.segments.end());
-    merged.stats.segments_verified += r.stats.segments_verified;
-    merged.stats.time_lists_read += r.stats.time_lists_read;
-    merged.stats.max_region_segments += r.stats.max_region_segments;
-    merged.stats.min_region_segments += r.stats.min_region_segments;
-    merged.stats.boundary_segments += r.stats.boundary_segments;
-  }
-  std::sort(all.begin(), all.end());
-  all.erase(std::unique(all.begin(), all.end()), all.end());
-  merged.segments = std::move(all);
-  merged.total_length_m = network_->LengthOfSegments(merged.segments);
-  merged.stats.wall_ms = watch.ElapsedMillis();
-  merged.stats.io = st_index_->storage_stats() - io_before;
-  return merged;
+  STRR_ASSIGN_OR_RETURN(
+      QueryPlan plan, planner_->PlanMQuery(query, QueryStrategy::kRepeatedS));
+  return executor_->Execute(plan);
 }
 
 void ReachabilityEngine::ResetIoStats(bool drop_cache) {

@@ -1,13 +1,22 @@
 // ReachabilityEngine: the library's public query facade.
 //
 // Owns the full index stack (speed profile, ST-Index, Con-Index) over one
-// road network + trajectory database, and answers:
+// road network + trajectory database plus the plan -> execute pipeline
+// (QueryPlanner + QueryExecutor), and answers:
 //  * s-queries with SQMB + TBS (the paper's indexed path),
 //  * s-queries with ES (the exhaustive baseline),
 //  * m-queries with MQMB + shared TBS,
 //  * m-queries as n independent s-queries (the paper's m-query baseline).
 //
-// Typical use:
+// The SQuery/MQuery methods are thin conveniences: they plan and execute
+// in one call. Callers that batch many queries, pick strategies
+// explicitly, or want intra-query parallelism use planner() / executor()
+// directly:
+//
+//   auto plans = ...;                      // engine.planner().PlanSQuery(...)
+//   auto results = engine.executor().ExecuteBatch(plans);
+//
+// Typical one-shot use:
 //   auto dataset = BuildDataset(DatasetOptions{...});
 //   auto engine = ReachabilityEngine::Build(dataset->network, *dataset->store,
 //                                           {.work_dir = "/tmp/strr"});
@@ -19,11 +28,13 @@
 #include <memory>
 #include <string>
 
+#include "core/query_executor.h"
 #include "index/con_index.h"
 #include "index/speed_profile.h"
 #include "index/st_index.h"
 #include "query/bounding_region.h"
 #include "query/query.h"
+#include "query/query_plan.h"
 #include "traj/trajectory_store.h"
 #include "util/result.h"
 
@@ -39,10 +50,22 @@ struct EngineOptions {
   uint32_t page_size = kDefaultPageSize;
   bool precompute_con_index = false;      ///< BuildAll vs lazy tables
   int build_threads = 4;
+  /// Worker threads for the query executor (batches, parallel m-query
+  /// legs). 0 = one per hardware thread, so executor().ExecuteBatch is
+  /// fast out of the box; pass 1 for strictly sequential facade use to
+  /// avoid idle workers (they cost address space, and join only at
+  /// engine destruction).
+  int query_threads = 0;
+  /// Run MQueryRepeatedSQuery legs in parallel. Off by default so the
+  /// facade reproduces the paper's single-threaded baseline timings;
+  /// throughput-oriented callers flip it (or use the executor directly).
+  bool parallel_mquery_legs = false;
 };
 
-/// Facade over the whole query stack. Thread-compatible (concurrent reads
-/// of distinct queries are safe; the lazy Con-Index locks internally).
+/// Facade over the whole query stack. Thread-safe for concurrent queries:
+/// the index read paths are concurrent-read-safe and the executor's pool
+/// is shared. (Per-query StorageStats deltas are only meaningful for
+/// sequential execution — the counters are engine-global.)
 class ReachabilityEngine {
  public:
   /// Builds every index. The network and store must outlive the engine.
@@ -63,6 +86,17 @@ class ReachabilityEngine {
   /// duplicate verification in overlapping areas).
   StatusOr<RegionResult> MQueryRepeatedSQuery(const MQuery& query);
 
+  // --- Pipeline --------------------------------------------------------------
+
+  const QueryPlanner& planner() const { return *planner_; }
+  QueryExecutor& executor() { return *executor_; }
+
+  /// Builds an additional executor over this engine's indexes (e.g. a
+  /// bench sweeping worker counts, or an isolated pool per tenant). The
+  /// engine must outlive it.
+  std::unique_ptr<QueryExecutor> MakeExecutor(
+      const QueryExecutorOptions& options) const;
+
   // --- Introspection ---------------------------------------------------------
 
   const StIndex& st_index() const { return *st_index_; }
@@ -80,17 +114,14 @@ class ReachabilityEngine {
   ReachabilityEngine(const RoadNetwork& network, EngineOptions options)
       : network_(&network), options_(std::move(options)) {}
 
-  /// Shared tail of the indexed paths: boundary seeding, TBS, stats.
-  StatusOr<RegionResult> RunTraceBack(const BoundingRegions& regions,
-                                      int64_t start_tod, int64_t duration,
-                                      double prob, double setup_ms,
-                                      const StorageStats& io_before);
-
   const RoadNetwork* network_;
   EngineOptions options_;
   std::unique_ptr<SpeedProfile> profile_;
   std::unique_ptr<StIndex> st_index_;
   std::unique_ptr<ConIndex> con_index_;
+  // Constructed after (and destroyed before) the indexes they reference.
+  std::unique_ptr<QueryPlanner> planner_;
+  std::unique_ptr<QueryExecutor> executor_;
 };
 
 }  // namespace strr

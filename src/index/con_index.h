@@ -36,7 +36,15 @@ struct ConIndexOptions {
   int num_build_threads = 4;      ///< BuildAll parallelism
 };
 
-/// Connection tables. Thread-safe.
+/// Connection tables. Thread-safe, including the lazy build path:
+///  * each time slot has its own mutex guarding its `ready` flags, so
+///    concurrent queries materializing different slots never contend;
+///  * losers of a same-(seg, slot) build race discard their result and keep
+///    the winner's (ComputeTables is deterministic, so either is correct);
+///  * the per-slot near/far outer vectors are sized once at construction
+///    and never resized, so the references returned by Far()/Near() stay
+///    valid for the index lifetime — an element is written at most once,
+///    before its `ready` flag is published under the slot mutex.
 class ConIndex {
  public:
   /// Creates an empty (lazy) index over the network + profile.

@@ -39,7 +39,12 @@ struct StIndexOptions {
 /// the sorted list of trajectory ids active on day d.
 using TimeList = std::vector<std::vector<TrajectoryId>>;
 
-/// Built index; immutable and thread-safe for reads.
+/// Built index; immutable after Build and thread-safe for concurrent
+/// queries: the R-tree/B+-tree lookups are const over frozen structures,
+/// and ReadTimeList goes through PostingStore::Get, which copies page
+/// bytes out under the BufferPool lock. The StorageStats counters are
+/// shared across all concurrent queries (FileManager keeps them atomic);
+/// per-query I/O deltas are only meaningful for sequential execution.
 class StIndex {
  public:
   /// Builds from the matched-trajectory database, writing the posting file

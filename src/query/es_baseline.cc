@@ -12,15 +12,24 @@ namespace strr {
 StatusOr<RegionResult> ExhaustiveSearch(const StIndex& st_index,
                                         const SpeedProfile& profile,
                                         const SQuery& query, int64_t delta_t) {
+  STRR_ASSIGN_OR_RETURN(SegmentId r0, st_index.LocateSegment(query.location));
+  return ExhaustiveSearch(st_index, profile, query, delta_t,
+                          LocationSegmentSet(st_index.network(), r0));
+}
+
+StatusOr<RegionResult> ExhaustiveSearch(const StIndex& st_index,
+                                        const SpeedProfile& profile,
+                                        const SQuery& query, int64_t delta_t,
+                                        const std::vector<SegmentId>& starts) {
   if (query.prob <= 0.0 || query.prob > 1.0) {
     return Status::InvalidArgument("ES: Prob must be in (0, 1]");
+  }
+  if (starts.empty()) {
+    return Status::InvalidArgument("ES: no start segments");
   }
   Stopwatch watch;
   const RoadNetwork& network = st_index.network();
   StorageStats io_before = st_index.storage_stats();
-
-  STRR_ASSIGN_OR_RETURN(SegmentId r0, st_index.LocateSegment(query.location));
-  std::vector<SegmentId> starts = LocationSegmentSet(network, r0);
 
   // Expand the road network from the start within the duration budget.
   // The baseline has no mined speed statistics (those are exactly what the

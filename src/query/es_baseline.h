@@ -23,10 +23,18 @@ namespace strr {
 
 /// Runs the exhaustive-search baseline for an s-query. `delta_t` sets the
 /// start window [T, T+Δt) of Eq. 3.1 (same value the indexed path uses, so
-/// results are comparable).
+/// results are comparable). Locates the start segment itself.
 StatusOr<RegionResult> ExhaustiveSearch(const StIndex& st_index,
                                         const SpeedProfile& profile,
                                         const SQuery& query, int64_t delta_t);
+
+/// Same, over an already-located start segment set (the QueryPlanner
+/// resolves locations once at plan time; this overload skips the repeat
+/// R-tree lookup). `starts` must be non-empty.
+StatusOr<RegionResult> ExhaustiveSearch(const StIndex& st_index,
+                                        const SpeedProfile& profile,
+                                        const SQuery& query, int64_t delta_t,
+                                        const std::vector<SegmentId>& starts);
 
 }  // namespace strr
 

@@ -31,9 +31,17 @@ struct MQuery {
 /// Work/IO accounting for one query execution.
 struct QueryStats {
   double wall_ms = 0.0;            ///< end-to-end processing time
+  /// Summed wall time of the sub-queries a composite strategy ran (the
+  /// repeated-s-query baseline runs one per location). Equals wall_ms for
+  /// single-leg queries; under parallel legs it exceeds wall_ms — the gap
+  /// is the intra-query speedup.
+  double sum_wall_ms = 0.0;
   uint64_t time_lists_read = 0;    ///< ST-Index time-list fetches
   uint64_t segments_verified = 0;  ///< probability computations performed
-  StorageStats io;                 ///< buffer-pool/disk delta for the query
+  /// Storage-layer delta over the query's execution window. The counters
+  /// are engine-global: the delta is exact for sequential execution, but
+  /// overlapping concurrent queries see each other's traffic in it.
+  StorageStats io;
   size_t max_region_segments = 0;  ///< |maximum bounding region|
   size_t min_region_segments = 0;  ///< |minimum bounding region|
   size_t boundary_segments = 0;    ///< |outer boundary| seeded into TBS

@@ -19,6 +19,18 @@ BufferPool::Frame* BufferPool::InstallLocked(PageId id) {
 
 StatusOr<const Page*> BufferPool::Fetch(PageId id) {
   std::lock_guard<std::mutex> lock(mu_);
+  return FetchLocked(id);
+}
+
+Status BufferPool::ReadInto(PageId id, uint32_t offset, void* dst,
+                            uint32_t n) {
+  std::lock_guard<std::mutex> lock(mu_);
+  STRR_ASSIGN_OR_RETURN(const Page* page, FetchLocked(id));
+  page->Read(offset, dst, n);
+  return Status::OK();
+}
+
+StatusOr<const Page*> BufferPool::FetchLocked(PageId id) {
   if (capacity_ == 0) {
     // Degenerate pool: cache nothing. Every request is a miss served from
     // a private scratch frame (valid until the next Fetch).

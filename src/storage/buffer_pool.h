@@ -30,10 +30,19 @@ class BufferPool {
   BufferPool& operator=(const BufferPool&) = delete;
 
   /// Fetches page `id`, reading it from disk on a miss. The returned
-  /// pointer is owned by the pool and remains valid until eviction; callers
-  /// copy what they need before the next Fetch (the PostingStore and index
-  /// readers do exactly that).
+  /// pointer is owned by the pool and remains valid only until the next
+  /// Fetch/ReadInto from ANY thread (which may evict the frame, or reuse
+  /// the scratch frame of a capacity-0 pool). Single-threaded callers
+  /// (tests, benches) only; concurrent readers must use ReadInto, which
+  /// copies while the frame is pinned under the pool lock.
   StatusOr<const Page*> Fetch(PageId id);
+
+  /// Copies `n` bytes at `offset` within page `id` into `dst`, going
+  /// through the cache (hit/miss accounting identical to Fetch). The copy
+  /// happens under the pool lock, so the bytes are consistent even while
+  /// other threads fetch and evict — this is the concurrent read path the
+  /// query executor relies on. Caller guarantees offset + n <= page size.
+  Status ReadInto(PageId id, uint32_t offset, void* dst, uint32_t n);
 
   /// Writes `page` through to disk and refreshes/installs the cached copy.
   Status WriteThrough(PageId id, const Page& page);
@@ -62,6 +71,10 @@ class BufferPool {
   /// Installs a frame for `id`, evicting LRU victims as needed. Caller
   /// holds mu_.
   Frame* InstallLocked(PageId id);
+
+  /// Hit/miss lookup for `id`. Caller holds mu_; the returned pointer is
+  /// valid only while the lock is held.
+  StatusOr<const Page*> FetchLocked(PageId id);
 
   FileManager* file_;
   size_t capacity_;

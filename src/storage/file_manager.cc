@@ -50,56 +50,60 @@ StatusOr<std::unique_ptr<FileManager>> FileManager::Open(
 
 StatusOr<PageId> FileManager::AllocatePage() {
   Page zero(page_size_);
-  PageId id = num_pages_;
+  std::lock_guard<std::mutex> lock(io_mu_);
+  PageId id = num_pages_.load(std::memory_order_relaxed);
   if (std::fseek(file_, static_cast<long>(id * page_size_), SEEK_SET) != 0) {
     return Status::IoError("seek failed allocating page");
   }
   if (std::fwrite(zero.data(), 1, page_size_, file_) != page_size_) {
     return Status::IoError("short write allocating page");
   }
-  ++num_pages_;
-  ++stats_.disk_page_writes;
+  num_pages_.store(id + 1, std::memory_order_release);
+  page_writes_.fetch_add(1, std::memory_order_relaxed);
   return id;
 }
 
 Status FileManager::ReadPage(PageId id, Page* page) {
-  if (id >= num_pages_) {
+  if (id >= NumPages()) {
     return Status::OutOfRange("read of page " + std::to_string(id) +
-                              " beyond EOF (" + std::to_string(num_pages_) +
+                              " beyond EOF (" + std::to_string(NumPages()) +
                               " pages)");
   }
   if (page->size() != page_size_) {
     return Status::InvalidArgument("page buffer size mismatch");
   }
+  std::lock_guard<std::mutex> lock(io_mu_);
   if (std::fseek(file_, static_cast<long>(id * page_size_), SEEK_SET) != 0) {
     return Status::IoError("seek failed reading page " + std::to_string(id));
   }
   if (std::fread(page->data(), 1, page_size_, file_) != page_size_) {
     return Status::IoError("short read of page " + std::to_string(id));
   }
-  ++stats_.disk_page_reads;
+  page_reads_.fetch_add(1, std::memory_order_relaxed);
   return Status::OK();
 }
 
 Status FileManager::WritePage(PageId id, const Page& page) {
-  if (id >= num_pages_) {
+  if (id >= NumPages()) {
     return Status::OutOfRange("write of page " + std::to_string(id) +
                               " beyond EOF");
   }
   if (page.size() != page_size_) {
     return Status::InvalidArgument("page buffer size mismatch");
   }
+  std::lock_guard<std::mutex> lock(io_mu_);
   if (std::fseek(file_, static_cast<long>(id * page_size_), SEEK_SET) != 0) {
     return Status::IoError("seek failed writing page " + std::to_string(id));
   }
   if (std::fwrite(page.data(), 1, page_size_, file_) != page_size_) {
     return Status::IoError("short write of page " + std::to_string(id));
   }
-  ++stats_.disk_page_writes;
+  page_writes_.fetch_add(1, std::memory_order_relaxed);
   return Status::OK();
 }
 
 Status FileManager::Sync() {
+  std::lock_guard<std::mutex> lock(io_mu_);
   if (std::fflush(file_) != 0) {
     return Status::IoError("fflush failed for " + path_);
   }

@@ -5,6 +5,7 @@
 #ifndef STRR_STORAGE_FILE_MANAGER_H_
 #define STRR_STORAGE_FILE_MANAGER_H_
 
+#include <atomic>
 #include <cstdio>
 #include <memory>
 #include <mutex>
@@ -18,7 +19,9 @@ namespace strr {
 
 /// Owns a stdio file handle and exposes page-level I/O.
 ///
-/// Thread-compatible: callers serialize access (the BufferPool does).
+/// Thread-safe: page transfers serialize on an internal mutex (one stdio
+/// handle has one file position), and the transfer counters are atomics so
+/// stats() is a lock-free snapshot readable while other threads do I/O.
 class FileManager {
  public:
   ~FileManager();
@@ -47,11 +50,23 @@ class FileManager {
   Status Sync();
 
   uint32_t page_size() const { return page_size_; }
-  uint64_t NumPages() const { return num_pages_; }
+  uint64_t NumPages() const {
+    return num_pages_.load(std::memory_order_acquire);
+  }
   const std::string& path() const { return path_; }
 
-  const StorageStats& stats() const { return stats_; }
-  void ResetStats() { stats_ = StorageStats{}; }
+  /// Snapshot of the transfer counters (reads/writes only; the cache
+  /// fields of StorageStats belong to the BufferPool above).
+  StorageStats stats() const {
+    StorageStats s;
+    s.disk_page_reads = page_reads_.load(std::memory_order_relaxed);
+    s.disk_page_writes = page_writes_.load(std::memory_order_relaxed);
+    return s;
+  }
+  void ResetStats() {
+    page_reads_.store(0, std::memory_order_relaxed);
+    page_writes_.store(0, std::memory_order_relaxed);
+  }
 
  private:
   FileManager(std::string path, std::FILE* file, uint32_t page_size,
@@ -64,8 +79,10 @@ class FileManager {
   std::string path_;
   std::FILE* file_;
   uint32_t page_size_;
-  uint64_t num_pages_;
-  StorageStats stats_;
+  std::atomic<uint64_t> num_pages_;
+  std::atomic<uint64_t> page_reads_{0};
+  std::atomic<uint64_t> page_writes_{0};
+  std::mutex io_mu_;  // serializes seek+transfer pairs on file_
 };
 
 }  // namespace strr

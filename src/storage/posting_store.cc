@@ -211,8 +211,10 @@ StatusOr<std::string> PostingStore::Get(PostingKey key) const {
     uint32_t chunk =
         static_cast<uint32_t>(std::min<uint64_t>(page_size - in_page,
                                                  e.length - copied));
-    STRR_ASSIGN_OR_RETURN(const Page* page, pool_->Fetch(pid));
-    page->Read(in_page, out.data() + copied, chunk);
+    // ReadInto copies under the pool lock: safe against concurrent readers
+    // evicting the frame mid-copy (Fetch's raw pointer is not).
+    STRR_RETURN_IF_ERROR(
+        pool_->ReadInto(pid, in_page, out.data() + copied, chunk));
     copied += chunk;
   }
   return out;

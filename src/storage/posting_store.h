@@ -72,7 +72,9 @@ class PostingStoreBuilder {
   bool finished_ = false;
 };
 
-/// Read side. Thread-safe for concurrent Get calls (BufferPool locks).
+/// Read side. Thread-safe for concurrent Get calls: the immutable
+/// directory is shared read-only and page bytes are copied out under the
+/// BufferPool lock (ReadInto), so eviction races cannot tear a blob.
 class PostingStore {
  public:
   /// Opens the store, loading the directory eagerly. The store owns its

@@ -1,23 +1,40 @@
-// Fixed-size worker pool used to parallelize index construction
-// (Con-Index expansion runs per time slot are independent).
+// Fixed-size worker pool shared by index construction (Con-Index expansion
+// runs per time slot are independent) and the concurrent query executor
+// (independent query plans fan out across workers).
 #ifndef STRR_UTIL_THREAD_POOL_H_
 #define STRR_UTIL_THREAD_POOL_H_
 
 #include <condition_variable>
 #include <functional>
+#include <future>
+#include <memory>
 #include <mutex>
 #include <queue>
 #include <thread>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 namespace strr {
 
 /// Simple task-queue thread pool. Tasks are void() callables; exceptions
-/// must not escape tasks (the library does not use exceptions).
+/// must not escape tasks (the library does not use exceptions — the
+/// futures overload transports values, not throwables).
+///
+/// Thread-safety: Submit, Wait and the futures overload may be called
+/// concurrently from any number of threads. Tasks may Submit more work,
+/// but must NOT call Wait(): a waiting task counts as pending, so it
+/// would deadlock waiting for itself. Code that may run on a worker
+/// checks OnWorkerThread() and joins via futures or runs inline instead
+/// (QueryExecutor::ExecuteBatch does exactly that).
 class ThreadPool {
  public:
+  /// `num_threads` of 0 means "one worker per hardware thread".
   explicit ThreadPool(size_t num_threads) {
-    if (num_threads == 0) num_threads = 1;
+    if (num_threads == 0) {
+      num_threads = std::thread::hardware_concurrency();
+      if (num_threads == 0) num_threads = 1;  // unknown topology
+    }
     workers_.reserve(num_threads);
     for (size_t i = 0; i < num_threads; ++i) {
       workers_.emplace_back([this] { WorkerLoop(); });
@@ -46,7 +63,22 @@ class ThreadPool {
     cv_.notify_one();
   }
 
-  /// Blocks until every submitted task has finished.
+  /// Enqueues a value-returning task and returns the future for its result.
+  /// (Void callables take the overload above; join them with Wait().)
+  template <typename F, typename R = std::invoke_result_t<std::decay_t<F>>,
+            typename = std::enable_if_t<!std::is_void_v<R>>>
+  std::future<R> Submit(F&& fn) {
+    auto task =
+        std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
+    std::future<R> result = task->get_future();
+    Submit(std::function<void()>([task] { (*task)(); }));
+    return result;
+  }
+
+  /// Blocks until the pool is idle: every task submitted so far — and any
+  /// task submitted while waiting — has finished. Callers that need
+  /// per-task joins under concurrent Submit traffic should hold futures
+  /// instead.
   void Wait() {
     std::unique_lock<std::mutex> lock(mu_);
     done_cv_.wait(lock, [this] { return pending_ == 0; });
@@ -54,8 +86,14 @@ class ThreadPool {
 
   size_t num_threads() const { return workers_.size(); }
 
+  /// True when the calling thread is one of THIS pool's workers. Lets
+  /// nested fan-out decide to run inline instead of re-submitting to the
+  /// pool and blocking a worker on work that may never be scheduled.
+  bool OnWorkerThread() const { return current_pool_ == this; }
+
  private:
   void WorkerLoop() {
+    current_pool_ = this;
     for (;;) {
       std::function<void()> task;
       {
@@ -73,6 +111,8 @@ class ThreadPool {
     }
   }
 
+  static thread_local const ThreadPool* current_pool_;
+
   std::mutex mu_;
   std::condition_variable cv_;
   std::condition_variable done_cv_;
@@ -81,6 +121,8 @@ class ThreadPool {
   size_t pending_ = 0;
   bool shutdown_ = false;
 };
+
+inline thread_local const ThreadPool* ThreadPool::current_pool_ = nullptr;
 
 }  // namespace strr
 

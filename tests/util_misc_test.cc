@@ -2,7 +2,11 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <future>
+#include <memory>
 #include <set>
+#include <thread>
+#include <vector>
 
 #include "util/rng.h"
 #include "util/thread_pool.h"
@@ -155,13 +159,77 @@ TEST(ThreadPoolTest, WaitWithNoTasksReturns) {
   SUCCEED();
 }
 
-TEST(ThreadPoolTest, ZeroThreadsClampedToOne) {
+TEST(ThreadPoolTest, ZeroThreadsClampsToHardwareConcurrency) {
   ThreadPool pool(0);
-  EXPECT_EQ(pool.num_threads(), 1u);
+  unsigned hw = std::thread::hardware_concurrency();
+  if (hw == 0) {
+    EXPECT_EQ(pool.num_threads(), 1u);  // unknown topology falls back to 1
+  } else {
+    EXPECT_EQ(pool.num_threads(), hw);
+  }
   std::atomic<int> count{0};
   pool.Submit([&count] { count.fetch_add(1); });
   pool.Wait();
   EXPECT_EQ(count.load(), 1);
+}
+
+TEST(ThreadPoolTest, FuturesOverloadReturnsValues) {
+  ThreadPool pool(4);
+  std::vector<std::future<int>> futures;
+  for (int i = 0; i < 32; ++i) {
+    futures.push_back(pool.Submit([i] { return i * i; }));
+  }
+  for (int i = 0; i < 32; ++i) {
+    EXPECT_EQ(futures[i].get(), i * i);
+  }
+}
+
+TEST(ThreadPoolTest, FuturesCarryMoveOnlyResults) {
+  ThreadPool pool(2);
+  auto future = pool.Submit([] {
+    auto p = std::make_unique<int>(41);
+    *p += 1;
+    return p;
+  });
+  std::unique_ptr<int> result = future.get();
+  ASSERT_NE(result, nullptr);
+  EXPECT_EQ(*result, 42);
+}
+
+TEST(ThreadPoolTest, OnWorkerThreadDetection) {
+  ThreadPool pool(2);
+  EXPECT_FALSE(pool.OnWorkerThread());
+  auto inside = pool.Submit([&pool] { return pool.OnWorkerThread(); });
+  EXPECT_TRUE(inside.get());
+  // A different pool's worker is not "on" this pool.
+  ThreadPool other(1);
+  auto cross = other.Submit([&pool] { return pool.OnWorkerThread(); });
+  EXPECT_FALSE(cross.get());
+}
+
+TEST(ThreadPoolTest, WaitConcurrentWithSubmit) {
+  // Hammer Wait() from several threads while others keep submitting: Wait
+  // must neither deadlock nor return while tasks it can see are pending.
+  ThreadPool pool(4);
+  std::atomic<int> executed{0};
+  constexpr int kSubmitters = 3;
+  constexpr int kTasksEach = 200;
+  std::vector<std::thread> submitters;
+  for (int s = 0; s < kSubmitters; ++s) {
+    submitters.emplace_back([&] {
+      for (int i = 0; i < kTasksEach; ++i) {
+        pool.Submit([&executed] { executed.fetch_add(1); });
+        if (i % 50 == 0) pool.Wait();
+      }
+    });
+  }
+  std::thread waiter([&] {
+    for (int i = 0; i < 20; ++i) pool.Wait();
+  });
+  for (auto& t : submitters) t.join();
+  waiter.join();
+  pool.Wait();
+  EXPECT_EQ(executed.load(), kSubmitters * kTasksEach);
 }
 
 TEST(ThreadPoolTest, TasksCanSubmitMoreWorkBeforeWait) {
