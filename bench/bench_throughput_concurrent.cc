@@ -1,19 +1,27 @@
-// Concurrent query throughput — queries/sec vs executor worker count.
+// Concurrent query throughput — queries/sec vs executor worker count,
+// with and without the query front door.
 //
 // Not a paper figure: the paper evaluates one query at a time, but the
 // production north star is a stream of s-/m-queries from many clients.
 // This bench plans a fixed mixed workload once, then executes it through
-// QueryExecutor::ExecuteBatch with 1/2/4/8 workers, reporting throughput
-// and the scaling ratio vs the single-worker run. Results are checked
-// bit-identical across worker counts (threading must never change a
-// region).
+// QueryExecutor::ExecuteBatch under three front-door modes:
+//   * none  — PR 1's raw fan-out (the scaling baseline);
+//   * cache — result cache enabled, one cold fill + timed warm runs, so
+//     the hit-rate column shows what hot-spot traffic costs after the
+//     front door absorbs it;
+//   * admit — admission control with capacity below the batch size, so
+//     the shed-rate column shows typed load shedding instead of unbounded
+//     queueing.
+// Results are checked bit-identical across worker counts and modes
+// (threading and caching must never change a region); shed plans are
+// excluded (they return ResourceExhausted by design).
 //
-// Expected shape: near-linear scaling while workers <= physical cores
-// (the workload is dominated by per-query CPU — expansion, TBS, sorted
-// intersections — with short critical sections in the buffer pool).
+// Set STRR_BENCH_JSON=<path> to also record the rows as JSON — the
+// committed BENCH_throughput.json baseline is produced this way.
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <thread>
 #include <vector>
@@ -62,6 +70,16 @@ std::vector<QueryPlan> PlanWorkload(const BenchStack& stack, int n) {
   return plans;
 }
 
+struct RowResult {
+  int workers = 0;
+  std::string mode;
+  double batch_ms = 0.0;
+  double qps = 0.0;
+  double hit_rate = 0.0;
+  double shed_rate = 0.0;
+  bool identical = true;
+};
+
 }  // namespace
 
 int main() {
@@ -90,45 +108,153 @@ int main() {
     }
   }
 
-  std::printf("Concurrent throughput: %zu mixed s-/m-queries per batch\n",
-              plans.size());
-  PrintRow({"workers", "batch_ms", "qps", "speedup", "identical"});
-  double qps1 = 0.0, qps4 = 0.0;
-  for (int workers : {1, 2, 4, 8}) {
-    auto executor = stack.engine->MakeExecutor({.num_threads = workers});
-    // Median of three timed runs.
+  std::vector<RowResult> rows;
+  // Runs one config: median of three timed batches, hit/shed rates from
+  // the executor's front-door counters over the timed window.
+  auto run_config = [&](int workers, const std::string& mode,
+                        const QueryExecutorOptions& opt,
+                        bool allow_shed) -> RowResult {
+    auto executor = stack.engine->MakeExecutor(opt);
+    if (mode == "cache") {
+      // Cold fill outside the timing: the hot-spot scenario is a steady
+      // stream of repeats over an already-warm front door.
+      auto cold = executor->ExecuteBatch(plans);
+      (void)cold;
+    }
+    QueryExecutor::FrontDoorStats before = executor->front_door_stats();
     std::vector<double> times;
     bool identical = true;
+    size_t shed = 0, served = 0;
     for (int run = 0; run < 3; ++run) {
       Stopwatch watch;
       auto results = executor->ExecuteBatch(plans);
       times.push_back(watch.ElapsedMillis());
       for (size_t i = 0; i < results.size(); ++i) {
-        if (!results[i].ok() ||
-            results[i]->segments != reference[i]->segments) {
+        if (!results[i].ok()) {
+          if (allow_shed && results[i].status().IsResourceExhausted()) {
+            ++shed;
+            continue;
+          }
           identical = false;
+          continue;
         }
+        ++served;
+        if (results[i]->segments != reference[i]->segments) identical = false;
       }
     }
+    QueryExecutor::FrontDoorStats after = executor->front_door_stats();
     std::sort(times.begin(), times.end());
-    double batch_ms = times[1];
-    double qps = plans.size() / (batch_ms / 1000.0);
-    if (workers == 1) qps1 = qps;
-    if (workers == 4) qps4 = qps;
-    PrintRow({std::to_string(workers), Cell(batch_ms, 1), Cell(qps, 1),
-              Cell(qps1 > 0 ? qps / qps1 : 0.0, 2),
-              identical ? "yes" : "NO"});
-    if (!identical) {
-      std::fprintf(stderr, "FATAL: results diverged at %d workers\n",
-                   workers);
-      return 1;
+    RowResult row;
+    row.workers = workers;
+    row.mode = mode;
+    row.batch_ms = times[1];
+    // qps counts only *served* queries: shed plans return in microseconds
+    // and would otherwise inflate the admit-mode throughput ~8x.
+    double served_per_run = static_cast<double>(served) / 3.0;
+    row.qps = served_per_run / (row.batch_ms / 1000.0);
+    uint64_t hits = after.cache_hits - before.cache_hits;
+    uint64_t misses = after.cache_misses - before.cache_misses;
+    row.hit_rate = (hits + misses) > 0
+                       ? static_cast<double>(hits) / (hits + misses)
+                       : 0.0;
+    row.shed_rate = (shed + served) > 0
+                        ? static_cast<double>(shed) / (shed + served)
+                        : 0.0;
+    row.identical = identical;
+    return row;
+  };
+
+  std::printf("Concurrent throughput: %zu mixed s-/m-queries per batch\n",
+              plans.size());
+  PrintRow({"workers", "mode", "batch_ms", "qps", "speedup", "hit_rate",
+            "shed_rate", "identical"});
+  double qps1 = 0.0, qps4 = 0.0, qps4_cache = 0.0;
+  for (int workers : {1, 2, 4, 8}) {
+    for (const char* mode : {"none", "cache"}) {
+      QueryExecutorOptions opt;
+      opt.num_threads = workers;
+      if (std::string(mode) == "cache") opt.result_cache_entries = 4096;
+      RowResult row = run_config(workers, mode, opt, /*allow_shed=*/false);
+      if (workers == 1 && row.mode == "none") qps1 = row.qps;
+      if (workers == 4 && row.mode == "none") qps4 = row.qps;
+      if (workers == 4 && row.mode == "cache") qps4_cache = row.qps;
+      PrintRow({std::to_string(row.workers), row.mode, Cell(row.batch_ms, 1),
+                Cell(row.qps, 1), Cell(qps1 > 0 ? row.qps / qps1 : 0.0, 2),
+                Cell(row.hit_rate, 2), Cell(row.shed_rate, 2),
+                row.identical ? "yes" : "NO"});
+      if (!row.identical) {
+        std::fprintf(stderr,
+                     "FATAL: results diverged at %d workers (mode %s)\n",
+                     workers, mode);
+        return 1;
+      }
+      rows.push_back(row);
     }
   }
+  {
+    // Admission demo: capacity far below the batch size -> typed shedding.
+    QueryExecutorOptions opt;
+    opt.num_threads = 4;
+    opt.max_inflight = 8;
+    opt.max_queued = 8;
+    opt.batch_share = 1.0;
+    RowResult row = run_config(4, "admit", opt, /*allow_shed=*/true);
+    PrintRow({std::to_string(row.workers), row.mode, Cell(row.batch_ms, 1),
+              Cell(row.qps, 1), Cell(qps1 > 0 ? row.qps / qps1 : 0.0, 2),
+              Cell(row.hit_rate, 2), Cell(row.shed_rate, 2),
+              row.identical ? "yes" : "NO"});
+    if (!row.identical) {
+      std::fprintf(stderr, "FATAL: admitted results diverged\n");
+      return 1;
+    }
+    rows.push_back(row);
+  }
 
-  ShapeCheck("throughput_scales_with_workers", qps4 >= 2.0 * qps1,
+  bool scale_ok = qps4 >= 2.0 * qps1;
+  ShapeCheck("throughput_scales_with_workers", scale_ok,
              "4-worker qps " + Cell(qps4, 1) + " vs 1-worker " +
                  Cell(qps1, 1) + " (>=2x expected on >=4 cores; this host has " +
                  std::to_string(std::thread::hardware_concurrency()) +
                  " hardware threads)");
+  RowResult* cache4 = nullptr;
+  for (RowResult& r : rows) {
+    if (r.workers == 4 && r.mode == "cache") cache4 = &r;
+  }
+  bool cache_ok = cache4 != nullptr && cache4->hit_rate > 0.0 &&
+                  qps4_cache >= qps4;
+  ShapeCheck("cache_absorbs_hot_spot_repeats", cache_ok,
+             "4-worker warm hit rate " +
+                 Cell(cache4 ? cache4->hit_rate : 0.0, 2) + ", cached qps " +
+                 Cell(qps4_cache, 1) + " vs uncached " + Cell(qps4, 1));
+  RowResult& admit = rows.back();
+  ShapeCheck("admission_sheds_over_capacity_typed", admit.shed_rate > 0.0,
+             "shed rate " + Cell(admit.shed_rate, 2) +
+                 " with capacity 8 against a 64-plan batch");
+
+  if (const char* json_path = std::getenv("STRR_BENCH_JSON")) {
+    std::FILE* f = std::fopen(json_path, "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "FATAL: cannot write %s\n", json_path);
+      return 1;
+    }
+    std::fprintf(f, "{\n  \"bench\": \"throughput_concurrent\",\n");
+    std::fprintf(f, "  \"queries_per_batch\": %zu,\n", plans.size());
+    std::fprintf(f, "  \"hardware_threads\": %u,\n",
+                 std::thread::hardware_concurrency());
+    std::fprintf(f, "  \"rows\": [\n");
+    for (size_t i = 0; i < rows.size(); ++i) {
+      const RowResult& r = rows[i];
+      std::fprintf(f,
+                   "    {\"workers\": %d, \"mode\": \"%s\", \"batch_ms\": "
+                   "%.2f, \"qps\": %.1f, \"hit_rate\": %.3f, \"shed_rate\": "
+                   "%.3f, \"identical\": %s}%s\n",
+                   r.workers, r.mode.c_str(), r.batch_ms, r.qps, r.hit_rate,
+                   r.shed_rate, r.identical ? "true" : "false",
+                   i + 1 < rows.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    std::fprintf(stderr, "# wrote %s\n", json_path);
+  }
   return 0;
 }

@@ -1,0 +1,91 @@
+#include "core/admission_controller.h"
+
+#include <algorithm>
+#include <string>
+
+namespace strr {
+
+AdmissionController::AdmissionController(const AdmissionOptions& options)
+    : max_inflight_(options.max_inflight), max_queued_(options.max_queued) {
+  double share = std::clamp(options.batch_share, 0.0, 1.0);
+  batch_cap_ = std::max<size_t>(
+      static_cast<size_t>(static_cast<double>(max_inflight_) * share), 1);
+  batch_cap_ = std::min(batch_cap_, std::max<size_t>(max_inflight_, 1));
+}
+
+Status AdmissionController::Admit() {
+  if (!enabled()) return Status::OK();
+  std::unique_lock<std::mutex> lock(mu_);
+  if (inflight_ >= max_inflight_) {
+    if (waiting_ >= max_queued_) {
+      ++stats_.shed;
+      return Status::ResourceExhausted(
+          "admission queue full: " + std::to_string(inflight_) +
+          " in flight, " + std::to_string(waiting_) + " waiting (limits " +
+          std::to_string(max_inflight_) + "/" + std::to_string(max_queued_) +
+          ")");
+    }
+    ++waiting_;
+    ticket_free_.wait(lock, [this] { return inflight_ < max_inflight_; });
+    --waiting_;
+  }
+  ++inflight_;
+  ++stats_.admitted;
+  return Status::OK();
+}
+
+Status AdmissionController::TryAdmitBatch() {
+  if (!enabled()) return Status::OK();
+  std::lock_guard<std::mutex> lock(mu_);
+  if (inflight_ >= max_inflight_ || batch_inflight_ >= batch_cap_) {
+    ++stats_.shed;
+    return Status::ResourceExhausted(
+        "batch over capacity: " + std::to_string(inflight_) + " in flight (" +
+        std::to_string(batch_inflight_) + " batch, batch cap " +
+        std::to_string(batch_cap_) + " of " + std::to_string(max_inflight_) +
+        ")");
+  }
+  ++inflight_;
+  ++batch_inflight_;
+  ++stats_.admitted;
+  return Status::OK();
+}
+
+void AdmissionController::Release() {
+  if (!enabled()) return;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    --inflight_;
+  }
+  // notify_all, not _one: a freed ticket may be claimable by a waiting
+  // single while another waiter's predicate stays false — waking everyone
+  // lets the mutex arbitrate.
+  ticket_free_.notify_all();
+}
+
+void AdmissionController::ReleaseBatch() {
+  if (!enabled()) return;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    --inflight_;
+    --batch_inflight_;
+  }
+  ticket_free_.notify_all();
+}
+
+AdmissionController::Stats AdmissionController::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+size_t AdmissionController::inflight() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return inflight_;
+}
+
+size_t AdmissionController::queued() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return waiting_;
+}
+
+}  // namespace strr

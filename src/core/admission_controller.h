@@ -1,0 +1,96 @@
+// AdmissionController: bounded admission + load shedding for the query
+// front door.
+//
+// A production engine fed by millions of clients cannot accept unbounded
+// work: PR 1's ExecuteBatch would happily queue a 100k-plan batch and let
+// every caller discover the overload as tail latency. This controller
+// makes overload explicit and typed instead:
+//
+//  * at most `max_inflight` admitted queries are outstanding at once
+//    (executing, or fanned out to the executor pool);
+//  * single queries over that limit wait in a bounded FIFO-ish queue of at
+//    most `max_queued` callers; when the queue is full they are shed with
+//    Status::ResourceExhausted;
+//  * batch plans never wait: each plan either takes a free ticket at
+//    submission time or is shed immediately — an over-capacity
+//    ExecuteBatch degrades to "serve what fits, reject the rest" instead
+//    of queueing unboundedly;
+//  * batches collectively hold at most `batch_share` of max_inflight
+//    (min 1), so a saturating batch always leaves tickets that only
+//    single queries can claim — one big batch cannot starve singles.
+//
+// Shedding happens only at admission: a query that holds a ticket always
+// runs to completion. Waiting happens only on caller threads, never on
+// executor pool workers (QueryExecutor skips admission for work already
+// on its own pool), so admission can never deadlock the pool against
+// itself.
+#ifndef STRR_CORE_ADMISSION_CONTROLLER_H_
+#define STRR_CORE_ADMISSION_CONTROLLER_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+
+#include "util/status.h"
+
+namespace strr {
+
+/// Admission knobs. Defaults keep admission disabled (unbounded), matching
+/// the paper-reproduction benches; servers opt in.
+struct AdmissionOptions {
+  /// Max admitted-and-outstanding queries. 0 disables admission control.
+  size_t max_inflight = 0;
+  /// Max single-query callers blocked waiting for a ticket.
+  size_t max_queued = 64;
+  /// Fraction of max_inflight all batch work combined may hold, in (0, 1];
+  /// clamped so batches always get at least one ticket.
+  double batch_share = 0.5;
+};
+
+/// See file comment. All methods are thread-safe.
+class AdmissionController {
+ public:
+  explicit AdmissionController(const AdmissionOptions& options);
+
+  bool enabled() const { return max_inflight_ > 0; }
+
+  /// Admits a single query: takes a ticket immediately, waits in the
+  /// bounded queue for one, or sheds with ResourceExhausted. On OK the
+  /// caller must eventually call Release() exactly once.
+  Status Admit();
+
+  /// Admits one batch plan without blocking: ticket or ResourceExhausted.
+  /// On OK the caller must eventually call ReleaseBatch() exactly once.
+  Status TryAdmitBatch();
+
+  void Release();
+  void ReleaseBatch();
+
+  /// Counters (monotonic; disabled controllers count nothing).
+  struct Stats {
+    uint64_t admitted = 0;
+    uint64_t shed = 0;
+  };
+  Stats stats() const;
+
+  size_t inflight() const;
+  size_t queued() const;
+  size_t max_inflight() const { return max_inflight_; }
+  size_t batch_cap() const { return batch_cap_; }
+
+ private:
+  size_t max_inflight_;
+  size_t max_queued_;
+  size_t batch_cap_;
+
+  mutable std::mutex mu_;
+  std::condition_variable ticket_free_;
+  size_t inflight_ = 0;        // all outstanding tickets
+  size_t batch_inflight_ = 0;  // tickets held by batch plans
+  size_t waiting_ = 0;         // single callers blocked in Admit
+  Stats stats_;
+};
+
+}  // namespace strr
+
+#endif  // STRR_CORE_ADMISSION_CONTROLLER_H_

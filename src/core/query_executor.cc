@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <future>
+#include <optional>
 #include <string>
+#include <utility>
 
 #include "query/es_baseline.h"
 #include "query/probability.h"
@@ -60,9 +62,172 @@ QueryExecutor::QueryExecutor(const RoadNetwork& network,
       options_(options),
       pool_(options.num_threads < 0 ? 1
                                     : static_cast<size_t>(options.num_threads)) {
+  if (options_.result_cache_entries > 0) {
+    ResultCacheOptions cache_opt;
+    cache_opt.capacity = options_.result_cache_entries;
+    cache_opt.shards = options_.result_cache_shards;
+    cache_ = std::make_unique<ResultCache>(delta_t_seconds_, cache_opt);
+  }
+  if (options_.max_inflight > 0) {
+    AdmissionOptions adm_opt;
+    adm_opt.max_inflight = options_.max_inflight;
+    adm_opt.max_queued = options_.max_queued;
+    adm_opt.batch_share = options_.batch_share;
+    admission_ = std::make_unique<AdmissionController>(adm_opt);
+  }
 }
 
 StatusOr<RegionResult> QueryExecutor::Execute(const QueryPlan& plan) {
+  return ExecuteFrontDoor(plan, /*batch=*/false);
+}
+
+StatusOr<RegionResult> QueryExecutor::ExecuteFrontDoor(const QueryPlan& plan,
+                                                       bool batch) {
+  std::optional<PlanKey> key;
+  if (cache_ != nullptr) {
+    key = MakePlanKey(plan);
+    if (std::optional<RegionResult> hit = cache_->Lookup(*key)) {
+      return *std::move(hit);
+    }
+  }
+  // Work already on this executor's pool (m-query legs, nested calls) was
+  // admitted as part of its enclosing query; re-admitting it here could
+  // shed or block mid-query. Admission gates external callers only.
+  bool ticket = false;
+  if (admission_ != nullptr && !pool_.OnWorkerThread()) {
+    if (batch) {
+      // Batch plans take a ticket or shed — they never wait, and they
+      // count against the batch fair share even on the inline path.
+      STRR_RETURN_IF_ERROR(admission_->TryAdmitBatch());
+    } else {
+      STRR_RETURN_IF_ERROR(admission_->Admit());
+    }
+    ticket = true;
+  }
+  StatusOr<RegionResult> result = ExecutePlan(plan);
+  if (ticket) {
+    if (batch) {
+      admission_->ReleaseBatch();
+    } else {
+      admission_->Release();
+    }
+  }
+  if (cache_ != nullptr && key && result.ok()) cache_->Insert(*key, *result);
+  return result;
+}
+
+StatusOr<RegionResult> QueryExecutor::RunAdmitted(const QueryPlan& plan,
+                                                  const PlanKey* key,
+                                                  bool batch_ticket) {
+  StatusOr<RegionResult> result = ExecutePlan(plan);
+  if (batch_ticket) {
+    if (admission_ != nullptr) admission_->ReleaseBatch();
+  }
+  if (cache_ != nullptr && key != nullptr && result.ok()) {
+    cache_->Insert(*key, *result);
+  }
+  return result;
+}
+
+std::vector<StatusOr<RegionResult>> QueryExecutor::ExecuteBatch(
+    std::span<const QueryPlan> plans) {
+  std::vector<StatusOr<RegionResult>> results;
+  results.reserve(plans.size());
+  if (pool_.OnWorkerThread() || pool_.num_threads() <= 1) {
+    // Already on a pool worker (nested batch) or no parallelism available:
+    // run inline — submitting and blocking here could starve the pool.
+    // Front-door steps still apply per plan with batch semantics (take a
+    // ticket or shed, never wait; admission is skipped on a worker
+    // thread).
+    for (const QueryPlan& plan : plans) {
+      results.push_back(ExecuteFrontDoor(plan, /*batch=*/true));
+    }
+    return results;
+  }
+  // Fan out. Cache lookups and admission happen here on the caller thread
+  // so capacity is enforced at submission time: plans that do not fit are
+  // shed in place instead of piling up in the (unbounded) pool queue.
+  std::vector<std::future<StatusOr<RegionResult>>> futures(plans.size());
+  std::vector<std::optional<StatusOr<RegionResult>>> immediate(plans.size());
+  for (size_t i = 0; i < plans.size(); ++i) {
+    const QueryPlan& plan = plans[i];
+    std::optional<PlanKey> key;
+    if (cache_ != nullptr) {
+      key = MakePlanKey(plan);
+      if (std::optional<RegionResult> hit = cache_->Lookup(*key)) {
+        immediate[i].emplace(*std::move(hit));
+        continue;
+      }
+    }
+    bool ticket = false;
+    if (admission_ != nullptr) {
+      Status admitted = admission_->TryAdmitBatch();
+      if (!admitted.ok()) {
+        immediate[i].emplace(std::move(admitted));
+        continue;
+      }
+      ticket = true;
+    }
+    futures[i] = pool_.Submit(
+        [this, &plan, key = std::move(key),
+         ticket]() -> StatusOr<RegionResult> {
+          return RunAdmitted(plan, key ? &*key : nullptr,
+                             /*batch_ticket=*/ticket);
+        });
+  }
+  for (size_t i = 0; i < plans.size(); ++i) {
+    if (immediate[i].has_value()) {
+      results.push_back(std::move(*immediate[i]));
+    } else {
+      results.push_back(futures[i].get());
+    }
+  }
+  return results;
+}
+
+std::vector<StatusOr<RegionResult>> QueryExecutor::ExecuteRaw(
+    std::span<const QueryPlan> plans) {
+  std::vector<StatusOr<RegionResult>> results;
+  results.reserve(plans.size());
+  if (pool_.OnWorkerThread() || pool_.num_threads() <= 1) {
+    for (const QueryPlan& plan : plans) results.push_back(ExecutePlan(plan));
+    return results;
+  }
+  std::vector<std::future<StatusOr<RegionResult>>> futures;
+  futures.reserve(plans.size());
+  for (const QueryPlan& plan : plans) {
+    futures.push_back(pool_.Submit([this, &plan]() -> StatusOr<RegionResult> {
+      return ExecutePlan(plan);
+    }));
+  }
+  for (auto& f : futures) results.push_back(f.get());
+  return results;
+}
+
+void QueryExecutor::InvalidateCachedTimeRange(int64_t begin_tod,
+                                              int64_t end_tod) {
+  if (cache_ != nullptr) cache_->InvalidateTimeRange(begin_tod, end_tod);
+}
+
+QueryExecutor::FrontDoorStats QueryExecutor::front_door_stats() const {
+  FrontDoorStats out;
+  if (cache_ != nullptr) {
+    ResultCache::Stats c = cache_->stats();
+    out.cache_hits = c.hits;
+    out.cache_misses = c.misses;
+    out.cache_insertions = c.insertions;
+    out.cache_evictions = c.evictions;
+    out.cache_invalidated = c.invalidated;
+  }
+  if (admission_ != nullptr) {
+    AdmissionController::Stats a = admission_->stats();
+    out.admitted = a.admitted;
+    out.shed = a.shed;
+  }
+  return out;
+}
+
+StatusOr<RegionResult> QueryExecutor::ExecutePlan(const QueryPlan& plan) {
   STRR_RETURN_IF_ERROR(ValidatePlan(plan));
   switch (plan.strategy) {
     case QueryStrategy::kIndexed:
@@ -75,29 +240,9 @@ StatusOr<RegionResult> QueryExecutor::Execute(const QueryPlan& plan) {
   return Status::Internal("QueryPlan: unknown strategy");
 }
 
-std::vector<StatusOr<RegionResult>> QueryExecutor::ExecuteBatch(
-    std::span<const QueryPlan> plans) {
-  std::vector<StatusOr<RegionResult>> results;
-  results.reserve(plans.size());
-  if (pool_.OnWorkerThread() || pool_.num_threads() <= 1) {
-    // Already on a pool worker (nested batch) or no parallelism available:
-    // run inline — submitting and blocking here could starve the pool.
-    for (const QueryPlan& plan : plans) results.push_back(Execute(plan));
-    return results;
-  }
-  std::vector<std::future<StatusOr<RegionResult>>> futures;
-  futures.reserve(plans.size());
-  for (const QueryPlan& plan : plans) {
-    futures.push_back(pool_.Submit(
-        [this, &plan]() -> StatusOr<RegionResult> { return Execute(plan); }));
-  }
-  for (auto& f : futures) results.push_back(f.get());
-  return results;
-}
-
 StatusOr<RegionResult> QueryExecutor::RunTraceBack(
     const BoundingRegions& regions, int64_t start_tod, int64_t duration,
-    double prob, double setup_ms, const StorageStats& io_before) {
+    double prob, double setup_ms, const ScopedIoCounters& io_scope) {
   Stopwatch watch;
   STRR_ASSIGN_OR_RETURN(
       ReachabilityProbability oracle,
@@ -121,7 +266,7 @@ StatusOr<RegionResult> QueryExecutor::RunTraceBack(
   result.stats.sum_wall_ms = result.stats.wall_ms;
   result.stats.segments_verified = oracle.verifications();
   result.stats.time_lists_read = oracle.time_lists_read();
-  result.stats.io = st_index_->storage_stats() - io_before;
+  result.stats.io = io_scope.stats();
   result.stats.max_region_segments = regions.max_region.size();
   result.stats.min_region_segments = regions.min_region.size();
   result.stats.boundary_segments = regions.boundary.size();
@@ -130,7 +275,7 @@ StatusOr<RegionResult> QueryExecutor::RunTraceBack(
 
 StatusOr<RegionResult> QueryExecutor::ExecuteIndexed(const QueryPlan& plan) {
   Stopwatch watch;
-  StorageStats io_before = st_index_->storage_stats();
+  ScopedIoCounters io_scope;  // attributes this query's storage traffic
   BoundingRegions regions;
   if (plan.IsMultiLocation()) {
     STRR_ASSIGN_OR_RETURN(
@@ -143,23 +288,27 @@ StatusOr<RegionResult> QueryExecutor::ExecuteIndexed(const QueryPlan& plan) {
                                plan.start_tod, plan.duration));
   }
   return RunTraceBack(regions, plan.start_tod, plan.duration, plan.prob,
-                      watch.ElapsedMillis(), io_before);
+                      watch.ElapsedMillis(), io_scope);
 }
 
 StatusOr<RegionResult> QueryExecutor::ExecuteExhaustive(
     const QueryPlan& plan) {
+  ScopedIoCounters io_scope;
   SQuery query{plan.locations[0], plan.start_tod, plan.duration, plan.prob};
   STRR_ASSIGN_OR_RETURN(
       RegionResult result,
       ExhaustiveSearch(*st_index_, *profile_, query, delta_t_seconds_,
                        plan.location_starts[0]));
   result.stats.sum_wall_ms = result.stats.wall_ms;
+  // ES computes stats.io as an engine-global delta (fine for its
+  // standalone single-threaded callers); under the executor the scoped
+  // per-thread counters are authoritative.
+  result.stats.io = io_scope.stats();
   return result;
 }
 
 StatusOr<RegionResult> QueryExecutor::ExecuteRepeatedS(const QueryPlan& plan) {
   Stopwatch watch;
-  StorageStats io_before = st_index_->storage_stats();
 
   // One independent single-location indexed leg per query location.
   std::vector<QueryPlan> legs;
@@ -177,12 +326,14 @@ StatusOr<RegionResult> QueryExecutor::ExecuteRepeatedS(const QueryPlan& plan) {
 
   std::vector<StatusOr<RegionResult>> leg_results;
   if (options_.parallel_mquery_legs) {
-    // ExecuteBatch already degrades to an inline sequential loop on a pool
-    // worker or a single-thread pool — one fan-out decision point.
-    leg_results = ExecuteBatch(legs);
+    // ExecuteRaw degrades to an inline sequential loop on a pool worker or
+    // a single-thread pool — one fan-out decision point. Legs bypass the
+    // front door: the m-query was admitted (and will be cached) as one
+    // unit.
+    leg_results = ExecuteRaw(legs);
   } else {
     leg_results.reserve(legs.size());
-    for (const QueryPlan& leg : legs) leg_results.push_back(Execute(leg));
+    for (const QueryPlan& leg : legs) leg_results.push_back(ExecutePlan(leg));
   }
 
   // Merge in location order so the result is independent of scheduling.
@@ -198,17 +349,17 @@ StatusOr<RegionResult> QueryExecutor::ExecuteRepeatedS(const QueryPlan& plan) {
     merged.stats.max_region_segments += r.stats.max_region_segments;
     merged.stats.min_region_segments += r.stats.min_region_segments;
     merged.stats.boundary_segments += r.stats.boundary_segments;
+    // Per-leg scoped counters are exact and disjoint (each leg counts on
+    // its own thread), so the sum attributes the whole m-query without
+    // double counting — unlike the engine-global delta PR 1 used, which
+    // absorbed every concurrent neighbour's traffic.
+    merged.stats.io += r.stats.io;
   }
   std::sort(all.begin(), all.end());
   all.erase(std::unique(all.begin(), all.end()), all.end());
   merged.segments = std::move(all);
   merged.total_length_m = network_->LengthOfSegments(merged.segments);
   merged.stats.wall_ms = watch.ElapsedMillis();
-  // The outer counter delta already contains every leg's traffic; summing
-  // the per-leg deltas on top would double-count it (and under parallel
-  // legs the per-leg deltas overlap anyway), so only the outer delta is
-  // reported.
-  merged.stats.io = st_index_->storage_stats() - io_before;
   return merged;
 }
 

@@ -1,4 +1,5 @@
-// QueryExecutor: the "execute" half of the plan -> execute pipeline.
+// QueryExecutor: the query front door plus the "execute" half of the
+// plan -> execute pipeline.
 //
 // Owns a ThreadPool shared by every query it runs and executes QueryPlans
 // produced by the QueryPlanner:
@@ -8,6 +9,19 @@
 //  * inside one kRepeatedS m-query, the per-location SQMB+TBS legs can run
 //    in parallel on the same pool.
 //
+// Front door (both opt-in via options, off by default so the facade
+// reproduces the paper's measurements exactly):
+//  * ResultCache — plans are keyed canonically (MakePlanKey) and identical
+//    plans are served from cache bit-identically, with Δt-slot
+//    invalidation wired to speed-profile/congestion refreshes through
+//    InvalidateCachedTimeRange;
+//  * AdmissionController — bounded outstanding work with typed
+//    ResourceExhausted shedding; batch plans shed instead of queueing
+//    unboundedly, and batches keep at most a configured share of the
+//    tickets so they cannot starve single queries. Work already running
+//    on this executor's own pool (m-query legs, nested batches) is never
+//    re-admitted: the enclosing query was admitted as one unit.
+//
 // Concurrency contract: every index read path underneath (ST-Index
 // time-list reads through the BufferPool, lazy Con-Index materialization,
 // speed-profile lookups) is concurrent-read-safe, so one executor over one
@@ -15,12 +29,18 @@
 // bit-identical to sequential execution — threading only changes the
 // schedule, never the region (lazy Con-Index build races keep the first
 // deterministic result; batch/leg merges happen in submission order).
+// Per-query stats.io is attributed through a thread-local ScopedIoCounters
+// in the storage layer, so concurrent queries never contaminate each
+// other's I/O deltas.
 #ifndef STRR_CORE_QUERY_EXECUTOR_H_
 #define STRR_CORE_QUERY_EXECUTOR_H_
 
+#include <memory>
 #include <span>
 #include <vector>
 
+#include "core/admission_controller.h"
+#include "core/result_cache.h"
 #include "index/con_index.h"
 #include "index/speed_profile.h"
 #include "index/st_index.h"
@@ -28,6 +48,7 @@
 #include "query/query.h"
 #include "query/query_plan.h"
 #include "roadnet/road_network.h"
+#include "storage/io_context.h"
 #include "util/result.h"
 #include "util/thread_pool.h"
 
@@ -42,6 +63,18 @@ struct QueryExecutorOptions {
   /// already on a pool worker). Off = legs run sequentially, reproducing
   /// the paper's single-threaded m-query baseline timings.
   bool parallel_mquery_legs = true;
+  /// Result-cache capacity in entries; 0 disables caching. Off by default:
+  /// cached results replay the original execution's stats, which would
+  /// skew the paper-reproduction measurements.
+  size_t result_cache_entries = 0;
+  /// Result-cache shard count (locks); only meaningful when caching is on.
+  size_t result_cache_shards = 8;
+  /// Max admitted-and-outstanding queries; 0 disables admission control.
+  size_t max_inflight = 0;
+  /// Max single-query callers blocked waiting for admission.
+  size_t max_queued = 64;
+  /// Share of max_inflight all batch work combined may hold, in (0, 1].
+  double batch_share = 0.5;
 };
 
 /// Runs query plans over one engine's index stack. Thread-safe: Execute
@@ -55,29 +88,80 @@ class QueryExecutor {
                 const QueryExecutorOptions& options = {});
 
   /// Executes one plan on the calling thread (kRepeatedS legs may still
-  /// fan out, see QueryExecutorOptions::parallel_mquery_legs).
+  /// fan out, see QueryExecutorOptions::parallel_mquery_legs), routed
+  /// through the front door: cache lookup first, then admission (which
+  /// may block in the bounded queue or shed with ResourceExhausted).
   StatusOr<RegionResult> Execute(const QueryPlan& plan);
 
   /// Executes independent plans concurrently across the pool; result i
   /// corresponds to plan i. Per-plan errors are reported in place — the
-  /// rest of the batch still runs. Safe to call from a pool worker (runs
-  /// inline sequentially rather than deadlocking the pool on itself).
+  /// rest of the batch still runs. Cache hits are served inline; the rest
+  /// admit at submission time and plans that exceed capacity are shed in
+  /// place with ResourceExhausted (never queued unboundedly). Safe to call
+  /// from a pool worker (runs inline sequentially rather than deadlocking
+  /// the pool on itself).
   std::vector<StatusOr<RegionResult>> ExecuteBatch(
       std::span<const QueryPlan> plans);
+
+  // --- Front door ------------------------------------------------------------
+
+  /// The plan-keyed result cache, or nullptr when disabled.
+  ResultCache* result_cache() { return cache_.get(); }
+
+  /// The admission controller, or nullptr when disabled.
+  AdmissionController* admission_controller() { return admission_.get(); }
+
+  /// Evicts cached results whose Δt-slot window intersects
+  /// [begin_tod, end_tod) — call after a congestion / speed-profile
+  /// refresh of that time range. No-op when caching is off.
+  void InvalidateCachedTimeRange(int64_t begin_tod, int64_t end_tod);
+
+  /// Snapshot of the front-door counters (zeroes when the corresponding
+  /// feature is disabled).
+  struct FrontDoorStats {
+    uint64_t cache_hits = 0;
+    uint64_t cache_misses = 0;
+    uint64_t cache_insertions = 0;
+    uint64_t cache_evictions = 0;
+    uint64_t cache_invalidated = 0;
+    uint64_t admitted = 0;
+    uint64_t shed = 0;
+  };
+  FrontDoorStats front_door_stats() const;
 
   ThreadPool& thread_pool() { return pool_; }
   int64_t delta_t_seconds() const { return delta_t_seconds_; }
 
  private:
+  /// Validates and dispatches one plan (no front door). Runs on the
+  /// calling thread; used for admitted work and for m-query legs.
+  StatusOr<RegionResult> ExecutePlan(const QueryPlan& plan);
+
+  /// The front door for one plan on the calling thread: cache lookup,
+  /// admission (batch semantics = take-or-shed, single = bounded wait),
+  /// execute, release, cache insert.
+  StatusOr<RegionResult> ExecuteFrontDoor(const QueryPlan& plan, bool batch);
+
+  /// Shared tail of the front-door paths: run, release the admission
+  /// ticket (when held), insert into the cache on success.
+  StatusOr<RegionResult> RunAdmitted(const QueryPlan& plan,
+                                     const PlanKey* key, bool batch_ticket);
+
+  /// Executes `plans` with no admission or caching — the raw fan-out PR 1
+  /// shipped, kept for m-query legs (already admitted as one unit).
+  std::vector<StatusOr<RegionResult>> ExecuteRaw(
+      std::span<const QueryPlan> plans);
+
   StatusOr<RegionResult> ExecuteIndexed(const QueryPlan& plan);
   StatusOr<RegionResult> ExecuteExhaustive(const QueryPlan& plan);
   StatusOr<RegionResult> ExecuteRepeatedS(const QueryPlan& plan);
 
   /// Shared tail of the indexed paths: probability oracle, TBS, stats.
+  /// `io_scope` is the attribution scope covering this query's execution.
   StatusOr<RegionResult> RunTraceBack(const BoundingRegions& regions,
                                       int64_t start_tod, int64_t duration,
                                       double prob, double setup_ms,
-                                      const StorageStats& io_before);
+                                      const ScopedIoCounters& io_scope);
 
   const RoadNetwork* network_;
   const StIndex* st_index_;
@@ -85,6 +169,8 @@ class QueryExecutor {
   const SpeedProfile* profile_;
   int64_t delta_t_seconds_;
   QueryExecutorOptions options_;
+  std::unique_ptr<ResultCache> cache_;          // null = caching off
+  std::unique_ptr<AdmissionController> admission_;  // null = admission off
   ThreadPool pool_;
 };
 

@@ -48,7 +48,24 @@ StatusOr<std::unique_ptr<ReachabilityEngine>> ReachabilityEngine::Build(
   QueryExecutorOptions exec_opt;
   exec_opt.num_threads = options.query_threads;
   exec_opt.parallel_mquery_legs = options.parallel_mquery_legs;
+  exec_opt.result_cache_entries = options.result_cache_entries;
+  exec_opt.result_cache_shards = options.result_cache_shards;
+  exec_opt.max_inflight = options.max_inflight_queries;
+  exec_opt.max_queued = options.max_queued_queries;
+  exec_opt.batch_share = options.batch_share;
   engine->executor_ = engine->MakeExecutor(exec_opt);
+
+  // Invalidation fan-out: a speed-profile refresh drops the Con-Index
+  // tables and the default executor's cached results for exactly the
+  // covered time range. The captured pointers are owned by the engine and
+  // outlive the profile that holds the listener.
+  ConIndex* con_index = engine->con_index_.get();
+  QueryExecutor* executor = engine->executor_.get();
+  engine->profile_->AddUpdateListener(
+      [con_index, executor](int64_t begin_tod, int64_t end_tod) {
+        con_index->InvalidateTimeRange(begin_tod, end_tod);
+        executor->InvalidateCachedTimeRange(begin_tod, end_tod);
+      });
   return engine;
 }
 
@@ -88,6 +105,14 @@ StatusOr<RegionResult> ReachabilityEngine::MQueryRepeatedSQuery(
 void ReachabilityEngine::ResetIoStats(bool drop_cache) {
   st_index_->ResetStorageStats();
   if (drop_cache) st_index_->DropCache();
+}
+
+void ReachabilityEngine::ApplySpeedObservation(SegmentId seg,
+                                               int64_t time_of_day_sec,
+                                               double speed_mps) {
+  // The profile notifies its update listeners (registered in Build), which
+  // invalidate the Con-Index slot tables and the cached query results.
+  profile_->ApplyObservation(seg, time_of_day_sec, speed_mps);
 }
 
 }  // namespace strr

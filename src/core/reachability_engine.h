@@ -60,6 +60,18 @@ struct EngineOptions {
   /// facade reproduces the paper's single-threaded baseline timings;
   /// throughput-oriented callers flip it (or use the executor directly).
   bool parallel_mquery_legs = false;
+  // --- Query front door (see QueryExecutorOptions; both off by default so
+  // the facade's per-query stats keep their paper-reproduction semantics —
+  // cached results replay the original execution's stats) ---------------------
+  /// Result-cache capacity in entries; 0 disables caching.
+  size_t result_cache_entries = 0;
+  size_t result_cache_shards = 8;
+  /// Max admitted-and-outstanding queries; 0 disables admission control.
+  size_t max_inflight_queries = 0;
+  /// Max single-query callers blocked waiting for admission.
+  size_t max_queued_queries = 64;
+  /// Share of max_inflight_queries all batch work combined may hold.
+  double batch_share = 0.5;
 };
 
 /// Facade over the whole query stack. Thread-safe for concurrent queries:
@@ -104,11 +116,29 @@ class ReachabilityEngine {
   const ConIndex& con_index() const { return *con_index_; }
   ConIndex& con_index() { return *con_index_; }
   const SpeedProfile& speed_profile() const { return *profile_; }
+  SpeedProfile& speed_profile() { return *profile_; }
   const RoadNetwork& network() const { return *network_; }
   int64_t delta_t_seconds() const { return options_.delta_t_seconds; }
 
   /// Resets ST-Index I/O counters and optionally drops the page cache.
   void ResetIoStats(bool drop_cache = false);
+
+  // --- Live updates ----------------------------------------------------------
+
+  /// Folds a fresh speed observation (e.g. a live congestion feed sample)
+  /// into the speed profile and invalidates everything derived from the
+  /// covered time range: the Con-Index tables of that profile slot and
+  /// the default executor's cached results whose Δt windows intersect it
+  /// (SpeedProfile update listeners carry the fan-out, so additional
+  /// listeners can be registered on speed_profile()). Results computed
+  /// after this call reflect the updated statistics and are bit-identical
+  /// to an uncached recompute.
+  ///
+  /// NOT safe against concurrent queries — quiesce them first. Executors
+  /// created through MakeExecutor own private caches that this call does
+  /// not see; invalidate them explicitly.
+  void ApplySpeedObservation(SegmentId seg, int64_t time_of_day_sec,
+                             double speed_mps);
 
  private:
   ReachabilityEngine(const RoadNetwork& network, EngineOptions options)

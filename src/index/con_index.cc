@@ -63,6 +63,7 @@ void ConIndex::ComputeTables(SegmentId seg, SlotId slot,
   bucket.far[seg] = std::move(far_list);
   bucket.near[seg] = std::move(near_list);
   bucket.ready[seg] = 1;
+  ++bucket.ready_count;
 }
 
 ConIndex::SlotTables& ConIndex::EnsureTables(SegmentId seg,
@@ -104,6 +105,34 @@ Status ConIndex::BuildAll() {
   }
   pool.Wait();
   return Status::OK();
+}
+
+size_t ConIndex::InvalidateTimeRange(int64_t begin_tod, int64_t end_tod) {
+  if (end_tod <= begin_tod) return 0;
+  const int64_t width = profile_->slot_seconds();
+  SlotId first = static_cast<SlotId>(std::max<int64_t>(begin_tod, 0) / width);
+  SlotId last = static_cast<SlotId>((end_tod - 1) / width);
+  first = std::min(first, num_slots_ - 1);
+  last = std::min(last, num_slots_ - 1);
+  size_t dropped = 0;
+  for (SlotId slot = first; slot <= last; ++slot) {
+    SlotTables& bucket = *slots_[slot];
+    std::lock_guard<std::mutex> lock(bucket.mu);
+    // Fast path for a refresh stream hitting an already-cold slot: don't
+    // rescan every segment when nothing is materialized.
+    if (bucket.ready_count == 0) continue;
+    for (SegmentId seg = 0; seg < network_->NumSegments(); ++seg) {
+      if (!bucket.ready[seg]) continue;
+      bucket.near[seg].clear();
+      bucket.near[seg].shrink_to_fit();
+      bucket.far[seg].clear();
+      bucket.far[seg].shrink_to_fit();
+      bucket.ready[seg] = 0;
+      ++dropped;
+    }
+    bucket.ready_count = 0;
+  }
+  return dropped;
 }
 
 size_t ConIndex::MaterializedTables() const {

@@ -64,6 +64,17 @@ class ConIndex {
   /// Precomputes every table (the paper's offline index construction).
   Status BuildAll();
 
+  /// Drops the materialized tables of every profile slot overlapping
+  /// [begin_tod, end_tod) so the next query lazily rebuilds them against
+  /// the current SpeedProfile — the hook a profile/congestion refresh
+  /// fires (see SpeedProfile::AddUpdateListener). Returns the number of
+  /// tables dropped.
+  ///
+  /// NOT safe against concurrent readers: Far()/Near() hand out references
+  /// whose lifetime assumes tables are written once. Quiesce queries
+  /// before invalidating, exactly as for SpeedProfile::ApplyObservation.
+  size_t InvalidateTimeRange(int64_t begin_tod, int64_t end_tod);
+
   int64_t delta_t_seconds() const { return options_.delta_t_seconds; }
   int32_t num_profile_slots() const { return num_slots_; }
 
@@ -78,6 +89,7 @@ class ConIndex {
     std::vector<std::vector<SegmentId>> near;  // per segment
     std::vector<std::vector<SegmentId>> far;
     std::vector<uint8_t> ready;                // per segment
+    size_t ready_count = 0;  // materialized tables; invalidation fast path
     std::mutex mu;
   };
 

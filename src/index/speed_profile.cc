@@ -1,6 +1,7 @@
 #include "index/speed_profile.h"
 
 #include <algorithm>
+#include <cmath>
 
 namespace strr {
 
@@ -86,6 +87,47 @@ double SpeedProfile::MeanSpeed(SegmentId seg, int64_t time_of_day_sec) const {
   const Cell& fb = level_fallback_[level * num_slots_ + slot];
   if (fb.count > 0) return fb.sum_speed / fb.count;
   return 0.7 * FreeFlowSpeed(network_->segment(seg).level);
+}
+
+void SpeedProfile::AddUpdateListener(UpdateListener listener) {
+  listeners_.push_back(std::move(listener));
+}
+
+void SpeedProfile::ApplyObservation(SegmentId seg, int64_t time_of_day_sec,
+                                    double speed_mps) {
+  if (seg >= network_->NumSegments()) return;
+  // Reject NaN alongside "zero" speeds (NaN fails every >= comparison):
+  // one poisoned sample would otherwise corrupt the cell stats forever.
+  if (!std::isfinite(speed_mps) || speed_mps < options_.min_speed_floor) {
+    return;
+  }
+  float speed = static_cast<float>(speed_mps);
+  // Live feeds can carry skewed or pre-epoch timestamps; C++ truncating
+  // modulo would turn those into a negative slot and an out-of-bounds
+  // cell write, so normalize into [0, 86400) first.
+  time_of_day_sec =
+      ((time_of_day_sec % kSecondsPerDay) + kSecondsPerDay) % kSecondsPerDay;
+  SlotId slot = SlotFor(time_of_day_sec);
+  auto update = [&](Cell& cell) {
+    if (cell.count == 0) {
+      cell.min_speed = speed;
+      cell.max_speed = speed;
+    } else {
+      cell.min_speed = std::min(cell.min_speed, speed);
+      cell.max_speed = std::max(cell.max_speed, speed);
+    }
+    cell.sum_speed += speed;
+    ++cell.count;
+  };
+  update(cells_[CellIndex(seg, slot)]);
+  size_t level = static_cast<size_t>(network_->segment(seg).level);
+  update(level_fallback_[level * num_slots_ + slot]);
+
+  int64_t begin_tod = static_cast<int64_t>(slot) * options_.slot_seconds;
+  int64_t end_tod = begin_tod + options_.slot_seconds;
+  for (const UpdateListener& listener : listeners_) {
+    listener(begin_tod, end_tod);
+  }
 }
 
 double SpeedProfile::CoverageFraction() const {

@@ -11,6 +11,7 @@
 #define STRR_INDEX_SPEED_PROFILE_H_
 
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "roadnet/road_network.h"
@@ -48,6 +49,30 @@ class SpeedProfile {
   /// True when the segment itself (not a fallback) had samples in the slot.
   bool HasObservations(SegmentId seg, int64_t time_of_day_sec) const;
 
+  // --- Live updates ----------------------------------------------------------
+
+  /// Called after ApplyObservation mutates a slot, with the time-of-day
+  /// range [begin_tod, end_tod) the change covers. The engine wires this
+  /// to Con-Index table invalidation and result-cache Δt-slot eviction so
+  /// a congestion refresh evicts exactly the affected windows.
+  using UpdateListener = std::function<void(int64_t begin_tod,
+                                            int64_t end_tod)>;
+
+  /// Registers a listener; fired synchronously inside ApplyObservation in
+  /// registration order. Register during engine construction — not
+  /// thread-safe against concurrent ApplyObservation calls.
+  void AddUpdateListener(UpdateListener listener);
+
+  /// Folds one fresh speed observation (e.g. from a live congestion feed)
+  /// into the (segment, slot) statistics and notifies update listeners.
+  /// Observations below the min_speed_floor are dropped, mirroring Build.
+  ///
+  /// NOT safe against concurrent readers: quiesce queries first (the cell
+  /// floats are read lock-free on the query path). ReachabilityEngine::
+  /// ApplySpeedObservation documents the same contract.
+  void ApplyObservation(SegmentId seg, int64_t time_of_day_sec,
+                        double speed_mps);
+
   int64_t slot_seconds() const { return options_.slot_seconds; }
   int32_t num_slots() const { return num_slots_; }
 
@@ -77,6 +102,7 @@ class SpeedProfile {
   int32_t num_slots_ = 0;
   std::vector<Cell> cells_;                 // segment-major
   std::vector<Cell> level_fallback_;        // (level, slot)
+  std::vector<UpdateListener> listeners_;
 };
 
 }  // namespace strr

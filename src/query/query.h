@@ -38,9 +38,16 @@ struct QueryStats {
   double sum_wall_ms = 0.0;
   uint64_t time_lists_read = 0;    ///< ST-Index time-list fetches
   uint64_t segments_verified = 0;  ///< probability computations performed
-  /// Storage-layer delta over the query's execution window. The counters
-  /// are engine-global: the delta is exact for sequential execution, but
-  /// overlapping concurrent queries see each other's traffic in it.
+  /// True when the result was served from the executor's ResultCache. The
+  /// remaining stats then describe the execution that originally produced
+  /// the entry, not the (near-free) cache lookup.
+  bool cache_hit = false;
+  /// Storage-layer traffic attributed to this query. Executor-run queries
+  /// count through a per-thread ScopedIoCounters in the BufferPool read
+  /// path, so the numbers are exact even under concurrent execution
+  /// (sequentially they equal the engine-global counter delta). Queries
+  /// shed by admission control produce no result and hence no stats; shed
+  /// counts live in QueryExecutor::front_door_stats().
   StorageStats io;
   size_t max_region_segments = 0;  ///< |maximum bounding region|
   size_t min_region_segments = 0;  ///< |minimum bounding region|

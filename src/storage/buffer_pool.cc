@@ -1,6 +1,19 @@
 #include "storage/buffer_pool.h"
 
+#include "storage/io_context.h"
+
 namespace strr {
+
+namespace {
+
+/// Bumps the calling thread's attribution scope (if any) alongside the
+/// pool-global counter. The pool lock is held by the caller, but `scope`
+/// is thread-local to the requesting thread, so the two never race.
+inline void Count(uint64_t StorageStats::* field) {
+  if (StorageStats* scope = ScopedIoCounters::Current()) ++(scope->*field);
+}
+
+}  // namespace
 
 BufferPool::Frame* BufferPool::InstallLocked(PageId id) {
   while (capacity_ > 0 && frames_.size() >= capacity_) {
@@ -8,6 +21,7 @@ BufferPool::Frame* BufferPool::InstallLocked(PageId id) {
     lru_.pop_back();
     frames_.erase(victim);
     ++pool_stats_.evictions;
+    Count(&StorageStats::evictions);
   }
   auto frame = std::make_unique<Frame>(file_->page_size());
   lru_.push_front(id);
@@ -35,21 +49,25 @@ StatusOr<const Page*> BufferPool::FetchLocked(PageId id) {
     // Degenerate pool: cache nothing. Every request is a miss served from
     // a private scratch frame (valid until the next Fetch).
     ++pool_stats_.cache_misses;
+    Count(&StorageStats::cache_misses);
     if (scratch_ == nullptr) {
       scratch_ = std::make_unique<Page>(file_->page_size());
     }
     STRR_RETURN_IF_ERROR(file_->ReadPage(id, scratch_.get()));
+    Count(&StorageStats::disk_page_reads);
     return const_cast<const Page*>(scratch_.get());
   }
   auto it = frames_.find(id);
   if (it != frames_.end()) {
     ++pool_stats_.cache_hits;
+    Count(&StorageStats::cache_hits);
     lru_.erase(it->second->lru_it);
     lru_.push_front(id);
     it->second->lru_it = lru_.begin();
     return const_cast<const Page*>(&it->second->page);
   }
   ++pool_stats_.cache_misses;
+  Count(&StorageStats::cache_misses);
   Frame* frame = InstallLocked(id);
   Status s = file_->ReadPage(id, &frame->page);
   if (!s.ok()) {
@@ -57,6 +75,7 @@ StatusOr<const Page*> BufferPool::FetchLocked(PageId id) {
     frames_.erase(id);
     return s;
   }
+  Count(&StorageStats::disk_page_reads);
   return const_cast<const Page*>(&frame->page);
 }
 

@@ -1,0 +1,51 @@
+// Per-query I/O attribution.
+//
+// The StorageStats counters on FileManager/BufferPool are engine-global:
+// under concurrent queries, a before/after delta on them attributes every
+// overlapping query's traffic to whoever happened to snapshot it (the
+// contamination ROADMAP flagged after PR 1). This header fixes attribution
+// at the source instead: a ScopedIoCounters installs a thread-local
+// counter block, and the BufferPool read path — the only storage traffic a
+// query generates — additionally bumps the innermost scope on the calling
+// thread. A query executed under a scope therefore sees exactly its own
+// page requests, no matter how many queries share the engine.
+//
+// Scopes nest but do not propagate: while an inner scope is installed the
+// outer one is paused, so a composite query (repeated-s m-query legs) can
+// sum its legs' exact counters without double counting. One scope serves
+// one thread; parallel sub-work installs its own scope on its own worker.
+#ifndef STRR_STORAGE_IO_CONTEXT_H_
+#define STRR_STORAGE_IO_CONTEXT_H_
+
+#include "storage/page.h"
+
+namespace strr {
+
+/// RAII thread-local I/O counter scope. Not copyable/movable: the
+/// destructor must run on the thread (and in the frame) that installed it.
+class ScopedIoCounters {
+ public:
+  ScopedIoCounters() : prev_(current_) { current_ = &counters_; }
+  ~ScopedIoCounters() { current_ = prev_; }
+
+  ScopedIoCounters(const ScopedIoCounters&) = delete;
+  ScopedIoCounters& operator=(const ScopedIoCounters&) = delete;
+
+  /// Counters accumulated by this scope so far.
+  const StorageStats& stats() const { return counters_; }
+
+  /// The calling thread's innermost scope, or nullptr when none is
+  /// installed. Storage code bumps this; queries never call it directly.
+  static StorageStats* Current() { return current_; }
+
+ private:
+  StorageStats counters_;
+  StorageStats* prev_;
+  static thread_local StorageStats* current_;
+};
+
+inline thread_local StorageStats* ScopedIoCounters::current_ = nullptr;
+
+}  // namespace strr
+
+#endif  // STRR_STORAGE_IO_CONTEXT_H_

@@ -54,6 +54,15 @@ struct StorageStats {
             cache_misses - o.cache_misses, evictions - o.evictions};
   }
 
+  StorageStats& operator+=(const StorageStats& o) {
+    disk_page_reads += o.disk_page_reads;
+    disk_page_writes += o.disk_page_writes;
+    cache_hits += o.cache_hits;
+    cache_misses += o.cache_misses;
+    evictions += o.evictions;
+    return *this;
+  }
+
   uint64_t TotalRequests() const { return cache_hits + cache_misses; }
 };
 

@@ -1,0 +1,41 @@
+// Small non-cryptographic hashing helpers shared by in-memory keyed
+// structures (the query-result cache keys its entries by a canonical byte
+// encoding of the plan; FNV-1a over those bytes picks the shard and the
+// bucket). Deterministic across runs and platforms — cache behaviour in
+// tests must not depend on libstdc++'s std::hash seed.
+#ifndef STRR_UTIL_HASHING_H_
+#define STRR_UTIL_HASHING_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace strr {
+
+inline constexpr uint64_t kFnv1a64Offset = 1469598103934665603ULL;
+inline constexpr uint64_t kFnv1a64Prime = 1099511628211ULL;
+
+/// FNV-1a over a byte range, optionally continuing from a previous state.
+inline uint64_t Fnv1a64(const void* data, size_t n,
+                        uint64_t state = kFnv1a64Offset) {
+  const unsigned char* p = static_cast<const unsigned char*>(data);
+  for (size_t i = 0; i < n; ++i) {
+    state ^= p[i];
+    state *= kFnv1a64Prime;
+  }
+  return state;
+}
+
+inline uint64_t Fnv1a64(std::string_view bytes,
+                        uint64_t state = kFnv1a64Offset) {
+  return Fnv1a64(bytes.data(), bytes.size(), state);
+}
+
+/// boost-style combiner for folding an already-hashed value into a seed.
+inline uint64_t HashCombine(uint64_t seed, uint64_t value) {
+  return seed ^ (value + 0x9e3779b97f4a7c15ULL + (seed << 6) + (seed >> 2));
+}
+
+}  // namespace strr
+
+#endif  // STRR_UTIL_HASHING_H_

@@ -3,8 +3,12 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
+#include <thread>
+#include <vector>
 
 #include "core/reachability_engine.h"
+#include "query/query_plan.h"
 #include "tests/test_util.h"
 
 namespace strr {
@@ -79,6 +83,58 @@ TEST(QueryStatsTest, BoundingRegionCountsConsistent) {
   EXPECT_LE(r->stats.min_region_segments, r->stats.max_region_segments);
   EXPECT_LE(r->stats.boundary_segments, r->stats.max_region_segments);
   EXPECT_LE(r->segments.size(), r->stats.max_region_segments);
+}
+
+TEST(QueryStatsTest, ConcurrentQueriesGetDisjointIoAttribution) {
+  // Per-query stats.io is counted through a thread-local scope in the
+  // BufferPool read path, so two I/O-heavy queries running concurrently
+  // must each report exactly their own page requests — the engine-global
+  // delta PR 1 used attributed both queries' traffic to both. Page
+  // *requests* (hits + misses) are deterministic per query regardless of
+  // page-cache state, so the solo run is an exact oracle.
+  auto& stack = GetSharedStack();
+  const QueryPlanner& planner = stack.engine->planner();
+  Mbr box = stack.engine->network().BoundingBox();
+  auto plan_a = planner.PlanSQuery({stack.dataset.center, HMS(11), 900, 0.1});
+  auto plan_b = planner.PlanSQuery(
+      {{box.min_x() + box.Width() * 0.65, box.min_y() + box.Height() * 0.6},
+       HMS(10),
+       900,
+       0.1});
+  ASSERT_TRUE(plan_a.ok());
+  ASSERT_TRUE(plan_b.ok());
+
+  auto solo_a = stack.engine->executor().Execute(*plan_a);
+  auto solo_b = stack.engine->executor().Execute(*plan_b);
+  ASSERT_TRUE(solo_a.ok());
+  ASSERT_TRUE(solo_b.ok());
+  if (solo_a->stats.io.TotalRequests() == 0 ||
+      solo_b->stats.io.TotalRequests() == 0) {
+    GTEST_SKIP() << "a query generated no storage traffic; nothing to "
+                    "attribute";
+  }
+
+  std::atomic<int> wrong_attribution{0};
+  std::atomic<int> failures{0};
+  auto client = [&](const QueryPlan& plan, uint64_t expected_requests) {
+    for (int round = 0; round < 10; ++round) {
+      auto r = stack.engine->executor().Execute(plan);
+      if (!r.ok()) {
+        failures.fetch_add(1);
+        continue;
+      }
+      if (r->stats.io.TotalRequests() != expected_requests) {
+        wrong_attribution.fetch_add(1);
+      }
+    }
+  };
+  std::thread ta(client, *plan_a, solo_a->stats.io.TotalRequests());
+  std::thread tb(client, *plan_b, solo_b->stats.io.TotalRequests());
+  ta.join();
+  tb.join();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(wrong_attribution.load(), 0)
+      << "concurrent queries contaminated each other's stats.io";
 }
 
 TEST(QueryStatsTest, DropCacheForcesRereads) {
