@@ -1,0 +1,74 @@
+#include "core/negative_cache.h"
+
+#include <algorithm>
+#include <chrono>
+#include <utility>
+
+namespace strr {
+
+namespace {
+
+int64_t SteadyNowMs() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+NegativeCache::NegativeCache(const NegativeCacheOptions& options)
+    : capacity_(std::max<size_t>(options.capacity, 1)),
+      ttl_ms_(std::max<int64_t>(options.ttl_ms, 1)),
+      now_ms_(options.now_ms ? options.now_ms : SteadyNowMs) {}
+
+std::optional<Status> NegativeCache::Lookup(const std::string& key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = index_.find(key);
+  if (it == index_.end()) {
+    ++stats_.misses;
+    return std::nullopt;
+  }
+  if (now_ms_() >= it->second->expires_ms) {
+    lru_.erase(it->second);
+    index_.erase(it);
+    ++stats_.expired;
+    ++stats_.misses;
+    return std::nullopt;
+  }
+  lru_.splice(lru_.begin(), lru_, it->second);
+  ++stats_.hits;
+  return it->second->status;
+}
+
+void NegativeCache::Insert(const std::string& key, const Status& status) {
+  if (status.ok()) return;  // only failures belong here
+  std::lock_guard<std::mutex> lock(mu_);
+  int64_t expires = now_ms_() + ttl_ms_;
+  auto it = index_.find(key);
+  if (it != index_.end()) {
+    it->second->status = status;
+    it->second->expires_ms = expires;
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  lru_.push_front(Entry{key, status, expires});
+  index_[key] = lru_.begin();
+  ++stats_.insertions;
+  while (lru_.size() > capacity_) {
+    index_.erase(lru_.back().key);
+    lru_.pop_back();
+    ++stats_.evictions;
+  }
+}
+
+NegativeCache::Stats NegativeCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+size_t NegativeCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return lru_.size();
+}
+
+}  // namespace strr

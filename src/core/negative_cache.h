@@ -1,0 +1,88 @@
+// NegativeCache: bounded TTL cache of failed lookups — the front door's
+// answer to junk-location floods.
+//
+// Planner NotFound errors (a query location that matches no road segment)
+// are recomputed from scratch on every attempt: an R-tree descent plus
+// candidate scan, repeated unboundedly when a misbehaving client hammers
+// the same bogus coordinate. The ResultCache cannot help — it keys
+// *plans*, and these queries never produce one. This cache remembers the
+// failure itself, keyed by the raw query identity, and serves it back
+// until the entry expires.
+//
+// Entries carry a TTL (unlike positive results, a NotFound can become
+// stale the moment the road network or index grows) and the capacity is
+// small and LRU-bounded: one flood cannot evict another tenant's
+// well-behaved entries, and memory stays O(capacity) no matter how many
+// distinct junk keys arrive.
+//
+// Thread-safe behind one mutex: every operation is O(1) hash + list work,
+// and the cache sits on the *failure* path plus one lookup per facade
+// query, far from the execution hot loop.
+#ifndef STRR_CORE_NEGATIVE_CACHE_H_
+#define STRR_CORE_NEGATIVE_CACHE_H_
+
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "util/status.h"
+
+namespace strr {
+
+/// Negative-cache construction knobs.
+struct NegativeCacheOptions {
+  size_t capacity = 256;   ///< max entries (LRU-evicted beyond this)
+  int64_t ttl_ms = 1000;   ///< entry lifetime
+  /// Clock override for tests; defaults to steady_clock milliseconds.
+  std::function<int64_t()> now_ms;
+};
+
+/// Bounded TTL+LRU map from request key to the Status that failed it.
+class NegativeCache {
+ public:
+  explicit NegativeCache(const NegativeCacheOptions& options = {});
+
+  /// Returns the cached failure for `key`, or nullopt when absent or
+  /// expired (expired entries are dropped on the way). Refreshes LRU.
+  std::optional<Status> Lookup(const std::string& key);
+
+  /// Remembers `status` (must be !ok) for `key` with a fresh TTL.
+  void Insert(const std::string& key, const Status& status);
+
+  /// Point-in-time counters.
+  struct Stats {
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t insertions = 0;
+    uint64_t evictions = 0;  ///< LRU capacity evictions
+    uint64_t expired = 0;    ///< entries dropped past their TTL
+  };
+  Stats stats() const;
+
+  size_t size() const;
+  size_t capacity() const { return capacity_; }
+
+ private:
+  struct Entry {
+    std::string key;
+    Status status;
+    int64_t expires_ms = 0;
+  };
+
+  size_t capacity_;
+  int64_t ttl_ms_;
+  std::function<int64_t()> now_ms_;
+
+  mutable std::mutex mu_;
+  std::list<Entry> lru_;  // front = most recently used
+  std::unordered_map<std::string, std::list<Entry>::iterator> index_;
+  Stats stats_;
+};
+
+}  // namespace strr
+
+#endif  // STRR_CORE_NEGATIVE_CACHE_H_

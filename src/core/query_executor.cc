@@ -53,13 +53,15 @@ QueryExecutor::QueryExecutor(const RoadNetwork& network,
                              const ConIndex& con_index,
                              const SpeedProfile& profile,
                              int64_t delta_t_seconds,
-                             const QueryExecutorOptions& options)
+                             const QueryExecutorOptions& options,
+                             LiveProfileManager* live)
     : network_(&network),
       st_index_(&st_index),
       con_index_(&con_index),
       profile_(&profile),
       delta_t_seconds_(delta_t_seconds),
       options_(options),
+      live_(live),
       pool_(options.num_threads < 0 ? 1
                                     : static_cast<size_t>(options.num_threads)) {
   if (options_.result_cache_entries > 0) {
@@ -74,6 +76,22 @@ QueryExecutor::QueryExecutor(const RoadNetwork& network,
     adm_opt.max_queued = options_.max_queued;
     adm_opt.batch_share = options_.batch_share;
     admission_ = std::make_unique<AdmissionController>(adm_opt);
+  }
+  if (live_ != nullptr && cache_ != nullptr) {
+    // Every cached executor over a live manager gets the Δt-slot eviction
+    // fan-out — including MakeExecutor-created ones the engine does not
+    // know about. Unregistered in the destructor, before cache_ dies.
+    ResultCache* cache = cache_.get();
+    live_listener_id_ = live_->AddInvalidationListener(
+        [cache](int64_t begin_tod, int64_t end_tod) {
+          cache->InvalidateTimeRange(begin_tod, end_tod);
+        });
+  }
+}
+
+QueryExecutor::~QueryExecutor() {
+  if (live_listener_id_ != 0) {
+    live_->RemoveInvalidationListener(live_listener_id_);
   }
 }
 
@@ -104,7 +122,7 @@ StatusOr<RegionResult> QueryExecutor::ExecuteFrontDoor(const QueryPlan& plan,
     }
     ticket = true;
   }
-  StatusOr<RegionResult> result = ExecutePlan(plan);
+  StatusOr<RegionResult> result = ExecutePinned(plan);
   if (ticket) {
     if (batch) {
       admission_->ReleaseBatch();
@@ -112,21 +130,52 @@ StatusOr<RegionResult> QueryExecutor::ExecuteFrontDoor(const QueryPlan& plan,
       admission_->Release();
     }
   }
-  if (cache_ != nullptr && key && result.ok()) cache_->Insert(*key, *result);
+  if (key && result.ok()) MaybeCacheInsert(*key, *result);
   return result;
 }
 
 StatusOr<RegionResult> QueryExecutor::RunAdmitted(const QueryPlan& plan,
                                                   const PlanKey* key,
                                                   bool batch_ticket) {
-  StatusOr<RegionResult> result = ExecutePlan(plan);
+  StatusOr<RegionResult> result = ExecutePinned(plan);
   if (batch_ticket) {
     if (admission_ != nullptr) admission_->ReleaseBatch();
   }
-  if (cache_ != nullptr && key != nullptr && result.ok()) {
-    cache_->Insert(*key, *result);
-  }
+  if (key != nullptr && result.ok()) MaybeCacheInsert(*key, *result);
   return result;
+}
+
+StatusOr<RegionResult> QueryExecutor::ExecutePinned(const QueryPlan& plan) {
+  // Pin one snapshot for the whole query (legs included) — after
+  // admission, so a query waiting in the admission queue doesn't hold a
+  // version alive (and then answers with the freshest snapshot anyway).
+  SnapshotRef snap;
+  IndexView view = StaticView();
+  if (live_ != nullptr) {
+    snap = live_->Acquire();
+    view = IndexView{&snap.con_index(), &snap.profile(), snap.version()};
+  }
+  return ExecutePlan(plan, view);
+}
+
+void QueryExecutor::MaybeCacheInsert(const PlanKey& key,
+                                     const RegionResult& result) {
+  if (cache_ == nullptr) return;
+  if (live_ == nullptr) {
+    cache_->Insert(key, result);
+    return;
+  }
+  // Under live ingestion, never let an insert computed on a superseded
+  // snapshot outlive that snapshot's Δt-slot invalidation: skip when a
+  // newer version already published, and re-check after inserting — a
+  // publish can land between the check and the insert, and its eviction
+  // pass must not be undone by our late insert. (Publish stores the
+  // version before firing evictions, all seq_cst: if the post-insert load
+  // still reads our version, every eviction that could cover this entry
+  // happens after the insert and removes it normally.)
+  if (result.stats.snapshot_version != live_->version()) return;
+  cache_->Insert(key, result);
+  if (result.stats.snapshot_version != live_->version()) cache_->Erase(key);
 }
 
 std::vector<StatusOr<RegionResult>> QueryExecutor::ExecuteBatch(
@@ -186,19 +235,25 @@ std::vector<StatusOr<RegionResult>> QueryExecutor::ExecuteBatch(
 }
 
 std::vector<StatusOr<RegionResult>> QueryExecutor::ExecuteRaw(
-    std::span<const QueryPlan> plans) {
+    std::span<const QueryPlan> plans, const IndexView& view) {
   std::vector<StatusOr<RegionResult>> results;
   results.reserve(plans.size());
   if (pool_.OnWorkerThread() || pool_.num_threads() <= 1) {
-    for (const QueryPlan& plan : plans) results.push_back(ExecutePlan(plan));
+    for (const QueryPlan& plan : plans) {
+      results.push_back(ExecutePlan(plan, view));
+    }
     return results;
   }
   std::vector<std::future<StatusOr<RegionResult>>> futures;
   futures.reserve(plans.size());
   for (const QueryPlan& plan : plans) {
-    futures.push_back(pool_.Submit([this, &plan]() -> StatusOr<RegionResult> {
-      return ExecutePlan(plan);
-    }));
+    // `view` stays valid: the enclosing query's frame holds the snapshot
+    // pin (or the static indexes are engine-owned) and blocks on the
+    // futures below before returning.
+    futures.push_back(
+        pool_.Submit([this, &plan, &view]() -> StatusOr<RegionResult> {
+          return ExecutePlan(plan, view);
+        }));
   }
   for (auto& f : futures) results.push_back(f.get());
   return results;
@@ -224,20 +279,30 @@ QueryExecutor::FrontDoorStats QueryExecutor::front_door_stats() const {
     out.admitted = a.admitted;
     out.shed = a.shed;
   }
+  ThreadPool::Stats p = pool_.stats();
+  out.pool_submitted = p.submitted;
+  out.pool_completed = p.completed;
+  out.pool_queue_depth = p.queue_depth;
+  if (live_ != nullptr) out.snapshot_version = live_->version();
   return out;
 }
 
-StatusOr<RegionResult> QueryExecutor::ExecutePlan(const QueryPlan& plan) {
+StatusOr<RegionResult> QueryExecutor::ExecutePlan(const QueryPlan& plan,
+                                                  const IndexView& view) {
   STRR_RETURN_IF_ERROR(ValidatePlan(plan));
-  switch (plan.strategy) {
-    case QueryStrategy::kIndexed:
-      return ExecuteIndexed(plan);
-    case QueryStrategy::kExhaustive:
-      return ExecuteExhaustive(plan);
-    case QueryStrategy::kRepeatedS:
-      return ExecuteRepeatedS(plan);
-  }
-  return Status::Internal("QueryPlan: unknown strategy");
+  StatusOr<RegionResult> result = [&]() -> StatusOr<RegionResult> {
+    switch (plan.strategy) {
+      case QueryStrategy::kIndexed:
+        return ExecuteIndexed(plan, view);
+      case QueryStrategy::kExhaustive:
+        return ExecuteExhaustive(plan, view);
+      case QueryStrategy::kRepeatedS:
+        return ExecuteRepeatedS(plan, view);
+    }
+    return Status::Internal("QueryPlan: unknown strategy");
+  }();
+  if (result.ok()) result->stats.snapshot_version = view.version;
+  return result;
 }
 
 StatusOr<RegionResult> QueryExecutor::RunTraceBack(
@@ -273,31 +338,33 @@ StatusOr<RegionResult> QueryExecutor::RunTraceBack(
   return result;
 }
 
-StatusOr<RegionResult> QueryExecutor::ExecuteIndexed(const QueryPlan& plan) {
+StatusOr<RegionResult> QueryExecutor::ExecuteIndexed(const QueryPlan& plan,
+                                                     const IndexView& view) {
   Stopwatch watch;
   ScopedIoCounters io_scope;  // attributes this query's storage traffic
   BoundingRegions regions;
   if (plan.IsMultiLocation()) {
     STRR_ASSIGN_OR_RETURN(
-        regions, MqmbSearch(*network_, *con_index_, *profile_,
+        regions, MqmbSearch(*network_, *view.con_index, *view.profile,
                             plan.AllStartSegments(), plan.start_tod,
                             plan.duration));
   } else {
     STRR_ASSIGN_OR_RETURN(
-        regions, SqmbSearchSet(*network_, *con_index_, plan.location_starts[0],
-                               plan.start_tod, plan.duration));
+        regions,
+        SqmbSearchSet(*network_, *view.con_index, plan.location_starts[0],
+                      plan.start_tod, plan.duration));
   }
   return RunTraceBack(regions, plan.start_tod, plan.duration, plan.prob,
                       watch.ElapsedMillis(), io_scope);
 }
 
 StatusOr<RegionResult> QueryExecutor::ExecuteExhaustive(
-    const QueryPlan& plan) {
+    const QueryPlan& plan, const IndexView& view) {
   ScopedIoCounters io_scope;
   SQuery query{plan.locations[0], plan.start_tod, plan.duration, plan.prob};
   STRR_ASSIGN_OR_RETURN(
       RegionResult result,
-      ExhaustiveSearch(*st_index_, *profile_, query, delta_t_seconds_,
+      ExhaustiveSearch(*st_index_, *view.profile, query, delta_t_seconds_,
                        plan.location_starts[0]));
   result.stats.sum_wall_ms = result.stats.wall_ms;
   // ES computes stats.io as an engine-global delta (fine for its
@@ -307,7 +374,8 @@ StatusOr<RegionResult> QueryExecutor::ExecuteExhaustive(
   return result;
 }
 
-StatusOr<RegionResult> QueryExecutor::ExecuteRepeatedS(const QueryPlan& plan) {
+StatusOr<RegionResult> QueryExecutor::ExecuteRepeatedS(const QueryPlan& plan,
+                                                       const IndexView& view) {
   Stopwatch watch;
 
   // One independent single-location indexed leg per query location.
@@ -328,12 +396,14 @@ StatusOr<RegionResult> QueryExecutor::ExecuteRepeatedS(const QueryPlan& plan) {
   if (options_.parallel_mquery_legs) {
     // ExecuteRaw degrades to an inline sequential loop on a pool worker or
     // a single-thread pool — one fan-out decision point. Legs bypass the
-    // front door: the m-query was admitted (and will be cached) as one
-    // unit.
-    leg_results = ExecuteRaw(legs);
+    // front door: the m-query was admitted (and snapshot-pinned, and will
+    // be cached) as one unit, so every leg reads the same version.
+    leg_results = ExecuteRaw(legs, view);
   } else {
     leg_results.reserve(legs.size());
-    for (const QueryPlan& leg : legs) leg_results.push_back(ExecutePlan(leg));
+    for (const QueryPlan& leg : legs) {
+      leg_results.push_back(ExecutePlan(leg, view));
+    }
   }
 
   // Merge in location order so the result is independent of scheduling.

@@ -32,6 +32,16 @@
 // Per-query stats.io is attributed through a thread-local ScopedIoCounters
 // in the storage layer, so concurrent queries never contaminate each
 // other's I/O deltas.
+//
+// Live ingestion: when constructed with a LiveProfileManager, every query
+// pins one immutable index snapshot (epoch pin + pointer load) at its
+// front door and executes entirely against that version — profile reads
+// and Con-Index tables can neither tear nor dangle while ingestion
+// publishes refreshes concurrently, and stats.snapshot_version records
+// exactly which version answered. An m-query's legs share their enclosing
+// query's snapshot, so a composite result is never stitched from two
+// versions. Without a manager, queries read the engine-built indexes
+// directly (snapshot_version 0) with zero overhead.
 #ifndef STRR_CORE_QUERY_EXECUTOR_H_
 #define STRR_CORE_QUERY_EXECUTOR_H_
 
@@ -44,6 +54,7 @@
 #include "index/con_index.h"
 #include "index/speed_profile.h"
 #include "index/st_index.h"
+#include "live/live_profile_manager.h"
 #include "query/bounding_region.h"
 #include "query/query.h"
 #include "query/query_plan.h"
@@ -81,11 +92,21 @@ struct QueryExecutorOptions {
 /// and ExecuteBatch may be called concurrently from any thread.
 class QueryExecutor {
  public:
-  /// All referenced structures must outlive the executor.
+  /// All referenced structures must outlive the executor. When `live` is
+  /// non-null, queries pin snapshots from it instead of reading `con_index`
+  /// / `profile` directly (those still serve as the version-0 base).
   QueryExecutor(const RoadNetwork& network, const StIndex& st_index,
                 const ConIndex& con_index, const SpeedProfile& profile,
                 int64_t delta_t_seconds,
-                const QueryExecutorOptions& options = {});
+                const QueryExecutorOptions& options = {},
+                LiveProfileManager* live = nullptr);
+
+  /// Unregisters this executor's cache from the live manager's
+  /// invalidation fan-out (registered automatically at construction when
+  /// both live mode and caching are on — every executor's cache sees
+  /// publishes, including MakeExecutor-created ones). The manager must
+  /// outlive the executor.
+  ~QueryExecutor();
 
   /// Executes one plan on the calling thread (kRepeatedS legs may still
   /// fan out, see QueryExecutorOptions::parallel_mquery_legs), routed
@@ -117,7 +138,10 @@ class QueryExecutor {
   void InvalidateCachedTimeRange(int64_t begin_tod, int64_t end_tod);
 
   /// Snapshot of the front-door counters (zeroes when the corresponding
-  /// feature is disabled).
+  /// feature is disabled). Pool counters are always live: together with
+  /// the cache/admission numbers they answer "where is the latency" —
+  /// queued behind workers (pool_queue_depth), shed at the door, or
+  /// absorbed by the cache.
   struct FrontDoorStats {
     uint64_t cache_hits = 0;
     uint64_t cache_misses = 0;
@@ -126,6 +150,11 @@ class QueryExecutor {
     uint64_t cache_invalidated = 0;
     uint64_t admitted = 0;
     uint64_t shed = 0;
+    uint64_t pool_submitted = 0;
+    uint64_t pool_completed = 0;
+    size_t pool_queue_depth = 0;
+    /// Current live snapshot version (0 when live ingestion is off).
+    uint64_t snapshot_version = 0;
   };
   FrontDoorStats front_door_stats() const;
 
@@ -133,28 +162,56 @@ class QueryExecutor {
   int64_t delta_t_seconds() const { return delta_t_seconds_; }
 
  private:
-  /// Validates and dispatches one plan (no front door). Runs on the
-  /// calling thread; used for admitted work and for m-query legs.
-  StatusOr<RegionResult> ExecutePlan(const QueryPlan& plan);
+  /// The index surfaces one query reads: either the engine-built statics
+  /// (version 0) or one pinned live snapshot. Plain pointers — the pin
+  /// that keeps a snapshot alive is held in the enclosing query's frame
+  /// (ExecuteFrontDoor / RunAdmitted) and outlives every view use,
+  /// including m-query legs running on pool workers.
+  struct IndexView {
+    const ConIndex* con_index = nullptr;
+    const SpeedProfile* profile = nullptr;
+    uint64_t version = 0;
+  };
+
+  /// The engine-built indexes (used when live ingestion is off).
+  IndexView StaticView() const { return {con_index_, profile_, 0}; }
+
+  /// Validates and dispatches one plan against `view` (no front door).
+  /// Runs on the calling thread; used for admitted work and m-query legs.
+  StatusOr<RegionResult> ExecutePlan(const QueryPlan& plan,
+                                     const IndexView& view);
 
   /// The front door for one plan on the calling thread: cache lookup,
   /// admission (batch semantics = take-or-shed, single = bounded wait),
-  /// execute, release, cache insert.
+  /// snapshot pin, execute, release, cache insert.
   StatusOr<RegionResult> ExecuteFrontDoor(const QueryPlan& plan, bool batch);
 
-  /// Shared tail of the front-door paths: run, release the admission
-  /// ticket (when held), insert into the cache on success.
+  /// Shared tail of the front-door paths: pin a snapshot, run, release the
+  /// admission ticket (when held), insert into the cache on success.
   StatusOr<RegionResult> RunAdmitted(const QueryPlan& plan,
                                      const PlanKey* key, bool batch_ticket);
 
-  /// Executes `plans` with no admission or caching — the raw fan-out PR 1
-  /// shipped, kept for m-query legs (already admitted as one unit).
-  std::vector<StatusOr<RegionResult>> ExecuteRaw(
-      std::span<const QueryPlan> plans);
+  /// Pins one snapshot (when live) and executes the plan against it; the
+  /// pin spans the whole execution, m-query legs included.
+  StatusOr<RegionResult> ExecutePinned(const QueryPlan& plan);
 
-  StatusOr<RegionResult> ExecuteIndexed(const QueryPlan& plan);
-  StatusOr<RegionResult> ExecuteExhaustive(const QueryPlan& plan);
-  StatusOr<RegionResult> ExecuteRepeatedS(const QueryPlan& plan);
+  /// Inserts `result` under `key` unless a newer snapshot was published
+  /// while it executed (a stale insert could serve a superseded version
+  /// after its Δt-slots were already invalidated).
+  void MaybeCacheInsert(const PlanKey& key, const RegionResult& result);
+
+  /// Executes `plans` against one shared `view` with no admission or
+  /// caching — the raw fan-out PR 1 shipped, kept for m-query legs
+  /// (admitted, and snapshot-pinned, as one unit with their m-query).
+  std::vector<StatusOr<RegionResult>> ExecuteRaw(
+      std::span<const QueryPlan> plans, const IndexView& view);
+
+  StatusOr<RegionResult> ExecuteIndexed(const QueryPlan& plan,
+                                        const IndexView& view);
+  StatusOr<RegionResult> ExecuteExhaustive(const QueryPlan& plan,
+                                           const IndexView& view);
+  StatusOr<RegionResult> ExecuteRepeatedS(const QueryPlan& plan,
+                                          const IndexView& view);
 
   /// Shared tail of the indexed paths: probability oracle, TBS, stats.
   /// `io_scope` is the attribution scope covering this query's execution.
@@ -169,6 +226,8 @@ class QueryExecutor {
   const SpeedProfile* profile_;
   int64_t delta_t_seconds_;
   QueryExecutorOptions options_;
+  LiveProfileManager* live_;                    // null = live ingestion off
+  uint64_t live_listener_id_ = 0;               // 0 = not registered
   std::unique_ptr<ResultCache> cache_;          // null = caching off
   std::unique_ptr<AdmissionController> admission_;  // null = admission off
   ThreadPool pool_;

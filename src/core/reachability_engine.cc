@@ -1,5 +1,6 @@
 #include "core/reachability_engine.h"
 
+#include <cstring>
 #include <filesystem>
 
 namespace strr {
@@ -30,6 +31,7 @@ StatusOr<std::unique_ptr<ReachabilityEngine>> ReachabilityEngine::Build(
   st_opt.posting_path = options.work_dir + "/st_index_postings.bin";
   st_opt.cache_pages = options.cache_pages;
   st_opt.page_size = options.page_size;
+  st_opt.max_locate_distance_m = options.max_locate_distance_m;
   STRR_ASSIGN_OR_RETURN(engine->st_index_,
                         StIndex::Build(network, store, st_opt));
 
@@ -41,6 +43,24 @@ StatusOr<std::unique_ptr<ReachabilityEngine>> ReachabilityEngine::Build(
       ConIndex::Create(network, *engine->profile_, con_opt));
   if (options.precompute_con_index) {
     STRR_RETURN_IF_ERROR(engine->con_index_->BuildAll());
+  }
+
+  if (options.live_ingestion) {
+    // Live ingestion stack: epochs reclaim superseded snapshots, the
+    // manager publishes them over the engine-built base (version 0), and
+    // the ingestor batches the observation stream into publishes.
+    EpochManagerOptions epoch_opt;
+    epoch_opt.max_retained = options.live_max_retained_epochs;
+    engine->epochs_ = std::make_unique<EpochManager>(epoch_opt);
+    engine->live_manager_ = std::make_unique<LiveProfileManager>(
+        *engine->epochs_, *engine->profile_, *engine->con_index_);
+  }
+
+  if (options.negative_cache_entries > 0) {
+    NegativeCacheOptions neg_opt;
+    neg_opt.capacity = options.negative_cache_entries;
+    neg_opt.ttl_ms = options.negative_cache_ttl_ms;
+    engine->negative_cache_ = std::make_unique<NegativeCache>(neg_opt);
   }
 
   engine->planner_ =
@@ -55,17 +75,32 @@ StatusOr<std::unique_ptr<ReachabilityEngine>> ReachabilityEngine::Build(
   exec_opt.batch_share = options.batch_share;
   engine->executor_ = engine->MakeExecutor(exec_opt);
 
-  // Invalidation fan-out: a speed-profile refresh drops the Con-Index
-  // tables and the default executor's cached results for exactly the
-  // covered time range. The captured pointers are owned by the engine and
-  // outlive the profile that holds the listener.
-  ConIndex* con_index = engine->con_index_.get();
-  QueryExecutor* executor = engine->executor_.get();
-  engine->profile_->AddUpdateListener(
-      [con_index, executor](int64_t begin_tod, int64_t end_tod) {
-        con_index->InvalidateTimeRange(begin_tod, end_tod);
-        executor->InvalidateCachedTimeRange(begin_tod, end_tod);
-      });
+  if (options.live_ingestion) {
+    // Refresh fan-out for the live path needs no wiring here: every
+    // cached executor over the live manager (the default one above and
+    // any MakeExecutor-created one) registered its own Δt-slot eviction
+    // listener at construction. Con-Index tables need no hook either —
+    // every publish carries its own copy-on-invalidate index.
+    ObservationIngestorOptions ingest_opt;
+    ingest_opt.queue_bound = options.live_queue_bound;
+    ingest_opt.batch_window_ms = options.live_batch_window_ms;
+    engine->ingestor_ = std::make_unique<ObservationIngestor>(
+        *engine->live_manager_, ingest_opt);
+  } else {
+    // Legacy direct-mutation fan-out: a profile refresh drops the
+    // Con-Index tables and the default executor's cached results for the
+    // covered time range. Requires external serialization against queries
+    // (the reason live deployments enable live_ingestion instead). The
+    // captured pointers are owned by the engine and outlive the profile
+    // that holds the listener.
+    ConIndex* con_index = engine->con_index_.get();
+    QueryExecutor* executor = engine->executor_.get();
+    engine->profile_->AddUpdateListener(
+        [con_index, executor](int64_t begin_tod, int64_t end_tod) {
+          con_index->InvalidateTimeRange(begin_tod, end_tod);
+          executor->InvalidateCachedTimeRange(begin_tod, end_tod);
+        });
+  }
   return engine;
 }
 
@@ -73,33 +108,70 @@ std::unique_ptr<QueryExecutor> ReachabilityEngine::MakeExecutor(
     const QueryExecutorOptions& options) const {
   return std::make_unique<QueryExecutor>(*network_, *st_index_, *con_index_,
                                          *profile_, options_.delta_t_seconds,
-                                         options);
+                                         options, live_manager_.get());
+}
+
+std::string ReachabilityEngine::NegativeKey(const XyPoint* locations,
+                                            size_t n) {
+  std::string key;
+  key.resize(n * 2 * sizeof(double));
+  char* out = key.data();
+  for (size_t i = 0; i < n; ++i) {
+    std::memcpy(out, &locations[i].x, sizeof(double));
+    out += sizeof(double);
+    std::memcpy(out, &locations[i].y, sizeof(double));
+    out += sizeof(double);
+  }
+  return key;
+}
+
+template <typename PlanFn>
+StatusOr<RegionResult> ReachabilityEngine::PlanAndExecute(
+    const XyPoint* locations, size_t n, PlanFn&& plan_fn) {
+  std::string neg_key;
+  if (negative_cache_ != nullptr) {
+    neg_key = NegativeKey(locations, n);
+    if (std::optional<Status> cached = negative_cache_->Lookup(neg_key)) {
+      return *std::move(cached);
+    }
+  }
+  StatusOr<QueryPlan> plan = plan_fn();
+  if (!plan.ok()) {
+    // Only NotFound is cacheable: it depends on the locations alone.
+    // InvalidArgument (bad Prob/duration) is parameter-specific and cheap
+    // to recompute, and transient errors must not be pinned for a TTL.
+    if (negative_cache_ != nullptr && plan.status().IsNotFound()) {
+      negative_cache_->Insert(neg_key, plan.status());
+    }
+    return plan.status();
+  }
+  return executor_->Execute(*plan);
 }
 
 StatusOr<RegionResult> ReachabilityEngine::SQueryIndexed(const SQuery& query) {
-  STRR_ASSIGN_OR_RETURN(QueryPlan plan,
-                        planner_->PlanSQuery(query, QueryStrategy::kIndexed));
-  return executor_->Execute(plan);
+  return PlanAndExecute(&query.location, 1, [&] {
+    return planner_->PlanSQuery(query, QueryStrategy::kIndexed);
+  });
 }
 
 StatusOr<RegionResult> ReachabilityEngine::SQueryExhaustive(
     const SQuery& query) {
-  STRR_ASSIGN_OR_RETURN(
-      QueryPlan plan, planner_->PlanSQuery(query, QueryStrategy::kExhaustive));
-  return executor_->Execute(plan);
+  return PlanAndExecute(&query.location, 1, [&] {
+    return planner_->PlanSQuery(query, QueryStrategy::kExhaustive);
+  });
 }
 
 StatusOr<RegionResult> ReachabilityEngine::MQueryIndexed(const MQuery& query) {
-  STRR_ASSIGN_OR_RETURN(QueryPlan plan,
-                        planner_->PlanMQuery(query, QueryStrategy::kIndexed));
-  return executor_->Execute(plan);
+  return PlanAndExecute(query.locations.data(), query.locations.size(), [&] {
+    return planner_->PlanMQuery(query, QueryStrategy::kIndexed);
+  });
 }
 
 StatusOr<RegionResult> ReachabilityEngine::MQueryRepeatedSQuery(
     const MQuery& query) {
-  STRR_ASSIGN_OR_RETURN(
-      QueryPlan plan, planner_->PlanMQuery(query, QueryStrategy::kRepeatedS));
-  return executor_->Execute(plan);
+  return PlanAndExecute(query.locations.data(), query.locations.size(), [&] {
+    return planner_->PlanMQuery(query, QueryStrategy::kRepeatedS);
+  });
 }
 
 void ReachabilityEngine::ResetIoStats(bool drop_cache) {
@@ -110,9 +182,22 @@ void ReachabilityEngine::ResetIoStats(bool drop_cache) {
 void ReachabilityEngine::ApplySpeedObservation(SegmentId seg,
                                                int64_t time_of_day_sec,
                                                double speed_mps) {
-  // The profile notifies its update listeners (registered in Build), which
-  // invalidate the Con-Index slot tables and the cached query results.
+  if (ingestor_ != nullptr) {
+    // Live path: enqueue for the batcher; the refresh lands as the next
+    // published snapshot version, safe under concurrent queries.
+    ingestor_->Offer(SpeedObservation{seg, time_of_day_sec, speed_mps});
+    return;
+  }
+  // Legacy path: the profile notifies its update listeners (registered in
+  // Build), which invalidate the Con-Index slot tables and the cached
+  // query results. Caller serializes against queries.
   profile_->ApplyObservation(seg, time_of_day_sec, speed_mps);
+}
+
+bool ReachabilityEngine::OfferObservation(
+    const SpeedObservation& observation) {
+  if (ingestor_ == nullptr) return false;
+  return ingestor_->Offer(observation);
 }
 
 }  // namespace strr

@@ -28,10 +28,14 @@
 #include <memory>
 #include <string>
 
+#include "core/negative_cache.h"
 #include "core/query_executor.h"
 #include "index/con_index.h"
 #include "index/speed_profile.h"
 #include "index/st_index.h"
+#include "live/epoch_manager.h"
+#include "live/live_profile_manager.h"
+#include "live/observation_ingestor.h"
 #include "query/bounding_region.h"
 #include "query/query.h"
 #include "query/query_plan.h"
@@ -72,12 +76,41 @@ struct EngineOptions {
   size_t max_queued_queries = 64;
   /// Share of max_inflight_queries all batch work combined may hold.
   double batch_share = 0.5;
+  // --- Live ingestion (see live/; off by default so paper-reproduction
+  // numbers are untouched — queries then read the engine-built indexes
+  // directly with zero snapshot overhead) ------------------------------------
+  /// Enables the streaming ingestion subsystem: ApplySpeedObservation and
+  /// OfferObservation enqueue into a batcher that publishes immutable
+  /// snapshot versions, and queries pin a snapshot instead of racing a
+  /// mutable profile — refreshes are safe under full query load.
+  bool live_ingestion = false;
+  /// Batch window the ingestor coalesces over before publishing.
+  int64_t live_batch_window_ms = 20;
+  /// Ingestion queue bound; observations beyond it are dropped (counted).
+  size_t live_queue_bound = 4096;
+  /// Superseded snapshot versions tolerated before publishers wait for
+  /// readers to drain (memory bound under publish storms).
+  size_t live_max_retained_epochs = 8;
+  /// Location match radius for planning (see
+  /// StIndexOptions::max_locate_distance_m); <= 0 restores unconditional
+  /// snap-to-nearest.
+  double max_locate_distance_m = 25000.0;
+  // --- Negative caching (off by default) -------------------------------------
+  /// Entries in the facade's NotFound cache; 0 disables it. Junk query
+  /// locations (no matchable segment) then fail from memory instead of
+  /// re-running location resolution on every attempt.
+  size_t negative_cache_entries = 0;
+  /// Lifetime of a cached NotFound.
+  int64_t negative_cache_ttl_ms = 1000;
 };
 
 /// Facade over the whole query stack. Thread-safe for concurrent queries:
 /// the index read paths are concurrent-read-safe and the executor's pool
-/// is shared. (Per-query StorageStats deltas are only meaningful for
-/// sequential execution — the counters are engine-global.)
+/// is shared. With live ingestion enabled, speed refreshes are also safe
+/// under full query load — queries pin immutable index snapshots (see
+/// live/) instead of racing a mutable profile. (Per-query StorageStats
+/// deltas are only meaningful for sequential execution — the counters are
+/// engine-global.)
 class ReachabilityEngine {
  public:
   /// Builds every index. The network and store must outlive the engine.
@@ -104,8 +137,9 @@ class ReachabilityEngine {
   QueryExecutor& executor() { return *executor_; }
 
   /// Builds an additional executor over this engine's indexes (e.g. a
-  /// bench sweeping worker counts, or an isolated pool per tenant). The
-  /// engine must outlive it.
+  /// bench sweeping worker counts, or an isolated pool per tenant),
+  /// snapshot-pinning when live ingestion is on. The engine must outlive
+  /// it.
   std::unique_ptr<QueryExecutor> MakeExecutor(
       const QueryExecutorOptions& options) const;
 
@@ -126,29 +160,65 @@ class ReachabilityEngine {
   // --- Live updates ----------------------------------------------------------
 
   /// Folds a fresh speed observation (e.g. a live congestion feed sample)
-  /// into the speed profile and invalidates everything derived from the
-  /// covered time range: the Con-Index tables of that profile slot and
-  /// the default executor's cached results whose Δt windows intersect it
-  /// (SpeedProfile update listeners carry the fan-out, so additional
-  /// listeners can be registered on speed_profile()). Results computed
-  /// after this call reflect the updated statistics and are bit-identical
-  /// to an uncached recompute.
+  /// into the serving speed statistics and invalidates everything derived
+  /// from the covered time range (Con-Index tables, cached results whose
+  /// Δt windows intersect it).
   ///
-  /// NOT safe against concurrent queries — quiesce them first. Executors
-  /// created through MakeExecutor own private caches that this call does
-  /// not see; invalidate them explicitly.
+  /// With live ingestion ON (EngineOptions::live_ingestion) this enqueues
+  /// into the ObservationIngestor — safe from any thread, under full
+  /// concurrent query load, with no quiescing: queries pin immutable
+  /// snapshots and the refresh lands as the next published version (use
+  /// OfferObservation to see drops). With live ingestion OFF this is the
+  /// legacy direct-mutation path: it mutates the profile in place and is
+  /// NOT safe against concurrent queries (callers must serialize), which
+  /// is why live deployments turn the subsystem on. Executors created
+  /// through MakeExecutor own private caches this fan-out does not see
+  /// only in the OFF path; in the ON path they registered with the live
+  /// manager at construction.
   void ApplySpeedObservation(SegmentId seg, int64_t time_of_day_sec,
                              double speed_mps);
+
+  /// Live-mode ApplySpeedObservation with backpressure visibility: false
+  /// when the observation was rejected (invalid speed, queue full, or
+  /// live ingestion off).
+  bool OfferObservation(const SpeedObservation& observation);
+
+  /// The live snapshot manager, or nullptr when live ingestion is off.
+  LiveProfileManager* live_manager() { return live_manager_.get(); }
+
+  /// The observation ingestor, or nullptr when live ingestion is off.
+  ObservationIngestor* ingestor() { return ingestor_.get(); }
+
+  /// The facade's NotFound cache, or nullptr when disabled.
+  NegativeCache* negative_cache() { return negative_cache_.get(); }
 
  private:
   ReachabilityEngine(const RoadNetwork& network, EngineOptions options)
       : network_(&network), options_(std::move(options)) {}
+
+  /// Negative-cache key for a location set (NotFound depends only on the
+  /// locations, never on T/L/Prob).
+  static std::string NegativeKey(const XyPoint* locations, size_t n);
+
+  /// Facade tail shared by the query methods: negative-cache lookup,
+  /// plan, negative-cache insert on NotFound, execute.
+  template <typename PlanFn>
+  StatusOr<RegionResult> PlanAndExecute(const XyPoint* locations, size_t n,
+                                        PlanFn&& plan_fn);
 
   const RoadNetwork* network_;
   EngineOptions options_;
   std::unique_ptr<SpeedProfile> profile_;
   std::unique_ptr<StIndex> st_index_;
   std::unique_ptr<ConIndex> con_index_;
+  // Live ingestion stack (null when off). Sits between the indexes it
+  // snapshots and the executor that pins those snapshots; destroyed in
+  // reverse order, so the ingestor's batcher joins before the manager
+  // reclaims and the manager before the base indexes die.
+  std::unique_ptr<EpochManager> epochs_;
+  std::unique_ptr<LiveProfileManager> live_manager_;
+  std::unique_ptr<ObservationIngestor> ingestor_;
+  std::unique_ptr<NegativeCache> negative_cache_;  // null when disabled
   // Constructed after (and destroyed before) the indexes they reference.
   std::unique_ptr<QueryPlanner> planner_;
   std::unique_ptr<QueryExecutor> executor_;

@@ -147,6 +147,16 @@ void ResultCache::InvalidateSlotRange(SlotId begin, SlotId end) {
   }
 }
 
+void ResultCache::Erase(const PlanKey& key) {
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.index.find(key.canonical);
+  if (it == shard.index.end()) return;
+  shard.lru.erase(it->second);
+  shard.index.erase(it);
+  ++shard.stats.invalidated;
+}
+
 void ResultCache::InvalidateAll() {
   for (auto& shard_ptr : shards_) {
     Shard& shard = *shard_ptr;

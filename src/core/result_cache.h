@@ -87,6 +87,11 @@ class ResultCache {
   /// (inclusive, Δt slot ids).
   void InvalidateSlotRange(SlotId begin, SlotId end);
 
+  /// Drops the entry for `key` if present (counted under `invalidated`).
+  /// The live read path uses this to undo an insert that raced a snapshot
+  /// publish (see QueryExecutor::MaybeCacheInsert).
+  void Erase(const PlanKey& key);
+
   /// Drops everything (counted under `invalidated`).
   void InvalidateAll();
 

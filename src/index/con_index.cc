@@ -7,17 +7,22 @@
 
 namespace strr {
 
+std::shared_ptr<ConIndex::SlotTables> ConIndex::MakeBucket() const {
+  auto bucket = std::make_shared<SlotTables>();
+  bucket->near.resize(network_->NumSegments());
+  bucket->far.resize(network_->NumSegments());
+  bucket->ready.assign(network_->NumSegments(), 0);
+  return bucket;
+}
+
 ConIndex::ConIndex(const RoadNetwork& network, const SpeedProfile& profile,
-                   const ConIndexOptions& options)
+                   const ConIndexOptions& options, bool allocate_buckets)
     : network_(&network), profile_(&profile), options_(options) {
   num_slots_ = profile.num_slots();
   slots_.resize(num_slots_);
-  for (auto& slot : slots_) {
-    slot = std::make_unique<SlotTables>();
-    slot->near.resize(network.NumSegments());
-    slot->far.resize(network.NumSegments());
-    slot->ready.assign(network.NumSegments(), 0);
-  }
+  overlays_.resize(num_slots_);
+  if (!allocate_buckets) return;
+  for (auto& slot : slots_) slot = MakeBucket();
 }
 
 StatusOr<std::unique_ptr<ConIndex>> ConIndex::Create(
@@ -79,18 +84,97 @@ ConIndex::SlotTables& ConIndex::EnsureTables(SegmentId seg,
 
 const std::vector<SegmentId>& ConIndex::Far(SegmentId seg,
                                             int64_t time_of_day_sec) const {
-  SlotId slot = SlotOfTimeOfDay(
-      ((time_of_day_sec % kSecondsPerDay) + kSecondsPerDay) % kSecondsPerDay,
-      profile_->slot_seconds());
+  SlotId slot = SlotOfTimeOfDay(NormalizeTimeOfDay(time_of_day_sec),
+                                profile_->slot_seconds());
+  const SlotOverlay& overlay = overlays_[slot];
+  if (overlay.base != nullptr && overlay.use_base[seg]) {
+    return overlay.base->far[seg];  // write-once + ready at clone: no lock
+  }
   return EnsureTables(seg, slot).far[seg];
 }
 
 const std::vector<SegmentId>& ConIndex::Near(SegmentId seg,
                                              int64_t time_of_day_sec) const {
-  SlotId slot = SlotOfTimeOfDay(
-      ((time_of_day_sec % kSecondsPerDay) + kSecondsPerDay) % kSecondsPerDay,
-      profile_->slot_seconds());
+  SlotId slot = SlotOfTimeOfDay(NormalizeTimeOfDay(time_of_day_sec),
+                                profile_->slot_seconds());
+  const SlotOverlay& overlay = overlays_[slot];
+  if (overlay.base != nullptr && overlay.use_base[seg]) {
+    return overlay.base->near[seg];
+  }
   return EnsureTables(seg, slot).near[seg];
+}
+
+std::unique_ptr<ConIndex> ConIndex::CloneWithInvalidation(
+    const SpeedProfile& profile, const std::vector<SlotId>& invalidated_slots,
+    const std::vector<PartialInvalidation>& partial) const {
+  // No bucket allocation in the constructor: unaffected slots alias this
+  // index's buckets (materialized tables keep serving, future lazy fills
+  // are shared both ways) and only invalidated slots pay a fresh one.
+  auto clone = std::unique_ptr<ConIndex>(
+      new ConIndex(*network_, profile, options_, /*allocate_buckets=*/false));
+  for (SlotId slot = 0; slot < num_slots_; ++slot) {
+    clone->slots_[slot] = slots_[slot];
+    clone->overlays_[slot] = overlays_[slot];
+  }
+  for (SlotId slot : invalidated_slots) {
+    if (slot < 0 || slot >= num_slots_) continue;
+    clone->slots_[slot] = MakeBucket();
+    clone->overlays_[slot] = SlotOverlay{};
+  }
+
+  for (const PartialInvalidation& p : partial) {
+    if (p.slot < 0 || p.slot >= num_slots_ || p.changed.empty()) continue;
+    // Probe set: the changed segments and their predecessors. A table
+    // whose lists contain none of these (and is not a changed segment's
+    // own) is provably bit-identical under the new profile — see the
+    // header's completion-time argument.
+    std::vector<SegmentId> probe = p.changed;
+    for (SegmentId changed : p.changed) {
+      if (changed >= network_->NumSegments()) continue;
+      const auto& preds = network_->IncomingOf(changed);
+      probe.insert(probe.end(), preds.begin(), preds.end());
+    }
+    std::sort(probe.begin(), probe.end());
+    probe.erase(std::unique(probe.begin(), probe.end()), probe.end());
+
+    // Start from what the previous generation could serve: its overlay
+    // bitmap, or a ready snapshot of the plain bucket. `base` stays the
+    // lineage's last fully-built bucket, so use_base only ever shrinks —
+    // repeated partial hits never chain overlays.
+    const SlotOverlay& prev = overlays_[p.slot];
+    SlotOverlay next;
+    if (prev.base != nullptr) {
+      next.base = prev.base;
+      next.use_base = prev.use_base;
+    } else {
+      next.base = slots_[p.slot];
+      std::lock_guard<std::mutex> lock(next.base->mu);
+      next.use_base = next.base->ready;
+    }
+    auto in_lists = [&](SegmentId seg, SegmentId q) {
+      return std::binary_search(next.base->near[seg].begin(),
+                                next.base->near[seg].end(), q) ||
+             std::binary_search(next.base->far[seg].begin(),
+                                next.base->far[seg].end(), q);
+    };
+    for (SegmentId seg = 0; seg < network_->NumSegments(); ++seg) {
+      if (!next.use_base[seg]) continue;
+      bool affected =
+          std::binary_search(p.changed.begin(), p.changed.end(), seg);
+      if (!affected) {
+        for (SegmentId q : probe) {
+          if (in_lists(seg, q)) {
+            affected = true;
+            break;
+          }
+        }
+      }
+      if (affected) next.use_base[seg] = 0;
+    }
+    clone->slots_[p.slot] = MakeBucket();
+    clone->overlays_[p.slot] = std::move(next);
+  }
+  return clone;
 }
 
 Status ConIndex::BuildAll() {
@@ -98,7 +182,10 @@ Status ConIndex::BuildAll() {
                                                  : 1);
   for (SlotId slot = 0; slot < num_slots_; ++slot) {
     pool.Submit([this, slot] {
+      const SlotOverlay& overlay = overlays_[slot];
       for (SegmentId seg = 0; seg < network_->NumSegments(); ++seg) {
+        // Tables an overlay serves from its base are already built.
+        if (overlay.base != nullptr && overlay.use_base[seg]) continue;
         EnsureTables(seg, slot);
       }
     });
@@ -116,6 +203,14 @@ size_t ConIndex::InvalidateTimeRange(int64_t begin_tod, int64_t end_tod) {
   last = std::min(last, num_slots_ - 1);
   size_t dropped = 0;
   for (SlotId slot = first; slot <= last; ++slot) {
+    // Defensive: live-mode clones carry overlays; dropping one counts its
+    // base-served tables and falls through to clearing the local bucket.
+    // (The legacy direct-mutation path never creates overlays.)
+    SlotOverlay& overlay = overlays_[slot];
+    if (overlay.base != nullptr) {
+      for (uint8_t u : overlay.use_base) dropped += u;
+      overlay = SlotOverlay{};
+    }
     SlotTables& bucket = *slots_[slot];
     std::lock_guard<std::mutex> lock(bucket.mu);
     // Fast path for a refresh stream hitting an already-cold slot: don't
@@ -137,20 +232,38 @@ size_t ConIndex::InvalidateTimeRange(int64_t begin_tod, int64_t end_tod) {
 
 size_t ConIndex::MaterializedTables() const {
   size_t count = 0;
-  for (const auto& slot : slots_) {
-    std::lock_guard<std::mutex> lock(slot->mu);
-    for (uint8_t r : slot->ready) count += r;
+  for (SlotId s = 0; s < num_slots_; ++s) {
+    {
+      std::lock_guard<std::mutex> lock(slots_[s]->mu);
+      for (uint8_t r : slots_[s]->ready) count += r;
+    }
+    const SlotOverlay& overlay = overlays_[s];
+    if (overlay.base != nullptr) {
+      for (uint8_t u : overlay.use_base) count += u;
+    }
   }
   return count;
 }
 
 size_t ConIndex::TotalListEntries() const {
   size_t count = 0;
-  for (const auto& slot : slots_) {
-    std::lock_guard<std::mutex> lock(slot->mu);
-    for (size_t i = 0; i < slot->ready.size(); ++i) {
-      if (slot->ready[i]) {
-        count += slot->near[i].size() + slot->far[i].size();
+  for (SlotId s = 0; s < num_slots_; ++s) {
+    {
+      const auto& slot = slots_[s];
+      std::lock_guard<std::mutex> lock(slot->mu);
+      for (size_t i = 0; i < slot->ready.size(); ++i) {
+        if (slot->ready[i]) {
+          count += slot->near[i].size() + slot->far[i].size();
+        }
+      }
+    }
+    const SlotOverlay& overlay = overlays_[s];
+    if (overlay.base != nullptr) {
+      for (size_t i = 0; i < overlay.use_base.size(); ++i) {
+        if (overlay.use_base[i]) {
+          count += overlay.base->near[i].size() +
+                   overlay.base->far[i].size();
+        }
       }
     }
   }

@@ -70,10 +70,48 @@ class ConIndex {
   /// fires (see SpeedProfile::AddUpdateListener). Returns the number of
   /// tables dropped.
   ///
-  /// NOT safe against concurrent readers: Far()/Near() hand out references
-  /// whose lifetime assumes tables are written once. Quiesce queries
-  /// before invalidating, exactly as for SpeedProfile::ApplyObservation.
+  /// Direct-mutation path: NOT safe against concurrent readers (Far()/
+  /// Near() hand out references whose lifetime assumes tables are written
+  /// once), so callers must serialize against queries. Refreshes under
+  /// live query load go through CloneWithInvalidation instead, which
+  /// leaves this index untouched.
   size_t InvalidateTimeRange(int64_t begin_tod, int64_t end_tod);
+
+  /// One slot whose extremes changed on a *few segment cells only* (no
+  /// level-fallback change): instead of dropping the whole slot, the
+  /// clone keeps serving every table provably unaffected by the change.
+  struct PartialInvalidation {
+    SlotId slot = 0;
+    std::vector<SegmentId> changed;  ///< sorted, deduplicated cell changes
+  };
+
+  /// Copy-on-invalidate for snapshot publication (live ingestion): builds
+  /// a new index over `profile` (the refreshed fork) that *shares* the
+  /// slot buckets of every profile slot not invalidated, starts the
+  /// `invalidated_slots` empty (full invalidation: next queries lazily
+  /// rebuild from the new profile), and gives each `partial` slot an
+  /// overlay — the old bucket keeps serving its materialized tables
+  /// except those a changed segment can actually reach, which rebuild
+  /// lazily in a fresh per-generation bucket. O(#slots) pointer copies
+  /// plus, per partial slot, membership probes over its materialized
+  /// lists — no table data is copied or recomputed eagerly.
+  ///
+  /// Sharing is sound because an untouched slot has bit-identical speed
+  /// statistics in both profiles, and lazy builds are deterministic:
+  /// whichever index materializes a shared table first produces the same
+  /// lists the other would (bucket mutexes make the concurrent fill
+  /// race-safe, exactly as between two queries). The partial filter is
+  /// sound because expansion labels are *completion* times: a speed
+  /// change on segment X can alter the table of Y only via a path that
+  /// completes X or enters X — and entering X means completing one of
+  /// X's predecessors — so a table whose Near/Far lists contain neither X
+  /// nor any predecessor of X (nor is X's own table) is bit-identical
+  /// under the new profile. `profile` must have the same slot layout and
+  /// must outlive the clone.
+  std::unique_ptr<ConIndex> CloneWithInvalidation(
+      const SpeedProfile& profile,
+      const std::vector<SlotId>& invalidated_slots,
+      const std::vector<PartialInvalidation>& partial = {}) const;
 
   int64_t delta_t_seconds() const { return options_.delta_t_seconds; }
   int32_t num_profile_slots() const { return num_slots_; }
@@ -93,8 +131,28 @@ class ConIndex {
     std::mutex mu;
   };
 
+  /// Partial-invalidation overlay (see CloneWithInvalidation): segments
+  /// with use_base set serve straight from `base` (their tables were
+  /// materialized and provably unaffected when the overlay was built —
+  /// write-once, so reading them needs no lock); everything else builds
+  /// lazily into this generation's own bucket (slots_[slot]) against this
+  /// generation's profile. `base` is always the lineage's last fully-built
+  /// bucket, so repeated partial invalidations only shrink use_base — no
+  /// overlay chains.
+  struct SlotOverlay {
+    std::shared_ptr<SlotTables> base;  // null = slot has no overlay
+    std::vector<uint8_t> use_base;     // per segment
+  };
+
+  /// `allocate_buckets` false leaves slots_ as null shared_ptrs — the
+  /// CloneWithInvalidation path, which aliases or allocates per slot
+  /// itself and must not pay O(num_slots x num_segments) throwaway
+  /// allocations on every publish.
   ConIndex(const RoadNetwork& network, const SpeedProfile& profile,
-           const ConIndexOptions& options);
+           const ConIndexOptions& options, bool allocate_buckets = true);
+
+  /// A fresh empty bucket sized for the network.
+  std::shared_ptr<SlotTables> MakeBucket() const;
 
   /// Ensures tables for (seg, slot) exist; returns the slot bucket.
   SlotTables& EnsureTables(SegmentId seg, SlotId slot) const;
@@ -105,7 +163,12 @@ class ConIndex {
   const SpeedProfile* profile_;
   ConIndexOptions options_;
   int32_t num_slots_ = 0;
-  mutable std::vector<std::unique_ptr<SlotTables>> slots_;
+  /// Shared, not unique: CloneWithInvalidation aliases unaffected buckets
+  /// across snapshot generations, so a bucket lazily filled by any
+  /// generation serves all of them.
+  mutable std::vector<std::shared_ptr<SlotTables>> slots_;
+  /// Parallel to slots_; entry active iff base != nullptr.
+  mutable std::vector<SlotOverlay> overlays_;
 };
 
 }  // namespace strr

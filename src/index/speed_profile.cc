@@ -102,32 +102,55 @@ void SpeedProfile::ApplyObservation(SegmentId seg, int64_t time_of_day_sec,
     return;
   }
   float speed = static_cast<float>(speed_mps);
-  // Live feeds can carry skewed or pre-epoch timestamps; C++ truncating
-  // modulo would turn those into a negative slot and an out-of-bounds
-  // cell write, so normalize into [0, 86400) first.
-  time_of_day_sec =
-      ((time_of_day_sec % kSecondsPerDay) + kSecondsPerDay) % kSecondsPerDay;
-  SlotId slot = SlotFor(time_of_day_sec);
-  auto update = [&](Cell& cell) {
-    if (cell.count == 0) {
-      cell.min_speed = speed;
-      cell.max_speed = speed;
-    } else {
-      cell.min_speed = std::min(cell.min_speed, speed);
-      cell.max_speed = std::max(cell.max_speed, speed);
-    }
-    cell.sum_speed += speed;
-    ++cell.count;
-  };
-  update(cells_[CellIndex(seg, slot)]);
-  size_t level = static_cast<size_t>(network_->segment(seg).level);
-  update(level_fallback_[level * num_slots_ + slot]);
+  SlotId slot = SlotFor(NormalizeTimeOfDay(time_of_day_sec));
+  ApplyUpdate(seg, static_cast<int64_t>(slot) * options_.slot_seconds, speed,
+              speed, speed, 1);
 
   int64_t begin_tod = static_cast<int64_t>(slot) * options_.slot_seconds;
   int64_t end_tod = begin_tod + options_.slot_seconds;
   for (const UpdateListener& listener : listeners_) {
     listener(begin_tod, end_tod);
   }
+}
+
+uint8_t SpeedProfile::ApplyUpdate(SegmentId seg, int64_t time_of_day_sec,
+                                  float min_speed, float max_speed,
+                                  float sum_speed, uint32_t count) {
+  if (seg >= network_->NumSegments() || count == 0) return kNoExtremeChange;
+  SlotId slot = SlotFor(NormalizeTimeOfDay(time_of_day_sec));
+  auto update = [&](Cell& cell) {
+    bool changed = false;
+    if (cell.count == 0) {
+      cell.min_speed = min_speed;
+      cell.max_speed = max_speed;
+      changed = true;
+    } else {
+      if (min_speed < cell.min_speed) {
+        cell.min_speed = min_speed;
+        changed = true;
+      }
+      if (max_speed > cell.max_speed) {
+        cell.max_speed = max_speed;
+        changed = true;
+      }
+    }
+    cell.sum_speed += sum_speed;
+    cell.count += count;
+    return changed;
+  };
+  uint8_t effect = kNoExtremeChange;
+  if (update(cells_[CellIndex(seg, slot)])) effect |= kCellExtremesChanged;
+  size_t level = static_cast<size_t>(network_->segment(seg).level);
+  if (update(level_fallback_[level * num_slots_ + slot])) {
+    effect |= kFallbackExtremesChanged;
+  }
+  return effect;
+}
+
+SpeedProfile SpeedProfile::Fork() const {
+  SpeedProfile copy = *this;
+  copy.listeners_.clear();
+  return copy;
 }
 
 double SpeedProfile::CoverageFraction() const {

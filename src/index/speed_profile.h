@@ -67,11 +67,40 @@ class SpeedProfile {
   /// into the (segment, slot) statistics and notifies update listeners.
   /// Observations below the min_speed_floor are dropped, mirroring Build.
   ///
-  /// NOT safe against concurrent readers: quiesce queries first (the cell
-  /// floats are read lock-free on the query path). ReachabilityEngine::
-  /// ApplySpeedObservation documents the same contract.
+  /// Direct-mutation path: NOT safe against concurrent readers (the cell
+  /// floats are read lock-free on the query path) — callers must serialize
+  /// against queries themselves. For refreshes under live query load use
+  /// the live ingestion subsystem (live/), which applies updates to forked
+  /// snapshot copies instead of mutating a profile readers hold.
   void ApplyObservation(SegmentId seg, int64_t time_of_day_sec,
                         double speed_mps);
+
+  /// ApplyUpdate outcome flags: which *extreme* statistics changed (the
+  /// only statistics the Con-Index and bounding-region expansion read,
+  /// hence the triggers for invalidating derived tables — mean/count
+  /// updates alone never invalidate anything). Cell changes affect only
+  /// expansions that reach this segment; fallback changes affect every
+  /// observation-less segment of the road level, i.e. the whole slot.
+  enum UpdateEffect : uint8_t {
+    kNoExtremeChange = 0,
+    kCellExtremesChanged = 1,
+    kFallbackExtremesChanged = 2,
+  };
+
+  /// Folds a pre-aggregated batch of observations for one (segment, slot)
+  /// — the coalesced form the live ingestor produces; equivalent to
+  /// `count` ApplyObservation calls but without listener fan-out (the
+  /// snapshot publisher carries its own invalidation). Inputs must be
+  /// pre-filtered (finite, >= min_speed_floor) and `count` > 0. Returns
+  /// UpdateEffect flags (OR-ed).
+  uint8_t ApplyUpdate(SegmentId seg, int64_t time_of_day_sec, float min_speed,
+                      float max_speed, float sum_speed, uint32_t count);
+
+  /// Copy with listeners dropped — the mutable working copy a live
+  /// snapshot publisher applies a batch to before publishing.
+  SpeedProfile Fork() const;
+
+  double min_speed_floor() const { return options_.min_speed_floor; }
 
   int64_t slot_seconds() const { return options_.slot_seconds; }
   int32_t num_slots() const { return num_slots_; }

@@ -136,6 +136,12 @@ StatusOr<SegmentId> StIndex::LocateSegment(const XyPoint& p) const {
       best = candidates[i];
     }
   }
+  if (options_.max_locate_distance_m > 0 &&
+      best_dist > options_.max_locate_distance_m) {
+    return Status::NotFound("no segment within " +
+                            std::to_string(options_.max_locate_distance_m) +
+                            "m of query location");
+  }
   return best;
 }
 

@@ -33,6 +33,16 @@ struct StIndexOptions {
   std::string posting_path;     ///< where the time-list file goes (required)
   size_t cache_pages = 4096;    ///< buffer-pool capacity for reads
   uint32_t page_size = kDefaultPageSize;
+  /// LocateSegment match radius: a query location farther than this from
+  /// every segment is NotFound instead of silently snapping to a road
+  /// kilometres away (junk coordinates from misbehaving clients). 25 km
+  /// comfortably covers GPS noise and off-network pickups while rejecting
+  /// other-continent floods; <= 0 disables the cap and restores the
+  /// unconditional snap-to-nearest behavior. Deliberately on by default —
+  /// fabricating reachability for a point 1000 km off-network is a bug,
+  /// not behavior to preserve; city-scale workloads (the paper's) never
+  /// hit the cap. EngineOptions::max_locate_distance_m plumbs it through.
+  double max_locate_distance_m = 25000.0;
 };
 
 /// Per-day trajectory-ID lists for one (segment, slot): time_lists[d] is

@@ -1,0 +1,135 @@
+#include "live/epoch_manager.h"
+
+#include <algorithm>
+#include <thread>
+#include <utility>
+
+namespace strr {
+
+EpochManager::EpochManager(const EpochManagerOptions& options)
+    : max_retained_(std::max<size_t>(options.max_retained, 1)) {
+  size_t n = options.reader_slots;
+  if (n == 0) {
+    n = std::max<size_t>(4 * std::thread::hardware_concurrency(), 64);
+  }
+  slots_ = std::vector<std::atomic<uint64_t>>(n);
+  for (auto& slot : slots_) slot.store(kIdle);
+}
+
+EpochManager::~EpochManager() {
+  // Shutdown contract: no pins, no concurrent Retire. Everything in limbo
+  // is therefore reclaimable.
+  std::vector<std::function<void()>> ripe;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (Retired& r : limbo_) ripe.push_back(std::move(r.deleter));
+    limbo_.clear();
+  }
+  for (auto& d : ripe) d();
+  reclaimed_.fetch_add(ripe.size());
+}
+
+EpochManager::Pin EpochManager::Acquire() {
+  pins_.fetch_add(1);
+  for (;;) {
+    uint64_t e = epoch_.load();
+    for (auto& slot : slots_) {
+      uint64_t expected = kIdle;
+      if (slot.compare_exchange_strong(expected, e)) {
+        return Pin(&slot);
+      }
+    }
+    // Every slot taken: more pinned readers than slots. Pins are
+    // query-scoped, so one will free shortly.
+    std::this_thread::yield();
+  }
+}
+
+uint64_t EpochManager::MinPinnedEpoch() const {
+  uint64_t min_pinned = kIdle;
+  for (const auto& slot : slots_) {
+    min_pinned = std::min(min_pinned, slot.load());
+  }
+  return min_pinned;
+}
+
+std::vector<std::function<void()>> EpochManager::DrainRipeLocked(
+    uint64_t min_pinned) {
+  // Full scan, not front-only: concurrent Retire calls can enqueue stamps
+  // slightly out of order, and a newer entry must not hold a ripe older
+  // one hostage. The list is bounded by max_retained, so this is cheap.
+  std::vector<std::function<void()>> ripe;
+  for (auto it = limbo_.begin(); it != limbo_.end();) {
+    if (it->epoch < min_pinned) {
+      ripe.push_back(std::move(it->deleter));
+      it = limbo_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  return ripe;
+}
+
+size_t EpochManager::TryReclaim() {
+  std::vector<std::function<void()>> ripe;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ripe = DrainRipeLocked(MinPinnedEpoch());
+  }
+  for (auto& d : ripe) d();
+  reclaimed_.fetch_add(ripe.size());
+  return ripe.size();
+}
+
+void EpochManager::Retire(std::function<void()> deleter) {
+  // Stamp with the pre-increment epoch: any reader pinned at or below it
+  // may still hold the retired object; readers pinning the new epoch
+  // cannot (the caller unpublished it before calling Retire).
+  retired_.fetch_add(1);
+  uint64_t stamp = epoch_.fetch_add(1);
+  bool waited = false;
+  for (;;) {
+    std::vector<std::function<void()>> ripe;
+    size_t in_limbo;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (deleter) {
+        limbo_.push_back(Retired{stamp, std::move(deleter)});
+        deleter = nullptr;
+      }
+      ripe = DrainRipeLocked(MinPinnedEpoch());
+      in_limbo = limbo_.size();
+    }
+    for (auto& d : ripe) d();
+    reclaimed_.fetch_add(ripe.size());
+    if (in_limbo <= max_retained_) break;
+    // Memory pressure: too many superseded versions alive. Wait out the
+    // grace period (readers are query-scoped, so this is short).
+    if (!waited) {
+      waited = true;
+      grace_waits_.fetch_add(1);
+    }
+    std::this_thread::yield();
+  }
+}
+
+void EpochManager::SynchronizeAndReclaim() {
+  // Readers pinned strictly before this call hold epochs < target; once
+  // the minimum pinned epoch reaches the target they have all drained.
+  uint64_t target = epoch_.fetch_add(1) + 1;
+  while (MinPinnedEpoch() < target) std::this_thread::yield();
+  TryReclaim();
+}
+
+EpochManager::Stats EpochManager::stats() const {
+  Stats out;
+  out.pins = pins_.load();
+  out.retired = retired_.load();
+  out.reclaimed = reclaimed_.load();
+  out.grace_waits = grace_waits_.load();
+  std::lock_guard<std::mutex> lock(mu_);
+  out.in_limbo = limbo_.size();
+  return out;
+}
+
+}  // namespace strr

@@ -1,0 +1,168 @@
+// EpochManager: epoch-based (RCU-style) grace-period reclamation.
+//
+// The live ingestion subsystem publishes immutable index snapshots by
+// atomic pointer swap; queries that loaded the previous snapshot may still
+// be reading it. The EpochManager answers the only hard question in that
+// scheme: when is it safe to delete a superseded snapshot?
+//
+//  * Readers call Acquire() before loading the shared pointer and hold the
+//    returned Pin for the duration of the read (one query). Pinning
+//    publishes the reader's observed epoch in a slot the writer scans.
+//  * Writers swap in the new version first, then Retire() the old one.
+//    Retiring stamps the object with the current global epoch and advances
+//    the epoch; the object is destroyed only once every pinned reader's
+//    epoch is newer than the stamp — i.e. no reader can still hold a
+//    pointer obtained before the swap.
+//
+// Correctness argument (all operations seq_cst): a reader pins epoch e
+// *before* loading the snapshot pointer; a writer stores the new pointer
+// *before* fetching-and-incrementing the epoch to stamp the retired one
+// with e_r. If the reader loaded the old pointer, its pointer load
+// preceded the writer's store in the total order, hence its pin preceded
+// the writer's increment, hence e <= e_r and the writer's slot scan (after
+// the increment) observes the pin — the old snapshot stays alive. If the
+// scan misses the pin, the pin happened after the scan, so the reader's
+// pointer load happened after the writer's store and it holds the *new*
+// snapshot; reclaiming the old one is safe.
+//
+// Reclamation is deferred, never blocking readers: retired objects wait on
+// a limbo list that the writer drains opportunistically. When the list
+// exceeds max_retained, Retire() waits for the grace period (readers are
+// query-scoped, so this terminates quickly) — bounding memory under
+// publish storms.
+#ifndef STRR_LIVE_EPOCH_MANAGER_H_
+#define STRR_LIVE_EPOCH_MANAGER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <vector>
+
+namespace strr {
+
+/// EpochManager construction knobs.
+struct EpochManagerOptions {
+  /// Reader pin slots (concurrent pins). 0 = 4x hardware threads, min 64.
+  /// Acquire spins (yielding) when every slot is taken, so size this above
+  /// the peak number of in-flight pinned queries.
+  size_t reader_slots = 0;
+  /// Retired-but-unreclaimed versions tolerated before Retire() waits for
+  /// the grace period. Bounds memory held by superseded snapshots.
+  size_t max_retained = 8;
+};
+
+/// Grace-period reclamation for read-mostly shared objects. Thread-safe:
+/// any number of concurrent readers; writers (Retire/TryReclaim) may also
+/// be concurrent with readers and each other.
+class EpochManager {
+ public:
+  explicit EpochManager(const EpochManagerOptions& options = {});
+
+  /// Destroys everything still in limbo. No reader may hold a Pin and no
+  /// writer may be inside Retire() when the manager is destroyed.
+  ~EpochManager();
+
+  EpochManager(const EpochManager&) = delete;
+  EpochManager& operator=(const EpochManager&) = delete;
+
+  /// RAII reader pin. Movable; the empty (moved-from / default) state is
+  /// unpinned. Release on destruction may happen on any thread, as long as
+  /// it happens after the last access to the protected object.
+  class Pin {
+   public:
+    Pin() = default;
+    Pin(Pin&& other) noexcept : slot_(other.slot_) { other.slot_ = nullptr; }
+    Pin& operator=(Pin&& other) noexcept {
+      if (this != &other) {
+        Release();
+        slot_ = other.slot_;
+        other.slot_ = nullptr;
+      }
+      return *this;
+    }
+    ~Pin() { Release(); }
+
+    Pin(const Pin&) = delete;
+    Pin& operator=(const Pin&) = delete;
+
+    bool pinned() const { return slot_ != nullptr; }
+    /// The epoch this pin protects (meaningless when unpinned).
+    uint64_t epoch() const { return slot_ ? slot_->load() : 0; }
+
+    void Release() {
+      if (slot_ != nullptr) {
+        slot_->store(kIdle);
+        slot_ = nullptr;
+      }
+    }
+
+   private:
+    friend class EpochManager;
+    explicit Pin(std::atomic<uint64_t>* slot) : slot_(slot) {}
+    std::atomic<uint64_t>* slot_ = nullptr;
+  };
+
+  /// Pins the current epoch. Call before loading the protected pointer.
+  /// Lock-free in the common case; yields while every slot is occupied.
+  Pin Acquire();
+
+  /// Hands `deleter` (which destroys one superseded object) to the limbo
+  /// list, stamped with the current epoch, and advances the epoch. Runs
+  /// ripe deleters inline; waits for the grace period when more than
+  /// max_retained versions are in limbo. Call *after* unpublishing the
+  /// object (readers acquiring now must not be able to reach it).
+  void Retire(std::function<void()> deleter);
+
+  /// Runs every deleter whose grace period has elapsed. Returns how many
+  /// ran. Writers call this opportunistically; tests call it directly.
+  size_t TryReclaim();
+
+  /// Blocks until every pin taken before the call is released, then
+  /// reclaims everything reclaimable. Used on shutdown paths.
+  void SynchronizeAndReclaim();
+
+  uint64_t current_epoch() const { return epoch_.load(); }
+
+  /// Point-in-time counters.
+  struct Stats {
+    uint64_t pins = 0;       ///< Acquire calls
+    uint64_t retired = 0;    ///< objects handed to Retire
+    uint64_t reclaimed = 0;  ///< deleters run
+    size_t in_limbo = 0;     ///< retired, not yet reclaimed
+    uint64_t grace_waits = 0;  ///< Retire calls that had to wait for readers
+  };
+  Stats stats() const;
+
+ private:
+  static constexpr uint64_t kIdle = ~uint64_t{0};
+
+  struct Retired {
+    uint64_t epoch;  ///< reclaimable once every pin is newer than this
+    std::function<void()> deleter;
+  };
+
+  /// Smallest epoch any reader currently pins (kIdle when none).
+  uint64_t MinPinnedEpoch() const;
+
+  /// Pops ripe limbo entries under mu_; returns their deleters so they run
+  /// outside the lock.
+  std::vector<std::function<void()>> DrainRipeLocked(uint64_t min_pinned);
+
+  std::atomic<uint64_t> epoch_{1};
+  std::vector<std::atomic<uint64_t>> slots_;
+
+  mutable std::mutex mu_;
+  std::deque<Retired> limbo_;  // near-epoch-ordered; drained by full scan
+  size_t max_retained_;
+
+  std::atomic<uint64_t> pins_{0};
+  std::atomic<uint64_t> retired_{0};
+  std::atomic<uint64_t> reclaimed_{0};
+  std::atomic<uint64_t> grace_waits_{0};
+};
+
+}  // namespace strr
+
+#endif  // STRR_LIVE_EPOCH_MANAGER_H_

@@ -1,0 +1,43 @@
+// Live speed-observation types shared by the ingestion subsystem and the
+// sources that feed it (FleetSimulator's LiveObservationSource, congestion
+// feeds, tests).
+//
+// Deliberately a leaf header (depends only on segment ids) so producers in
+// traj/ can emit observations without pulling in the index stack.
+#ifndef STRR_LIVE_OBSERVATION_H_
+#define STRR_LIVE_OBSERVATION_H_
+
+#include <cstdint>
+
+#include "roadnet/segment.h"
+
+namespace strr {
+
+/// One fresh speed sample from a live feed: "a vehicle traversed `segment`
+/// around `time_of_day_sec` at `speed_mps`". The same triple
+/// SpeedProfile::ApplyObservation folds; the ingestor batches these instead.
+struct SpeedObservation {
+  SegmentId segment = 0;
+  int64_t time_of_day_sec = 0;
+  double speed_mps = 0.0;
+};
+
+/// A batch-coalesced update: every observation for one (segment, profile
+/// slot) inside one batch window, pre-aggregated to the statistics a
+/// SpeedProfile cell stores. Folding one CoalescedUpdate yields exactly
+/// the min/max/count that folding its `count` source observations one by
+/// one would; the float sum (hence the mean) can differ from the
+/// one-by-one order in the last rounding bit, which nothing on the query
+/// path reads (regions derive from extremes only).
+struct CoalescedUpdate {
+  SegmentId segment = 0;
+  int64_t slot_tod = 0;  ///< any time-of-day second inside the profile slot
+  float min_speed = 0.0f;
+  float max_speed = 0.0f;
+  float sum_speed = 0.0f;
+  uint32_t count = 0;
+};
+
+}  // namespace strr
+
+#endif  // STRR_LIVE_OBSERVATION_H_

@@ -1,0 +1,192 @@
+#include "live/observation_ingestor.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+#include <utility>
+
+#include "storage/io_context.h"
+#include "util/time_util.h"
+
+namespace strr {
+
+ObservationIngestor::ObservationIngestor(
+    LiveProfileManager& manager, const ObservationIngestorOptions& options)
+    : manager_(&manager), options_(options) {
+  // Validation mirrors the profile the snapshots fork from; the base
+  // profile's layout is immutable, so caching these is safe.
+  SnapshotRef snap = manager_->Acquire();
+  min_speed_floor_ = snap.profile().min_speed_floor();
+  profile_slot_seconds_ = snap.profile().slot_seconds();
+  if (options_.queue_bound == 0) options_.queue_bound = 1;
+  if (options_.max_batch == 0) options_.max_batch = 1;
+  if (!options_.manual) {
+    batcher_ = std::thread([this] { BatcherLoop(); });
+  }
+}
+
+ObservationIngestor::~ObservationIngestor() { Stop(); }
+
+bool ObservationIngestor::Offer(const SpeedObservation& observation) {
+  offered_.fetch_add(1);
+  if (!std::isfinite(observation.speed_mps) ||
+      observation.speed_mps < min_speed_floor_) {
+    rejected_invalid_.fetch_add(1);
+    return false;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopped_) {
+      // Shutdown, not backpressure: keep it out of dropped_full so queue
+      // tuning isn't misled by teardown-window offers.
+      dropped_stopped_.fetch_add(1);
+      return false;
+    }
+    if (queue_.size() >= options_.queue_bound) {
+      dropped_full_.fetch_add(1);
+      return false;
+    }
+    queue_.push_back(Queued{observation, std::chrono::steady_clock::now()});
+    max_queue_depth_ = std::max(max_queue_depth_, queue_.size());
+  }
+  accepted_.fetch_add(1);
+  cv_.notify_one();
+  return true;
+}
+
+size_t ObservationIngestor::DrainAndPublish() {
+  std::vector<Queued> drained;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    size_t n = std::min(queue_.size(), options_.max_batch);
+    drained.reserve(n);
+    for (size_t i = 0; i < n; ++i) {
+      drained.push_back(std::move(queue_.front()));
+      queue_.pop_front();
+    }
+  }
+  if (drained.empty()) return 0;
+
+  // Coalesce per (segment, profile slot): one cell-sized aggregate per
+  // group, sums accumulated in arrival order so folding the aggregate is
+  // bit-equivalent to folding each observation.
+  std::unordered_map<uint64_t, CoalescedUpdate> groups;
+  groups.reserve(drained.size());
+  for (const Queued& q : drained) {
+    int64_t tod = NormalizeTimeOfDay(q.obs.time_of_day_sec);
+    SlotId slot = SlotOfTimeOfDay(tod, profile_slot_seconds_);
+    uint64_t key = (static_cast<uint64_t>(q.obs.segment) << 32) |
+                   static_cast<uint64_t>(static_cast<uint32_t>(slot));
+    float speed = static_cast<float>(q.obs.speed_mps);
+    auto [it, inserted] = groups.try_emplace(key);
+    CoalescedUpdate& u = it->second;
+    if (inserted) {
+      u.segment = q.obs.segment;
+      u.slot_tod = tod;
+      u.min_speed = speed;
+      u.max_speed = speed;
+    } else {
+      u.min_speed = std::min(u.min_speed, speed);
+      u.max_speed = std::max(u.max_speed, speed);
+    }
+    u.sum_speed += speed;
+    ++u.count;
+  }
+  std::vector<CoalescedUpdate> batch;
+  batch.reserve(groups.size());
+  for (auto& [key, update] : groups) batch.push_back(update);
+  // Deterministic publish order regardless of hash iteration.
+  std::sort(batch.begin(), batch.end(),
+            [](const CoalescedUpdate& a, const CoalescedUpdate& b) {
+              return a.segment != b.segment ? a.segment < b.segment
+                                            : a.slot_tod < b.slot_tod;
+            });
+
+  // Writer-side attribution: refresh work (profile fork, table
+  // invalidation, cache eviction listeners) counts against this scope,
+  // never against a concurrently running query's thread-local counters.
+  ScopedIoCounters writer_scope;
+  manager_->Publish(batch);
+  auto done = std::chrono::steady_clock::now();
+
+  double staleness_ms = 0.0;
+  for (const Queued& q : drained) {
+    staleness_ms += std::chrono::duration<double, std::milli>(
+                        done - q.enqueued)
+                        .count();
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    publish_io_ += writer_scope.stats();
+    staleness_sum_ms_ += staleness_ms;
+    staleness_count_ += drained.size();
+  }
+  published_.fetch_add(drained.size());
+  coalesced_updates_.fetch_add(batch.size());
+  batches_.fetch_add(1);
+  return drained.size();
+}
+
+size_t ObservationIngestor::Flush() {
+  size_t total = 0;
+  for (;;) {
+    size_t n = DrainAndPublish();
+    total += n;
+    if (n == 0) break;
+  }
+  return total;
+}
+
+void ObservationIngestor::BatcherLoop() {
+  const auto window = std::chrono::milliseconds(options_.batch_window_ms);
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    cv_.wait(lock, [this] { return stopped_ || !queue_.empty(); });
+    if (stopped_) return;  // final flush happens in Stop()
+    // Let the window fill so one publish absorbs a burst. wait_for (not
+    // sleep) so Stop() can interrupt a long window promptly.
+    cv_.wait_for(lock, window, [this] {
+      return stopped_ || queue_.size() >= options_.max_batch;
+    });
+    if (stopped_) return;
+    lock.unlock();
+    DrainAndPublish();
+    lock.lock();
+  }
+}
+
+void ObservationIngestor::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopped_) {
+      return;
+    }
+    stopped_ = true;
+  }
+  cv_.notify_all();
+  if (batcher_.joinable()) batcher_.join();
+  // Publish the tail so no accepted observation is lost on shutdown.
+  // stopped_ only gates Offer and the batcher; Flush still drains.
+  Flush();
+}
+
+ObservationIngestor::Stats ObservationIngestor::stats() const {
+  Stats out;
+  out.offered = offered_.load();
+  out.accepted = accepted_.load();
+  out.rejected_invalid = rejected_invalid_.load();
+  out.dropped_full = dropped_full_.load();
+  out.dropped_stopped = dropped_stopped_.load();
+  out.published = published_.load();
+  out.coalesced_updates = coalesced_updates_.load();
+  out.batches = batches_.load();
+  std::lock_guard<std::mutex> lock(mu_);
+  out.queue_depth = queue_.size();
+  out.max_queue_depth = max_queue_depth_;
+  out.mean_staleness_ms =
+      staleness_count_ > 0 ? staleness_sum_ms_ / staleness_count_ : 0.0;
+  out.publish_io = publish_io_;
+  return out;
+}
+
+}  // namespace strr

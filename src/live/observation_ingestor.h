@@ -1,0 +1,143 @@
+// ObservationIngestor: the write side of the live ingestion subsystem.
+//
+// Producers (congestion feeds, the FleetSimulator's live source, RPC
+// handlers) Offer() speed observations from any thread into a bounded
+// MPSC queue; a single batcher thread drains it on a batch window,
+// coalesces observations per (segment, profile slot) into the exact cell
+// statistics a SpeedProfile stores, and hands the batch to
+// LiveProfileManager::Publish — one profile fork + pointer swap per
+// window, no matter how many observations arrived.
+//
+// Backpressure is explicit, never blocking: when the queue is full,
+// Offer() drops the observation and says so (a lost speed sample costs a
+// little freshness; a blocked producer thread costs a feed). The queue
+// bound and batch window are the two knobs trading freshness against
+// publish rate.
+//
+// The batcher thread runs under its own ScopedIoCounters, so storage
+// traffic caused by refresh work is attributed to the writer (visible in
+// Stats::publish_io), never to whatever query happens to be running —
+// the same per-thread attribution discipline the query path uses.
+#ifndef STRR_LIVE_OBSERVATION_INGESTOR_H_
+#define STRR_LIVE_OBSERVATION_INGESTOR_H_
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "live/live_profile_manager.h"
+#include "live/observation.h"
+#include "storage/page.h"
+
+namespace strr {
+
+/// Ingestor construction knobs.
+struct ObservationIngestorOptions {
+  /// Queue capacity; Offer drops (and counts) beyond it.
+  size_t queue_bound = 4096;
+  /// How long the batcher waits to coalesce before publishing. Smaller =
+  /// fresher snapshots, more publishes (each is a profile fork).
+  int64_t batch_window_ms = 20;
+  /// Hard cap on observations drained into one publish.
+  size_t max_batch = 8192;
+  /// When true, no batcher thread is started: observations queue up until
+  /// Flush() publishes them. Deterministic mode for tests.
+  bool manual = false;
+};
+
+/// Bounded-queue batcher in front of a LiveProfileManager. Offer is
+/// thread-safe (MPSC: many producers, one internal consumer); Flush/Stop
+/// are thread-safe but typically owner-called. The manager must outlive
+/// the ingestor.
+class ObservationIngestor {
+ public:
+  ObservationIngestor(LiveProfileManager& manager,
+                      const ObservationIngestorOptions& options = {});
+
+  /// Stops the batcher; anything still queued is published.
+  ~ObservationIngestor();
+
+  ObservationIngestor(const ObservationIngestor&) = delete;
+  ObservationIngestor& operator=(const ObservationIngestor&) = delete;
+
+  /// Enqueues one observation. Returns false when it was rejected: invalid
+  /// (non-finite or below the profile's min-speed floor, mirroring
+  /// SpeedProfile::ApplyObservation) or dropped because the queue is full.
+  bool Offer(const SpeedObservation& observation);
+
+  /// Drains and publishes everything queued right now, synchronously on
+  /// the calling thread. Returns the number of observations published.
+  /// The deterministic path tests and `manual` mode use; safe alongside
+  /// the batcher thread too (publishes serialize in the manager).
+  size_t Flush();
+
+  /// Stops the batcher thread after a final flush. Idempotent; the
+  /// destructor calls it.
+  void Stop();
+
+  /// Point-in-time counters.
+  struct Stats {
+    uint64_t offered = 0;           ///< Offer calls
+    uint64_t accepted = 0;          ///< enqueued
+    uint64_t rejected_invalid = 0;  ///< non-finite / sub-floor speed
+    uint64_t dropped_full = 0;      ///< queue at bound (backpressure)
+    uint64_t dropped_stopped = 0;   ///< offered after Stop()
+    uint64_t published = 0;         ///< observations folded into snapshots
+    uint64_t coalesced_updates = 0;  ///< (segment, slot) cells written
+    uint64_t batches = 0;           ///< publishes
+    size_t queue_depth = 0;         ///< queued right now
+    size_t max_queue_depth = 0;     ///< high-water mark
+    /// Mean milliseconds an observation waited between Offer and its
+    /// snapshot publish — the ingest-side freshness (staleness) measure.
+    double mean_staleness_ms = 0.0;
+    /// Storage traffic attributed to the writer (publish/invalidation
+    /// work), kept out of every query's per-thread counters.
+    StorageStats publish_io;
+  };
+  Stats stats() const;
+
+ private:
+  struct Queued {
+    SpeedObservation obs;
+    std::chrono::steady_clock::time_point enqueued;
+  };
+
+  void BatcherLoop();
+  /// Drains up to max_batch entries, coalesces, publishes. Returns the
+  /// number of observations published.
+  size_t DrainAndPublish();
+
+  LiveProfileManager* manager_;
+  ObservationIngestorOptions options_;
+  double min_speed_floor_;
+  int64_t profile_slot_seconds_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<Queued> queue_;
+  bool stopped_ = false;
+  size_t max_queue_depth_ = 0;
+  StorageStats publish_io_;
+  double staleness_sum_ms_ = 0.0;
+  uint64_t staleness_count_ = 0;
+
+  std::atomic<uint64_t> offered_{0};
+  std::atomic<uint64_t> accepted_{0};
+  std::atomic<uint64_t> rejected_invalid_{0};
+  std::atomic<uint64_t> dropped_full_{0};
+  std::atomic<uint64_t> dropped_stopped_{0};
+  std::atomic<uint64_t> published_{0};
+  std::atomic<uint64_t> coalesced_updates_{0};
+  std::atomic<uint64_t> batches_{0};
+
+  std::thread batcher_;  // last member: joins before the rest tears down
+};
+
+}  // namespace strr
+
+#endif  // STRR_LIVE_OBSERVATION_INGESTOR_H_

@@ -42,6 +42,12 @@ struct QueryStats {
   /// remaining stats then describe the execution that originally produced
   /// the entry, not the (near-free) cache lookup.
   bool cache_hit = false;
+  /// Version of the live index snapshot this result was computed against
+  /// (see live/live_profile_manager.h). 0 when live ingestion is off —
+  /// results then come from the engine-built (static) indexes. Every read
+  /// of one query sees exactly this version: snapshots are immutable and
+  /// pinned for the query's duration.
+  uint64_t snapshot_version = 0;
   /// Storage-layer traffic attributed to this query. Executor-run queries
   /// count through a per-thread ScopedIoCounters in the BufferPool read
   /// path, so the numbers are exact even under concurrent execution

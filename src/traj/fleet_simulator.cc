@@ -233,4 +233,34 @@ StatusOr<FleetResult> SimulateFleet(const RoadNetwork& network,
   return result;
 }
 
+LiveObservationSource::LiveObservationSource(
+    const RoadNetwork& network, const LiveObservationOptions& options)
+    : network_(&network), options_(options), rng_(options.seed) {}
+
+SpeedObservation LiveObservationSource::Next(int64_t time_of_day_sec) {
+  SegmentId seg = static_cast<SegmentId>(
+      rng_.UniformInt(0, static_cast<int64_t>(network_->NumSegments()) - 1));
+  return NextAt(seg, time_of_day_sec);
+}
+
+SpeedObservation LiveObservationSource::NextAt(SegmentId segment,
+                                               int64_t time_of_day_sec) {
+  // The same speed model SimulateFleet samples matched trajectories from,
+  // minus the per-trip noise (a live probe is one vehicle-second, not a
+  // trip): congestion-dipped expected speed, lognormal jitter, occasional
+  // near-crawl traversal, clamped to the design speed.
+  const RoadSegment& seg = network_->segment(segment);
+  int64_t tod = NormalizeTimeOfDay(time_of_day_sec);
+  double speed = options_.congestion.ExpectedSpeed(seg.level, tod) *
+                 std::exp(rng_.Gaussian(0.0, options_.speed_noise_std));
+  if (rng_.Chance(options_.slow_traversal_prob)) {
+    speed *= rng_.Uniform(options_.slow_traversal_factor_lo,
+                          options_.slow_traversal_factor_hi);
+  }
+  double limit = FreeFlowSpeed(seg.level);
+  if (speed > limit) speed = limit;
+  if (speed < 0.8) speed = 0.8;
+  return SpeedObservation{segment, tod, speed};
+}
+
 }  // namespace strr

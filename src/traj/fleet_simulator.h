@@ -18,11 +18,13 @@
 #include <memory>
 #include <vector>
 
+#include "live/observation.h"
 #include "roadnet/road_network.h"
 #include "traj/congestion.h"
 #include "traj/trajectory.h"
 #include "traj/trajectory_store.h"
 #include "util/result.h"
+#include "util/rng.h"
 
 namespace strr {
 
@@ -65,6 +67,41 @@ struct FleetResult {
 StatusOr<FleetResult> SimulateFleet(const RoadNetwork& network,
                                     const FleetOptions& options,
                                     int raw_days = 0);
+
+/// Streaming counterpart of SimulateFleet: an endless source of live speed
+/// observations drawn from the same congestion + noise model the fleet's
+/// matched samples come from. Drives the live ingestion subsystem in soak
+/// tests and benches the way a real probe-vehicle feed would: plausible
+/// per-segment speeds, rush-hour dips, occasional near-crawl traversals
+/// that move a slot's minimum. Deterministic from the seed. Not
+/// thread-safe; give each producer thread its own source (fork the seed).
+/// Observation generation knobs (defaults mirror FleetOptions).
+struct LiveObservationOptions {
+  uint64_t seed = 2014;
+  double speed_noise_std = 0.12;
+  double slow_traversal_prob = 0.08;
+  double slow_traversal_factor_lo = 0.12;
+  double slow_traversal_factor_hi = 0.40;
+  CongestionModel congestion;
+};
+
+class LiveObservationSource {
+ public:
+  /// The network must outlive the source.
+  explicit LiveObservationSource(const RoadNetwork& network,
+                                 const LiveObservationOptions& options = {});
+
+  /// One observation on a uniformly random segment at `time_of_day_sec`.
+  SpeedObservation Next(int64_t time_of_day_sec);
+
+  /// One observation on a specific segment (targeted tests/benches).
+  SpeedObservation NextAt(SegmentId segment, int64_t time_of_day_sec);
+
+ private:
+  const RoadNetwork* network_;
+  LiveObservationOptions options_;
+  Rng rng_;
+};
 
 }  // namespace strr
 

@@ -4,6 +4,7 @@
 #ifndef STRR_UTIL_THREAD_POOL_H_
 #define STRR_UTIL_THREAD_POOL_H_
 
+#include <atomic>
 #include <condition_variable>
 #include <functional>
 #include <future>
@@ -59,6 +60,9 @@ class ThreadPool {
       std::lock_guard<std::mutex> lock(mu_);
       tasks_.push(std::move(task));
       ++pending_;
+      // Under the lock so stats() never observes completed > submitted
+      // or pending > submitted.
+      submitted_.fetch_add(1, std::memory_order_relaxed);
     }
     cv_.notify_one();
   }
@@ -86,6 +90,30 @@ class ThreadPool {
 
   size_t num_threads() const { return workers_.size(); }
 
+  /// Point-in-time observability counters. `queue_depth` is tasks waiting
+  /// for a worker (not yet started); `pending` additionally includes tasks
+  /// currently running. Consumers: QueryExecutor::front_door_stats surfaces
+  /// these so operators can see whether latency comes from queueing, and
+  /// backpressure logic (admission, the live ingestor) can reason about
+  /// pool saturation coherently with its own queue depths.
+  struct Stats {
+    uint64_t submitted = 0;  ///< tasks ever enqueued
+    uint64_t completed = 0;  ///< tasks finished
+    size_t queue_depth = 0;  ///< enqueued, not yet picked up
+    size_t pending = 0;      ///< enqueued or running
+    size_t threads = 0;
+  };
+  Stats stats() const {
+    Stats out;
+    out.submitted = submitted_.load(std::memory_order_relaxed);
+    out.completed = completed_.load(std::memory_order_relaxed);
+    out.threads = workers_.size();
+    std::lock_guard<std::mutex> lock(mu_);
+    out.queue_depth = tasks_.size();
+    out.pending = pending_;
+    return out;
+  }
+
   /// True when the calling thread is one of THIS pool's workers. Lets
   /// nested fan-out decide to run inline instead of re-submitting to the
   /// pool and blocking a worker on work that may never be scheduled.
@@ -104,6 +132,7 @@ class ThreadPool {
         tasks_.pop();
       }
       task();
+      completed_.fetch_add(1, std::memory_order_relaxed);
       {
         std::lock_guard<std::mutex> lock(mu_);
         if (--pending_ == 0) done_cv_.notify_all();
@@ -113,7 +142,9 @@ class ThreadPool {
 
   static thread_local const ThreadPool* current_pool_;
 
-  std::mutex mu_;
+  mutable std::mutex mu_;
+  std::atomic<uint64_t> submitted_{0};
+  std::atomic<uint64_t> completed_{0};
   std::condition_variable cv_;
   std::condition_variable done_cv_;
   std::queue<std::function<void()>> tasks_;

@@ -43,6 +43,13 @@ inline int64_t HMS(int hours, int minutes = 0, int seconds = 0) {
   return hours * kSecondsPerHour + minutes * kSecondsPerMinute + seconds;
 }
 
+/// Normalizes an arbitrary (possibly negative or multi-day) second count
+/// into a time-of-day in [0, 86400). Live feeds carry skewed or pre-epoch
+/// timestamps; truncating modulo would turn those into negative slots.
+inline int64_t NormalizeTimeOfDay(int64_t seconds) {
+  return ((seconds % kSecondsPerDay) + kSecondsPerDay) % kSecondsPerDay;
+}
+
 /// Slot id within the day for a time-of-day, given the slot width.
 inline SlotId SlotOfTimeOfDay(int64_t time_of_day_sec, int64_t slot_seconds) {
   return static_cast<SlotId>(time_of_day_sec / slot_seconds);

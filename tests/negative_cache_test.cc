@@ -1,0 +1,96 @@
+// NegativeCache unit tests: TTL expiry on an injected clock, LRU bounding,
+// and the only-failures contract. Engine-facade integration (NotFound
+// planner results served from the cache) lives in live_ingestion_test.cc,
+// which already builds a front-door-enabled engine.
+#include "core/negative_cache.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace strr {
+namespace {
+
+NegativeCacheOptions WithFakeClock(int64_t* now_ms, size_t capacity = 8,
+                                   int64_t ttl_ms = 100) {
+  NegativeCacheOptions opt;
+  opt.capacity = capacity;
+  opt.ttl_ms = ttl_ms;
+  opt.now_ms = [now_ms] { return *now_ms; };
+  return opt;
+}
+
+TEST(NegativeCacheTest, MissThenHit) {
+  int64_t now = 0;
+  NegativeCache cache(WithFakeClock(&now));
+  EXPECT_FALSE(cache.Lookup("k").has_value());
+  cache.Insert("k", Status::NotFound("no segment near location"));
+  auto hit = cache.Lookup("k");
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_TRUE(hit->IsNotFound());
+  EXPECT_EQ(hit->message(), "no segment near location");
+  NegativeCache::Stats stats = cache.stats();
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.insertions, 1u);
+}
+
+TEST(NegativeCacheTest, EntriesExpireAfterTtl) {
+  int64_t now = 0;
+  NegativeCache cache(WithFakeClock(&now, /*capacity=*/8, /*ttl_ms=*/100));
+  cache.Insert("k", Status::NotFound("x"));
+  now = 99;
+  EXPECT_TRUE(cache.Lookup("k").has_value());
+  now = 100;  // expiry is inclusive at now >= expires
+  EXPECT_FALSE(cache.Lookup("k").has_value());
+  EXPECT_EQ(cache.stats().expired, 1u);
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(NegativeCacheTest, ReinsertRefreshesTtl) {
+  int64_t now = 0;
+  NegativeCache cache(WithFakeClock(&now, 8, 100));
+  cache.Insert("k", Status::NotFound("x"));
+  now = 80;
+  cache.Insert("k", Status::NotFound("y"));  // refresh
+  now = 150;  // original would have expired at 100; refresh pushed to 180
+  auto hit = cache.Lookup("k");
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->message(), "y");
+}
+
+TEST(NegativeCacheTest, CapacityEvictsLru) {
+  int64_t now = 0;
+  NegativeCache cache(WithFakeClock(&now, /*capacity=*/3));
+  cache.Insert("a", Status::NotFound("a"));
+  cache.Insert("b", Status::NotFound("b"));
+  cache.Insert("c", Status::NotFound("c"));
+  EXPECT_TRUE(cache.Lookup("a").has_value());  // refresh a -> b is LRU
+  cache.Insert("d", Status::NotFound("d"));    // evicts b
+  EXPECT_FALSE(cache.Lookup("b").has_value());
+  EXPECT_TRUE(cache.Lookup("a").has_value());
+  EXPECT_TRUE(cache.Lookup("c").has_value());
+  EXPECT_TRUE(cache.Lookup("d").has_value());
+  EXPECT_EQ(cache.stats().evictions, 1u);
+  EXPECT_EQ(cache.size(), 3u);
+}
+
+TEST(NegativeCacheTest, OkStatusIsNeverCached) {
+  int64_t now = 0;
+  NegativeCache cache(WithFakeClock(&now));
+  cache.Insert("k", Status::OK());
+  EXPECT_FALSE(cache.Lookup("k").has_value());
+  EXPECT_EQ(cache.stats().insertions, 0u);
+}
+
+TEST(NegativeCacheTest, DistinctKeysDoNotCollide) {
+  int64_t now = 0;
+  NegativeCache cache(WithFakeClock(&now));
+  cache.Insert("a", Status::NotFound("for a"));
+  cache.Insert("b", Status::InvalidArgument("for b"));
+  EXPECT_EQ(cache.Lookup("a")->message(), "for a");
+  EXPECT_TRUE(cache.Lookup("b")->IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace strr

@@ -173,6 +173,41 @@ TEST(ThreadPoolTest, ZeroThreadsClampsToHardwareConcurrency) {
   EXPECT_EQ(count.load(), 1);
 }
 
+TEST(ThreadPoolTest, StatsCountSubmittedAndCompleted) {
+  ThreadPool pool(2);
+  ThreadPool::Stats before = pool.stats();
+  EXPECT_EQ(before.submitted, 0u);
+  EXPECT_EQ(before.completed, 0u);
+  EXPECT_EQ(before.threads, 2u);
+  for (int i = 0; i < 50; ++i) {
+    pool.Submit([] {});
+  }
+  pool.Wait();
+  ThreadPool::Stats after = pool.stats();
+  EXPECT_EQ(after.submitted, 50u);
+  EXPECT_EQ(after.completed, 50u);
+  EXPECT_EQ(after.queue_depth, 0u);
+  EXPECT_EQ(after.pending, 0u);
+}
+
+TEST(ThreadPoolTest, StatsExposeQueueDepthUnderBlockedWorkers) {
+  ThreadPool pool(1);
+  std::mutex gate;
+  gate.lock();
+  pool.Submit([&gate] { std::lock_guard<std::mutex> hold(gate); });
+  // The worker is parked on the gate; everything else queues behind it.
+  for (int i = 0; i < 5; ++i) {
+    pool.Submit([] {});
+  }
+  ThreadPool::Stats blocked = pool.stats();
+  EXPECT_EQ(blocked.submitted, 6u);
+  EXPECT_GE(blocked.queue_depth, 5u);
+  EXPECT_EQ(blocked.pending, 6u);
+  gate.unlock();
+  pool.Wait();
+  EXPECT_EQ(pool.stats().completed, 6u);
+}
+
 TEST(ThreadPoolTest, FuturesOverloadReturnsValues) {
   ThreadPool pool(4);
   std::vector<std::future<int>> futures;
