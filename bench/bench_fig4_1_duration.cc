@@ -4,6 +4,12 @@
 //     L ∈ {5,...,35} min at T = 11:00, Prob = 20%;
 // (b) Prob-reachable road length vs L for both Δt values.
 //
+// Executor edition: every configuration is planned ONCE via QueryPlanner
+// (location resolution paid a single time) and executed through
+// QueryExecutor — the production plan -> execute path — instead of the
+// one-shot facade helpers; cold runs drop the page cache between the
+// warm-up and the timed execution exactly as before.
+//
 // Expected shapes (paper): SQMB+TBS well below ES at every L (50–90%
 // less), both growing with L; reachable length grows with L and is nearly
 // identical across Δt (Δt is an index knob, not a semantic one).
@@ -11,9 +17,25 @@
 #include <vector>
 
 #include "bench/bench_common.h"
+#include "core/query_executor.h"
+#include "query/query_plan.h"
 
 using namespace strr;        // NOLINT
 using namespace strr::bench;  // NOLINT
+
+namespace {
+
+/// Warm run (materializes lazy Con-Index tables), then a timed run against
+/// a dropped page cache — the ColdSQuery* protocol on the executor path.
+StatusOr<RegionResult> ColdExecute(ReachabilityEngine& engine,
+                                   const QueryPlan& plan) {
+  auto warm = engine.executor().Execute(plan);
+  if (!warm.ok()) return warm;
+  engine.ResetIoStats(/*drop_cache=*/true);
+  return engine.executor().Execute(plan);
+}
+
+}  // namespace
 
 int main() {
   auto dataset = LoadOrBuildBenchDataset();
@@ -31,7 +53,7 @@ int main() {
 
   std::printf(
       "Figure 4.1(a,b): effect of duration L "
-      "(T=11:00, Prob=20%%, location=downtown)\n");
+      "(T=11:00, Prob=20%%, location=downtown, plan->execute path)\n");
   PrintRow({"L(min)", "ES_ms", "SQMB5_ms", "SQMB10_ms", "ES_lists",
             "SQMB5_lists", "SQMB10_lists", "len5_km", "len10_km"});
 
@@ -44,9 +66,17 @@ int main() {
 
   for (int minutes = 5; minutes <= 35; minutes += 5) {
     SQuery q{loc, HMS(11), minutes * 60, 0.2};
-    auto es = ColdSQueryExhaustive(**engine5, q);
-    auto s5 = ColdSQueryIndexed(**engine5, q);
-    auto s10 = ColdSQueryIndexed(**engine10, q);
+    auto es_plan =
+        (**engine5).planner().PlanSQuery(q, QueryStrategy::kExhaustive);
+    auto s5_plan = (**engine5).planner().PlanSQuery(q);
+    auto s10_plan = (**engine10).planner().PlanSQuery(q);
+    if (!es_plan.ok() || !s5_plan.ok() || !s10_plan.ok()) {
+      std::fprintf(stderr, "FATAL: planning failed at L=%d\n", minutes);
+      return 1;
+    }
+    auto es = ColdExecute(**engine5, *es_plan);
+    auto s5 = ColdExecute(**engine5, *s5_plan);
+    auto s10 = ColdExecute(**engine10, *s10_plan);
     if (!es.ok() || !s5.ok() || !s10.ok()) {
       std::fprintf(stderr, "FATAL: query failed at L=%d\n", minutes);
       return 1;

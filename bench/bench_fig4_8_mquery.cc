@@ -1,15 +1,34 @@
-// Figure 4.8 — m-query: MQMB+TBS vs repeated SQMB+TBS.
+// Figure 4.8 — m-query: MQMB+TBS vs repeated SQMB+TBS, executor edition.
 //
 // (a) running time over duration L for a 3-location m-query;
-// (b) running time over the number of locations n ∈ {1..9}, L = 20 min.
+// (b) running time over the number of locations n ∈ {1..9}, L = 20 min;
+// (c) NEW: parallel search-interior sweep — the same MQMB plan executed
+//     with interior_workers ∈ {1, 2, 4, 8}, results checked bit-identical
+//     and the wall clock recorded (the ROADMAP "parallel MQMB interior"
+//     item, measured on the plan -> execute path).
+//
+// Unlike the original facade version, every query here is planned ONCE
+// via QueryPlanner and executed through QueryExecutor (the production
+// plan -> execute path), so strategy comparisons reuse identical resolved
+// plans and the front-door stats machinery is what gets measured.
 //
 // Expected shapes (paper): MQMB+TBS beats repeated s-queries for n >= 2
 // and is slightly slower at n = 1 (the extra overlap-elimination stage);
 // repeated s-query cost grows ~linearly in n while MQMB flattens out.
+//
+// Set STRR_BENCH_JSON=<path> to record the interior sweep as JSON — the
+// committed BENCH_throughput.json carries it under "fig4_8_mquery_executor".
+#include <algorithm>
 #include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <thread>
 #include <vector>
 
 #include "bench/bench_common.h"
+#include "core/query_executor.h"
+#include "query/query_plan.h"
+#include "util/stopwatch.h"
 
 using namespace strr;        // NOLINT
 using namespace strr::bench;  // NOLINT
@@ -32,6 +51,36 @@ std::vector<XyPoint> MakeLocations(const BenchStack& stack, int n) {
   return out;
 }
 
+MQuery MakeQuery(const BenchStack& stack, int n, int64_t duration) {
+  MQuery q;
+  q.locations = MakeLocations(stack, n);
+  q.start_tod = HMS(10);
+  q.duration = duration;
+  q.prob = 0.2;
+  return q;
+}
+
+/// Plans once, runs warm + timed through the executor with a cold page
+/// cache per timed run (same protocol the facade benches used).
+StatusOr<RegionResult> TimedExecute(ReachabilityEngine& engine,
+                                    QueryExecutor& executor,
+                                    const QueryPlan& plan) {
+  engine.ResetIoStats(true);
+  auto warm = executor.Execute(plan);
+  if (!warm.ok()) return warm;
+  engine.ResetIoStats(true);
+  return executor.Execute(plan);
+}
+
+struct SweepRow {
+  int workers = 0;
+  double wall_ms = 0.0;
+  double speedup = 1.0;
+  uint64_t parallel_rounds = 0;
+  uint64_t segments_expanded = 0;
+  bool identical = true;
+};
+
 }  // namespace
 
 int main() {
@@ -43,27 +92,25 @@ int main() {
   }
   BenchStack& stack = **maybe_stack;
   ReachabilityEngine& engine = *stack.engine;
+  const QueryPlanner& planner = engine.planner();
+  QueryExecutor& executor = engine.executor();
 
   std::printf("Figure 4.8(a): 3-location m-query over duration "
-              "(T=10:00, Prob=20%%)\n");
+              "(T=10:00, Prob=20%%, plan->execute path)\n");
   PrintRow({"L(min)", "mq_ms", "rep_ms", "mq_lists", "rep_lists",
             "mq_len_km"});
   bool mq_wins_duration = true;
   for (int minutes = 5; minutes <= 35; minutes += 5) {
-    MQuery q;
-    q.locations = MakeLocations(stack, 3);
-    q.start_tod = HMS(10);
-    q.duration = minutes * 60;
-    q.prob = 0.2;
-    engine.ResetIoStats(true);
-    auto warm_m = engine.MQueryIndexed(q);
-    engine.ResetIoStats(true);
-    auto mq = engine.MQueryIndexed(q);
-    engine.ResetIoStats(true);
-    auto warm_r = engine.MQueryRepeatedSQuery(q);
-    engine.ResetIoStats(true);
-    auto rep = engine.MQueryRepeatedSQuery(q);
-    if (!mq.ok() || !rep.ok() || !warm_m.ok() || !warm_r.ok()) {
+    MQuery q = MakeQuery(stack, 3, minutes * 60);
+    auto mq_plan = planner.PlanMQuery(q, QueryStrategy::kIndexed);
+    auto rep_plan = planner.PlanMQuery(q, QueryStrategy::kRepeatedS);
+    if (!mq_plan.ok() || !rep_plan.ok()) {
+      std::fprintf(stderr, "FATAL: planning failed at L=%d\n", minutes);
+      return 1;
+    }
+    auto mq = TimedExecute(engine, executor, *mq_plan);
+    auto rep = TimedExecute(engine, executor, *rep_plan);
+    if (!mq.ok() || !rep.ok()) {
       std::fprintf(stderr, "FATAL at L=%d\n", minutes);
       return 1;
     }
@@ -81,25 +128,21 @@ int main() {
              "MQMB reads fewer time lists than 3x SQMB for L >= 15");
 
   std::printf("\nFigure 4.8(b): m-query over #locations "
-              "(T=10:00, L=20min, Prob=20%%)\n");
+              "(T=10:00, L=20min, Prob=20%%, plan->execute path)\n");
   PrintRow({"n", "mq_ms", "rep_ms", "mq_lists", "rep_lists"});
   double rep1 = 0, rep9 = 0, mq1 = 0, mq9 = 0;
   bool mq_wins_counts = true;
   for (int n = 1; n <= 9; n += 2) {
-    MQuery q;
-    q.locations = MakeLocations(stack, n);
-    q.start_tod = HMS(10);
-    q.duration = 1200;
-    q.prob = 0.2;
-    engine.ResetIoStats(true);
-    auto warm_m = engine.MQueryIndexed(q);
-    engine.ResetIoStats(true);
-    auto mq = engine.MQueryIndexed(q);
-    engine.ResetIoStats(true);
-    auto warm_r = engine.MQueryRepeatedSQuery(q);
-    engine.ResetIoStats(true);
-    auto rep = engine.MQueryRepeatedSQuery(q);
-    if (!mq.ok() || !rep.ok() || !warm_m.ok() || !warm_r.ok()) {
+    MQuery q = MakeQuery(stack, n, 1200);
+    auto mq_plan = planner.PlanMQuery(q, QueryStrategy::kIndexed);
+    auto rep_plan = planner.PlanMQuery(q, QueryStrategy::kRepeatedS);
+    if (!mq_plan.ok() || !rep_plan.ok()) {
+      std::fprintf(stderr, "FATAL: planning failed at n=%d\n", n);
+      return 1;
+    }
+    auto mq = TimedExecute(engine, executor, *mq_plan);
+    auto rep = TimedExecute(engine, executor, *rep_plan);
+    if (!mq.ok() || !rep.ok()) {
       std::fprintf(stderr, "FATAL at n=%d\n", n);
       return 1;
     }
@@ -126,5 +169,109 @@ int main() {
              (rep9 - rep1) > (mq9 - mq1),
              "repeated s-query grows " + Cell(rep9 - rep1, 1) +
                  " ms (1->9 locs) vs MQMB " + Cell(mq9 - mq1, 1) + " ms");
+
+  // --- (c) parallel search interior sweep -----------------------------------
+  std::printf("\nFigure 4.8(c): MQMB parallel interior "
+              "(5 locations, T=10:00, L=20min, median of 3)\n");
+  PrintRow({"workers", "wall_ms", "speedup", "par_rounds", "expanded",
+            "identical"});
+  std::vector<SweepRow> sweep;
+  {
+    MQuery q = MakeQuery(stack, 5, 1200);
+    auto plan = planner.PlanMQuery(q, QueryStrategy::kIndexed);
+    if (!plan.ok()) {
+      std::fprintf(stderr, "FATAL: interior sweep planning failed\n");
+      return 1;
+    }
+    std::vector<SegmentId> reference_segments;
+    double base_ms = 0.0;
+    for (int workers : {1, 2, 4, 8}) {
+      auto sweep_exec = engine.MakeExecutor(
+          {.num_threads = 1, .interior_workers = workers});
+      // Warm lazy Con-Index tables + page cache once per executor.
+      auto warm = sweep_exec->Execute(*plan);
+      if (!warm.ok()) {
+        std::fprintf(stderr, "FATAL: interior sweep warm-up failed\n");
+        return 1;
+      }
+      std::vector<double> times;
+      SweepRow row;
+      row.workers = workers;
+      for (int run = 0; run < 3; ++run) {
+        Stopwatch watch;
+        auto result = sweep_exec->Execute(*plan);
+        times.push_back(watch.ElapsedMillis());
+        if (!result.ok()) {
+          std::fprintf(stderr, "FATAL: interior sweep run failed\n");
+          return 1;
+        }
+        row.parallel_rounds = result->stats.parallel_rounds;
+        row.segments_expanded = result->stats.segments_expanded;
+        if (workers == 1 && run == 0) {
+          reference_segments = result->segments;
+        }
+        if (result->segments != reference_segments) row.identical = false;
+      }
+      std::sort(times.begin(), times.end());
+      row.wall_ms = times[1];
+      if (workers == 1) base_ms = row.wall_ms;
+      row.speedup = row.wall_ms > 0.0 ? base_ms / row.wall_ms : 0.0;
+      PrintRow({std::to_string(row.workers), Cell(row.wall_ms, 2),
+                Cell(row.speedup, 2), std::to_string(row.parallel_rounds),
+                std::to_string(row.segments_expanded),
+                row.identical ? "yes" : "NO"});
+      if (!row.identical) {
+        std::fprintf(stderr,
+                     "FATAL: parallel interior diverged at %d workers\n",
+                     workers);
+        return 1;
+      }
+      sweep.push_back(row);
+    }
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  double speedup4 = 1.0;
+  for (const SweepRow& r : sweep) {
+    if (r.workers == 4) speedup4 = r.speedup;
+  }
+  ShapeCheck("fig4.8c.parallel_interior_identical", true,
+             "regions bit-identical across 1/2/4/8 interior workers");
+  if (hw >= 4) {
+    ShapeCheck("fig4.8c.parallel_interior_speedup", speedup4 >= 1.1,
+               "4-worker interior speedup " + Cell(speedup4, 2) + "x");
+  } else {
+    ShapeCheck("fig4.8c.parallel_interior_speedup", true,
+               "skipped: host has " + std::to_string(hw) +
+                   " hardware thread(s); speedup " + Cell(speedup4, 2) + "x");
+  }
+
+  if (const char* json_path = std::getenv("STRR_BENCH_JSON")) {
+    std::FILE* f = std::fopen(json_path, "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "FATAL: cannot write %s\n", json_path);
+      return 1;
+    }
+    std::fprintf(f, "{\n  \"bench\": \"fig4_8_mquery_executor\",\n");
+    std::fprintf(f, "  \"hardware_threads\": %u,\n", hw);
+    std::fprintf(f,
+                 "  \"query\": {\"locations\": 5, \"duration_s\": 1200, "
+                 "\"start\": \"10:00\", \"prob\": 0.2},\n");
+    std::fprintf(f, "  \"interior_sweep\": [\n");
+    for (size_t i = 0; i < sweep.size(); ++i) {
+      const SweepRow& r = sweep[i];
+      std::fprintf(
+          f,
+          "    {\"interior_workers\": %d, \"wall_ms\": %.2f, \"speedup\": "
+          "%.2f, \"parallel_rounds\": %llu, \"segments_expanded\": %llu, "
+          "\"identical\": %s}%s\n",
+          r.workers, r.wall_ms, r.speedup,
+          static_cast<unsigned long long>(r.parallel_rounds),
+          static_cast<unsigned long long>(r.segments_expanded),
+          r.identical ? "true" : "false", i + 1 < sweep.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    std::fprintf(stderr, "# wrote %s\n", json_path);
+  }
   return 0;
 }

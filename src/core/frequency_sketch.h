@@ -1,0 +1,104 @@
+// FrequencySketch: a 4-bit counting-Bloom (count-min) frequency estimator —
+// the TinyLFU "doorkeeper" behind ResultCache admission.
+//
+// An LRU alone is defenseless against one-shot scans: a stream of
+// never-repeated cold-location queries evicts the hot downtown entries the
+// cache exists for. The sketch tracks approximate access frequency in a
+// few bits per counter so the cache can refuse to evict a proven-hot
+// victim for a never-seen-before candidate.
+//
+//  * 4 hash rows over one power-of-two counter array; an estimate is the
+//    minimum across rows (count-min: overestimates only, never under).
+//  * 4-bit saturating counters; when the effective increment count
+//    reaches half the table size (~2 increments per counter on average,
+//    4 rows per sample) every counter halves ("aging"), so frequency
+//    reflects the recent window rather than all time — yesterday's hot
+//    key does not squat forever.
+//
+// Not thread-safe: callers (ResultCache shards) hold their own lock.
+#ifndef STRR_CORE_FREQUENCY_SKETCH_H_
+#define STRR_CORE_FREQUENCY_SKETCH_H_
+
+#include <algorithm>
+#include <bit>
+#include <cstdint>
+#include <vector>
+
+namespace strr {
+
+class FrequencySketch {
+ public:
+  /// `counters` is rounded up to a power of two, minimum 64.
+  explicit FrequencySketch(size_t counters) {
+    size_t n = std::bit_ceil(std::max<size_t>(counters, 64));
+    words_.assign(n / 16, 0);  // 16 4-bit counters per word
+    mask_ = n - 1;
+    // Age when the average counter has absorbed ~2 increments (4 rows per
+    // sample): frequent-enough decay that 4-bit counters stay far from
+    // saturation at the ~8-counters-per-cached-entry densities the
+    // ResultCache provisions.
+    sample_limit_ = std::max<size_t>(n / 2, 64);
+  }
+
+  /// Bumps the frequency of `hash` (saturating at 15 per row).
+  void Increment(uint64_t hash) {
+    bool any = false;
+    for (int row = 0; row < 4; ++row) any |= IncrementAt(IndexOf(hash, row));
+    if (any && ++samples_ >= sample_limit_) Age();
+  }
+
+  /// Approximate access count of `hash` in the recent window (<= 15).
+  uint32_t Estimate(uint64_t hash) const {
+    uint32_t best = 15;
+    for (int row = 0; row < 4; ++row) {
+      best = std::min(best, CounterAt(IndexOf(hash, row)));
+    }
+    return best;
+  }
+
+  size_t num_counters() const { return (mask_ + 1); }
+
+  /// Halves every counter (and the sample count) — the aging window.
+  /// Runs automatically every `sample_limit_` effective increments; public
+  /// so callers/tests can force a decay point deterministically.
+  void Age() {
+    for (uint64_t& word : words_) {
+      word = (word >> 1) & 0x7777777777777777ull;
+    }
+    samples_ /= 2;
+  }
+
+ private:
+  /// Independent row index: remix the hash with a distinct odd constant
+  /// per row (the classic multiply-shift family).
+  size_t IndexOf(uint64_t hash, int row) const {
+    static constexpr uint64_t kSeeds[4] = {
+        0x9e3779b97f4a7c15ull, 0xc2b2ae3d27d4eb4full,
+        0x165667b19e3779f9ull, 0xd6e8feb86659fd93ull};
+    uint64_t h = (hash + static_cast<uint64_t>(row)) * kSeeds[row];
+    h ^= h >> 32;
+    return static_cast<size_t>(h) & mask_;
+  }
+
+  uint32_t CounterAt(size_t i) const {
+    return static_cast<uint32_t>(words_[i >> 4] >> ((i & 15) * 4)) & 0xF;
+  }
+
+  /// Returns true when the counter actually incremented (not saturated).
+  bool IncrementAt(size_t i) {
+    const int shift = static_cast<int>(i & 15) * 4;
+    uint64_t& word = words_[i >> 4];
+    if (((word >> shift) & 0xF) == 0xF) return false;
+    word += 1ull << shift;
+    return true;
+  }
+
+  std::vector<uint64_t> words_;
+  size_t mask_ = 0;
+  size_t sample_limit_ = 0;
+  size_t samples_ = 0;
+};
+
+}  // namespace strr
+
+#endif  // STRR_CORE_FREQUENCY_SKETCH_H_

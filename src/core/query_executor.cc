@@ -68,7 +68,16 @@ QueryExecutor::QueryExecutor(const RoadNetwork& network,
     ResultCacheOptions cache_opt;
     cache_opt.capacity = options_.result_cache_entries;
     cache_opt.shards = options_.result_cache_shards;
+    if (options_.result_cache_doorkeeper) {
+      // ~8 sketch counters per cached entry keeps the false-positive
+      // inflation of 4-bit counting-Bloom estimates negligible.
+      cache_opt.doorkeeper_counters = options_.result_cache_entries * 8;
+    }
     cache_ = std::make_unique<ResultCache>(delta_t_seconds_, cache_opt);
+  }
+  if (options_.interior_workers > 1) {
+    interior_pool_ = std::make_unique<ThreadPool>(
+        static_cast<size_t>(options_.interior_workers - 1));
   }
   if (options_.max_inflight > 0) {
     AdmissionOptions adm_opt;
@@ -273,6 +282,12 @@ QueryExecutor::FrontDoorStats QueryExecutor::front_door_stats() const {
     out.cache_insertions = c.insertions;
     out.cache_evictions = c.evictions;
     out.cache_invalidated = c.invalidated;
+    out.cache_doorkeeper_rejects = c.doorkeeper_rejected;
+  }
+  {
+    ExpansionContextPool::Stats p = ExpansionContextPool::Global().stats();
+    out.ctx_pool_acquires = p.acquires;
+    out.ctx_pool_reuses = p.reuses;
   }
   if (admission_ != nullptr) {
     AdmissionController::Stats a = admission_->stats();
@@ -342,20 +357,34 @@ StatusOr<RegionResult> QueryExecutor::ExecuteIndexed(const QueryPlan& plan,
                                                      const IndexView& view) {
   Stopwatch watch;
   ScopedIoCounters io_scope;  // attributes this query's storage traffic
+  SearchMetrics metrics;
+  BoundingSearchOptions search_opt;
+  search_opt.metrics = &metrics;
+  if (interior_pool_ != nullptr) {
+    search_opt.runtime.pool = interior_pool_.get();
+    search_opt.runtime.workers = options_.interior_workers;
+  }
   BoundingRegions regions;
   if (plan.IsMultiLocation()) {
     STRR_ASSIGN_OR_RETURN(
         regions, MqmbSearch(*network_, *view.con_index, *view.profile,
                             plan.AllStartSegments(), plan.start_tod,
-                            plan.duration));
+                            plan.duration, search_opt));
   } else {
     STRR_ASSIGN_OR_RETURN(
         regions,
         SqmbSearchSet(*network_, *view.con_index, plan.location_starts[0],
-                      plan.start_tod, plan.duration));
+                      plan.start_tod, plan.duration, search_opt));
   }
-  return RunTraceBack(regions, plan.start_tod, plan.duration, plan.prob,
-                      watch.ElapsedMillis(), io_scope);
+  StatusOr<RegionResult> result =
+      RunTraceBack(regions, plan.start_tod, plan.duration, plan.prob,
+                   watch.ElapsedMillis(), io_scope);
+  if (result.ok()) {
+    result->stats.segments_expanded = metrics.segments_expanded;
+    result->stats.heap_pops = metrics.heap_pops;
+    result->stats.parallel_rounds = metrics.parallel_rounds;
+  }
+  return result;
 }
 
 StatusOr<RegionResult> QueryExecutor::ExecuteExhaustive(
@@ -416,6 +445,9 @@ StatusOr<RegionResult> QueryExecutor::ExecuteRepeatedS(const QueryPlan& plan,
     merged.stats.sum_wall_ms += r.stats.wall_ms;
     merged.stats.segments_verified += r.stats.segments_verified;
     merged.stats.time_lists_read += r.stats.time_lists_read;
+    merged.stats.segments_expanded += r.stats.segments_expanded;
+    merged.stats.heap_pops += r.stats.heap_pops;
+    merged.stats.parallel_rounds += r.stats.parallel_rounds;
     merged.stats.max_region_segments += r.stats.max_region_segments;
     merged.stats.min_region_segments += r.stats.min_region_segments;
     merged.stats.boundary_segments += r.stats.boundary_segments;

@@ -74,12 +74,26 @@ struct QueryExecutorOptions {
   /// already on a pool worker). Off = legs run sequentially, reproducing
   /// the paper's single-threaded m-query baseline timings.
   bool parallel_mquery_legs = true;
+  /// Parallel SQMB/MQMB interior: fan each bounding-region expansion's
+  /// frontier across this many workers (caller included) on a dedicated
+  /// interior pool. Results are bit-identical to sequential (see
+  /// search/frontier_engine.h); <= 1 keeps the interior sequential,
+  /// reproducing the paper's timings. The interior pool is separate from
+  /// the batch pool so a query running *on* a batch worker can still fan
+  /// its interior without risking pool-against-itself starvation (interior
+  /// tasks are pure compute and never block).
+  int interior_workers = 1;
   /// Result-cache capacity in entries; 0 disables caching. Off by default:
   /// cached results replay the original execution's stats, which would
   /// skew the paper-reproduction measurements.
   size_t result_cache_entries = 0;
   /// Result-cache shard count (locks); only meaningful when caching is on.
   size_t result_cache_shards = 8;
+  /// TinyLFU-style doorkeeper for the result cache: a counting-Bloom
+  /// frequency sketch gates evictions so one-shot cold-location scans
+  /// cannot churn hot entries out (see ResultCacheOptions). Off by
+  /// default.
+  bool result_cache_doorkeeper = false;
   /// Max admitted-and-outstanding queries; 0 disables admission control.
   size_t max_inflight = 0;
   /// Max single-query callers blocked waiting for admission.
@@ -155,6 +169,13 @@ class QueryExecutor {
     size_t pool_queue_depth = 0;
     /// Current live snapshot version (0 when live ingestion is off).
     uint64_t snapshot_version = 0;
+    /// ExpansionContext pool counters (process-global — the pool is shared
+    /// by queries, Con-Index builds and live rebuilds; reuses / acquires
+    /// is the steady-state "no allocation per search" hit rate).
+    uint64_t ctx_pool_acquires = 0;
+    uint64_t ctx_pool_reuses = 0;
+    /// Entries the result-cache doorkeeper refused to admit (0 when off).
+    uint64_t cache_doorkeeper_rejects = 0;
   };
   FrontDoorStats front_door_stats() const;
 
@@ -230,6 +251,11 @@ class QueryExecutor {
   uint64_t live_listener_id_ = 0;               // 0 = not registered
   std::unique_ptr<ResultCache> cache_;          // null = caching off
   std::unique_ptr<AdmissionController> admission_;  // null = admission off
+  /// Dedicated pool for the parallel search interior (null = sequential
+  /// interior). Sized interior_workers - 1: the querying thread always
+  /// works the first chunk itself, so progress never depends on pool
+  /// capacity.
+  std::unique_ptr<ThreadPool> interior_pool_;
   ThreadPool pool_;
 };
 

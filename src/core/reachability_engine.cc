@@ -52,8 +52,11 @@ StatusOr<std::unique_ptr<ReachabilityEngine>> ReachabilityEngine::Build(
     EpochManagerOptions epoch_opt;
     epoch_opt.max_retained = options.live_max_retained_epochs;
     engine->epochs_ = std::make_unique<EpochManager>(epoch_opt);
+    LiveProfileOptions live_opt;
+    live_opt.prewarm = options.live_prewarm;
+    live_opt.prewarm_threads = options.live_prewarm_threads;
     engine->live_manager_ = std::make_unique<LiveProfileManager>(
-        *engine->epochs_, *engine->profile_, *engine->con_index_);
+        *engine->epochs_, *engine->profile_, *engine->con_index_, live_opt);
   }
 
   if (options.negative_cache_entries > 0) {
@@ -68,8 +71,10 @@ StatusOr<std::unique_ptr<ReachabilityEngine>> ReachabilityEngine::Build(
   QueryExecutorOptions exec_opt;
   exec_opt.num_threads = options.query_threads;
   exec_opt.parallel_mquery_legs = options.parallel_mquery_legs;
+  exec_opt.interior_workers = options.interior_workers;
   exec_opt.result_cache_entries = options.result_cache_entries;
   exec_opt.result_cache_shards = options.result_cache_shards;
+  exec_opt.result_cache_doorkeeper = options.result_cache_doorkeeper;
   exec_opt.max_inflight = options.max_inflight_queries;
   exec_opt.max_queued = options.max_queued_queries;
   exec_opt.batch_share = options.batch_share;

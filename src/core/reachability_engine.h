@@ -64,12 +64,19 @@ struct EngineOptions {
   /// facade reproduces the paper's single-threaded baseline timings;
   /// throughput-oriented callers flip it (or use the executor directly).
   bool parallel_mquery_legs = false;
+  /// Parallel SQMB/MQMB search interior (bit-identical results; see
+  /// QueryExecutorOptions::interior_workers). <= 1 keeps the paper's
+  /// sequential interior.
+  int interior_workers = 1;
   // --- Query front door (see QueryExecutorOptions; both off by default so
   // the facade's per-query stats keep their paper-reproduction semantics —
   // cached results replay the original execution's stats) ---------------------
   /// Result-cache capacity in entries; 0 disables caching.
   size_t result_cache_entries = 0;
   size_t result_cache_shards = 8;
+  /// TinyLFU doorkeeper on the result cache (see
+  /// ResultCacheOptions::doorkeeper_counters). Off by default.
+  bool result_cache_doorkeeper = false;
   /// Max admitted-and-outstanding queries; 0 disables admission control.
   size_t max_inflight_queries = 0;
   /// Max single-query callers blocked waiting for admission.
@@ -91,6 +98,11 @@ struct EngineOptions {
   /// Superseded snapshot versions tolerated before publishers wait for
   /// readers to drain (memory bound under publish storms).
   size_t live_max_retained_epochs = 8;
+  /// Ingest-driven Con-Index prewarm: rebuild partially-invalidated
+  /// tables in the background right after a publish, before queries pay
+  /// the lazy-build latency (see LiveProfileOptions). Off by default.
+  bool live_prewarm = false;
+  int live_prewarm_threads = 1;
   /// Location match radius for planning (see
   /// StIndexOptions::max_locate_distance_m); <= 0 restores unconditional
   /// snap-to-nearest.

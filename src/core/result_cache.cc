@@ -60,6 +60,10 @@ ResultCache::ResultCache(int64_t delta_t_seconds,
   shards_.reserve(shards);
   for (size_t i = 0; i < shards; ++i) {
     shards_.push_back(std::make_unique<Shard>());
+    if (options.doorkeeper_counters > 0) {
+      shards_.back()->sketch = std::make_unique<FrequencySketch>(
+          std::max<size_t>(options.doorkeeper_counters / shards, 64));
+    }
   }
 }
 
@@ -68,6 +72,9 @@ std::optional<RegionResult> ResultCache::Lookup(const PlanKey& key) {
   std::shared_ptr<const RegionResult> stored;
   {
     std::lock_guard<std::mutex> lock(shard.mu);
+    // Every access (hit or miss) feeds the doorkeeper's frequency window,
+    // so both cached hot keys and repeat-missing keys accrue heat.
+    if (shard.sketch != nullptr) shard.sketch->Increment(key.hash);
     auto it = shard.index.find(key.canonical);
     if (it == shard.index.end()) {
       ++shard.stats.misses;
@@ -98,8 +105,21 @@ void ResultCache::Insert(const PlanKey& key, const RegionResult& result) {
     shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
     return;
   }
+  // Doorkeeper admission: when inserting would evict, the candidate must
+  // be hotter than the LRU victim it displaces. Under-capacity inserts
+  // always go through (an empty slot costs nothing to fill).
+  if (shard.sketch != nullptr && shard.index.size() >= shard_capacity_ &&
+      !shard.lru.empty()) {
+    uint32_t candidate_freq = shard.sketch->Estimate(key.hash);
+    uint32_t victim_freq = shard.sketch->Estimate(shard.lru.back().hash);
+    if (candidate_freq <= victim_freq) {
+      ++shard.stats.doorkeeper_rejected;
+      return;
+    }
+  }
   Entry entry;
   entry.canonical = key.canonical;
+  entry.hash = key.hash;
   entry.first_slot = FirstSlot(key.start_tod, delta_t_seconds_);
   entry.last_slot = LastSlot(key.start_tod, key.duration, delta_t_seconds_);
   // The execution paths normalize time-of-day modulo one day, so a window
@@ -176,6 +196,7 @@ ResultCache::Stats ResultCache::stats() const {
     total.insertions += shard_ptr->stats.insertions;
     total.evictions += shard_ptr->stats.evictions;
     total.invalidated += shard_ptr->stats.invalidated;
+    total.doorkeeper_rejected += shard_ptr->stats.doorkeeper_rejected;
   }
   return total;
 }

@@ -33,6 +33,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "core/frequency_sketch.h"
 #include "query/query.h"
 #include "query/query_plan.h"
 #include "util/time_util.h"
@@ -59,6 +60,14 @@ struct ResultCacheOptions {
   size_t capacity = 4096;
   /// Shard count (locks). More shards = less contention, coarser LRU.
   size_t shards = 8;
+  /// TinyLFU doorkeeper: total counting-Bloom counters across shards
+  /// (0 = off). When on, every Lookup bumps the key's frequency sketch,
+  /// and an insert that would evict only goes through when the candidate's
+  /// estimated frequency exceeds the LRU victim's — a one-shot scan of
+  /// cold locations (each key seen once) can no longer churn hot entries
+  /// out. Inserts into non-full shards are always admitted, so the
+  /// doorkeeper changes nothing until the cache is under pressure.
+  size_t doorkeeper_counters = 0;
 };
 
 /// Sharded LRU cache of query results. See file comment for contracts.
@@ -102,6 +111,9 @@ class ResultCache {
     uint64_t insertions = 0;
     uint64_t evictions = 0;    ///< LRU capacity evictions
     uint64_t invalidated = 0;  ///< entries dropped by invalidation
+    /// Inserts the doorkeeper refused (candidate not hotter than the
+    /// victim it would have evicted). 0 when the doorkeeper is off.
+    uint64_t doorkeeper_rejected = 0;
   };
   Stats stats() const;
 
@@ -114,6 +126,7 @@ class ResultCache {
  private:
   struct Entry {
     std::string canonical;
+    uint64_t hash = 0;  ///< PlanKey hash (victim sketch probes)
     SlotId first_slot = 0;
     SlotId last_slot = 0;
     /// Immutable once stored (refreshes swap the pointer), so Lookup can
@@ -125,6 +138,8 @@ class ResultCache {
     mutable std::mutex mu;
     std::list<Entry> lru;  // front = most recently used
     std::unordered_map<std::string, std::list<Entry>::iterator> index;
+    /// Doorkeeper frequency sketch (null when off); guarded by mu.
+    std::unique_ptr<FrequencySketch> sketch;
     Stats stats;
   };
 

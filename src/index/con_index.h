@@ -30,6 +30,9 @@
 
 namespace strr {
 
+class ExpansionContext;  // search/expansion_context.h
+class FrontierEngine;    // search/frontier_engine.h
+
 /// Con-Index construction knobs.
 struct ConIndexOptions {
   int64_t delta_t_seconds = 300;  ///< Δt: expansion budget per hop
@@ -95,6 +98,13 @@ class ConIndex {
   /// lazily in a fresh per-generation bucket. O(#slots) pointer copies
   /// plus, per partial slot, membership probes over its materialized
   /// lists — no table data is copied or recomputed eagerly.
+  /// `rebuild_out` (optional) receives, per partial slot, every segment
+  /// whose table was serving in this generation (base-shared tables
+  /// newly knocked out, plus tables materialized in this generation's
+  /// own bucket, which the clone's fresh bucket discards) — the exact
+  /// work list an ingest-driven prewarm pass should run (see
+  /// LiveProfileManager). Never-built tables are excluded: no query
+  /// needed them yet.
   ///
   /// Sharing is sound because an untouched slot has bit-identical speed
   /// statistics in both profiles, and lazy builds are deterministic:
@@ -111,7 +121,15 @@ class ConIndex {
   std::unique_ptr<ConIndex> CloneWithInvalidation(
       const SpeedProfile& profile,
       const std::vector<SlotId>& invalidated_slots,
-      const std::vector<PartialInvalidation>& partial = {}) const;
+      const std::vector<PartialInvalidation>& partial = {},
+      std::vector<PartialInvalidation>* rebuild_out = nullptr) const;
+
+  /// Eagerly materializes the tables of `segments` in `slot` (skipping
+  /// ones already ready or overlay-served) so queries don't pay the lazy
+  /// build — the ingest-driven prewarm entry point. Safe under concurrent
+  /// queries (same contract as the lazy path); one pooled context serves
+  /// the whole batch. Returns the number of tables built by this call.
+  size_t PrewarmSlot(SlotId slot, const std::vector<SegmentId>& segments) const;
 
   int64_t delta_t_seconds() const { return options_.delta_t_seconds; }
   int32_t num_profile_slots() const { return num_slots_; }
@@ -155,9 +173,18 @@ class ConIndex {
   std::shared_ptr<SlotTables> MakeBucket() const;
 
   /// Ensures tables for (seg, slot) exist; returns the slot bucket.
+  /// Acquires a pooled expansion context per call — batch builders
+  /// (BuildAll, PrewarmSlot) hold one context across their loop instead.
   SlotTables& EnsureTables(SegmentId seg, SlotId slot) const;
 
-  void ComputeTables(SegmentId seg, SlotId slot, SlotTables& bucket) const;
+  /// Same, reusing the caller's engine + context across calls.
+  SlotTables& EnsureTablesWith(FrontierEngine& engine, ExpansionContext& ctx,
+                               SegmentId seg, SlotId slot) const;
+
+  /// Expands (seg, slot) on the unified frontier core and publishes the
+  /// Near/Far lists into `bucket` (first writer wins).
+  void ComputeTables(FrontierEngine& engine, ExpansionContext& ctx,
+                     SegmentId seg, SlotId slot, SlotTables& bucket) const;
 
   const RoadNetwork* network_;
   const SpeedProfile* profile_;

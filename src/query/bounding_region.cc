@@ -2,95 +2,23 @@
 
 #include <algorithm>
 
-#include "roadnet/expansion.h"
+#include "search/expansion_context.h"
 
 namespace strr {
 
 namespace {
 
-/// Number of Δt hops for duration L: k with kΔt <= L < (k+1)Δt, at least 1.
-int NumHops(int64_t duration, int64_t delta_t) {
-  int k = static_cast<int>(duration / delta_t);
-  return k < 1 ? 1 : k;
-}
-
-using ListFn =
-    std::function<const std::vector<SegmentId>&(SegmentId, int64_t)>;
-
-/// Shared frontier walk for SQMB/MQMB cones. Members are expanded once per
-/// profile slot (Algorithm 1 re-expands the whole set every step; speeds
-/// only change across profile slots, so re-expansion below that granularity
-/// is provably a no-op). `filter` (optional) implements MQMB's
-/// nearest-start elimination: return false to reject a discovered segment.
-/// `last_frontier_out` (optional) receives the segments discovered in the
-/// final hop that added anything — the outermost expansion shell, which
-/// TBS uses as its trace-back seed when the cone has no geometric edge
-/// (e.g. it saturated the whole network).
-std::vector<SegmentId> ExpandCone(
-    const RoadNetwork& network, const std::vector<SegmentId>& starts,
-    int64_t start_tod, int64_t duration, int64_t delta_t,
-    int64_t profile_slot_seconds, const ListFn& lists,
-    const std::function<bool(SegmentId owner_start, SegmentId found)>& filter,
-    std::vector<SegmentId>* owner_out,
-    std::vector<SegmentId>* last_frontier_out) {
-  const size_t n = network.NumSegments();
-  std::vector<uint8_t> in_cone(n, 0);
-  std::vector<int32_t> expanded_slot(n, -1);
-  std::vector<SegmentId> owner(n, kInvalidSegment);
-  std::vector<SegmentId> members;
-  members.reserve(64);
-  for (SegmentId s : starts) {
-    if (s < n && !in_cone[s]) {
-      in_cone[s] = 1;
-      owner[s] = s;
-      members.push_back(s);
-    }
-  }
-
-  size_t last_frontier_begin = 0;
-  size_t last_frontier_end = members.size();
-  const int hops = NumHops(duration, delta_t);
-  for (int step = 0; step < hops; ++step) {
-    int64_t tod = (start_tod + step * delta_t) % kSecondsPerDay;
-    int32_t pslot = static_cast<int32_t>(tod / profile_slot_seconds);
-    size_t snapshot = members.size();  // segments found this step expand next
-    for (size_t i = 0; i < snapshot; ++i) {
-      SegmentId r = members[i];
-      if (expanded_slot[r] == pslot) continue;
-      expanded_slot[r] = pslot;
-      for (SegmentId found : lists(r, tod)) {
-        if (in_cone[found]) continue;
-        if (filter && !filter(owner[r], found)) continue;
-        in_cone[found] = 1;
-        owner[found] = owner[r];
-        members.push_back(found);
-      }
-    }
-    if (members.size() > snapshot) {
-      last_frontier_begin = snapshot;
-      last_frontier_end = members.size();
-    }
-  }
-  if (last_frontier_out != nullptr) {
-    last_frontier_out->assign(members.begin() + last_frontier_begin,
-                              members.begin() + last_frontier_end);
-    std::sort(last_frontier_out->begin(), last_frontier_out->end());
-  }
-  std::sort(members.begin(), members.end());
-  if (owner_out != nullptr) *owner_out = std::move(owner);
-  return members;
-}
-
-}  // namespace
-
-std::vector<SegmentId> RegionBoundary(const RoadNetwork& network,
-                                      const std::vector<SegmentId>& region) {
-  std::vector<uint8_t> inside(network.NumSegments(), 0);
-  for (SegmentId s : region) inside[s] = 1;
+/// Region membership + boundary scan on a pooled context (no O(network)
+/// allocation per call): members of `region` with a neighbour outside it.
+std::vector<SegmentId> BoundaryWith(ExpansionContext& ctx,
+                                    const RoadNetwork& network,
+                                    const std::vector<SegmentId>& region) {
+  ctx.Begin(network.NumSegments());
+  for (SegmentId s : region) ctx.Touch(s);  // Seen == inside
   std::vector<SegmentId> boundary;
   for (SegmentId s : region) {
     for (SegmentId nb : network.NeighborsOf(s)) {
-      if (!inside[nb]) {
+      if (!ctx.Seen(nb)) {
         boundary.push_back(s);
         break;
       }
@@ -99,21 +27,54 @@ std::vector<SegmentId> RegionBoundary(const RoadNetwork& network,
   return boundary;
 }
 
-namespace {
-
 /// Boundary used to seed TBS: region members with a neighbour outside the
 /// region. When the cone saturated a whole connected component there is no
 /// "outside" — fall back to the expansion's outermost shell, which is
 /// still the geometric rim the trace back should start from.
 std::vector<SegmentId> MergeBoundary(
-    const RoadNetwork& network, const std::vector<SegmentId>& region,
+    ExpansionContext& ctx, const RoadNetwork& network,
+    const std::vector<SegmentId>& region,
     const std::vector<SegmentId>& last_frontier) {
-  std::vector<SegmentId> boundary = RegionBoundary(network, region);
+  std::vector<SegmentId> boundary = BoundaryWith(ctx, network, region);
   if (!boundary.empty()) return boundary;
   return last_frontier;
 }
 
+/// Reachability-list oracles over the Con-Index.
+FrontierEngine::ListFn FarLists(const ConIndex& con_index) {
+  return [&con_index](SegmentId r,
+                      int64_t tod) -> const std::vector<SegmentId>& {
+    return con_index.Far(r, tod);
+  };
+}
+
+FrontierEngine::ListFn NearLists(const ConIndex& con_index) {
+  return [&con_index](SegmentId r,
+                      int64_t tod) -> const std::vector<SegmentId>& {
+    return con_index.Near(r, tod);
+  };
+}
+
+FrontierEngine::ConeRequest MakeConeRequest(
+    const std::vector<SegmentId>& starts, int64_t start_tod, int64_t duration,
+    const ConIndex& con_index) {
+  FrontierEngine::ConeRequest request;
+  request.starts = starts;
+  request.start_tod = start_tod;
+  request.duration_seconds = duration;
+  request.delta_t_seconds = con_index.delta_t_seconds();
+  request.profile_slot_seconds =
+      kSecondsPerDay / std::max(1, con_index.num_profile_slots());
+  return request;
+}
+
 }  // namespace
+
+std::vector<SegmentId> RegionBoundary(const RoadNetwork& network,
+                                      const std::vector<SegmentId>& region) {
+  auto ctx = ExpansionContextPool::Global().Acquire();
+  return BoundaryWith(*ctx, network, region);
+}
 
 std::vector<SegmentId> LocationSegmentSet(const RoadNetwork& network,
                                           SegmentId seg) {
@@ -142,6 +103,16 @@ StatusOr<BoundingRegions> SqmbSearchSet(const RoadNetwork& network,
                                         const std::vector<SegmentId>& starts,
                                         int64_t start_tod,
                                         int64_t duration_seconds) {
+  return SqmbSearchSet(network, con_index, starts, start_tod, duration_seconds,
+                       BoundingSearchOptions{});
+}
+
+StatusOr<BoundingRegions> SqmbSearchSet(const RoadNetwork& network,
+                                        const ConIndex& con_index,
+                                        const std::vector<SegmentId>& starts,
+                                        int64_t start_tod,
+                                        int64_t duration_seconds,
+                                        const BoundingSearchOptions& options) {
   if (starts.empty()) {
     return Status::InvalidArgument("SQMB: no start segments");
   }
@@ -153,31 +124,21 @@ StatusOr<BoundingRegions> SqmbSearchSet(const RoadNetwork& network,
   if (duration_seconds <= 0) {
     return Status::InvalidArgument("SQMB: duration must be positive");
   }
-  const int64_t profile_slot_sec =
-      kSecondsPerDay / std::max(1, con_index.num_profile_slots());
 
   BoundingRegions out;
   out.start_segments = starts;
 
-  ListFn far = [&con_index](SegmentId r,
-                            int64_t tod) -> const std::vector<SegmentId>& {
-    return con_index.Far(r, tod);
-  };
-  ListFn near = [&con_index](SegmentId r,
-                             int64_t tod) -> const std::vector<SegmentId>& {
-    return con_index.Near(r, tod);
-  };
+  FrontierEngine engine(network, options.runtime);
+  auto ctx = ExpansionContextPool::Global().Acquire();
+  FrontierEngine::ConeRequest request = MakeConeRequest(
+      out.start_segments, start_tod, duration_seconds, con_index);
 
   std::vector<SegmentId> last_frontier;
-  out.max_region = ExpandCone(network, out.start_segments, start_tod,
-                              duration_seconds, con_index.delta_t_seconds(),
-                              profile_slot_sec, far, nullptr, nullptr,
-                              &last_frontier);
-  out.min_region = ExpandCone(network, out.start_segments, start_tod,
-                              duration_seconds, con_index.delta_t_seconds(),
-                              profile_slot_sec, near, nullptr, nullptr,
-                              nullptr);
-  out.boundary = MergeBoundary(network, out.max_region, last_frontier);
+  out.max_region = engine.RunCone(*ctx, request, FarLists(con_index), nullptr,
+                                  &last_frontier, options.metrics);
+  out.min_region = engine.RunCone(*ctx, request, NearLists(con_index), nullptr,
+                                  nullptr, options.metrics);
+  out.boundary = MergeBoundary(*ctx, network, out.max_region, last_frontier);
   return out;
 }
 
@@ -187,6 +148,17 @@ StatusOr<BoundingRegions> MqmbSearch(const RoadNetwork& network,
                                      const std::vector<SegmentId>& starts,
                                      int64_t start_tod,
                                      int64_t duration_seconds) {
+  return MqmbSearch(network, con_index, profile, starts, start_tod,
+                    duration_seconds, BoundingSearchOptions{});
+}
+
+StatusOr<BoundingRegions> MqmbSearch(const RoadNetwork& network,
+                                     const ConIndex& con_index,
+                                     const SpeedProfile& profile,
+                                     const std::vector<SegmentId>& starts,
+                                     int64_t start_tod,
+                                     int64_t duration_seconds,
+                                     const BoundingSearchOptions& options) {
   if (starts.empty()) {
     return Status::InvalidArgument("MQMB: no start segments");
   }
@@ -198,8 +170,6 @@ StatusOr<BoundingRegions> MqmbSearch(const RoadNetwork& network,
   if (duration_seconds <= 0) {
     return Status::InvalidArgument("MQMB: duration must be positive");
   }
-  const int64_t profile_slot_sec =
-      kSecondsPerDay / std::max(1, con_index.num_profile_slots());
 
   BoundingRegions out;
   out.start_segments = starts;
@@ -208,53 +178,49 @@ StatusOr<BoundingRegions> MqmbSearch(const RoadNetwork& network,
       std::unique(out.start_segments.begin(), out.start_segments.end()),
       out.start_segments.end());
 
+  FrontierEngine engine(network, options.runtime);
+
   // Nearest-start assignment by travel time (multi-source expansion with
   // the same speed statistics the Far/Near tables use, budgeted by L).
+  // The winning start per segment stays queryable on the contexts for the
+  // cone filters below — no O(network) origin arrays are materialized.
   SpeedFn max_speed = [&profile, start_tod](SegmentId id) {
     return profile.MaxSpeed(id, start_tod);
   };
   SpeedFn min_speed = [&profile, start_tod](SegmentId id) {
     return profile.MinSpeed(id, start_tod);
   };
-  std::vector<SegmentId> nearest_max, nearest_min;
-  ExpandFromMany(network, out.start_segments,
-                 static_cast<double>(duration_seconds) * 1.25 + 60.0,
-                 max_speed, &nearest_max);
-  ExpandFromMany(network, out.start_segments,
-                 static_cast<double>(duration_seconds) * 1.25 + 60.0,
-                 min_speed, &nearest_min);
-
-  ListFn far = [&con_index](SegmentId r,
-                            int64_t tod) -> const std::vector<SegmentId>& {
-    return con_index.Far(r, tod);
-  };
-  ListFn near = [&con_index](SegmentId r,
-                             int64_t tod) -> const std::vector<SegmentId>& {
-    return con_index.Near(r, tod);
-  };
+  FrontierEngine::TimedRequest nearest;
+  nearest.sources = out.start_segments;
+  nearest.budget = static_cast<double>(duration_seconds) * 1.25 + 60.0;
+  nearest.track_origin = true;
+  auto nearest_max = ExpansionContextPool::Global().Acquire();
+  auto nearest_min = ExpansionContextPool::Global().Acquire();
+  engine.RunTimed(*nearest_max, nearest, max_speed, options.metrics);
+  engine.RunTimed(*nearest_min, nearest, min_speed, options.metrics);
 
   // The elimination rule (paper §3.3.2): keep a discovered segment only if
   // it was reached through its *nearest* start's cone. Segments outside the
   // budgeted nearest-start map (rare profile-drift cases) are kept.
-  auto keep_max = [&nearest_max](SegmentId owner, SegmentId found) {
-    return nearest_max[found] == kInvalidSegment ||
-           nearest_max[found] == owner;
+  ExpansionContext& nmx = *nearest_max;
+  ExpansionContext& nmn = *nearest_min;
+  auto keep_max = [&nmx](SegmentId owner, SegmentId found) {
+    return !nmx.Seen(found) || nmx.Origin(found) == owner;
   };
-  auto keep_min = [&nearest_min](SegmentId owner, SegmentId found) {
-    return nearest_min[found] == kInvalidSegment ||
-           nearest_min[found] == owner;
+  auto keep_min = [&nmn](SegmentId owner, SegmentId found) {
+    return !nmn.Seen(found) || nmn.Origin(found) == owner;
   };
 
+  auto ctx = ExpansionContextPool::Global().Acquire();
+  FrontierEngine::ConeRequest request = MakeConeRequest(
+      out.start_segments, start_tod, duration_seconds, con_index);
+
   std::vector<SegmentId> last_frontier;
-  out.max_region = ExpandCone(network, out.start_segments, start_tod,
-                              duration_seconds, con_index.delta_t_seconds(),
-                              profile_slot_sec, far, keep_max, nullptr,
-                              &last_frontier);
-  out.min_region = ExpandCone(network, out.start_segments, start_tod,
-                              duration_seconds, con_index.delta_t_seconds(),
-                              profile_slot_sec, near, keep_min, nullptr,
-                              nullptr);
-  out.boundary = MergeBoundary(network, out.max_region, last_frontier);
+  out.max_region = engine.RunCone(*ctx, request, FarLists(con_index), keep_max,
+                                  &last_frontier, options.metrics);
+  out.min_region = engine.RunCone(*ctx, request, NearLists(con_index),
+                                  keep_min, nullptr, options.metrics);
+  out.boundary = MergeBoundary(*ctx, network, out.max_region, last_frontier);
   return out;
 }
 

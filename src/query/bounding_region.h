@@ -9,6 +9,12 @@
 // overlap with the paper's nearest-start rule: a frontier segment is kept
 // only when the start whose Far cone produced it is also its nearest start
 // (by travel time), so overlapped interiors are expanded exactly once.
+//
+// Both searches run on the unified frontier core (src/search/): pooled
+// ExpansionContexts (no per-query O(network) allocations) and, when a
+// BoundingSearchOptions carries a parallel FrontierRuntime, a
+// level-synchronous parallel interior whose results are bit-identical to
+// sequential execution (see search/frontier_engine.h for the argument).
 #ifndef STRR_QUERY_BOUNDING_REGION_H_
 #define STRR_QUERY_BOUNDING_REGION_H_
 
@@ -17,6 +23,7 @@
 #include "index/con_index.h"
 #include "index/st_index.h"
 #include "roadnet/road_network.h"
+#include "search/frontier_engine.h"
 #include "util/result.h"
 
 namespace strr {
@@ -29,6 +36,14 @@ struct BoundingRegions {
   /// Outer boundary of max_region: members with at least one road-network
   /// neighbour outside the region. Seeds the trace back search.
   std::vector<SegmentId> boundary;
+};
+
+/// How a bounding search executes: sequential by default; a parallel
+/// runtime fans the expansion interior without changing results. `metrics`
+/// (optional) accumulates search work counters for QueryStats.
+struct BoundingSearchOptions {
+  FrontierRuntime runtime;
+  SearchMetrics* metrics = nullptr;
 };
 
 /// SQMB: single-location maximum/minimum bounding region search.
@@ -45,6 +60,13 @@ StatusOr<BoundingRegions> SqmbSearchSet(const RoadNetwork& network,
                                         const ConIndex& con_index,
                                         const std::vector<SegmentId>& starts,
                                         int64_t start_tod,
+                                        int64_t duration_seconds,
+                                        const BoundingSearchOptions& options);
+
+StatusOr<BoundingRegions> SqmbSearchSet(const RoadNetwork& network,
+                                        const ConIndex& con_index,
+                                        const std::vector<SegmentId>& starts,
+                                        int64_t start_tod,
                                         int64_t duration_seconds);
 
 /// The segment set a query location on `seg` denotes: {seg} plus its
@@ -54,6 +76,14 @@ std::vector<SegmentId> LocationSegmentSet(const RoadNetwork& network,
 
 /// MQMB: multi-location variant with overlap elimination. `starts` must be
 /// non-empty, deduplicated valid segments.
+StatusOr<BoundingRegions> MqmbSearch(const RoadNetwork& network,
+                                     const ConIndex& con_index,
+                                     const SpeedProfile& profile,
+                                     const std::vector<SegmentId>& starts,
+                                     int64_t start_tod,
+                                     int64_t duration_seconds,
+                                     const BoundingSearchOptions& options);
+
 StatusOr<BoundingRegions> MqmbSearch(const RoadNetwork& network,
                                      const ConIndex& con_index,
                                      const SpeedProfile& profile,

@@ -38,6 +38,16 @@ struct QueryStats {
   double sum_wall_ms = 0.0;
   uint64_t time_lists_read = 0;    ///< ST-Index time-list fetches
   uint64_t segments_verified = 0;  ///< probability computations performed
+  // --- Search-interior work (src/search/ FrontierEngine; composite
+  // strategies sum their legs) ------------------------------------------------
+  /// Frontier members expanded across this query's bounding-region
+  /// searches (cone hops + nearest-start maps).
+  uint64_t segments_expanded = 0;
+  /// d-ary heap pops in the timed (Dijkstra) expansions.
+  uint64_t heap_pops = 0;
+  /// Level-synchronous gather/commit rounds that actually fanned across
+  /// the interior pool (0 when the interior ran sequentially).
+  uint64_t parallel_rounds = 0;
   /// True when the result was served from the executor's ResultCache. The
   /// remaining stats then describe the execution that originally produced
   /// the entry, not the (near-free) cache lookup.

@@ -2,90 +2,22 @@
 
 #include <algorithm>
 #include <limits>
-#include <queue>
+
+#include "search/expansion_context.h"
+#include "search/frontier_engine.h"
 
 namespace strr {
-
-namespace {
-
-constexpr double kInf = std::numeric_limits<double>::infinity();
-
-struct QueueEntry {
-  double time;
-  SegmentId segment;
-  bool operator>(const QueueEntry& o) const { return time > o.time; }
-};
-
-using MinQueue =
-    std::priority_queue<QueueEntry, std::vector<QueueEntry>, std::greater<>>;
-
-/// Shared Dijkstra core. `budget` of +inf gives full shortest-path trees.
-/// Labels are completion times of segments. Returns the label array;
-/// `origin` (optional) tracks the winning source for multi-source runs.
-std::vector<double> RunDijkstra(const RoadNetwork& network,
-                                const std::vector<SegmentId>& sources,
-                                double budget, const SpeedFn& speed_fn,
-                                std::vector<SegmentId>* origin) {
-  const size_t n = network.NumSegments();
-  std::vector<double> label(n, kInf);
-  if (origin != nullptr) origin->assign(n, kInvalidSegment);
-
-  MinQueue queue;
-  for (SegmentId src : sources) {
-    if (src >= n) continue;
-    double speed = speed_fn(src);
-    if (speed <= 0.0) continue;
-    double t = network.segment(src).TravelTimeSeconds(speed);
-    if (t > budget) continue;
-    if (t < label[src]) {
-      label[src] = t;
-      if (origin != nullptr) (*origin)[src] = src;
-      queue.push({t, src});
-    }
-  }
-
-  while (!queue.empty()) {
-    QueueEntry top = queue.top();
-    queue.pop();
-    if (top.time > label[top.segment]) continue;  // stale entry
-    for (SegmentId next : network.OutgoingOf(top.segment)) {
-      double speed = speed_fn(next);
-      if (speed <= 0.0) continue;
-      double t = top.time + network.segment(next).TravelTimeSeconds(speed);
-      if (t > budget) continue;
-      if (t < label[next]) {
-        label[next] = t;
-        if (origin != nullptr) (*origin)[next] = (*origin)[top.segment];
-        queue.push({t, next});
-      }
-    }
-  }
-  return label;
-}
-
-std::vector<ExpansionHit> LabelsToHits(const std::vector<double>& label) {
-  std::vector<ExpansionHit> hits;
-  for (SegmentId id = 0; id < label.size(); ++id) {
-    if (label[id] < kInf) hits.push_back({id, label[id]});
-  }
-  std::sort(hits.begin(), hits.end(),
-            [](const ExpansionHit& a, const ExpansionHit& b) {
-              if (a.arrival_seconds != b.arrival_seconds) {
-                return a.arrival_seconds < b.arrival_seconds;
-              }
-              return a.segment < b.segment;
-            });
-  return hits;
-}
-
-}  // namespace
 
 std::vector<ExpansionHit> ExpandFrom(const RoadNetwork& network,
                                      SegmentId source, double budget_seconds,
                                      const SpeedFn& speed_fn) {
-  std::vector<SegmentId> sources{source};
-  return LabelsToHits(
-      RunDijkstra(network, sources, budget_seconds, speed_fn, nullptr));
+  FrontierEngine engine(network);
+  auto ctx = ExpansionContextPool::Global().Acquire();
+  FrontierEngine::TimedRequest request;
+  request.sources = std::span<const SegmentId>(&source, 1);
+  request.budget = budget_seconds;
+  engine.RunTimed(*ctx, request, speed_fn);
+  return engine.HitsByArrival(*ctx);
 }
 
 std::vector<ExpansionHit> ExpandFromMany(const RoadNetwork& network,
@@ -93,15 +25,34 @@ std::vector<ExpansionHit> ExpandFromMany(const RoadNetwork& network,
                                          double budget_seconds,
                                          const SpeedFn& speed_fn,
                                          std::vector<SegmentId>* out_source) {
-  return LabelsToHits(
-      RunDijkstra(network, sources, budget_seconds, speed_fn, out_source));
+  FrontierEngine engine(network);
+  auto ctx = ExpansionContextPool::Global().Acquire();
+  FrontierEngine::TimedRequest request;
+  request.sources = sources;
+  request.budget = budget_seconds;
+  request.track_origin = out_source != nullptr;
+  engine.RunTimed(*ctx, request, speed_fn);
+  if (out_source != nullptr) {
+    out_source->assign(network.NumSegments(), kInvalidSegment);
+    for (SegmentId s : ctx->reached()) {
+      if (ctx->Label(s) < kUnreachedLabel) (*out_source)[s] = ctx->Origin(s);
+    }
+  }
+  return engine.HitsByArrival(*ctx);
 }
 
 std::vector<double> ShortestTravelTimes(const RoadNetwork& network,
                                         SegmentId source,
                                         const SpeedFn& speed_fn) {
-  std::vector<SegmentId> sources{source};
-  return RunDijkstra(network, sources, kInf, speed_fn, nullptr);
+  FrontierEngine engine(network);
+  auto ctx = ExpansionContextPool::Global().Acquire();
+  FrontierEngine::TimedRequest request;
+  request.sources = std::span<const SegmentId>(&source, 1);
+  engine.RunTimed(*ctx, request, speed_fn);
+  std::vector<double> label(network.NumSegments(),
+                            std::numeric_limits<double>::infinity());
+  for (SegmentId s : ctx->reached()) label[s] = ctx->Label(s);
+  return label;
 }
 
 std::vector<SegmentId> ShortestPath(const RoadNetwork& network,
@@ -109,36 +60,18 @@ std::vector<SegmentId> ShortestPath(const RoadNetwork& network,
                                     const SpeedFn& speed_fn) {
   const size_t n = network.NumSegments();
   if (source >= n || target >= n) return {};
+  FrontierEngine engine(network);
+  auto ctx = ExpansionContextPool::Global().Acquire();
+  FrontierEngine::TimedRequest request;
+  request.sources = std::span<const SegmentId>(&source, 1);
+  request.track_parent = true;
+  request.stop_at = target;
+  engine.RunTimed(*ctx, request, speed_fn);
 
-  std::vector<double> label(n, kInf);
-  std::vector<SegmentId> parent(n, kInvalidSegment);
-  MinQueue queue;
-
-  double src_speed = speed_fn(source);
-  if (src_speed <= 0.0) return {};
-  label[source] = network.segment(source).TravelTimeSeconds(src_speed);
-  queue.push({label[source], source});
-
-  while (!queue.empty()) {
-    QueueEntry top = queue.top();
-    queue.pop();
-    if (top.time > label[top.segment]) continue;
-    if (top.segment == target) break;  // settled; Dijkstra guarantees optimal
-    for (SegmentId next : network.OutgoingOf(top.segment)) {
-      double speed = speed_fn(next);
-      if (speed <= 0.0) continue;
-      double t = top.time + network.segment(next).TravelTimeSeconds(speed);
-      if (t < label[next]) {
-        label[next] = t;
-        parent[next] = top.segment;
-        queue.push({t, next});
-      }
-    }
-  }
-
-  if (label[target] == kInf) return {};
+  if (ctx->Label(target) >= kUnreachedLabel) return {};
   std::vector<SegmentId> path;
-  for (SegmentId cur = target; cur != kInvalidSegment; cur = parent[cur]) {
+  for (SegmentId cur = target; cur != kInvalidSegment;
+       cur = ctx->Parent(cur)) {
     path.push_back(cur);
     if (cur == source) break;
   }

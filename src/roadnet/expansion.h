@@ -13,25 +13,22 @@
 // "reached within budget" when the time to finish traversing it is within
 // the budget. Speeds are supplied per segment by a callback so callers can
 // plug historical min/mean/max profiles.
+//
+// These are convenience wrappers over the unified frontier-search core in
+// src/search/ (FrontierEngine + pooled ExpansionContexts — see
+// search/frontier_engine.h for the interior and its determinism
+// contract); SpeedFn and ExpansionHit live there and are re-exported
+// here. Callers that run many expansions or want the parallel interior
+// use the engine directly.
 #ifndef STRR_ROADNET_EXPANSION_H_
 #define STRR_ROADNET_EXPANSION_H_
 
-#include <functional>
 #include <vector>
 
 #include "roadnet/road_network.h"
+#include "search/frontier_engine.h"
 
 namespace strr {
-
-/// Per-segment speed oracle, meters/second. Must return > 0 for traversable
-/// segments; return <= 0 to mark a segment non-traversable in this pass.
-using SpeedFn = std::function<double(SegmentId)>;
-
-/// One expansion hit: a segment plus the earliest completion time.
-struct ExpansionHit {
-  SegmentId segment;
-  double arrival_seconds;  ///< time at which the segment is fully traversed
-};
 
 /// Runs bounded network expansion from `source` with the given time budget.
 ///
@@ -45,6 +42,8 @@ std::vector<ExpansionHit> ExpandFrom(const RoadNetwork& network,
 /// Multi-source variant used by MQMB distance computations: expands from all
 /// sources simultaneously; `out_source` (optional, segment-indexed,
 /// kInvalidSegment = unreached) receives the winning source per segment.
+/// On an exactly equal travel-time tie the smaller source id wins (the
+/// engine's canonical rule).
 std::vector<ExpansionHit> ExpandFromMany(const RoadNetwork& network,
                                          const std::vector<SegmentId>& sources,
                                          double budget_seconds,

@@ -1,0 +1,396 @@
+#include "search/frontier_engine.h"
+
+#include <algorithm>
+#include <future>
+
+#include "util/time_util.h"
+
+namespace strr {
+
+namespace {
+
+/// Number of Δt hops for duration L: k with kΔt <= L < (k+1)Δt, at least 1.
+int NumHops(int64_t duration, int64_t delta_t) {
+  int k = static_cast<int>(duration / delta_t);
+  return k < 1 ? 1 : k;
+}
+
+}  // namespace
+
+void FrontierEngine::SeedSources(ExpansionContext& ctx,
+                                 const TimedRequest& request,
+                                 const SpeedFn& speed) const {
+  const size_t n = network_->NumSegments();
+  for (SegmentId src : request.sources) {
+    if (src >= n) continue;
+    double sp = speed(src);
+    if (sp <= 0.0) continue;
+    double t = network_->segment(src).TravelTimeSeconds(sp);
+    if (t > request.budget) continue;
+    double cur = ctx.Label(src);
+    if (t < cur) {
+      ctx.SetLabel(src, t);
+      if (request.track_origin) ctx.SetOrigin(src, src);
+      if (request.track_parent) ctx.SetParent(src, kInvalidSegment);
+      ctx.HeapPush(t, src);
+    } else if (t == cur && request.track_origin && src < ctx.Origin(src)) {
+      ctx.SetOrigin(src, src);
+      ctx.HeapPush(t, src);
+    }
+  }
+}
+
+void FrontierEngine::RunTimed(ExpansionContext& ctx,
+                              const TimedRequest& request, const SpeedFn& speed,
+                              SearchMetrics* metrics) const {
+  ctx.Begin(network_->NumSegments());
+  const bool parallel = runtime_.parallel() &&
+                        request.budget < kUnreachedLabel &&
+                        request.stop_at == kInvalidSegment;
+  if (parallel) {
+    RunTimedParallel(ctx, request, speed, metrics);
+  } else {
+    RunTimedSequential(ctx, request, speed, metrics);
+  }
+}
+
+void FrontierEngine::RunTimedSequential(ExpansionContext& ctx,
+                                        const TimedRequest& request,
+                                        const SpeedFn& speed,
+                                        SearchMetrics* metrics) const {
+  SeedSources(ctx, request, speed);
+  uint64_t pops = 0, expanded = 0;
+  double t;
+  SegmentId s;
+  while (ctx.HeapPop(&t, &s)) {
+    ++pops;
+    if (t > ctx.Label(s)) continue;  // stale entry
+    ++expanded;
+    if (s == request.stop_at) break;  // settled; Dijkstra guarantees optimal
+    const SegmentId org = request.track_origin ? ctx.Origin(s) : kInvalidSegment;
+    for (SegmentId next : network_->OutgoingOf(s)) {
+      double sp = speed(next);
+      if (sp <= 0.0) continue;
+      double t2 = t + network_->segment(next).TravelTimeSeconds(sp);
+      if (t2 > request.budget) continue;
+      double cur = ctx.Label(next);
+      if (t2 < cur) {
+        ctx.SetLabel(next, t2);
+        if (request.track_origin) ctx.SetOrigin(next, org);
+        if (request.track_parent) ctx.SetParent(next, s);
+        ctx.HeapPush(t2, next);
+      } else if (t2 == cur) {
+        // Canonical tie rule (see header): the smaller origin/parent id
+        // wins on an exactly equal completion time. Re-enqueue so the
+        // improvement propagates even past already-expanded segments.
+        bool improved = false;
+        if (request.track_origin && org < ctx.Origin(next)) {
+          ctx.SetOrigin(next, org);
+          improved = true;
+        }
+        if (request.track_parent && s < ctx.Parent(next)) {
+          ctx.SetParent(next, s);
+          improved = true;
+        }
+        if (improved) ctx.HeapPush(t2, next);
+      }
+    }
+  }
+  if (metrics != nullptr) {
+    metrics->heap_pops += pops;
+    metrics->segments_expanded += expanded;
+  }
+}
+
+void FrontierEngine::RunTimedParallel(ExpansionContext& ctx,
+                                      const TimedRequest& request,
+                                      const SpeedFn& speed,
+                                      SearchMetrics* metrics) const {
+  SeedSources(ctx, request, speed);
+  const double width = runtime_.bucket_width_seconds > 0.0
+                           ? runtime_.bucket_width_seconds
+                           : std::max(request.budget / 48.0, 1e-9);
+  const size_t workers = static_cast<size_t>(std::max(runtime_.workers, 1));
+  ctx.EnsureWorkerBuffers(workers);
+  std::vector<SegmentId>& frontier = ctx.frontier();
+  std::vector<SegmentId>& next = ctx.next_frontier();
+  uint64_t pops = 0, expanded = 0, rounds = 0;
+  // Monotone wave ids distinguish frontier generations in ctx.Mark for
+  // O(1) dedup of frontier additions.
+  int32_t wave = 0;
+
+  // Gathers relaxation candidates for frontier[begin, end) into `out`.
+  // Read-only against shared ctx state (commit happens between phases).
+  auto gather = [&](size_t begin, size_t end,
+                    std::vector<FrontierCandidate>& out) {
+    out.clear();
+    for (size_t i = begin; i < end; ++i) {
+      SegmentId u = frontier[i];
+      const double lu = ctx.Label(u);
+      const SegmentId org =
+          request.track_origin ? ctx.Origin(u) : kInvalidSegment;
+      for (SegmentId nxt : network_->OutgoingOf(u)) {
+        double sp = speed(nxt);
+        if (sp <= 0.0) continue;
+        double t2 = lu + network_->segment(nxt).TravelTimeSeconds(sp);
+        if (t2 > request.budget) continue;
+        double cur = ctx.Label(nxt);
+        if (t2 > cur) continue;
+        if (t2 == cur) {
+          bool could_improve =
+              (request.track_origin && org < ctx.Origin(nxt)) ||
+              (request.track_parent && u < ctx.Parent(nxt));
+          if (!could_improve) continue;
+        }
+        out.push_back(FrontierCandidate{nxt, org, u, t2});
+      }
+    }
+  };
+
+  double t;
+  SegmentId s;
+  for (;;) {
+    // Open the next delta-stepping bucket: [t0, t0 + width], where t0 is
+    // the smallest live tentative label remaining.
+    frontier.clear();
+    bool have_bucket = false;
+    double t0 = 0.0;
+    while (ctx.HeapPop(&t, &s)) {
+      ++pops;
+      if (t > ctx.Label(s)) continue;  // stale
+      t0 = t;
+      have_bucket = true;
+      break;
+    }
+    if (!have_bucket) break;
+    const double bucket_end = t0 + width;
+    ++wave;
+    ctx.SetMark(s, wave);
+    frontier.push_back(s);
+    while (!ctx.HeapEmpty() && ctx.HeapMinTime() <= bucket_end) {
+      ctx.HeapPop(&t, &s);
+      ++pops;
+      if (t > ctx.Label(s)) continue;
+      if (ctx.Mark(s) == wave) continue;  // duplicate live entry
+      ctx.SetMark(s, wave);
+      frontier.push_back(s);
+    }
+
+    // Iterate gather -> ordered-commit rounds until the bucket's labels
+    // (and tie fields) reach their fixpoint.
+    while (!frontier.empty()) {
+      expanded += frontier.size();
+      size_t chunks = 1;
+      if (frontier.size() >= runtime_.min_parallel_frontier &&
+          workers > 1) {
+        ++rounds;
+        chunks = std::min(workers, frontier.size());
+        const size_t per = (frontier.size() + chunks - 1) / chunks;
+        std::vector<std::future<int>> joins;
+        joins.reserve(chunks - 1);
+        for (size_t c = 1; c < chunks; ++c) {
+          size_t begin = c * per;
+          size_t end = std::min(begin + per, frontier.size());
+          joins.push_back(runtime_.pool->Submit(
+              [&gather, &ctx, begin, end, c]() -> int {
+                gather(begin, end, ctx.worker_buffer(c));
+                return 0;
+              }));
+        }
+        gather(0, std::min(per, frontier.size()), ctx.worker_buffer(0));
+        for (auto& j : joins) j.get();
+      } else {
+        gather(0, frontier.size(), ctx.worker_buffer(0));
+      }
+
+      ++wave;
+      next.clear();
+      for (size_t c = 0; c < chunks; ++c) {
+        for (const FrontierCandidate& cand : ctx.worker_buffer(c)) {
+          double cur = ctx.Label(cand.target);
+          bool changed = false;
+          if (cand.time < cur) {
+            ctx.SetLabel(cand.target, cand.time);
+            if (request.track_origin) ctx.SetOrigin(cand.target, cand.aux);
+            if (request.track_parent) ctx.SetParent(cand.target, cand.parent);
+            if (cand.time > bucket_end) {
+              // Future bucket: hand back to the heap (the old entry, if
+              // any, just went stale).
+              ctx.HeapPush(cand.time, cand.target);
+            } else {
+              changed = true;
+            }
+          } else if (cand.time == cur) {
+            if (request.track_origin && cand.aux < ctx.Origin(cand.target)) {
+              ctx.SetOrigin(cand.target, cand.aux);
+              changed = true;
+            }
+            if (request.track_parent &&
+                cand.parent < ctx.Parent(cand.target)) {
+              ctx.SetParent(cand.target, cand.parent);
+              changed = true;
+            }
+            // A tie improvement beyond this bucket propagates when its own
+            // bucket expands the segment; only in-bucket changes re-enter
+            // the fixpoint now.
+            if (cand.time > bucket_end) changed = false;
+          }
+          if (changed && ctx.Mark(cand.target) != wave) {
+            ctx.SetMark(cand.target, wave);
+            next.push_back(cand.target);
+          }
+        }
+      }
+      frontier.swap(next);
+    }
+  }
+  if (metrics != nullptr) {
+    metrics->heap_pops += pops;
+    metrics->segments_expanded += expanded;
+    metrics->parallel_rounds += rounds;
+  }
+}
+
+std::vector<ExpansionHit> FrontierEngine::HitsByArrival(
+    const ExpansionContext& ctx) const {
+  std::vector<ExpansionHit> hits;
+  hits.reserve(ctx.reached().size());
+  for (SegmentId s : ctx.reached()) {
+    double label = ctx.Label(s);
+    if (label < kUnreachedLabel) hits.push_back({s, label});
+  }
+  std::sort(hits.begin(), hits.end(),
+            [](const ExpansionHit& a, const ExpansionHit& b) {
+              if (a.arrival_seconds != b.arrival_seconds) {
+                return a.arrival_seconds < b.arrival_seconds;
+              }
+              return a.segment < b.segment;
+            });
+  return hits;
+}
+
+std::vector<SegmentId> FrontierEngine::ReachedSorted(
+    const ExpansionContext& ctx) const {
+  std::vector<SegmentId> out;
+  out.reserve(ctx.reached().size());
+  for (SegmentId s : ctx.reached()) {
+    if (ctx.Label(s) < kUnreachedLabel) out.push_back(s);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<SegmentId> FrontierEngine::RunCone(
+    ExpansionContext& ctx, const ConeRequest& request, const ListFn& lists,
+    const ConeFilter& filter, std::vector<SegmentId>* last_frontier_out,
+    SearchMetrics* metrics) const {
+  const size_t n = network_->NumSegments();
+  ctx.Begin(n);
+  const size_t workers =
+      runtime_.parallel() ? static_cast<size_t>(runtime_.workers) : 1;
+  ctx.EnsureWorkerBuffers(workers);
+  std::vector<SegmentId>& members = ctx.members();
+  for (SegmentId s : request.starts) {
+    if (s < n && !ctx.Seen(s)) {
+      ctx.SetOrigin(s, s);  // membership = Seen; origin = owning start
+      members.push_back(s);
+    }
+  }
+
+  uint64_t expanded = 0, rounds = 0;
+  size_t last_begin = 0;
+  size_t last_end = members.size();
+  std::vector<SegmentId>& frontier = ctx.frontier();
+  const int hops = NumHops(request.duration_seconds, request.delta_t_seconds);
+
+  // Gathers discoveries for frontier[begin, end): for each member, every
+  // list entry not already in the cone (pre-step state) that survives the
+  // filter. Read-only against ctx; the commit rechecks membership in
+  // sequential discovery order, so intra-step duplicates drop exactly as
+  // they would in a fully sequential walk.
+  int64_t tod = 0;
+  auto gather = [&](size_t begin, size_t end,
+                    std::vector<FrontierCandidate>& out) {
+    out.clear();
+    for (size_t i = begin; i < end; ++i) {
+      SegmentId r = frontier[i];
+      const SegmentId owner = ctx.Origin(r);
+      for (SegmentId found : lists(r, tod)) {
+        if (ctx.Seen(found)) continue;
+        if (filter && !filter(owner, found)) continue;
+        out.push_back(FrontierCandidate{found, owner, kInvalidSegment, 0.0});
+      }
+    }
+  };
+
+  for (int step = 0; step < hops; ++step) {
+    tod = (request.start_tod +
+           static_cast<int64_t>(step) * request.delta_t_seconds) %
+          kSecondsPerDay;
+    const int32_t pslot =
+        static_cast<int32_t>(tod / request.profile_slot_seconds);
+    const size_t snapshot = members.size();
+    frontier.clear();
+    for (size_t i = 0; i < snapshot; ++i) {
+      // Members are expanded once per profile slot; Mark remembers the
+      // slot a member last expanded under.
+      SegmentId r = members[i];
+      if (ctx.Mark(r) == pslot) continue;
+      ctx.SetMark(r, pslot);
+      frontier.push_back(r);
+    }
+    if (frontier.empty()) continue;
+    expanded += frontier.size();
+
+    size_t chunks = 1;
+    if (frontier.size() >= runtime_.min_parallel_frontier && workers > 1) {
+      ++rounds;
+      chunks = std::min(workers, frontier.size());
+      const size_t per = (frontier.size() + chunks - 1) / chunks;
+      std::vector<std::future<int>> joins;
+      joins.reserve(chunks - 1);
+      for (size_t c = 1; c < chunks; ++c) {
+        size_t begin = c * per;
+        size_t end = std::min(begin + per, frontier.size());
+        joins.push_back(runtime_.pool->Submit(
+            [&gather, &ctx, begin, end, c]() -> int {
+              gather(begin, end, ctx.worker_buffer(c));
+              return 0;
+            }));
+      }
+      gather(0, std::min(per, frontier.size()), ctx.worker_buffer(0));
+      for (auto& j : joins) j.get();
+    } else {
+      gather(0, frontier.size(), ctx.worker_buffer(0));
+    }
+
+    // Ordered commit: (frontier position, list position) is exactly the
+    // sequential discovery order, so the member sequence is identical.
+    for (size_t c = 0; c < chunks; ++c) {
+      for (const FrontierCandidate& cand : ctx.worker_buffer(c)) {
+        if (ctx.Seen(cand.target)) continue;  // same-step duplicate
+        ctx.SetOrigin(cand.target, cand.aux);
+        members.push_back(cand.target);
+      }
+    }
+    if (members.size() > snapshot) {
+      last_begin = snapshot;
+      last_end = members.size();
+    }
+  }
+
+  if (last_frontier_out != nullptr) {
+    last_frontier_out->assign(members.begin() + last_begin,
+                              members.begin() + last_end);
+    std::sort(last_frontier_out->begin(), last_frontier_out->end());
+  }
+  if (metrics != nullptr) {
+    metrics->segments_expanded += expanded;
+    metrics->parallel_rounds += rounds;
+  }
+  std::vector<SegmentId> out(members.begin(), members.end());
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace strr

@@ -155,6 +155,87 @@ TEST(ResultCacheTest, MidnightWrappingWindowsAreEvictedConservatively) {
   EXPECT_FALSE(cache.Lookup(wrap).has_value());
 }
 
+// --- Doorkeeper (TinyLFU frequency admission) -------------------------------
+
+TEST(FrequencySketchTest, CountsSaturateAndAge) {
+  FrequencySketch sketch(1024);
+  PlanKey a = MakePlanKey(HandPlan(HMS(9), 600));
+  PlanKey b = MakePlanKey(HandPlan(HMS(10), 600));
+  for (int i = 0; i < 10; ++i) sketch.Increment(a.hash);
+  EXPECT_EQ(sketch.Estimate(a.hash), 10u);  // no other keys: exact
+  EXPECT_EQ(sketch.Estimate(b.hash), 0u);
+
+  for (int i = 0; i < 100; ++i) sketch.Increment(b.hash);
+  EXPECT_EQ(sketch.Estimate(b.hash), 15u);  // 4-bit saturation
+
+  sketch.Age();
+  EXPECT_EQ(sketch.Estimate(a.hash), 5u);
+  EXPECT_EQ(sketch.Estimate(b.hash), 7u);
+}
+
+TEST(ResultCacheDoorkeeperTest, OneShotScanCannotEvictHotEntries) {
+  ResultCache cache(300,
+                    {.capacity = 4, .shards = 1, .doorkeeper_counters = 1024});
+  std::vector<PlanKey> hot;
+  for (int i = 0; i < 4; ++i) {
+    hot.push_back(MakePlanKey(HandPlan(HMS(8 + i), 600)));
+    cache.Insert(hot.back(), FakeResult({SegmentId(i)}));
+  }
+  // Hot keys accrue frequency through (hit) lookups.
+  for (int round = 0; round < 3; ++round) {
+    for (const PlanKey& k : hot) EXPECT_TRUE(cache.Lookup(k).has_value());
+  }
+  // A one-shot cold scan: every key seen exactly once (miss, then insert).
+  for (int i = 0; i < 50; ++i) {
+    PlanKey cold = MakePlanKey(HandPlan(HMS(12), 600 + 60 * i));
+    EXPECT_FALSE(cache.Lookup(cold).has_value());
+    cache.Insert(cold, FakeResult({999}));
+  }
+  ResultCache::Stats stats = cache.stats();
+  EXPECT_EQ(stats.doorkeeper_rejected, 50u);
+  EXPECT_EQ(stats.evictions, 0u);
+  for (size_t i = 0; i < hot.size(); ++i) {
+    auto kept = cache.Lookup(hot[i]);
+    ASSERT_TRUE(kept.has_value()) << "hot entry " << i << " was churned out";
+    EXPECT_EQ(kept->segments, std::vector<SegmentId>{SegmentId(i)});
+  }
+}
+
+TEST(ResultCacheDoorkeeperTest, RepeatedKeyOutfreqsColdVictimAndEnters) {
+  ResultCache cache(300,
+                    {.capacity = 2, .shards = 1, .doorkeeper_counters = 256});
+  PlanKey v1 = MakePlanKey(HandPlan(HMS(8), 600));
+  PlanKey v2 = MakePlanKey(HandPlan(HMS(9), 600));
+  cache.Insert(v1, FakeResult({1}));  // under capacity: always admitted
+  cache.Insert(v2, FakeResult({2}));  // never looked up -> frequency 0
+
+  PlanKey riser = MakePlanKey(HandPlan(HMS(10), 600));
+  EXPECT_FALSE(cache.Lookup(riser).has_value());  // freq 1
+  cache.Insert(riser, FakeResult({3}));           // 1 > 0: admitted, evicts
+  ResultCache::Stats stats = cache.stats();
+  EXPECT_EQ(stats.evictions, 1u);
+  EXPECT_EQ(stats.doorkeeper_rejected, 0u);
+  EXPECT_TRUE(cache.Lookup(riser).has_value());
+}
+
+TEST(ResultCacheDoorkeeperTest, OffByDefaultKeepsPlainLruChurn) {
+  ResultCache cache(300, {.capacity = 2, .shards = 1});
+  PlanKey a = MakePlanKey(HandPlan(HMS(8), 600));
+  cache.Insert(a, FakeResult({1}));
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_TRUE(cache.Lookup(a).has_value());
+  }
+  for (int i = 0; i < 4; ++i) {
+    cache.Insert(MakePlanKey(HandPlan(HMS(12), 600 + 60 * i)),
+                 FakeResult({9}));
+  }
+  ResultCache::Stats stats = cache.stats();
+  EXPECT_EQ(stats.doorkeeper_rejected, 0u);
+  EXPECT_GT(stats.evictions, 0u);
+  EXPECT_FALSE(cache.Lookup(a).has_value()) << "without the doorkeeper the "
+                                               "scan churns the hot entry";
+}
+
 // --- Executor front door: cached == uncached --------------------------------
 
 TEST(ResultCacheExecutorTest, CachedResultsAreBitIdenticalToUncached) {
