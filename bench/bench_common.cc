@@ -51,7 +51,8 @@ StatusOr<Dataset> LoadOrBuildBenchDataset() {
   STRR_ASSIGN_OR_RETURN(Dataset dataset, BuildDataset(BenchScaleOptions()));
   std::fprintf(stderr, "# generated in %.1fs: %zu segments, %llu trajs\n",
                watch.ElapsedSeconds(), dataset.network.NumSegments(),
-               static_cast<unsigned long long>(dataset.store->NumTrajectories()));
+               static_cast<unsigned long long>(
+                   dataset.store->NumTrajectories()));
   Status save = SaveDataset(dataset, dir);
   if (!save.ok()) {
     std::fprintf(stderr, "# warning: cache save failed: %s\n",

@@ -32,8 +32,8 @@ Status WriteRegionMap(const std::string& path, const Dataset& dataset,
     }
     geo.AddLineString(coords,
                       {{"segment", std::to_string(s)},
-                       {"level",
-                        GeoJsonWriter::Quoted(RoadLevelName(net.segment(s).level))}});
+                       {"level", GeoJsonWriter::Quoted(RoadLevelName(
+                                     net.segment(s).level))}});
   }
   geo.AddPoint(dataset.projection.ToGeo(start),
                {{"role", GeoJsonWriter::Quoted("query-location")}});

@@ -16,6 +16,12 @@
 // (threading and caching must never change a region); shed plans are
 // excluded (they return ResourceExhausted by design).
 //
+// A multi-tenant sweep exercises the WFQ front door (tenant_fairness):
+// 2-4 tenants with skewed weights saturate a small ticket pool from
+// closed-loop client threads; columns show total qps, each tenant's
+// observed completion share vs its weight share, and the max relative
+// deviation — the fairness number the CI regression gate tracks.
+//
 // A second sweep measures the live ingestion subsystem (live/): queries
 // stream against snapshot-pinned indexes while an ObservationIngestor
 // feeds 0 / 100 / 1000 speed observations per second — columns show qps,
@@ -93,6 +99,16 @@ struct RowResult {
   double hit_rate = 0.0;
   double shed_rate = 0.0;
   bool identical = true;
+};
+
+struct TenantRow {
+  int tenants = 0;
+  std::string weights;          ///< "1:2:4" style config label
+  std::string shares;           ///< observed completion shares, same order
+  double qps = 0.0;             ///< total completions/sec in the window
+  /// Max over tenants of |observed share - weight share| / weight share.
+  double max_weight_err = 0.0;
+  bool no_starvation = true;    ///< every tenant completed > 0 queries
 };
 
 struct LiveRow {
@@ -233,6 +249,133 @@ int main() {
       return 1;
     }
     rows.push_back(row);
+  }
+
+  // --- Multi-tenant WFQ sweep ------------------------------------------------
+  // Skewed-weight tenants saturate a 2-ticket pool from closed-loop
+  // clients; completions are counted only once every tenant has waiters
+  // queued (fairness is a property of how saturated demand drains, not of
+  // client start-up order).
+  std::vector<TenantRow> tenant_rows;
+  {
+    auto busy_plan = stack.engine->planner().PlanSQuery(
+        {stack.query_location, HMS(10), 600, 0.2});
+    if (!busy_plan.ok()) {
+      std::fprintf(stderr, "FATAL: tenant sweep plan: %s\n",
+                   busy_plan.status().ToString().c_str());
+      return 1;
+    }
+    auto run_tenants = [&](const std::vector<uint32_t>& weights) -> TenantRow {
+      QueryExecutorOptions opt;
+      opt.num_threads = 2;
+      opt.max_inflight = 2;
+      opt.tenant_fairness = true;
+      auto executor = stack.engine->MakeExecutor(opt);
+      TenantRegistry* registry = executor->tenant_registry();
+      uint32_t weight_sum = 0;
+      for (size_t i = 0; i < weights.size(); ++i) {
+        registry->Configure(static_cast<TenantId>(i + 1),
+                            {.weight = weights[i], .max_inflight = 0,
+                             .max_queued = 64});
+        weight_sum += weights[i];
+      }
+      // Enough completions that the smallest share is well above count
+      // granularity (the lightest tenant should land >= ~20 completions).
+      const int target_total =
+          std::max(120, 40 * static_cast<int>(weight_sum));
+
+      std::vector<QueryPlan> plans;
+      for (size_t i = 0; i < weights.size(); ++i) {
+        QueryPlan plan = *busy_plan;
+        plan.tenant = static_cast<TenantId>(i + 1);
+        plans.push_back(std::move(plan));
+      }
+      std::atomic<int> total{0};
+      std::vector<std::atomic<int>> per_tenant(weights.size() + 1);
+      for (auto& c : per_tenant) c.store(0);
+      std::atomic<bool> counting{false};
+      std::atomic<bool> stop{false};
+      Stopwatch window_watch;
+      std::vector<std::thread> clients;
+      for (const QueryPlan& plan : plans) {
+        // A weight-w tenant needs w consecutive grants to spend a DRR
+        // turn; with too few clients its queue drains mid-turn and it
+        // forfeits the remainder, under-serving heavy tenants. Keep each
+        // tenant's queue deeper than its weight.
+        int tenant_clients =
+            3 + static_cast<int>(weights[plan.tenant - 1]);
+        for (int c = 0; c < tenant_clients; ++c) {
+          clients.emplace_back([&, &plan = plan] {
+            while (!stop.load()) {
+              auto result = executor->Execute(plan);
+              if (!result.ok()) continue;  // tenancy never sheds here
+              if (counting.load()) {
+                per_tenant[plan.tenant].fetch_add(1);
+                if (total.fetch_add(1) + 1 >= target_total) stop.store(true);
+              }
+            }
+          });
+        }
+      }
+      WfqAdmissionController* wfq = executor->wfq_admission();
+      auto all_queued = [&] {
+        for (size_t i = 0; i < weights.size(); ++i) {
+          if (wfq->queued(static_cast<TenantId>(i + 1)) == 0) return false;
+        }
+        return true;
+      };
+      while (!all_queued()) std::this_thread::yield();
+      window_watch.Reset();
+      counting.store(true);
+      for (auto& t : clients) t.join();
+      double window_ms = window_watch.ElapsedMillis();
+
+      TenantRow row;
+      row.tenants = static_cast<int>(weights.size());
+      for (size_t i = 0; i < weights.size(); ++i) {
+        row.weights += (i > 0 ? ":" : "") + std::to_string(weights[i]);
+      }
+      int counted = 0;
+      for (size_t i = 1; i <= weights.size(); ++i) {
+        counted += per_tenant[i].load();
+      }
+      row.qps = counted / (window_ms / 1000.0);
+      for (size_t i = 0; i < weights.size(); ++i) {
+        int count = per_tenant[i + 1].load();
+        if (count == 0) row.no_starvation = false;
+        double observed = static_cast<double>(count) / counted;
+        double expected = static_cast<double>(weights[i]) / weight_sum;
+        double err = std::abs(observed - expected) / expected;
+        row.max_weight_err = std::max(row.max_weight_err, err);
+        row.shares += (i > 0 ? ":" : "") + Cell(observed, 2);
+      }
+      return row;
+    };
+
+    std::printf("\nMulti-tenant WFQ: skewed weights vs 2-ticket pool "
+                "(closed-loop clients, counted after saturation)\n");
+    PrintRow({"tenants", "weights", "shares", "qps", "max_weight_err",
+              "no_starvation"});
+    for (const std::vector<uint32_t>& weights :
+         std::vector<std::vector<uint32_t>>{{1, 2}, {1, 2, 4}, {1, 2, 4, 8}}) {
+      TenantRow row = run_tenants(weights);
+      PrintRow({std::to_string(row.tenants), row.weights, row.shares,
+                Cell(row.qps, 1), Cell(row.max_weight_err, 3),
+                row.no_starvation ? "yes" : "NO"});
+      tenant_rows.push_back(row);
+    }
+    double worst_err = 0.0;
+    bool starved = false;
+    for (const TenantRow& r : tenant_rows) {
+      worst_err = std::max(worst_err, r.max_weight_err);
+      starved = starved || !r.no_starvation;
+    }
+    ShapeCheck("wfq_completion_shares_track_weights", worst_err <= 0.20,
+               "max relative deviation from weight share " +
+                   Cell(worst_err, 3) + " (<= 0.20 required)");
+    ShapeCheck("wfq_no_tenant_starves", !starved,
+               starved ? "a tenant completed zero queries under saturation"
+                       : "every tenant progressed in every sweep");
   }
 
   // --- Live ingestion sweep --------------------------------------------------
@@ -411,7 +554,8 @@ int main() {
   bool scale_ok = qps4 >= 2.0 * qps1;
   ShapeCheck("throughput_scales_with_workers", scale_ok,
              "4-worker qps " + Cell(qps4, 1) + " vs 1-worker " +
-                 Cell(qps1, 1) + " (>=2x expected on >=4 cores; this host has " +
+                 Cell(qps1, 1) +
+                 " (>=2x expected on >=4 cores; this host has " +
                  std::to_string(std::thread::hardware_concurrency()) +
                  " hardware threads)");
   RowResult* cache4 = nullptr;
@@ -462,6 +606,17 @@ int main() {
                    r.workers, r.mode.c_str(), r.batch_ms, r.qps, r.hit_rate,
                    r.shed_rate, r.identical ? "true" : "false",
                    i + 1 < rows.size() ? "," : "");
+    }
+    std::fprintf(f, "  ],\n  \"tenant_rows\": [\n");
+    for (size_t i = 0; i < tenant_rows.size(); ++i) {
+      const TenantRow& r = tenant_rows[i];
+      std::fprintf(f,
+                   "    {\"tenants\": %d, \"weights\": \"%s\", \"shares\": "
+                   "\"%s\", \"qps\": %.1f, \"max_weight_err\": %.3f, "
+                   "\"no_starvation\": %s}%s\n",
+                   r.tenants, r.weights.c_str(), r.shares.c_str(), r.qps,
+                   r.max_weight_err, r.no_starvation ? "true" : "false",
+                   i + 1 < tenant_rows.size() ? "," : "");
     }
     std::fprintf(f, "  ],\n  \"live_rows\": [\n");
     for (size_t i = 0; i < live_rows.size(); ++i) {

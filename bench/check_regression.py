@@ -1,0 +1,217 @@
+#!/usr/bin/env python3
+"""Bench-regression gate: compare a fresh bench_throughput_concurrent JSON
+against the committed BENCH_throughput.json baseline.
+
+The committed baseline was recorded on the bench host at full scale; CI
+runs the bench at STRR_BENCH_SCALE=small on whatever runner it gets, so
+raw qps numbers are not comparable across the two. The gate therefore
+checks three kinds of signals:
+
+  * hard invariants — every row's `identical` flag must be true (threading
+    / caching / tenancy must never change a region), typed shedding must
+    still happen where the baseline shed, no tenant may starve;
+  * scale-free rates — hit_rate (cache rows) and the WFQ fairness error
+    (tenant rows) carry no host-speed dependence and are compared with
+    absolute tolerances;
+  * normalized qps — each file's qps rows are divided by that file's own
+    1-worker/mode-none row (live rows by the 0-obs/s row), cancelling host
+    speed and dataset scale; a normalized ratio that regresses by more
+    than --tolerance (default 25%) fails the gate. Rows whose baseline
+    batch time is under --min-batch-ms (cache rows: the measurement is
+    pure front-door overhead in microseconds) skip the qps check and are
+    covered by their hit_rate instead.
+
+Exit code 0 = no regression; 1 = regression (reasons printed); 2 = usage
+or malformed input. Rows present in the baseline but missing from the
+fresh run fail the gate (a silently vanished bench config is itself a
+regression); new rows in the fresh run are reported and allowed.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_section(path, section):
+    """Loads `path` and returns its throughput section: either the file IS
+    a raw bench output (has a "rows" key) or it is the committed
+    multi-section baseline ({section: {...}})."""
+    with open(path) as f:
+        data = json.load(f)
+    if "rows" in data:
+        return data
+    if section in data:
+        return data[section]
+    raise ValueError(f"{path}: neither a bench output nor a '{section}' section")
+
+
+def index_rows(rows, key_fields):
+    out = {}
+    for row in rows or []:
+        out[tuple(row[k] for k in key_fields)] = row
+    return out
+
+
+class Gate:
+    def __init__(self):
+        self.failures = []
+        self.notes = []
+
+    def fail(self, msg):
+        self.failures.append(msg)
+
+    def note(self, msg):
+        self.notes.append(msg)
+
+
+def check_presence(gate, kind, base_idx, fresh_idx):
+    for key in base_idx:
+        if key not in fresh_idx:
+            gate.fail(f"{kind} row {key} present in baseline but missing "
+                      "from the fresh run")
+    for key in fresh_idx:
+        if key not in base_idx:
+            gate.note(f"{kind} row {key} is new (no baseline to compare)")
+
+
+def norm_qps(gate, kind, rows_idx, ref_key):
+    """qps of each row divided by the reference row's qps. An unusable
+    reference (missing row or qps 0) is itself a gate failure — silently
+    skipping normalization would wave real regressions through."""
+    ref = rows_idx.get(ref_key)
+    if not ref or not ref.get("qps"):
+        if rows_idx:
+            gate.fail(f"{kind}: reference row {ref_key} missing or qps=0 — "
+                      "cannot normalize, refusing to skip the qps checks")
+        return {}
+    return {k: r["qps"] / ref["qps"] for k, r in rows_idx.items()
+            if r.get("qps") is not None}
+
+
+def check_throughput_rows(gate, base, fresh, tolerance, min_batch_ms):
+    base_idx = index_rows(base.get("rows"), ("workers", "mode"))
+    fresh_idx = index_rows(fresh.get("rows"), ("workers", "mode"))
+    check_presence(gate, "throughput", base_idx, fresh_idx)
+
+    for key, row in fresh_idx.items():
+        if not row.get("identical", True):
+            gate.fail(f"throughput row {key}: identical=false — results "
+                      "diverged from the sequential reference")
+
+    ref_key = (1, "none")
+    base_norm = norm_qps(gate, "throughput baseline", base_idx, ref_key)
+    fresh_norm = norm_qps(gate, "throughput fresh", fresh_idx, ref_key)
+    for key, base_row in base_idx.items():
+        fresh_row = fresh_idx.get(key)
+        if fresh_row is None:
+            continue
+        # Scale-free rates first.
+        if base_row.get("hit_rate", 0) >= 0.5:
+            if fresh_row.get("hit_rate", 0) < base_row["hit_rate"] - 0.05:
+                gate.fail(f"throughput row {key}: hit_rate "
+                          f"{fresh_row.get('hit_rate')} regressed vs baseline "
+                          f"{base_row['hit_rate']} (tolerance 0.05 absolute)")
+        if base_row.get("shed_rate", 0) > 0 and fresh_row.get("shed_rate", 0) == 0:
+            gate.fail(f"throughput row {key}: baseline shed "
+                      f"{base_row['shed_rate']} but the fresh run shed "
+                      "nothing — admission control stopped gating")
+        # Normalized qps (skip overhead-dominated rows and the reference
+        # row itself, whose normalized value is 1 by construction).
+        if key == ref_key or base_row.get("batch_ms", 0) < min_batch_ms:
+            continue
+        if key in base_norm and key in fresh_norm:
+            allowed = base_norm[key] * (1.0 - tolerance)
+            if fresh_norm[key] < allowed:
+                gate.fail(
+                    f"throughput row {key}: normalized qps {fresh_norm[key]:.3f} "
+                    f"regressed more than {tolerance:.0%} vs baseline "
+                    f"{base_norm[key]:.3f}")
+
+
+def check_tenant_rows(gate, base, fresh, fairness_tolerance):
+    base_idx = index_rows(base.get("tenant_rows"), ("tenants", "weights"))
+    fresh_idx = index_rows(fresh.get("tenant_rows"), ("tenants", "weights"))
+    check_presence(gate, "tenant", base_idx, fresh_idx)
+    for key, row in fresh_idx.items():
+        if not row.get("no_starvation", True):
+            gate.fail(f"tenant row {key}: a tenant starved under saturation")
+        err = row.get("max_weight_err")
+        if err is not None and err > fairness_tolerance:
+            gate.fail(f"tenant row {key}: WFQ fairness error {err:.3f} "
+                      f"exceeds {fairness_tolerance} — completion shares no "
+                      "longer track weights")
+
+
+def check_live_rows(gate, base, fresh, tolerance):
+    base_idx = index_rows(base.get("live_rows"), ("obs_per_sec",))
+    fresh_idx = index_rows(fresh.get("live_rows"), ("obs_per_sec",))
+    check_presence(gate, "live", base_idx, fresh_idx)
+    for key, row in fresh_idx.items():
+        if not row.get("identical", True):
+            gate.fail(f"live row {key}: identical=false")
+    ref_key = (0,)
+    base_norm = norm_qps(gate, "live baseline", base_idx, ref_key)
+    fresh_norm = norm_qps(gate, "live fresh", fresh_idx, ref_key)
+    for key in base_idx:
+        if key == ref_key or key not in fresh_idx:
+            continue
+        if key in base_norm and key in fresh_norm:
+            allowed = base_norm[key] * (1.0 - tolerance)
+            if fresh_norm[key] < allowed:
+                gate.fail(
+                    f"live row {key}: qps relative to the 0-updates baseline "
+                    f"({fresh_norm[key]:.3f}) regressed more than "
+                    f"{tolerance:.0%} vs committed ({base_norm[key]:.3f}) — "
+                    "ingestion is costing queries more than it used to")
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description=__doc__, formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("--baseline", required=True,
+                        help="committed BENCH_throughput.json")
+    parser.add_argument("--fresh", required=True,
+                        help="JSON written by this run's bench "
+                             "(STRR_BENCH_JSON output)")
+    parser.add_argument("--section", default="throughput_concurrent",
+                        help="section name inside the committed baseline")
+    parser.add_argument("--tolerance", type=float, default=0.25,
+                        help="max allowed relative regression of normalized "
+                             "qps (default 0.25)")
+    parser.add_argument("--fairness-tolerance", type=float, default=0.25,
+                        help="max allowed WFQ weight-share deviation in the "
+                             "fresh run (default 0.25; the bench itself "
+                             "shape-checks 0.20 on the bench host)")
+    parser.add_argument("--min-batch-ms", type=float, default=1.0,
+                        help="skip qps comparison for rows whose baseline "
+                             "batch_ms is below this (overhead-dominated "
+                             "cache rows)")
+    args = parser.parse_args()
+
+    try:
+        base = load_section(args.baseline, args.section)
+        fresh = load_section(args.fresh, args.section)
+    except (OSError, ValueError, json.JSONDecodeError) as e:
+        print(f"ERROR: {e}", file=sys.stderr)
+        return 2
+
+    gate = Gate()
+    check_throughput_rows(gate, base, fresh, args.tolerance, args.min_batch_ms)
+    check_tenant_rows(gate, base, fresh, args.fairness_tolerance)
+    check_live_rows(gate, base, fresh, args.tolerance)
+
+    for note in gate.notes:
+        print(f"NOTE: {note}")
+    if gate.failures:
+        print(f"\nFAIL: {len(gate.failures)} regression(s) vs "
+              f"{args.baseline}:")
+        for failure in gate.failures:
+            print(f"  - {failure}")
+        return 1
+    print(f"OK: no bench regression vs {args.baseline} "
+          f"(qps tolerance {args.tolerance:.0%})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

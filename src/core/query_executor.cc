@@ -54,7 +54,8 @@ QueryExecutor::QueryExecutor(const RoadNetwork& network,
                              const SpeedProfile& profile,
                              int64_t delta_t_seconds,
                              const QueryExecutorOptions& options,
-                             LiveProfileManager* live)
+                             LiveProfileManager* live,
+                             TenantRegistry* tenants)
     : network_(&network),
       st_index_(&st_index),
       con_index_(&con_index),
@@ -62,8 +63,34 @@ QueryExecutor::QueryExecutor(const RoadNetwork& network,
       delta_t_seconds_(delta_t_seconds),
       options_(options),
       live_(live),
-      pool_(options.num_threads < 0 ? 1
-                                    : static_cast<size_t>(options.num_threads)) {
+      pool_(options.num_threads < 0
+                ? 1
+                : static_cast<size_t>(options.num_threads)) {
+  if (options_.tenant_fairness) {
+    // Tenant-aware front door: per-tenant attribution always; WFQ
+    // admission when a global cap is configured. A shared registry keeps
+    // quotas/counters consistent across every executor over one engine;
+    // a standalone executor gets a private one.
+    if (tenants != nullptr) {
+      tenants_ = tenants;
+    } else {
+      // The executor-level max_queued knob caps the default per-tenant
+      // waiting bound, so {max_inflight, max_queued} keeps meaning what
+      // it meant on the plain path; explicitly Configure()d tenants may
+      // still exceed it.
+      TenantConfig defaults = options_.tenant_defaults;
+      defaults.max_queued = std::min(defaults.max_queued,
+                                     options_.max_queued);
+      owned_tenants_ = std::make_unique<TenantRegistry>(defaults);
+      tenants_ = owned_tenants_.get();
+    }
+    if (options_.max_inflight > 0) {
+      WfqOptions wfq_opt;
+      wfq_opt.max_inflight = options_.max_inflight;
+      wfq_opt.batch_share = options_.batch_share;
+      wfq_ = std::make_unique<WfqAdmissionController>(wfq_opt, tenants_);
+    }
+  }
   if (options_.result_cache_entries > 0) {
     ResultCacheOptions cache_opt;
     cache_opt.capacity = options_.result_cache_entries;
@@ -79,7 +106,9 @@ QueryExecutor::QueryExecutor(const RoadNetwork& network,
     interior_pool_ = std::make_unique<ThreadPool>(
         static_cast<size_t>(options_.interior_workers - 1));
   }
-  if (options_.max_inflight > 0) {
+  if (options_.max_inflight > 0 && wfq_ == nullptr) {
+    // Plain (tenant-blind) admission — the PR-2 path, byte-for-byte, so
+    // single-tenant deployments are unaffected by the tenancy layer.
     AdmissionOptions adm_opt;
     adm_opt.max_inflight = options_.max_inflight;
     adm_opt.max_queued = options_.max_queued;
@@ -112,43 +141,69 @@ StatusOr<RegionResult> QueryExecutor::ExecuteFrontDoor(const QueryPlan& plan,
                                                        bool batch) {
   std::optional<PlanKey> key;
   if (cache_ != nullptr) {
-    key = MakePlanKey(plan);
+    key = MakePlanKey(plan, /*tenant_scoped=*/!options_.tenant_shared_cache);
     if (std::optional<RegionResult> hit = cache_->Lookup(*key)) {
+      if (tenants_ != nullptr) tenants_->RecordCacheHit(plan.tenant);
       return *std::move(hit);
     }
+    if (tenants_ != nullptr) tenants_->RecordCacheMiss(plan.tenant);
   }
   // Work already on this executor's pool (m-query legs, nested calls) was
   // admitted as part of its enclosing query; re-admitting it here could
   // shed or block mid-query. Admission gates external callers only.
   bool ticket = false;
-  if (admission_ != nullptr && !pool_.OnWorkerThread()) {
+  if (AdmissionEnabled() && !pool_.OnWorkerThread()) {
     if (batch) {
       // Batch plans take a ticket or shed — they never wait, and they
       // count against the batch fair share even on the inline path.
-      STRR_RETURN_IF_ERROR(admission_->TryAdmitBatch());
+      STRR_RETURN_IF_ERROR(TryAdmitBatchTicket(plan.tenant));
     } else {
-      STRR_RETURN_IF_ERROR(admission_->Admit());
+      STRR_RETURN_IF_ERROR(AdmitSingle(plan.tenant));
     }
     ticket = true;
   }
   StatusOr<RegionResult> result = ExecutePinned(plan);
-  if (ticket) {
+  if (ticket) ReleaseTicket(plan.tenant, batch);
+  if (tenants_ != nullptr && result.ok()) {
+    tenants_->RecordCompletion(plan.tenant, result->stats.io);
+  }
+  if (key && result.ok()) MaybeCacheInsert(*key, *result);
+  return result;
+}
+
+Status QueryExecutor::AdmitSingle(TenantId tenant) {
+  if (wfq_ != nullptr) return wfq_->Admit(tenant);
+  return admission_->Admit();
+}
+
+Status QueryExecutor::TryAdmitBatchTicket(TenantId tenant) {
+  if (wfq_ != nullptr) return wfq_->TryAdmitBatch(tenant);
+  return admission_->TryAdmitBatch();
+}
+
+void QueryExecutor::ReleaseTicket(TenantId tenant, bool batch) {
+  if (wfq_ != nullptr) {
+    if (batch) {
+      wfq_->ReleaseBatch(tenant);
+    } else {
+      wfq_->Release(tenant);
+    }
+  } else if (admission_ != nullptr) {
     if (batch) {
       admission_->ReleaseBatch();
     } else {
       admission_->Release();
     }
   }
-  if (key && result.ok()) MaybeCacheInsert(*key, *result);
-  return result;
 }
 
 StatusOr<RegionResult> QueryExecutor::RunAdmitted(const QueryPlan& plan,
                                                   const PlanKey* key,
                                                   bool batch_ticket) {
   StatusOr<RegionResult> result = ExecutePinned(plan);
-  if (batch_ticket) {
-    if (admission_ != nullptr) admission_->ReleaseBatch();
+  if (batch_ticket) ReleaseTicket(plan.tenant, /*batch=*/true);
+  if (tenants_ != nullptr && result.ok()) {
+    tenants_->RecordCompletion(plan.tenant, result->stats.io);
   }
   if (key != nullptr && result.ok()) MaybeCacheInsert(*key, *result);
   return result;
@@ -211,15 +266,17 @@ std::vector<StatusOr<RegionResult>> QueryExecutor::ExecuteBatch(
     const QueryPlan& plan = plans[i];
     std::optional<PlanKey> key;
     if (cache_ != nullptr) {
-      key = MakePlanKey(plan);
+      key = MakePlanKey(plan, /*tenant_scoped=*/!options_.tenant_shared_cache);
       if (std::optional<RegionResult> hit = cache_->Lookup(*key)) {
+        if (tenants_ != nullptr) tenants_->RecordCacheHit(plan.tenant);
         immediate[i].emplace(*std::move(hit));
         continue;
       }
+      if (tenants_ != nullptr) tenants_->RecordCacheMiss(plan.tenant);
     }
     bool ticket = false;
-    if (admission_ != nullptr) {
-      Status admitted = admission_->TryAdmitBatch();
+    if (AdmissionEnabled()) {
+      Status admitted = TryAdmitBatchTicket(plan.tenant);
       if (!admitted.ok()) {
         immediate[i].emplace(std::move(admitted));
         continue;
@@ -289,11 +346,16 @@ QueryExecutor::FrontDoorStats QueryExecutor::front_door_stats() const {
     out.ctx_pool_acquires = p.acquires;
     out.ctx_pool_reuses = p.reuses;
   }
-  if (admission_ != nullptr) {
+  if (wfq_ != nullptr) {
+    WfqAdmissionController::Stats a = wfq_->stats();
+    out.admitted = a.admitted;
+    out.shed = a.shed;
+  } else if (admission_ != nullptr) {
     AdmissionController::Stats a = admission_->stats();
     out.admitted = a.admitted;
     out.shed = a.shed;
   }
+  if (tenants_ != nullptr) out.tenants = tenants_->Snapshot();
   ThreadPool::Stats p = pool_.stats();
   out.pool_submitted = p.submitted;
   out.pool_completed = p.completed;

@@ -21,6 +21,14 @@
 //    tickets so they cannot starve single queries. Work already running
 //    on this executor's own pool (m-query legs, nested batches) is never
 //    re-admitted: the enclosing query was admitted as one unit.
+//  * Multi-tenant fairness (tenant_fairness, off by default) — admission
+//    becomes tenant-aware: per-tenant quotas with typed per-tenant
+//    shedding and deficit-round-robin weighted fair dispatch
+//    (core/wfq_admission.h), cache entries are tenant-scoped (or
+//    explicitly shared via tenant_shared_cache), and front_door_stats()
+//    carries per-tenant hit/shed/in-flight/io counters from the shared
+//    TenantRegistry. Tenancy never changes a computed region — only who
+//    waits, who sheds, and how counters are attributed.
 //
 // Concurrency contract: every index read path underneath (ST-Index
 // time-list reads through the BufferPool, lazy Con-Index materialization,
@@ -51,6 +59,8 @@
 
 #include "core/admission_controller.h"
 #include "core/result_cache.h"
+#include "core/tenant_registry.h"
+#include "core/wfq_admission.h"
 #include "index/con_index.h"
 #include "index/speed_profile.h"
 #include "index/st_index.h"
@@ -96,10 +106,31 @@ struct QueryExecutorOptions {
   bool result_cache_doorkeeper = false;
   /// Max admitted-and-outstanding queries; 0 disables admission control.
   size_t max_inflight = 0;
-  /// Max single-query callers blocked waiting for admission.
+  /// Max single-query callers blocked waiting for admission. With
+  /// tenant_fairness on, this caps the *default* per-tenant waiting
+  /// bound (explicitly configured tenants may exceed it).
   size_t max_queued = 64;
   /// Share of max_inflight all batch work combined may hold, in (0, 1].
   double batch_share = 0.5;
+  // --- Multi-tenant front door (off by default: single-tenant behavior is
+  // bit-identical to the plain admission path) -------------------------------
+  /// Tenant-aware admission: per-tenant in-flight quotas and
+  /// deficit-round-robin weighted fair queueing over plan.tenant, layered
+  /// where the global AdmissionController would sit (requires
+  /// max_inflight > 0 to actually gate; see core/wfq_admission.h). Also
+  /// turns on per-tenant hit/shed/in-flight/io counters in
+  /// front_door_stats() via the TenantRegistry.
+  bool tenant_fairness = false;
+  /// Serve cache entries across tenants from one shared key space instead
+  /// of tenant-scoped entries. Results are bit-identical across tenants by
+  /// construction, so sharing only changes isolation (cross-tenant timing
+  /// visibility), never answers.
+  bool tenant_shared_cache = false;
+  /// Defaults for tenants never Configure()d in the registry (weight,
+  /// quota, queue bound). Only meaningful when tenant_fairness is on and
+  /// the executor creates its own registry (an engine-provided registry
+  /// carries its own defaults).
+  TenantConfig tenant_defaults;
 };
 
 /// Runs query plans over one engine's index stack. Thread-safe: Execute
@@ -109,11 +140,16 @@ class QueryExecutor {
   /// All referenced structures must outlive the executor. When `live` is
   /// non-null, queries pin snapshots from it instead of reading `con_index`
   /// / `profile` directly (those still serve as the version-0 base).
+  /// `tenants` (optional) is the shared per-tenant config/stats registry
+  /// — pass one registry to every executor over an engine so quotas and
+  /// counters aggregate across them. Null + tenant_fairness on = the
+  /// executor creates a private registry from options.tenant_defaults.
   QueryExecutor(const RoadNetwork& network, const StIndex& st_index,
                 const ConIndex& con_index, const SpeedProfile& profile,
                 int64_t delta_t_seconds,
                 const QueryExecutorOptions& options = {},
-                LiveProfileManager* live = nullptr);
+                LiveProfileManager* live = nullptr,
+                TenantRegistry* tenants = nullptr);
 
   /// Unregisters this executor's cache from the live manager's
   /// invalidation fan-out (registered automatically at construction when
@@ -143,8 +179,17 @@ class QueryExecutor {
   /// The plan-keyed result cache, or nullptr when disabled.
   ResultCache* result_cache() { return cache_.get(); }
 
-  /// The admission controller, or nullptr when disabled.
+  /// The admission controller, or nullptr when disabled (or when the
+  /// tenant-aware scheduler replaced it — see wfq_admission()).
   AdmissionController* admission_controller() { return admission_.get(); }
+
+  /// The tenant-aware WFQ admission scheduler, or nullptr when
+  /// tenant_fairness is off (or admission is unbounded).
+  WfqAdmissionController* wfq_admission() { return wfq_.get(); }
+
+  /// The per-tenant config/stats registry this executor attributes to, or
+  /// nullptr when tenancy is off.
+  TenantRegistry* tenant_registry() { return tenants_; }
 
   /// Evicts cached results whose Δt-slot window intersects
   /// [begin_tod, end_tod) — call after a congestion / speed-profile
@@ -176,6 +221,17 @@ class QueryExecutor {
     uint64_t ctx_pool_reuses = 0;
     /// Entries the result-cache doorkeeper refused to admit (0 when off).
     uint64_t cache_doorkeeper_rejects = 0;
+    /// Per-tenant breakdown (empty when tenancy is off), snapshotted
+    /// from the TenantRegistry this executor attributes to. With a
+    /// private registry (standalone executor) the per-tenant
+    /// admitted/shed sum to the global counters above and
+    /// cache_hits/cache_misses to the global cache counters; with the
+    /// engine-shared registry the breakdown is REGISTRY-wide — it
+    /// aggregates every executor sharing it, while the scalar counters
+    /// above remain this executor's own, so the sums only match when one
+    /// executor serves the engine. io is the per-tenant slice of the
+    /// ScopedIoCounters attribution (exact and disjoint either way).
+    std::vector<TenantCounters> tenants;
   };
   FrontDoorStats front_door_stats() const;
 
@@ -206,6 +262,17 @@ class QueryExecutor {
   /// admission (batch semantics = take-or-shed, single = bounded wait),
   /// snapshot pin, execute, release, cache insert.
   StatusOr<RegionResult> ExecuteFrontDoor(const QueryPlan& plan, bool batch);
+
+  // One admission surface over the two controllers (at most one of
+  // wfq_/admission_ is active; the plain controller ignores the tenant).
+  // Every front-door site goes through these so the tenant-aware and
+  // plain paths can never diverge per call site.
+  bool AdmissionEnabled() const {
+    return wfq_ != nullptr || admission_ != nullptr;
+  }
+  Status AdmitSingle(TenantId tenant);
+  Status TryAdmitBatchTicket(TenantId tenant);
+  void ReleaseTicket(TenantId tenant, bool batch);
 
   /// Shared tail of the front-door paths: pin a snapshot, run, release the
   /// admission ticket (when held), insert into the cache on success.
@@ -251,6 +318,14 @@ class QueryExecutor {
   uint64_t live_listener_id_ = 0;               // 0 = not registered
   std::unique_ptr<ResultCache> cache_;          // null = caching off
   std::unique_ptr<AdmissionController> admission_;  // null = admission off
+  /// Tenant-aware admission (replaces admission_ when tenant_fairness is
+  /// on); null = plain/global admission or none.
+  std::unique_ptr<WfqAdmissionController> wfq_;
+  /// Shared registry (engine-owned), or owned_tenants_.get(), or null
+  /// when tenancy is off. Used for per-tenant cache/io attribution even
+  /// when admission itself is unbounded.
+  TenantRegistry* tenants_ = nullptr;
+  std::unique_ptr<TenantRegistry> owned_tenants_;
   /// Dedicated pool for the parallel search interior (null = sequential
   /// interior). Sized interior_workers - 1: the querying thread always
   /// works the first chunk itself, so progress never depends on pool

@@ -66,6 +66,17 @@ StatusOr<std::unique_ptr<ReachabilityEngine>> ReachabilityEngine::Build(
     engine->negative_cache_ = std::make_unique<NegativeCache>(neg_opt);
   }
 
+  if (options.tenant_fairness) {
+    // One registry for the whole engine: the default executor and every
+    // MakeExecutor-created one share tenant configs, quotas and counters.
+    // max_queued_queries caps the default per-tenant waiting bound, so
+    // the knob keeps meaning what it meant on the plain admission path.
+    TenantConfig defaults = options.tenant_defaults;
+    defaults.max_queued =
+        std::min(defaults.max_queued, options.max_queued_queries);
+    engine->tenants_ = std::make_unique<TenantRegistry>(defaults);
+  }
+
   engine->planner_ =
       std::make_unique<QueryPlanner>(network, *engine->st_index_);
   QueryExecutorOptions exec_opt;
@@ -78,6 +89,9 @@ StatusOr<std::unique_ptr<ReachabilityEngine>> ReachabilityEngine::Build(
   exec_opt.max_inflight = options.max_inflight_queries;
   exec_opt.max_queued = options.max_queued_queries;
   exec_opt.batch_share = options.batch_share;
+  exec_opt.tenant_fairness = options.tenant_fairness;
+  exec_opt.tenant_shared_cache = options.tenant_shared_cache;
+  exec_opt.tenant_defaults = options.tenant_defaults;
   engine->executor_ = engine->MakeExecutor(exec_opt);
 
   if (options.live_ingestion) {
@@ -111,9 +125,12 @@ StatusOr<std::unique_ptr<ReachabilityEngine>> ReachabilityEngine::Build(
 
 std::unique_ptr<QueryExecutor> ReachabilityEngine::MakeExecutor(
     const QueryExecutorOptions& options) const {
+  // Executors share the engine's tenant registry (when tenancy is on) so
+  // quotas and per-tenant counters stay consistent across all of them.
   return std::make_unique<QueryExecutor>(*network_, *st_index_, *con_index_,
                                          *profile_, options_.delta_t_seconds,
-                                         options, live_manager_.get());
+                                         options, live_manager_.get(),
+                                         tenants_.get());
 }
 
 std::string ReachabilityEngine::NegativeKey(const XyPoint* locations,

@@ -79,10 +79,24 @@ struct EngineOptions {
   bool result_cache_doorkeeper = false;
   /// Max admitted-and-outstanding queries; 0 disables admission control.
   size_t max_inflight_queries = 0;
-  /// Max single-query callers blocked waiting for admission.
+  /// Max single-query callers blocked waiting for admission. With
+  /// tenant_fairness on, caps the default per-tenant waiting bound.
   size_t max_queued_queries = 64;
   /// Share of max_inflight_queries all batch work combined may hold.
   double batch_share = 0.5;
+  // --- Multi-tenant front door (off by default — single-tenant behavior
+  // is bit-identical to the plain admission path) -----------------------------
+  /// Tenant-aware admission: per-tenant quotas + weighted fair queueing
+  /// keyed on QueryPlan::tenant, with per-tenant counters in
+  /// front_door_stats(). The engine then owns a TenantRegistry shared by
+  /// its executor and every MakeExecutor-created one; configure tenants
+  /// through tenant_registry()->Configure(). See core/wfq_admission.h.
+  bool tenant_fairness = false;
+  /// Share result-cache entries across tenants instead of scoping them
+  /// per tenant (see QueryExecutorOptions::tenant_shared_cache).
+  bool tenant_shared_cache = false;
+  /// Registry defaults for tenants never configured explicitly.
+  TenantConfig tenant_defaults;
   // --- Live ingestion (see live/; off by default so paper-reproduction
   // numbers are untouched — queries then read the engine-built indexes
   // directly with zero snapshot overhead) ------------------------------------
@@ -204,6 +218,10 @@ class ReachabilityEngine {
   /// The facade's NotFound cache, or nullptr when disabled.
   NegativeCache* negative_cache() { return negative_cache_.get(); }
 
+  /// The engine-wide tenant config/stats registry, or nullptr when
+  /// tenant_fairness is off. Shared by every executor over this engine.
+  TenantRegistry* tenant_registry() { return tenants_.get(); }
+
  private:
   ReachabilityEngine(const RoadNetwork& network, EngineOptions options)
       : network_(&network), options_(std::move(options)) {}
@@ -231,6 +249,8 @@ class ReachabilityEngine {
   std::unique_ptr<LiveProfileManager> live_manager_;
   std::unique_ptr<ObservationIngestor> ingestor_;
   std::unique_ptr<NegativeCache> negative_cache_;  // null when disabled
+  /// Per-tenant config/stats shared across executors (null = tenancy off).
+  std::unique_ptr<TenantRegistry> tenants_;
   // Constructed after (and destroyed before) the indexes they reference.
   std::unique_ptr<QueryPlanner> planner_;
   std::unique_ptr<QueryExecutor> executor_;

@@ -25,9 +25,11 @@ SlotId LastSlot(int64_t start_tod, int64_t duration, int64_t delta_t) {
 
 }  // namespace
 
-PlanKey MakePlanKey(const QueryPlan& plan) {
+PlanKey MakePlanKey(const QueryPlan& plan, bool tenant_scoped) {
+  TenantId tenant = tenant_scoped ? plan.tenant : kDefaultTenant;
   BinaryWriter w;
   w.PutU8(static_cast<uint8_t>(plan.strategy));
+  w.PutVarint32(tenant);
   w.PutI64(plan.start_tod);
   w.PutI64(plan.duration);
   // Bit pattern, not value: -0.0 vs 0.0 or NaN payloads must not collide

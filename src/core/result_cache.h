@@ -47,12 +47,23 @@ struct PlanKey {
   uint64_t hash = 0;        ///< FNV-1a over `canonical` (shard + bucket pick)
   int64_t start_tod = 0;    ///< copied out for Δt-slot range computation
   int64_t duration = 0;
-  std::string canonical;    ///< full serialized identity (equality check)
+  /// Full serialized identity (equality check). The tenant scope is part
+  /// of these bytes (see MakePlanKey) — there is deliberately no separate
+  /// tenant field, so the canonical encoding stays the single source of
+  /// key identity.
+  std::string canonical;
 };
 
 /// Derives the canonical key for `plan`. Cheap (one small buffer); safe on
 /// unvalidated plans (a malformed plan gets a key that simply never hits).
-PlanKey MakePlanKey(const QueryPlan& plan);
+/// With `tenant_scoped` (the default) the plan's tenant is part of the
+/// identity, so two tenants issuing the same query get separate entries —
+/// cached bytes never leak across tenants. Passing false collapses the
+/// tenant to kDefaultTenant, deriving the shared key the executor's
+/// tenant_shared_cache knob opts into (results are bit-identical across
+/// tenants by construction, so sharing is safe when the deployment allows
+/// cross-tenant timing visibility).
+PlanKey MakePlanKey(const QueryPlan& plan, bool tenant_scoped = true);
 
 /// Cache construction knobs.
 struct ResultCacheOptions {

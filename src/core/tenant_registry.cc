@@ -1,0 +1,130 @@
+#include "core/tenant_registry.h"
+
+#include <algorithm>
+
+namespace strr {
+
+namespace {
+constexpr auto kRelaxed = std::memory_order_relaxed;
+}  // namespace
+
+TenantRegistry::TenantRegistry(const TenantConfig& defaults)
+    : defaults_(defaults) {
+  if (defaults_.weight == 0) defaults_.weight = 1;
+}
+
+TenantRegistry::State* TenantRegistry::GetOrCreate(TenantId tenant) {
+  {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    auto it = tenants_.find(tenant);
+    if (it != tenants_.end()) return it->second.get();
+  }
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  auto [it, inserted] = tenants_.try_emplace(tenant);
+  if (inserted) {
+    it->second = std::make_unique<State>();
+    it->second->config = defaults_;
+  }
+  return it->second.get();
+}
+
+void TenantRegistry::Configure(TenantId tenant, const TenantConfig& config) {
+  GetOrCreate(tenant);  // ensure the entry exists
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  State& state = *tenants_.at(tenant);
+  state.config = config;
+  if (state.config.weight == 0) state.config.weight = 1;
+  state.configured = true;
+}
+
+TenantConfig TenantRegistry::config(TenantId tenant) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  auto it = tenants_.find(tenant);
+  if (it == tenants_.end() || !it->second->configured) return defaults_;
+  return it->second->config;
+}
+
+void TenantRegistry::RecordAdmission(TenantId tenant) {
+  State* state = GetOrCreate(tenant);
+  state->admitted.fetch_add(1, kRelaxed);
+  state->inflight.fetch_add(1, kRelaxed);
+}
+
+void TenantRegistry::RecordRelease(TenantId tenant) {
+  State* state = GetOrCreate(tenant);
+  // Floor at zero defensively; callers pair releases with grants.
+  uint64_t current = state->inflight.load(kRelaxed);
+  while (current > 0 &&
+         !state->inflight.compare_exchange_weak(current, current - 1,
+                                                kRelaxed, kRelaxed)) {
+  }
+}
+
+void TenantRegistry::RecordShed(TenantId tenant) {
+  GetOrCreate(tenant)->shed.fetch_add(1, kRelaxed);
+}
+
+void TenantRegistry::RecordCacheHit(TenantId tenant) {
+  GetOrCreate(tenant)->cache_hits.fetch_add(1, kRelaxed);
+}
+
+void TenantRegistry::RecordCacheMiss(TenantId tenant) {
+  GetOrCreate(tenant)->cache_misses.fetch_add(1, kRelaxed);
+}
+
+void TenantRegistry::RecordCompletion(TenantId tenant,
+                                      const StorageStats& io) {
+  State* state = GetOrCreate(tenant);
+  state->completed.fetch_add(1, kRelaxed);
+  state->io_disk_page_reads.fetch_add(io.disk_page_reads, kRelaxed);
+  state->io_disk_page_writes.fetch_add(io.disk_page_writes, kRelaxed);
+  state->io_cache_hits.fetch_add(io.cache_hits, kRelaxed);
+  state->io_cache_misses.fetch_add(io.cache_misses, kRelaxed);
+  state->io_evictions.fetch_add(io.evictions, kRelaxed);
+}
+
+TenantCounters TenantRegistry::Load(TenantId tenant, const State& state) {
+  TenantCounters out;
+  out.tenant = tenant;
+  out.admitted = state.admitted.load(kRelaxed);
+  out.shed = state.shed.load(kRelaxed);
+  out.completed = state.completed.load(kRelaxed);
+  out.cache_hits = state.cache_hits.load(kRelaxed);
+  out.cache_misses = state.cache_misses.load(kRelaxed);
+  out.inflight = static_cast<size_t>(state.inflight.load(kRelaxed));
+  out.io.disk_page_reads = state.io_disk_page_reads.load(kRelaxed);
+  out.io.disk_page_writes = state.io_disk_page_writes.load(kRelaxed);
+  out.io.cache_hits = state.io_cache_hits.load(kRelaxed);
+  out.io.cache_misses = state.io_cache_misses.load(kRelaxed);
+  out.io.evictions = state.io_evictions.load(kRelaxed);
+  return out;
+}
+
+TenantCounters TenantRegistry::counters(TenantId tenant) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  auto it = tenants_.find(tenant);
+  if (it == tenants_.end()) {
+    TenantCounters empty;
+    empty.tenant = tenant;
+    return empty;
+  }
+  return Load(tenant, *it->second);
+}
+
+std::vector<TenantCounters> TenantRegistry::Snapshot() const {
+  std::vector<TenantCounters> out;
+  {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    out.reserve(tenants_.size());
+    for (const auto& [id, state] : tenants_) {
+      out.push_back(Load(id, *state));
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const TenantCounters& a, const TenantCounters& b) {
+              return a.tenant < b.tenant;
+            });
+  return out;
+}
+
+}  // namespace strr

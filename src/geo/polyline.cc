@@ -56,7 +56,8 @@ PolylineProjection Polyline::Project(const XyPoint& p) const {
   for (size_t i = 0; i + 1 < points_.size(); ++i) {
     XyPoint closest;
     double t;
-    double d = PointSegmentDistance(p, points_[i], points_[i + 1], &closest, &t);
+    double d =
+        PointSegmentDistance(p, points_[i], points_[i + 1], &closest, &t);
     if (d < best.distance) {
       best.distance = d;
       best.closest = closest;

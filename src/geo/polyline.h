@@ -29,7 +29,9 @@ class Polyline {
   bool IsEmpty() const { return points_.size() < 2; }
 
   /// Total arc length, meters.
-  double Length() const { return cumulative_.empty() ? 0.0 : cumulative_.back(); }
+  double Length() const {
+    return cumulative_.empty() ? 0.0 : cumulative_.back();
+  }
 
   /// Tight bounding rectangle of all vertices.
   const Mbr& BoundingBox() const { return mbr_; }

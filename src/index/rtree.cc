@@ -163,7 +163,8 @@ std::pair<std::vector<size_t>, std::vector<size_t>> QuadraticSplit(
     }
     double grow_a = box_a.EnlargementToCover(get_box(items[i]));
     double grow_b = box_b.EnlargementToCover(get_box(items[i]));
-    if (grow_a < grow_b || (grow_a == grow_b && group_a.size() <= group_b.size())) {
+    if (grow_a < grow_b ||
+        (grow_a == grow_b && group_a.size() <= group_b.size())) {
       group_a.push_back(i);
       box_a.Extend(get_box(items[i]));
     } else {
@@ -226,7 +227,9 @@ void RTree::InsertRecursive(Node* node, const Entry& entry, int target_level,
       sibling->leaf = false;
       std::vector<std::unique_ptr<Node>> keep;
       for (size_t i : ga) keep.push_back(std::move(node->children[i]));
-      for (size_t i : gb) sibling->children.push_back(std::move(node->children[i]));
+      for (size_t i : gb) {
+        sibling->children.push_back(std::move(node->children[i]));
+      }
       node->children = std::move(keep);
       node->RecomputeBox();
       sibling->RecomputeBox();
@@ -322,7 +325,7 @@ std::vector<uint32_t> RTree::Nearest(const XyPoint& p, size_t k) const {
   return out;
 }
 
-// --- Invariants ---------------------------------------------------------------
+// --- Invariants --------------------------------------------------------------
 
 namespace {
 bool CheckNode(const RTree::Node* node, bool is_root, size_t max_entries) {

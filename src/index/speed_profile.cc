@@ -9,7 +9,8 @@ SpeedProfile::SpeedProfile(const RoadNetwork& network,
                            SpeedProfileOptions options)
     : network_(&network), options_(options) {
   num_slots_ = SlotsPerDay(options_.slot_seconds);
-  cells_.assign(network.NumSegments() * static_cast<size_t>(num_slots_), Cell{});
+  cells_.assign(network.NumSegments() * static_cast<size_t>(num_slots_),
+                Cell{});
   level_fallback_.assign(3 * static_cast<size_t>(num_slots_), Cell{});
 }
 

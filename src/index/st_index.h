@@ -95,7 +95,7 @@ class StIndex {
   /// directory-only check, no I/O.
   bool HasTraffic(SegmentId seg, SlotId slot) const;
 
-  // --- Introspection -----------------------------------------------------------
+  // --- Introspection ---------------------------------------------------------
 
   StorageStats storage_stats() const { return postings_->stats(); }
   void ResetStorageStats() { postings_->ResetStats(); }

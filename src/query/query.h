@@ -12,6 +12,14 @@
 
 namespace strr {
 
+/// Identity of the client (tenant) a query is served on behalf of. The
+/// multi-tenant front door (core/tenant_registry.h, core/wfq_admission.h)
+/// keys quotas, weighted fair queueing and per-tenant counters on it; a
+/// single-tenant deployment leaves every query on kDefaultTenant and sees
+/// no behavioral difference.
+using TenantId = uint32_t;
+inline constexpr TenantId kDefaultTenant = 0;
+
 /// Single-location ST reachability query q = (S, T, L, Prob).
 struct SQuery {
   XyPoint location;        ///< S: query location (projected)

@@ -33,7 +33,8 @@ Status QueryPlanner::ResolveLocation(const XyPoint& location,
 }
 
 StatusOr<QueryPlan> QueryPlanner::PlanSQuery(const SQuery& query,
-                                             QueryStrategy strategy) const {
+                                             QueryStrategy strategy,
+                                             TenantId tenant) const {
   if (query.prob <= 0.0 || query.prob > 1.0) {
     return Status::InvalidArgument("SQuery: Prob must be in (0, 1]");
   }
@@ -50,12 +51,14 @@ StatusOr<QueryPlan> QueryPlanner::PlanSQuery(const SQuery& query,
   plan.start_tod = query.start_tod;
   plan.duration = query.duration;
   plan.prob = query.prob;
+  plan.tenant = tenant;
   STRR_RETURN_IF_ERROR(ResolveLocation(query.location, &plan));
   return plan;
 }
 
 StatusOr<QueryPlan> QueryPlanner::PlanMQuery(const MQuery& query,
-                                             QueryStrategy strategy) const {
+                                             QueryStrategy strategy,
+                                             TenantId tenant) const {
   if (query.locations.empty()) {
     return Status::InvalidArgument("MQuery: no locations");
   }
@@ -75,6 +78,7 @@ StatusOr<QueryPlan> QueryPlanner::PlanMQuery(const MQuery& query,
   plan.start_tod = query.start_tod;
   plan.duration = query.duration;
   plan.prob = query.prob;
+  plan.tenant = tenant;
   for (const XyPoint& p : query.locations) {
     STRR_RETURN_IF_ERROR(ResolveLocation(p, &plan));
   }

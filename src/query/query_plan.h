@@ -52,6 +52,12 @@ struct QueryPlan {
   int64_t start_tod = 0;   ///< T: start time of day, seconds
   int64_t duration = 600;  ///< L: query duration, seconds
   double prob = 0.2;       ///< Prob in (0, 1]
+  /// Tenant the plan is served on behalf of. Never changes the computed
+  /// region — it routes the plan through the tenant's admission quota /
+  /// WFQ weight and scopes its cache entry (unless the executor's
+  /// shared-cache knob is on). kDefaultTenant reproduces single-tenant
+  /// behavior exactly.
+  TenantId tenant = kDefaultTenant;
 
   /// All start segments flattened in location order (duplicates kept: MQMB
   /// expects the caller's ordering and handles overlap itself).
@@ -68,16 +74,18 @@ class QueryPlanner {
       : network_(&network), st_index_(&st_index) {}
 
   /// Plans a single-location query. InvalidArgument on a bad Prob,
-  /// NotFound when the location cannot be matched to a segment.
+  /// NotFound when the location cannot be matched to a segment. `tenant`
+  /// stamps the plan for the multi-tenant front door (quota, WFQ weight,
+  /// tenant-scoped caching); the default keeps single-tenant semantics.
   StatusOr<QueryPlan> PlanSQuery(
-      const SQuery& query,
-      QueryStrategy strategy = QueryStrategy::kIndexed) const;
+      const SQuery& query, QueryStrategy strategy = QueryStrategy::kIndexed,
+      TenantId tenant = kDefaultTenant) const;
 
   /// Plans a multi-location query (strategy kIndexed -> MQMB, kRepeatedS ->
   /// per-location legs). kExhaustive is rejected: ES is single-location.
   StatusOr<QueryPlan> PlanMQuery(
-      const MQuery& query,
-      QueryStrategy strategy = QueryStrategy::kIndexed) const;
+      const MQuery& query, QueryStrategy strategy = QueryStrategy::kIndexed,
+      TenantId tenant = kDefaultTenant) const;
 
  private:
   Status ResolveLocation(const XyPoint& location, QueryPlan* plan) const;

@@ -74,12 +74,14 @@ StatusOr<City> GenerateCity(const CityOptions& opt) {
 
   for (int r = 0; r < rows; ++r) {
     for (int c = 0; c + 1 < cols; ++c) {
-      STRR_RETURN_IF_ERROR(add_street(grid[r][c], grid[r][c + 1], line_level(r)));
+      STRR_RETURN_IF_ERROR(
+          add_street(grid[r][c], grid[r][c + 1], line_level(r)));
     }
   }
   for (int c = 0; c < cols; ++c) {
     for (int r = 0; r + 1 < rows; ++r) {
-      STRR_RETURN_IF_ERROR(add_street(grid[r][c], grid[r + 1][c], line_level(c)));
+      STRR_RETURN_IF_ERROR(
+          add_street(grid[r][c], grid[r + 1][c], line_level(c)));
     }
   }
 
@@ -114,8 +116,9 @@ StatusOr<City> GenerateCity(const CityOptions& opt) {
       NodeId a = ring_nodes[i];
       NodeId b = ring_nodes[(i + 1) % ring_nodes.size()];
       STRR_ASSIGN_OR_RETURN(
-          SegmentId id, net.AddTwoWaySegment(a, b, RoadLevel::kHighway,
-                                             Straight(net.node(a), net.node(b))));
+          SegmentId id,
+          net.AddTwoWaySegment(a, b, RoadLevel::kHighway,
+                               Straight(net.node(a), net.node(b))));
       (void)id;
       // Ramp connecting the ring to the grid.
       STRR_ASSIGN_OR_RETURN(
@@ -137,8 +140,10 @@ StatusOr<City> GenerateCity(const CityOptions& opt) {
     struct Radial {
       int r, c, dr, dc;
     };
-    std::vector<Radial> starts = {
-        {0, cc, 1, 0}, {rows - 1, cc, -1, 0}, {cr, 0, 0, 1}, {cr, cols - 1, 0, -1}};
+    std::vector<Radial> starts = {{0, cc, 1, 0},
+                                  {rows - 1, cc, -1, 0},
+                                  {cr, 0, 0, 1},
+                                  {cr, cols - 1, 0, -1}};
     int n_radials = std::min<int>(opt.radial_highways, starts.size());
     for (int k = 0; k < n_radials; ++k) {
       Radial rad = starts[k];

@@ -44,7 +44,8 @@ StatusOr<SegmentId> RoadNetwork::AddTwoWaySegment(NodeId from, NodeId to,
   STRR_ASSIGN_OR_RETURN(SegmentId fwd,
                         AddSegment(from, to, level, std::move(shape)));
   STRR_ASSIGN_OR_RETURN(
-      SegmentId bwd, AddSegment(to, from, level, Polyline(std::move(reversed))));
+      SegmentId bwd,
+      AddSegment(to, from, level, Polyline(std::move(reversed))));
   segments_[fwd].two_way = true;
   segments_[fwd].reverse_id = bwd;
   segments_[bwd].two_way = true;

@@ -65,7 +65,8 @@ std::vector<SegmentId> Router::Route(SegmentId source, SegmentId target) {
       double speed = speed_fn_(next);
       if (speed <= 0.0) continue;
       touch(next);
-      double g = g_score_[cur] + network_.segment(next).TravelTimeSeconds(speed);
+      double g =
+          g_score_[cur] + network_.segment(next).TravelTimeSeconds(speed);
       if (g < g_score_[next]) {
         g_score_[next] = g;
         parent_[next] = cur;

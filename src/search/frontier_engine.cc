@@ -67,7 +67,8 @@ void FrontierEngine::RunTimedSequential(ExpansionContext& ctx,
     if (t > ctx.Label(s)) continue;  // stale entry
     ++expanded;
     if (s == request.stop_at) break;  // settled; Dijkstra guarantees optimal
-    const SegmentId org = request.track_origin ? ctx.Origin(s) : kInvalidSegment;
+    const SegmentId org =
+        request.track_origin ? ctx.Origin(s) : kInvalidSegment;
     for (SegmentId next : network_->OutgoingOf(s)) {
       double sp = speed(next);
       if (sp <= 0.0) continue;

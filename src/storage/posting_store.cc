@@ -19,8 +19,8 @@ StatusOr<std::unique_ptr<PostingStoreBuilder>> PostingStoreBuilder::Create(
   // Reserve page 0 for the header.
   STRR_ASSIGN_OR_RETURN(PageId header, file->AllocatePage());
   (void)header;
-  auto builder =
-      std::unique_ptr<PostingStoreBuilder>(new PostingStoreBuilder(std::move(file)));
+  auto builder = std::unique_ptr<PostingStoreBuilder>(
+      new PostingStoreBuilder(std::move(file)));
   builder->current_page_ = Page(page_size);
   return builder;
 }
@@ -119,7 +119,7 @@ Status PostingStoreBuilder::Finish() {
   BinaryWriter hw;
   hw.PutU64(kMagic);
   hw.PutU32(page_size);
-  hw.PutU64(dir_offset);                  // byte offset of directory in data region
+  hw.PutU64(dir_offset);  // byte offset of directory in data region
   hw.PutU64(dir_bytes.size());            // directory byte length
   hw.PutU64(directory_.size());           // entry count (redundant check)
   header.Write(0, hw.data().data(), static_cast<uint32_t>(hw.size()));
@@ -129,7 +129,7 @@ Status PostingStoreBuilder::Finish() {
   return Status::OK();
 }
 
-// --- PostingStore -------------------------------------------------------------
+// --- PostingStore ------------------------------------------------------------
 
 StatusOr<std::unique_ptr<PostingStore>> PostingStore::Open(
     const std::string& path, size_t cache_pages, uint32_t page_size) {
@@ -173,7 +173,8 @@ StatusOr<std::unique_ptr<PostingStore>> PostingStore::Open(
       uint64_t byte = begin + copied;
       PageId pid = 1 + byte / page_size;
       uint32_t in_page = static_cast<uint32_t>(byte % page_size);
-      uint32_t chunk = std::min<uint64_t>(page_size - in_page, dir_size - copied);
+      uint32_t chunk =
+          std::min<uint64_t>(page_size - in_page, dir_size - copied);
       STRR_RETURN_IF_ERROR(store->file_->ReadPage(pid, &scratch));
       scratch.Read(in_page, dir_bytes.data() + copied, chunk);
       copied += chunk;

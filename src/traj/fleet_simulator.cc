@@ -73,7 +73,8 @@ SegmentId SampleEndpoint(const RoadNetwork& network,
 /// between the same endpoints (real traffic spreads over parallel roads;
 /// pure shortest paths would funnel everything onto one street).
 double VariantFactor(SegmentId seg, int variant) {
-  uint64_t x = (static_cast<uint64_t>(seg) << 8) | static_cast<uint64_t>(variant);
+  uint64_t x =
+      (static_cast<uint64_t>(seg) << 8) | static_cast<uint64_t>(variant);
   x ^= x >> 33;
   x *= 0xff51afd7ed558ccdULL;
   x ^= x >> 33;

@@ -98,7 +98,8 @@ class BinaryReader {
  public:
   BinaryReader(const void* data, size_t size)
       : data_(static_cast<const char*>(data)), size_(size) {}
-  explicit BinaryReader(const std::string& s) : BinaryReader(s.data(), s.size()) {}
+  explicit BinaryReader(const std::string& s)
+      : BinaryReader(s.data(), s.size()) {}
 
   StatusOr<uint8_t> GetU8() {
     if (pos_ + 1 > size_) return Truncated("u8");

@@ -67,7 +67,8 @@ TEST(EngineTest, RegionIsSortedUnique) {
   auto result = stack.engine->SQueryIndexed(q);
   ASSERT_TRUE(result.ok());
   EXPECT_TRUE(std::is_sorted(result->segments.begin(), result->segments.end()));
-  EXPECT_EQ(std::adjacent_find(result->segments.begin(), result->segments.end()),
+  EXPECT_EQ(std::adjacent_find(result->segments.begin(),
+                               result->segments.end()),
             result->segments.end());
 }
 

@@ -64,7 +64,7 @@ TEST(XyPointTest, VectorOps) {
   EXPECT_DOUBLE_EQ(a.Dot(XyPoint{1.0, 0.0}), 3.0);
 }
 
-// --- Mbr ----------------------------------------------------------------------
+// --- Mbr ---------------------------------------------------------------------
 
 TEST(MbrTest, DefaultIsEmpty) {
   Mbr m;
@@ -145,7 +145,7 @@ TEST(MbrTest, CenterAndPerimeter) {
   EXPECT_DOUBLE_EQ(a.Perimeter(), 12.0);
 }
 
-// --- Polyline -------------------------------------------------------------------
+// --- Polyline ----------------------------------------------------------------
 
 TEST(PolylineTest, LengthOfStraightLine) {
   Polyline line({{0, 0}, {3, 4}});
@@ -258,7 +258,7 @@ TEST(PointSegmentDistanceTest, DegenerateSegment) {
   EXPECT_DOUBLE_EQ(PointSegmentDistance({4, 5}, a, a, nullptr, nullptr), 5.0);
 }
 
-// --- GeoJSON ---------------------------------------------------------------------
+// --- GeoJSON -----------------------------------------------------------------
 
 TEST(GeoJsonTest, EmptyCollection) {
   GeoJsonWriter w;

@@ -38,7 +38,7 @@ std::unique_ptr<TrajectoryStore> TinyStore() {
   return store;
 }
 
-// --- SpeedProfile -------------------------------------------------------------
+// --- SpeedProfile ------------------------------------------------------------
 
 TEST(SpeedProfileTest, MinMaxMeanFromObservations) {
   RoadNetwork net = MakeGridNetwork(2, 3, 300.0);
@@ -104,7 +104,7 @@ TEST(SpeedProfileTest, CoverageFractionOnSharedDataset) {
   EXPECT_LE(coverage, 1.0);
 }
 
-// --- StIndex --------------------------------------------------------------------
+// --- StIndex -----------------------------------------------------------------
 
 class StIndexTest : public ::testing::Test {
  protected:
@@ -179,7 +179,8 @@ TEST_F(StIndexTest, SegmentsInRange) {
   // Bottom edge of the grid: both directions of segment pair 0 at least.
   EXPECT_GE(segs.size(), 2u);
   for (SegmentId s : segs) {
-    EXPECT_TRUE(net_.segment(s).bounding_box().Intersects(Mbr(-10, -10, 310, 10)));
+    EXPECT_TRUE(
+        net_.segment(s).bounding_box().Intersects(Mbr(-10, -10, 310, 10)));
   }
 }
 
@@ -227,7 +228,7 @@ TEST(StIndexSharedTest, EveryStoredSampleIsFindable) {
   EXPECT_GT(checked, 20);
 }
 
-// --- ConIndex --------------------------------------------------------------------
+// --- ConIndex ----------------------------------------------------------------
 
 class ConIndexTest : public ::testing::Test {
  protected:
@@ -292,7 +293,8 @@ TEST_F(ConIndexTest, LazyMaterializationCounts) {
 TEST_F(ConIndexTest, BuildAllMaterializesEverything) {
   ASSERT_TRUE(con_->BuildAll().ok());
   EXPECT_EQ(con_->MaterializedTables(),
-            net_.NumSegments() * static_cast<size_t>(con_->num_profile_slots()));
+            net_.NumSegments() *
+                static_cast<size_t>(con_->num_profile_slots()));
   EXPECT_GT(con_->TotalListEntries(), 0u);
 }
 

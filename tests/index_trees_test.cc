@@ -13,7 +13,7 @@
 namespace strr {
 namespace {
 
-// --- RTree: basic -----------------------------------------------------------------
+// --- RTree: basic ------------------------------------------------------------
 
 TEST(RTreeTest, EmptyTree) {
   RTree tree;
@@ -98,7 +98,7 @@ TEST(RTreeTest, HeightGrowsLogarithmically) {
   EXPECT_GE(tree.Height(), 3);
 }
 
-// --- RTree: parameterized property sweep --------------------------------------------
+// --- RTree: parameterized property sweep -------------------------------------
 
 struct RTreeParam {
   size_t fanout;
@@ -178,7 +178,7 @@ INSTANTIATE_TEST_SUITE_P(
              std::to_string(info.param.count);
     });
 
-// --- BPlusTree: basic ------------------------------------------------------------------
+// --- BPlusTree: basic --------------------------------------------------------
 
 TEST(BPlusTreeTest, EmptyTree) {
   BPlusTree tree;
@@ -260,7 +260,7 @@ TEST(BPlusTreeTest, HeightStaysLogarithmic) {
   EXPECT_LE(tree.Height(), 6);
 }
 
-// --- BPlusTree: parameterized property sweep ----------------------------------------
+// --- BPlusTree: parameterized property sweep ---------------------------------
 
 struct BTreeParam {
   size_t order;

@@ -126,7 +126,7 @@ TEST_F(ChainQueryTest, MultiStartUnionsTrajectories) {
   }
 }
 
-// --- Engine edge cases -----------------------------------------------------------
+// --- Engine edge cases -------------------------------------------------------
 
 TEST(EngineEdgeTest, EmptyTrafficDatasetYieldsEmptyRegions) {
   RoadNetwork net = MakeGridNetwork(4, 4, 400.0);
@@ -202,7 +202,7 @@ TEST(EngineEdgeTest, CorruptPostingFileSurfacesAsError) {
   EXPECT_FALSE(reopened.ok());
 }
 
-// --- Bounding-region edge cases ------------------------------------------------
+// --- Bounding-region edge cases ----------------------------------------------
 
 class BoundingEdgeTest : public ::testing::Test {
  protected:

@@ -18,7 +18,7 @@ namespace {
 using testing_util::GetSharedStack;
 using testing_util::MakeGridNetwork;
 
-// --- SortedIntersects ------------------------------------------------------------
+// --- SortedIntersects --------------------------------------------------------
 
 TEST(SortedIntersectsTest, Basics) {
   EXPECT_TRUE(SortedIntersects({1, 3, 5}, {5, 7}));
@@ -29,7 +29,7 @@ TEST(SortedIntersectsTest, Basics) {
   EXPECT_TRUE(SortedIntersects({2, 2, 2}, {2}));
 }
 
-// --- Probability (Eq. 3.1) vs brute force ------------------------------------------
+// --- Probability (Eq. 3.1) vs brute force ------------------------------------
 
 /// Brute-force probability straight from the matched store: fraction of
 /// days with a trajectory passing `start` in [T, T+window) and `target`
@@ -136,7 +136,7 @@ TEST(ProbabilityTest, CreateValidation) {
       ReachabilityProbability::Create(index, {0}, HMS(10), 300, -5).ok());
 }
 
-// --- RegionBoundary -----------------------------------------------------------------
+// --- RegionBoundary ----------------------------------------------------------
 
 TEST(RegionBoundaryTest, InteriorExcluded) {
   RoadNetwork net = MakeGridNetwork(5, 5, 100.0);
@@ -174,7 +174,7 @@ TEST(RegionBoundaryTest, PartialRegionHasBoundary) {
   }
 }
 
-// --- SQMB ------------------------------------------------------------------------------
+// --- SQMB --------------------------------------------------------------------
 
 class SqmbTest : public ::testing::Test {
  protected:
@@ -254,10 +254,11 @@ TEST_F(SqmbTest, InputValidation) {
   EXPECT_FALSE(SqmbSearch(*net_, engine_->con_index(), kInvalidSegment,
                           HMS(11), 600)
                    .ok());
-  EXPECT_FALSE(SqmbSearch(*net_, engine_->con_index(), start_, HMS(11), 0).ok());
+  EXPECT_FALSE(
+      SqmbSearch(*net_, engine_->con_index(), start_, HMS(11), 0).ok());
 }
 
-// --- MQMB ------------------------------------------------------------------------------
+// --- MQMB --------------------------------------------------------------------
 
 TEST_F(SqmbTest, MqmbSingleLocationMatchesSqmbCone) {
   auto s = SqmbSearch(*net_, engine_->con_index(), start_, HMS(10), 600);
@@ -311,7 +312,7 @@ TEST_F(SqmbTest, MqmbValidation) {
                    .ok());
 }
 
-// --- TBS + ES invariants ------------------------------------------------------------------
+// --- TBS + ES invariants -----------------------------------------------------
 
 TEST_F(SqmbTest, EsRegionSubsetOfTbsRegion) {
   // Every segment ES verifies as Prob-reachable must appear in the

@@ -21,7 +21,7 @@ SpeedFn ConstantSpeed(double mps) {
   return [mps](SegmentId) { return mps; };
 }
 
-// --- ExpandFrom -----------------------------------------------------------------
+// --- ExpandFrom --------------------------------------------------------------
 
 TEST(ExpansionTest, ChainArrivalTimesAreCumulative) {
   // 4 segments of 100m at 10 m/s: completion times 10, 20, 30, 40.
@@ -101,7 +101,7 @@ TEST(ExpansionTest, GridDistancesMatchManhattanStructure) {
   }
 }
 
-// --- ExpandFromMany / origins ---------------------------------------------------
+// --- ExpandFromMany / origins ------------------------------------------------
 
 TEST(ExpansionTest, MultiSourceOriginAssignsNearest) {
   RoadNetwork net = MakeChainNetwork(10, 100.0);
@@ -135,7 +135,7 @@ TEST(ExpansionTest, MultiSourceOriginOnGrid) {
   }
 }
 
-// --- ShortestTravelTimes / ShortestPath -------------------------------------------
+// --- ShortestTravelTimes / ShortestPath --------------------------------------
 
 TEST(ShortestPathTest, PathEndpointsAndContinuity) {
   RoadNetwork net = MakeGridNetwork(5, 5, 100.0);
@@ -181,7 +181,7 @@ TEST(ShortestPathTest, SelfPathIsSingleton) {
   EXPECT_EQ(path[0], 1u);
 }
 
-// --- Router (A*) -------------------------------------------------------------------
+// --- Router (A*) -------------------------------------------------------------
 
 TEST(RouterTest, MatchesDijkstraOnRandomPairs) {
   RoadNetwork net = MakeGridNetwork(6, 6, 150.0);
@@ -223,7 +223,7 @@ TEST(RouterTest, InvalidIdsReturnEmpty) {
   EXPECT_TRUE(router.Route(999, 0).empty());
 }
 
-// --- SegmentGrid ---------------------------------------------------------------------
+// --- SegmentGrid -------------------------------------------------------------
 
 TEST(SegmentGridTest, WithinRadiusMatchesBruteForce) {
   RoadNetwork net = MakeGridNetwork(5, 5, 130.0);

@@ -16,7 +16,7 @@ namespace {
 using testing_util::MakeChainNetwork;
 using testing_util::MakeGridNetwork;
 
-// --- RoadNetwork ---------------------------------------------------------------
+// --- RoadNetwork -------------------------------------------------------------
 
 TEST(RoadNetworkTest, AddNodeAssignsSequentialIds) {
   RoadNetwork net;
@@ -182,7 +182,7 @@ TEST(RoadSegmentTest, FreeFlowSpeedsOrdered) {
             FreeFlowSpeed(RoadLevel::kLocal));
 }
 
-// --- Resegmenter ------------------------------------------------------------------
+// --- Resegmenter -------------------------------------------------------------
 
 TEST(ResegmenterTest, ShortSegmentsUntouched) {
   RoadNetwork net = MakeChainNetwork(3, 300.0);
@@ -282,7 +282,7 @@ TEST(ResegmenterTest, ConnectivityPreserved) {
   EXPECT_EQ(seen.size(), out.NumSegments());  // chain fully traversable
 }
 
-// --- CityGenerator -------------------------------------------------------------------
+// --- CityGenerator -----------------------------------------------------------
 
 TEST(CityGeneratorTest, DeterministicForSameSeed) {
   CityOptions opt;

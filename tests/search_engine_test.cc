@@ -184,7 +184,8 @@ TEST(FrontierEngineTest, ParallelTimedBitIdenticalOnRandomCities) {
     parallel.RunTimed(par_ctx, request, speeds, &par_metrics);
 
     ExpectTimedIdentical(net, seq_ctx, par_ctx, true, true);
-    EXPECT_EQ(sequential.ReachedSorted(seq_ctx), parallel.ReachedSorted(par_ctx));
+    EXPECT_EQ(sequential.ReachedSorted(seq_ctx),
+              parallel.ReachedSorted(par_ctx));
     EXPECT_GT(par_metrics.parallel_rounds, 0u) << "fan-out never engaged";
   }
 }
@@ -400,7 +401,8 @@ TEST(LivePrewarmTest, PrewarmRebuildsExactlyTheInvalidatedTables) {
 
   live.WaitForPrewarm();
   LiveProfileManager::Stats stats = live.stats();
-  ASSERT_GT(stats.prewarm_tasks, 0u) << "partial invalidation scheduled no prewarm";
+  ASSERT_GT(stats.prewarm_tasks, 0u)
+      << "partial invalidation scheduled no prewarm";
   EXPECT_GT(stats.prewarm_tables_built, 0u);
 
   // The prewarmed tables must be bit-identical to a cold lazy build over

@@ -20,7 +20,7 @@ std::string TempFile(const std::string& tag) {
   return MakeTempDir(tag) + "/file.bin";
 }
 
-// --- FileManager -----------------------------------------------------------------
+// --- FileManager -------------------------------------------------------------
 
 TEST(FileManagerTest, CreateAllocateWriteRead) {
   std::string path = TempFile("fm1");
@@ -82,7 +82,9 @@ TEST(FileManagerTest, PageSizeMismatchRejected) {
 
 TEST(FileManagerTest, OpenMissingFileFails) {
   EXPECT_TRUE(
-      FileManager::Open("/nonexistent_dir_xyz/f.bin", 128).status().IsIoError());
+      FileManager::Open("/nonexistent_dir_xyz/f.bin", 128)
+          .status()
+          .IsIoError());
 }
 
 TEST(FileManagerTest, OpenMisalignedFileFails) {
@@ -114,7 +116,7 @@ TEST(FileManagerTest, StatsCountTransfers) {
   EXPECT_EQ((*fm)->stats().disk_page_reads, 0u);
 }
 
-// --- BufferPool ----------------------------------------------------------------------
+// --- BufferPool --------------------------------------------------------------
 
 class BufferPoolTest : public ::testing::Test {
  protected:
@@ -223,7 +225,7 @@ TEST_F(BufferPoolTest, HitRatioUnderWorkingSet) {
   EXPECT_EQ(pool.stats().cache_hits, 192u);
 }
 
-// --- PostingStore ----------------------------------------------------------------------
+// --- PostingStore ------------------------------------------------------------
 
 TEST(PostingStoreTest, RoundTripSmall) {
   std::string path = TempFile("ps1");

@@ -18,7 +18,7 @@ namespace {
 
 using testing_util::MakeGridNetwork;
 
-// --- CongestionModel -----------------------------------------------------------
+// --- CongestionModel ---------------------------------------------------------
 
 TEST(CongestionTest, RushHourSlowerThanMidnight) {
   CongestionModel model;
@@ -26,7 +26,8 @@ TEST(CongestionTest, RushHourSlowerThanMidnight) {
        {RoadLevel::kHighway, RoadLevel::kArterial, RoadLevel::kLocal}) {
     EXPECT_LT(model.Multiplier(level, HMS(8)), model.Multiplier(level, HMS(1)))
         << RoadLevelName(level);
-    EXPECT_LT(model.Multiplier(level, HMS(18)), model.Multiplier(level, HMS(13)));
+    EXPECT_LT(model.Multiplier(level, HMS(18)),
+              model.Multiplier(level, HMS(13)));
   }
 }
 
@@ -66,7 +67,7 @@ TEST(CongestionTest, BaseDipOrderedByLevel) {
   EXPECT_LT(model.arterial_base_dip, model.local_base_dip);
 }
 
-// --- TrajectoryStore -------------------------------------------------------------
+// --- TrajectoryStore ---------------------------------------------------------
 
 TEST(TrajectoryStoreTest, AddValidatesDay) {
   TrajectoryStore store(3);
@@ -112,7 +113,7 @@ TEST(TrajectoryStoreTest, StatsComputation) {
   EXPECT_NEAR(stats.mean_speed_mps, 15.0, 1e-6);
 }
 
-// --- FleetSimulator ----------------------------------------------------------------
+// --- FleetSimulator ----------------------------------------------------------
 
 class FleetSimulatorTest : public ::testing::Test {
  protected:
@@ -248,7 +249,7 @@ TEST_F(FleetSimulatorTest, RejectsBadOptions) {
       SimulateFleet(unfinalized, SmallFleet()).status().IsFailedPrecondition());
 }
 
-// --- MapMatcher ------------------------------------------------------------------------
+// --- MapMatcher --------------------------------------------------------------
 
 class MapMatcherTest : public ::testing::Test {
  protected:

@@ -141,7 +141,7 @@ TEST(RngTest, ForkIndependentButDeterministic) {
   EXPECT_EQ(fa.UniformInt(0, 1 << 30), fb.UniformInt(0, 1 << 30));
 }
 
-// --- ThreadPool ---------------------------------------------------------------
+// --- ThreadPool --------------------------------------------------------------
 
 TEST(ThreadPoolTest, RunsAllTasks) {
   ThreadPool pool(4);
