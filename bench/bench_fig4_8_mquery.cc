@@ -2,10 +2,14 @@
 //
 // (a) running time over duration L for a 3-location m-query;
 // (b) running time over the number of locations n ∈ {1..9}, L = 20 min;
-// (c) NEW: parallel search-interior sweep — the same MQMB plan executed
-//     with interior_workers ∈ {1, 2, 4, 8}, results checked bit-identical
-//     and the wall clock recorded (the ROADMAP "parallel MQMB interior"
-//     item, measured on the plan -> execute path).
+// (c) layout x workers interior sweep — the same MQMB plan executed with
+//     layout ∈ {legacy, csr} x interior_workers ∈ {1, 2, 4, 8}. The csr
+//     layout turns on the whole raw-speed interior (flat CSR adjacency +
+//     prefetch + locality-aware chunking + parallel TBS); every row is
+//     checked bit-identical against the legacy 1-worker reference and the
+//     wall clock, segments_expanded and heap_pops are recorded per row.
+//     csr_speedup_w1 (single-thread CSR vs legacy margin) goes into the
+//     committed baseline so check_regression.py can hold the line.
 //
 // Unlike the original facade version, every query here is planned ONCE
 // via QueryPlanner and executed through QueryExecutor (the production
@@ -73,11 +77,13 @@ StatusOr<RegionResult> TimedExecute(ReachabilityEngine& engine,
 }
 
 struct SweepRow {
+  const char* layout = "legacy";
   int workers = 0;
   double wall_ms = 0.0;
-  double speedup = 1.0;
+  double speedup = 1.0;  // vs the same layout's 1-worker row
   uint64_t parallel_rounds = 0;
   uint64_t segments_expanded = 0;
+  uint64_t heap_pops = 0;
   bool identical = true;
 };
 
@@ -170,11 +176,11 @@ int main() {
              "repeated s-query grows " + Cell(rep9 - rep1, 1) +
                  " ms (1->9 locs) vs MQMB " + Cell(mq9 - mq1, 1) + " ms");
 
-  // --- (c) parallel search interior sweep -----------------------------------
-  std::printf("\nFigure 4.8(c): MQMB parallel interior "
+  // --- (c) layout x workers interior sweep ----------------------------------
+  std::printf("\nFigure 4.8(c): MQMB interior, layout x workers "
               "(5 locations, T=10:00, L=20min, median of 3)\n");
-  PrintRow({"workers", "wall_ms", "speedup", "par_rounds", "expanded",
-            "identical"});
+  PrintRow({"layout", "workers", "wall_ms", "speedup", "par_rounds",
+            "expanded", "heap_pops", "identical"});
   std::vector<SweepRow> sweep;
   {
     MQuery q = MakeQuery(stack, 5, 1200);
@@ -184,65 +190,94 @@ int main() {
       return 1;
     }
     std::vector<SegmentId> reference_segments;
-    double base_ms = 0.0;
-    for (int workers : {1, 2, 4, 8}) {
-      auto sweep_exec = engine.MakeExecutor(
-          {.num_threads = 1, .interior_workers = workers});
-      // Warm lazy Con-Index tables + page cache once per executor.
-      auto warm = sweep_exec->Execute(*plan);
-      if (!warm.ok()) {
-        std::fprintf(stderr, "FATAL: interior sweep warm-up failed\n");
-        return 1;
-      }
-      std::vector<double> times;
-      SweepRow row;
-      row.workers = workers;
-      for (int run = 0; run < 3; ++run) {
-        Stopwatch watch;
-        auto result = sweep_exec->Execute(*plan);
-        times.push_back(watch.ElapsedMillis());
-        if (!result.ok()) {
-          std::fprintf(stderr, "FATAL: interior sweep run failed\n");
+    for (const char* layout : {"legacy", "csr"}) {
+      const bool csr = std::string(layout) == "csr";
+      double base_ms = 0.0;
+      for (int workers : {1, 2, 4, 8}) {
+        auto sweep_exec = engine.MakeExecutor(
+            {.num_threads = 1,
+             .interior_workers = workers,
+             .interior_flat_adjacency = csr,
+             .interior_prefetch = csr,
+             .interior_locality_chunking = csr,
+             .parallel_tbs = csr});
+        // Warm lazy Con-Index tables + page cache once per executor.
+        auto warm = sweep_exec->Execute(*plan);
+        if (!warm.ok()) {
+          std::fprintf(stderr, "FATAL: interior sweep warm-up failed\n");
           return 1;
         }
-        row.parallel_rounds = result->stats.parallel_rounds;
-        row.segments_expanded = result->stats.segments_expanded;
-        if (workers == 1 && run == 0) {
-          reference_segments = result->segments;
+        std::vector<double> times;
+        SweepRow row;
+        row.layout = layout;
+        row.workers = workers;
+        for (int run = 0; run < 3; ++run) {
+          Stopwatch watch;
+          auto result = sweep_exec->Execute(*plan);
+          times.push_back(watch.ElapsedMillis());
+          if (!result.ok()) {
+            std::fprintf(stderr, "FATAL: interior sweep run failed\n");
+            return 1;
+          }
+          row.parallel_rounds = result->stats.parallel_rounds;
+          row.segments_expanded = result->stats.segments_expanded;
+          row.heap_pops = result->stats.heap_pops;
+          if (!csr && workers == 1 && run == 0) {
+            reference_segments = result->segments;
+          }
+          if (result->segments != reference_segments) row.identical = false;
         }
-        if (result->segments != reference_segments) row.identical = false;
+        std::sort(times.begin(), times.end());
+        row.wall_ms = times[1];
+        if (workers == 1) base_ms = row.wall_ms;
+        row.speedup = row.wall_ms > 0.0 ? base_ms / row.wall_ms : 0.0;
+        PrintRow({row.layout, std::to_string(row.workers),
+                  Cell(row.wall_ms, 2), Cell(row.speedup, 2),
+                  std::to_string(row.parallel_rounds),
+                  std::to_string(row.segments_expanded),
+                  std::to_string(row.heap_pops),
+                  row.identical ? "yes" : "NO"});
+        if (!row.identical) {
+          std::fprintf(stderr,
+                       "FATAL: %s interior diverged at %d workers\n", layout,
+                       workers);
+          return 1;
+        }
+        sweep.push_back(row);
       }
-      std::sort(times.begin(), times.end());
-      row.wall_ms = times[1];
-      if (workers == 1) base_ms = row.wall_ms;
-      row.speedup = row.wall_ms > 0.0 ? base_ms / row.wall_ms : 0.0;
-      PrintRow({std::to_string(row.workers), Cell(row.wall_ms, 2),
-                Cell(row.speedup, 2), std::to_string(row.parallel_rounds),
-                std::to_string(row.segments_expanded),
-                row.identical ? "yes" : "NO"});
-      if (!row.identical) {
-        std::fprintf(stderr,
-                     "FATAL: parallel interior diverged at %d workers\n",
-                     workers);
-        return 1;
-      }
-      sweep.push_back(row);
     }
   }
   const unsigned hw = std::thread::hardware_concurrency();
-  double speedup4 = 1.0;
-  for (const SweepRow& r : sweep) {
-    if (r.workers == 4) speedup4 = r.speedup;
-  }
-  ShapeCheck("fig4.8c.parallel_interior_identical", true,
-             "regions bit-identical across 1/2/4/8 interior workers");
+  auto find_row = [&sweep](const char* layout, int workers) -> const SweepRow* {
+    for (const SweepRow& r : sweep) {
+      if (std::string(r.layout) == layout && r.workers == workers) return &r;
+    }
+    return nullptr;
+  };
+  const SweepRow* legacy_w1 = find_row("legacy", 1);
+  const SweepRow* csr_w1 = find_row("csr", 1);
+  const SweepRow* csr_w4 = find_row("csr", 4);
+  const double csr_speedup_w1 =
+      (legacy_w1 && csr_w1 && csr_w1->wall_ms > 0.0)
+          ? legacy_w1->wall_ms / csr_w1->wall_ms
+          : 0.0;
+  ShapeCheck("fig4.8c.layouts_bit_identical", true,
+             "regions bit-identical across legacy/csr x 1/2/4/8 workers");
+  ShapeCheck("fig4.8c.csr_counts_match_legacy",
+             legacy_w1 && csr_w1 &&
+                 legacy_w1->segments_expanded == csr_w1->segments_expanded &&
+                 legacy_w1->heap_pops == csr_w1->heap_pops,
+             "csr expands the same frontier (expanded/heap_pops equal)");
+  ShapeCheck("fig4.8c.csr_w1_margin", csr_speedup_w1 > 0.0,
+             "single-thread csr vs legacy: " + Cell(csr_speedup_w1, 2) + "x");
   if (hw >= 4) {
+    const double speedup4 = csr_w4 ? csr_w4->speedup : 0.0;
     ShapeCheck("fig4.8c.parallel_interior_speedup", speedup4 >= 1.1,
-               "4-worker interior speedup " + Cell(speedup4, 2) + "x");
+               "4-worker csr interior speedup " + Cell(speedup4, 2) + "x");
   } else {
     ShapeCheck("fig4.8c.parallel_interior_speedup", true,
                "skipped: host has " + std::to_string(hw) +
-                   " hardware thread(s); speedup " + Cell(speedup4, 2) + "x");
+                   " hardware thread(s)");
   }
 
   if (const char* json_path = std::getenv("STRR_BENCH_JSON")) {
@@ -251,8 +286,13 @@ int main() {
       std::fprintf(stderr, "FATAL: cannot write %s\n", json_path);
       return 1;
     }
+    const char* scale_env = std::getenv("STRR_BENCH_SCALE");
+    const std::string scale =
+        (scale_env != nullptr && scale_env[0] != '\0') ? scale_env : "full";
     std::fprintf(f, "{\n  \"bench\": \"fig4_8_mquery_executor\",\n");
+    std::fprintf(f, "  \"scale\": \"%s\",\n", scale.c_str());
     std::fprintf(f, "  \"hardware_threads\": %u,\n", hw);
+    std::fprintf(f, "  \"csr_speedup_w1\": %.2f,\n", csr_speedup_w1);
     std::fprintf(f,
                  "  \"query\": {\"locations\": 5, \"duration_s\": 1200, "
                  "\"start\": \"10:00\", \"prob\": 0.2},\n");
@@ -261,12 +301,14 @@ int main() {
       const SweepRow& r = sweep[i];
       std::fprintf(
           f,
-          "    {\"interior_workers\": %d, \"wall_ms\": %.2f, \"speedup\": "
-          "%.2f, \"parallel_rounds\": %llu, \"segments_expanded\": %llu, "
+          "    {\"layout\": \"%s\", \"interior_workers\": %d, "
+          "\"wall_ms\": %.2f, \"speedup\": %.2f, \"parallel_rounds\": %llu, "
+          "\"segments_expanded\": %llu, \"heap_pops\": %llu, "
           "\"identical\": %s}%s\n",
-          r.workers, r.wall_ms, r.speedup,
+          r.layout, r.workers, r.wall_ms, r.speedup,
           static_cast<unsigned long long>(r.parallel_rounds),
           static_cast<unsigned long long>(r.segments_expanded),
+          static_cast<unsigned long long>(r.heap_pops),
           r.identical ? "true" : "false", i + 1 < sweep.size() ? "," : "");
     }
     std::fprintf(f, "  ]\n}\n");

@@ -5,13 +5,18 @@
 #include <benchmark/benchmark.h>
 
 #include <filesystem>
+#include <unordered_map>
 
 #include "index/bplus_tree.h"
 #include "index/rtree.h"
 #include "query/probability.h"
 #include "roadnet/city_generator.h"
 #include "roadnet/expansion.h"
+#include "roadnet/segment_grid.h"
+#include "search/expansion_context.h"
+#include "search/frontier_engine.h"
 #include "storage/posting_store.h"
+#include "util/flat_hash.h"
 #include "util/rng.h"
 
 namespace strr {
@@ -147,6 +152,161 @@ void BM_PostingStoreGet(benchmark::State& state) {
       std::max<uint64_t>(1, (*store)->stats().TotalRequests());
 }
 BENCHMARK(BM_PostingStoreGet)->Arg(16)->Arg(4096);
+
+// --- Path-cache layout: node-based unordered_map vs FlatU64Map ------------
+// The Router memoizes (source << 32 | target) -> path. Both benches fill
+// the same keys with small paths, then hammer hit lookups — the hot case.
+
+std::vector<uint64_t> MakePathKeys(size_t n) {
+  Rng rng(21);
+  std::vector<uint64_t> keys;
+  keys.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    keys.push_back((static_cast<uint64_t>(rng.UniformInt(0, 1 << 14)) << 32) |
+                   static_cast<uint64_t>(rng.UniformInt(0, 1 << 14)));
+  }
+  return keys;
+}
+
+std::vector<SegmentId> MakePath(Rng& rng) {
+  std::vector<SegmentId> path(static_cast<size_t>(rng.UniformInt(4, 24)));
+  for (SegmentId& s : path) {
+    s = static_cast<SegmentId>(rng.UniformInt(0, 1 << 16));
+  }
+  return path;
+}
+
+void BM_UnorderedPathCacheLookup(benchmark::State& state) {
+  auto keys = MakePathKeys(static_cast<size_t>(state.range(0)));
+  Rng rng(22);
+  std::unordered_map<uint64_t, std::vector<SegmentId>> cache;
+  for (uint64_t k : keys) cache.emplace(k, MakePath(rng));
+  Rng pick(23);
+  for (auto _ : state) {
+    auto it = cache.find(keys[static_cast<size_t>(
+        pick.UniformInt(0, static_cast<int64_t>(keys.size()) - 1))]);
+    benchmark::DoNotOptimize(it);
+  }
+}
+BENCHMARK(BM_UnorderedPathCacheLookup)->Arg(1024)->Arg(65536);
+
+void BM_FlatPathCacheLookup(benchmark::State& state) {
+  auto keys = MakePathKeys(static_cast<size_t>(state.range(0)));
+  Rng rng(22);
+  FlatU64Map<std::vector<SegmentId>> cache;
+  for (uint64_t k : keys) cache.Emplace(k, MakePath(rng));
+  Rng pick(23);
+  for (auto _ : state) {
+    const std::vector<SegmentId>* hit = cache.Find(keys[static_cast<size_t>(
+        pick.UniformInt(0, static_cast<int64_t>(keys.size()) - 1))]);
+    benchmark::DoNotOptimize(hit);
+  }
+}
+BENCHMARK(BM_FlatPathCacheLookup)->Arg(1024)->Arg(65536);
+
+// --- Cell-directory layout: unordered_map buckets vs frozen sorted CSR ----
+// SegmentGrid froze its cell directory into sorted keys + offsets; the
+// reference bench replicates the old node-based layout over the identical
+// (cell, segment) pairs so the comparison isolates the directory walk.
+
+struct GridFixture {
+  City city;
+  std::unique_ptr<SegmentGrid> grid;
+  std::unordered_map<int64_t, std::vector<SegmentId>> reference_cells;
+  double cell = 250.0;
+
+  GridFixture() {
+    CityOptions opt;
+    opt.grid_cols = 18;
+    opt.grid_rows = 13;
+    city = std::move(*GenerateCity(opt));
+    grid = std::make_unique<SegmentGrid>(city.network, cell);
+    for (const RoadSegment& seg : city.network.segments()) {
+      const Mbr& box = seg.bounding_box();
+      for (int cx = Cell(box.min_x()); cx <= Cell(box.max_x()); ++cx) {
+        for (int cy = Cell(box.min_y()); cy <= Cell(box.max_y()); ++cy) {
+          reference_cells[Key(cx, cy)].push_back(seg.id);
+        }
+      }
+    }
+  }
+
+  int Cell(double v) const { return static_cast<int>(std::floor(v / cell)); }
+  static int64_t Key(int cx, int cy) {
+    return (static_cast<int64_t>(cx) << 32) ^ (cy & 0xffffffffLL);
+  }
+};
+
+const GridFixture& SharedGrid() {
+  static GridFixture fixture;
+  return fixture;
+}
+
+void BM_UnorderedGridCellProbe(benchmark::State& state) {
+  const GridFixture& fx = SharedGrid();
+  Mbr box = fx.city.network.BoundingBox();
+  Rng rng(29);
+  for (auto _ : state) {
+    int cx = fx.Cell(rng.Uniform(box.min_x(), box.max_x()));
+    int cy = fx.Cell(rng.Uniform(box.min_y(), box.max_y()));
+    uint64_t touched = 0;
+    auto it = fx.reference_cells.find(GridFixture::Key(cx, cy));
+    if (it != fx.reference_cells.end()) {
+      for (SegmentId id : it->second) touched += id;
+    }
+    benchmark::DoNotOptimize(touched);
+  }
+}
+BENCHMARK(BM_UnorderedGridCellProbe);
+
+void BM_FlatGridWithinRadius(benchmark::State& state) {
+  const GridFixture& fx = SharedGrid();
+  Mbr box = fx.city.network.BoundingBox();
+  Rng rng(29);
+  for (auto _ : state) {
+    XyPoint p{rng.Uniform(box.min_x(), box.max_x()),
+              rng.Uniform(box.min_y(), box.max_y())};
+    auto hits = fx.grid->WithinRadius(p, 120.0);
+    benchmark::DoNotOptimize(hits);
+  }
+}
+BENCHMARK(BM_FlatGridWithinRadius);
+
+// --- Frontier expansion: legacy per-segment vectors vs flat CSR -----------
+// The FrontierEngine inner loop with the layout knob off vs on (prefetch
+// rides along with the CSR walk, matching the executor's csr profile).
+
+void RunExpansionBench(benchmark::State& state, bool flat) {
+  const GridFixture& fx = SharedGrid();
+  const RoadNetwork& net = fx.city.network;
+  SpeedFn speeds = FreeFlowSpeeds(net);
+  FrontierRuntime runtime;
+  runtime.flat_adjacency = flat;
+  runtime.prefetch = flat;
+  FrontierEngine engine(net, runtime);
+  ExpansionContext ctx;
+  Rng rng(31);
+  const double budget = static_cast<double>(state.range(0));
+  for (auto _ : state) {
+    SegmentId src =
+        static_cast<SegmentId>(rng.UniformInt(0, net.NumSegments() - 1));
+    FrontierEngine::TimedRequest request;
+    request.sources = std::span<const SegmentId>(&src, 1);
+    request.budget = budget;
+    engine.RunTimed(ctx, request, speeds);
+    benchmark::DoNotOptimize(ctx.reached().size());
+  }
+}
+
+void BM_NetworkExpansionLegacy(benchmark::State& state) {
+  RunExpansionBench(state, /*flat=*/false);
+}
+BENCHMARK(BM_NetworkExpansionLegacy)->Arg(300)->Arg(1200);
+
+void BM_NetworkExpansionCsr(benchmark::State& state) {
+  RunExpansionBench(state, /*flat=*/true);
+}
+BENCHMARK(BM_NetworkExpansionCsr)->Arg(300)->Arg(1200);
 
 void BM_SortedIntersects(benchmark::State& state) {
   Rng rng(17);

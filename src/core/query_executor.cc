@@ -88,6 +88,7 @@ QueryExecutor::QueryExecutor(const RoadNetwork& network,
       WfqOptions wfq_opt;
       wfq_opt.max_inflight = options_.max_inflight;
       wfq_opt.batch_share = options_.batch_share;
+      wfq_opt.cost_based = options_.wfq_cost_based;
       wfq_ = std::make_unique<WfqAdmissionController>(wfq_opt, tenants_);
     }
   }
@@ -100,6 +101,8 @@ QueryExecutor::QueryExecutor(const RoadNetwork& network,
       // inflation of 4-bit counting-Bloom estimates negligible.
       cache_opt.doorkeeper_counters = options_.result_cache_entries * 8;
     }
+    cache_opt.protected_share = options_.result_cache_protected_share;
+    cache_opt.tenant_capacity_share = options_.result_cache_tenant_share;
     cache_ = std::make_unique<ResultCache>(delta_t_seconds_, cache_opt);
   }
   if (options_.interior_workers > 1) {
@@ -162,12 +165,16 @@ StatusOr<RegionResult> QueryExecutor::ExecuteFrontDoor(const QueryPlan& plan,
     }
     ticket = true;
   }
+  Stopwatch exec_watch;
   StatusOr<RegionResult> result = ExecutePinned(plan);
-  if (ticket) ReleaseTicket(plan.tenant, batch);
+  if (ticket) {
+    ReleaseTicket(plan.tenant, batch,
+                  /*cost_us=*/exec_watch.ElapsedMillis() * 1000.0);
+  }
   if (tenants_ != nullptr && result.ok()) {
     tenants_->RecordCompletion(plan.tenant, result->stats.io);
   }
-  if (key && result.ok()) MaybeCacheInsert(*key, *result);
+  if (key && result.ok()) MaybeCacheInsert(*key, *result, plan.tenant);
   return result;
 }
 
@@ -181,12 +188,13 @@ Status QueryExecutor::TryAdmitBatchTicket(TenantId tenant) {
   return admission_->TryAdmitBatch();
 }
 
-void QueryExecutor::ReleaseTicket(TenantId tenant, bool batch) {
+void QueryExecutor::ReleaseTicket(TenantId tenant, bool batch,
+                                  double cost_us) {
   if (wfq_ != nullptr) {
     if (batch) {
-      wfq_->ReleaseBatch(tenant);
+      wfq_->ReleaseBatch(tenant, cost_us);
     } else {
-      wfq_->Release(tenant);
+      wfq_->Release(tenant, cost_us);
     }
   } else if (admission_ != nullptr) {
     if (batch) {
@@ -200,12 +208,16 @@ void QueryExecutor::ReleaseTicket(TenantId tenant, bool batch) {
 StatusOr<RegionResult> QueryExecutor::RunAdmitted(const QueryPlan& plan,
                                                   const PlanKey* key,
                                                   bool batch_ticket) {
+  Stopwatch exec_watch;
   StatusOr<RegionResult> result = ExecutePinned(plan);
-  if (batch_ticket) ReleaseTicket(plan.tenant, /*batch=*/true);
+  if (batch_ticket) {
+    ReleaseTicket(plan.tenant, /*batch=*/true,
+                  /*cost_us=*/exec_watch.ElapsedMillis() * 1000.0);
+  }
   if (tenants_ != nullptr && result.ok()) {
     tenants_->RecordCompletion(plan.tenant, result->stats.io);
   }
-  if (key != nullptr && result.ok()) MaybeCacheInsert(*key, *result);
+  if (key != nullptr && result.ok()) MaybeCacheInsert(*key, *result, plan.tenant);
   return result;
 }
 
@@ -223,10 +235,11 @@ StatusOr<RegionResult> QueryExecutor::ExecutePinned(const QueryPlan& plan) {
 }
 
 void QueryExecutor::MaybeCacheInsert(const PlanKey& key,
-                                     const RegionResult& result) {
+                                     const RegionResult& result,
+                                     TenantId tenant) {
   if (cache_ == nullptr) return;
   if (live_ == nullptr) {
-    cache_->Insert(key, result);
+    cache_->Insert(key, result, tenant);
     return;
   }
   // Under live ingestion, never let an insert computed on a superseded
@@ -238,7 +251,7 @@ void QueryExecutor::MaybeCacheInsert(const PlanKey& key,
   // still reads our version, every eviction that could cover this entry
   // happens after the insert and removes it normally.)
   if (result.stats.snapshot_version != live_->version()) return;
-  cache_->Insert(key, result);
+  cache_->Insert(key, result, tenant);
   if (result.stats.snapshot_version != live_->version()) cache_->Erase(key);
 }
 
@@ -399,8 +412,15 @@ StatusOr<RegionResult> QueryExecutor::RunTraceBack(
     // even then; trusting them here would fabricate reachability.)
     result.segments.clear();
   } else {
-    STRR_ASSIGN_OR_RETURN(TbsOutcome tbs,
-                          TraceBackSearch(*network_, regions, prob, oracle));
+    TraceBackOptions tbs_opt;
+    tbs_opt.flat_adjacency = options_.interior_flat_adjacency;
+    if (options_.parallel_tbs && interior_pool_ != nullptr) {
+      tbs_opt.pool = interior_pool_.get();
+      tbs_opt.workers = options_.interior_workers;
+    }
+    STRR_ASSIGN_OR_RETURN(
+        TbsOutcome tbs,
+        TraceBackSearch(*network_, regions, prob, oracle, tbs_opt));
     result.segments = std::move(tbs.region);
   }
   result.total_length_m = network_->LengthOfSegments(result.segments);
@@ -426,6 +446,11 @@ StatusOr<RegionResult> QueryExecutor::ExecuteIndexed(const QueryPlan& plan,
     search_opt.runtime.pool = interior_pool_.get();
     search_opt.runtime.workers = options_.interior_workers;
   }
+  // Layout knobs apply to sequential and parallel interiors alike; the
+  // engine falls back to the legacy walk when the network has no CSR.
+  search_opt.runtime.flat_adjacency = options_.interior_flat_adjacency;
+  search_opt.runtime.prefetch = options_.interior_prefetch;
+  search_opt.runtime.locality_chunking = options_.interior_locality_chunking;
   BoundingRegions regions;
   if (plan.IsMultiLocation()) {
     STRR_ASSIGN_OR_RETURN(

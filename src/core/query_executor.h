@@ -93,6 +93,23 @@ struct QueryExecutorOptions {
   /// its interior without risking pool-against-itself starvation (interior
   /// tasks are pure compute and never block).
   int interior_workers = 1;
+  // --- Raw-speed interior layout (results bit-identical either way; see
+  // search/frontier_engine.h) ------------------------------------------------
+  /// Expand over the RoadNetwork's flat CSR adjacency view instead of the
+  /// per-segment vectors: one contiguous offsets+neighbors array walk per
+  /// expansion, no pointer chase per segment.
+  bool interior_flat_adjacency = false;
+  /// Software-prefetch successor label slots one edge ahead during gather.
+  /// Only meaningful on top of interior_flat_adjacency.
+  bool interior_prefetch = false;
+  /// Order parallel gather rounds by spatial cell so each worker's chunk
+  /// touches a contiguous label range (commit order is restored by stable
+  /// candidate tagging). Only affects interior_workers > 1.
+  bool interior_locality_chunking = false;
+  /// Fan TBS ring verification across the interior pool (ring-order
+  /// commit keeps results bit-identical; see query/trace_back.h). Only
+  /// effective when interior_workers > 1.
+  bool parallel_tbs = false;
   /// Result-cache capacity in entries; 0 disables caching. Off by default:
   /// cached results replay the original execution's stats, which would
   /// skew the paper-reproduction measurements.
@@ -104,6 +121,12 @@ struct QueryExecutorOptions {
   /// cannot churn hot entries out (see ResultCacheOptions). Off by
   /// default.
   bool result_cache_doorkeeper = false;
+  /// Segmented-LRU (full TinyLFU) protected share of each cache shard, in
+  /// [0, 1); 0 keeps plain LRU. See ResultCacheOptions::protected_share.
+  double result_cache_protected_share = 0.0;
+  /// Per-tenant cache capacity envelope, in (0, 1]; 0 = off. See
+  /// ResultCacheOptions::tenant_capacity_share.
+  double result_cache_tenant_share = 0.0;
   /// Max admitted-and-outstanding queries; 0 disables admission control.
   size_t max_inflight = 0;
   /// Max single-query callers blocked waiting for admission. With
@@ -121,6 +144,11 @@ struct QueryExecutorOptions {
   /// turns on per-tenant hit/shed/in-flight/io counters in
   /// front_door_stats() via the TenantRegistry.
   bool tenant_fairness = false;
+  /// Cost-based DRR: charge each WFQ grant the tenant's measured average
+  /// query cost in microseconds instead of one count, so fairness holds in
+  /// CPU time (see WfqOptions::cost_based). Requires tenant_fairness and
+  /// max_inflight > 0.
+  bool wfq_cost_based = false;
   /// Serve cache entries across tenants from one shared key space instead
   /// of tenant-scoped entries. Results are bit-identical across tenants by
   /// construction, so sharing only changes isolation (cross-tenant timing
@@ -272,7 +300,10 @@ class QueryExecutor {
   }
   Status AdmitSingle(TenantId tenant);
   Status TryAdmitBatchTicket(TenantId tenant);
-  void ReleaseTicket(TenantId tenant, bool batch);
+  /// `cost_us` (>= 0) is the query's measured execution wall time; it
+  /// feeds the tenant's cost EWMA under cost-based DRR (ignored by the
+  /// plain controller). Negative = unmeasured.
+  void ReleaseTicket(TenantId tenant, bool batch, double cost_us = -1.0);
 
   /// Shared tail of the front-door paths: pin a snapshot, run, release the
   /// admission ticket (when held), insert into the cache on success.
@@ -286,7 +317,8 @@ class QueryExecutor {
   /// Inserts `result` under `key` unless a newer snapshot was published
   /// while it executed (a stale insert could serve a superseded version
   /// after its Δt-slots were already invalidated).
-  void MaybeCacheInsert(const PlanKey& key, const RegionResult& result);
+  void MaybeCacheInsert(const PlanKey& key, const RegionResult& result,
+                        TenantId tenant);
 
   /// Executes `plans` against one shared `view` with no admission or
   /// caching — the raw fan-out PR 1 shipped, kept for m-query legs

@@ -38,6 +38,7 @@ StatusOr<std::unique_ptr<ReachabilityEngine>> ReachabilityEngine::Build(
   ConIndexOptions con_opt;
   con_opt.delta_t_seconds = options.delta_t_seconds;
   con_opt.num_build_threads = options.build_threads;
+  con_opt.flat_interior = options.interior_flat_adjacency;
   STRR_ASSIGN_OR_RETURN(
       engine->con_index_,
       ConIndex::Create(network, *engine->profile_, con_opt));
@@ -83,13 +84,20 @@ StatusOr<std::unique_ptr<ReachabilityEngine>> ReachabilityEngine::Build(
   exec_opt.num_threads = options.query_threads;
   exec_opt.parallel_mquery_legs = options.parallel_mquery_legs;
   exec_opt.interior_workers = options.interior_workers;
+  exec_opt.interior_flat_adjacency = options.interior_flat_adjacency;
+  exec_opt.interior_prefetch = options.interior_prefetch;
+  exec_opt.interior_locality_chunking = options.interior_locality_chunking;
+  exec_opt.parallel_tbs = options.parallel_tbs;
   exec_opt.result_cache_entries = options.result_cache_entries;
   exec_opt.result_cache_shards = options.result_cache_shards;
   exec_opt.result_cache_doorkeeper = options.result_cache_doorkeeper;
+  exec_opt.result_cache_protected_share = options.result_cache_protected_share;
+  exec_opt.result_cache_tenant_share = options.result_cache_tenant_share;
   exec_opt.max_inflight = options.max_inflight_queries;
   exec_opt.max_queued = options.max_queued_queries;
   exec_opt.batch_share = options.batch_share;
   exec_opt.tenant_fairness = options.tenant_fairness;
+  exec_opt.wfq_cost_based = options.wfq_cost_based;
   exec_opt.tenant_shared_cache = options.tenant_shared_cache;
   exec_opt.tenant_defaults = options.tenant_defaults;
   engine->executor_ = engine->MakeExecutor(exec_opt);

@@ -68,6 +68,15 @@ struct EngineOptions {
   /// QueryExecutorOptions::interior_workers). <= 1 keeps the paper's
   /// sequential interior.
   int interior_workers = 1;
+  /// Raw-speed interior layout (results bit-identical either way; see
+  /// QueryExecutorOptions). flat_adjacency also flows into Con-Index
+  /// table builds (ConIndexOptions::flat_interior).
+  bool interior_flat_adjacency = false;
+  bool interior_prefetch = false;
+  bool interior_locality_chunking = false;
+  /// Parallel TBS ring verification on the interior pool (bit-identical;
+  /// see query/trace_back.h). Needs interior_workers > 1.
+  bool parallel_tbs = false;
   // --- Query front door (see QueryExecutorOptions; both off by default so
   // the facade's per-query stats keep their paper-reproduction semantics —
   // cached results replay the original execution's stats) ---------------------
@@ -77,6 +86,10 @@ struct EngineOptions {
   /// TinyLFU doorkeeper on the result cache (see
   /// ResultCacheOptions::doorkeeper_counters). Off by default.
   bool result_cache_doorkeeper = false;
+  /// Segmented-LRU protected share / per-tenant capacity envelope for the
+  /// result cache (see ResultCacheOptions). Both off by default.
+  double result_cache_protected_share = 0.0;
+  double result_cache_tenant_share = 0.0;
   /// Max admitted-and-outstanding queries; 0 disables admission control.
   size_t max_inflight_queries = 0;
   /// Max single-query callers blocked waiting for admission. With
@@ -92,6 +105,9 @@ struct EngineOptions {
   /// its executor and every MakeExecutor-created one; configure tenants
   /// through tenant_registry()->Configure(). See core/wfq_admission.h.
   bool tenant_fairness = false;
+  /// Cost-based DRR dispatch: WFQ charges grants in measured microseconds
+  /// instead of counts (see WfqOptions::cost_based).
+  bool wfq_cost_based = false;
   /// Share result-cache entries across tenants instead of scoping them
   /// per tenant (see QueryExecutorOptions::tenant_shared_cache).
   bool tenant_shared_cache = false;

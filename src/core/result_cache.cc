@@ -59,12 +59,75 @@ ResultCache::ResultCache(int64_t delta_t_seconds,
     : delta_t_seconds_(delta_t_seconds > 0 ? delta_t_seconds : 1) {
   size_t shards = std::max<size_t>(options.shards, 1);
   shard_capacity_ = std::max<size_t>(options.capacity / shards, 1);
+  if (options.protected_share > 0.0 && shard_capacity_ > 1) {
+    // Keep at least one probation slot so new entries always have a
+    // landing spot (protected is reachable only by promotion).
+    protected_capacity_ = std::min(
+        static_cast<size_t>(static_cast<double>(shard_capacity_) *
+                            std::min(options.protected_share, 1.0)),
+        shard_capacity_ - 1);
+  }
+  if (options.tenant_capacity_share > 0.0) {
+    tenant_envelope_ = std::max<size_t>(
+        static_cast<size_t>(static_cast<double>(shard_capacity_) *
+                            std::min(options.tenant_capacity_share, 1.0)),
+        1);
+  }
   shards_.reserve(shards);
   for (size_t i = 0; i < shards; ++i) {
     shards_.push_back(std::make_unique<Shard>());
     if (options.doorkeeper_counters > 0) {
       shards_.back()->sketch = std::make_unique<FrequencySketch>(
           std::max<size_t>(options.doorkeeper_counters / shards, 64));
+    }
+  }
+}
+
+void ResultCache::PromoteLocked(Shard& shard,
+                                std::list<Entry>::iterator it) {
+  // Splice keeps `it` (and the index entry pointing at it) valid; it now
+  // lives in the protected list.
+  shard.hot.splice(shard.hot.begin(), shard.lru, it);
+  it->in_protected = true;
+  ++shard.stats.promotions;
+  while (shard.hot.size() > protected_capacity_) {
+    auto tail = std::prev(shard.hot.end());
+    tail->in_protected = false;
+    shard.lru.splice(shard.lru.begin(), shard.hot, tail);
+    ++shard.stats.demotions;
+  }
+}
+
+void ResultCache::CountInsertLocked(Shard& shard, TenantId tenant) {
+  if (tenant_envelope_ == 0) return;
+  ++shard.tenant_count[tenant];
+}
+
+void ResultCache::CountEraseLocked(Shard& shard, TenantId tenant) {
+  if (tenant_envelope_ == 0) return;
+  auto it = shard.tenant_count.find(tenant);
+  if (it == shard.tenant_count.end()) return;
+  if (--it->second == 0) shard.tenant_count.erase(it);
+}
+
+void ResultCache::EvictOneLocked(Shard& shard) {
+  std::list<Entry>& seg = shard.lru.empty() ? shard.hot : shard.lru;
+  Entry& victim = seg.back();
+  CountEraseLocked(shard, victim.tenant);
+  shard.index.erase(victim.canonical);
+  seg.pop_back();
+  ++shard.stats.evictions;
+}
+
+void ResultCache::EvictTenantOneLocked(Shard& shard, TenantId tenant) {
+  for (std::list<Entry>* seg : {&shard.lru, &shard.hot}) {
+    for (auto it = seg->rbegin(); it != seg->rend(); ++it) {
+      if (it->tenant != tenant) continue;
+      CountEraseLocked(shard, tenant);
+      shard.index.erase(it->canonical);
+      seg->erase(std::prev(it.base()));
+      ++shard.stats.tenant_evictions;
+      return;
     }
   }
 }
@@ -83,7 +146,14 @@ std::optional<RegionResult> ResultCache::Lookup(const PlanKey& key) {
       return std::nullopt;
     }
     ++shard.stats.hits;
-    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+    if (it->second->in_protected) {
+      shard.hot.splice(shard.hot.begin(), shard.hot, it->second);
+    } else if (protected_capacity_ > 0) {
+      // Second access observed: graduate from probation to protected.
+      PromoteLocked(shard, it->second);
+    } else {
+      shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+    }
     stored = it->second->result;  // O(1) pointer copy under the lock
   }
   // The stored object is immutable; copying it out here (outside the
@@ -93,7 +163,8 @@ std::optional<RegionResult> ResultCache::Lookup(const PlanKey& key) {
   return out;
 }
 
-void ResultCache::Insert(const PlanKey& key, const RegionResult& result) {
+void ResultCache::Insert(const PlanKey& key, const RegionResult& result,
+                         TenantId tenant) {
   // Copy the (potentially large) result outside the shard lock.
   auto stored = std::make_shared<RegionResult>(result);
   stored->stats.cache_hit = false;
@@ -102,26 +173,42 @@ void ResultCache::Insert(const PlanKey& key, const RegionResult& result) {
   auto it = shard.index.find(key.canonical);
   if (it != shard.index.end()) {
     // Deterministic execution makes re-inserts value-identical; just
-    // refresh the stored pointer and the LRU position.
+    // refresh the stored pointer and the LRU position. A refresh is a
+    // repeat access, so under segmentation it promotes like a hit.
     it->second->result = std::move(stored);
-    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+    if (it->second->in_protected) {
+      shard.hot.splice(shard.hot.begin(), shard.hot, it->second);
+    } else if (protected_capacity_ > 0) {
+      PromoteLocked(shard, it->second);
+    } else {
+      shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+    }
     return;
   }
   // Doorkeeper admission: when inserting would evict, the candidate must
-  // be hotter than the LRU victim it displaces. Under-capacity inserts
+  // be hotter than the victim it displaces. Under-capacity inserts
   // always go through (an empty slot costs nothing to fill).
   if (shard.sketch != nullptr && shard.index.size() >= shard_capacity_ &&
-      !shard.lru.empty()) {
+      shard.index.size() > 0) {
     uint32_t candidate_freq = shard.sketch->Estimate(key.hash);
-    uint32_t victim_freq = shard.sketch->Estimate(shard.lru.back().hash);
+    uint32_t victim_freq = shard.sketch->Estimate(VictimLocked(shard).hash);
     if (candidate_freq <= victim_freq) {
       ++shard.stats.doorkeeper_rejected;
       return;
     }
   }
+  // Tenant envelope: a tenant at its share replaces its own LRU entry —
+  // even in a non-full shard — so other tenants' entries are untouched.
+  if (tenant_envelope_ > 0) {
+    auto cnt = shard.tenant_count.find(tenant);
+    if (cnt != shard.tenant_count.end() && cnt->second >= tenant_envelope_) {
+      EvictTenantOneLocked(shard, tenant);
+    }
+  }
   Entry entry;
   entry.canonical = key.canonical;
   entry.hash = key.hash;
+  entry.tenant = tenant;
   entry.first_slot = FirstSlot(key.start_tod, delta_t_seconds_);
   entry.last_slot = LastSlot(key.start_tod, key.duration, delta_t_seconds_);
   // The execution paths normalize time-of-day modulo one day, so a window
@@ -136,12 +223,9 @@ void ResultCache::Insert(const PlanKey& key, const RegionResult& result) {
   entry.result = std::move(stored);
   shard.lru.push_front(std::move(entry));
   shard.index[key.canonical] = shard.lru.begin();
+  CountInsertLocked(shard, tenant);
   ++shard.stats.insertions;
-  while (shard.index.size() > shard_capacity_) {
-    shard.index.erase(shard.lru.back().canonical);
-    shard.lru.pop_back();
-    ++shard.stats.evictions;
-  }
+  while (shard.index.size() > shard_capacity_) EvictOneLocked(shard);
 }
 
 void ResultCache::InvalidateTimeRange(int64_t begin_tod, int64_t end_tod) {
@@ -155,15 +239,17 @@ void ResultCache::InvalidateSlotRange(SlotId begin, SlotId end) {
   for (auto& shard_ptr : shards_) {
     Shard& shard = *shard_ptr;
     std::lock_guard<std::mutex> lock(shard.mu);
-    if (shard.lru.empty()) continue;
-    for (auto it = shard.lru.begin(); it != shard.lru.end();) {
-      bool overlaps = it->first_slot <= end && begin <= it->last_slot;
-      if (overlaps) {
-        shard.index.erase(it->canonical);
-        it = shard.lru.erase(it);
-        ++shard.stats.invalidated;
-      } else {
-        ++it;
+    for (std::list<Entry>* seg : {&shard.lru, &shard.hot}) {
+      for (auto it = seg->begin(); it != seg->end();) {
+        bool overlaps = it->first_slot <= end && begin <= it->last_slot;
+        if (overlaps) {
+          CountEraseLocked(shard, it->tenant);
+          shard.index.erase(it->canonical);
+          it = seg->erase(it);
+          ++shard.stats.invalidated;
+        } else {
+          ++it;
+        }
       }
     }
   }
@@ -174,7 +260,8 @@ void ResultCache::Erase(const PlanKey& key) {
   std::lock_guard<std::mutex> lock(shard.mu);
   auto it = shard.index.find(key.canonical);
   if (it == shard.index.end()) return;
-  shard.lru.erase(it->second);
+  CountEraseLocked(shard, it->second->tenant);
+  (it->second->in_protected ? shard.hot : shard.lru).erase(it->second);
   shard.index.erase(it);
   ++shard.stats.invalidated;
 }
@@ -183,9 +270,11 @@ void ResultCache::InvalidateAll() {
   for (auto& shard_ptr : shards_) {
     Shard& shard = *shard_ptr;
     std::lock_guard<std::mutex> lock(shard.mu);
-    shard.stats.invalidated += shard.lru.size();
+    shard.stats.invalidated += shard.index.size();
     shard.lru.clear();
+    shard.hot.clear();
     shard.index.clear();
+    shard.tenant_count.clear();
   }
 }
 
@@ -199,8 +288,21 @@ ResultCache::Stats ResultCache::stats() const {
     total.evictions += shard_ptr->stats.evictions;
     total.invalidated += shard_ptr->stats.invalidated;
     total.doorkeeper_rejected += shard_ptr->stats.doorkeeper_rejected;
+    total.promotions += shard_ptr->stats.promotions;
+    total.demotions += shard_ptr->stats.demotions;
+    total.tenant_evictions += shard_ptr->stats.tenant_evictions;
   }
   return total;
+}
+
+size_t ResultCache::TenantSize(TenantId tenant) const {
+  size_t n = 0;
+  for (const auto& shard_ptr : shards_) {
+    std::lock_guard<std::mutex> lock(shard_ptr->mu);
+    auto it = shard_ptr->tenant_count.find(tenant);
+    if (it != shard_ptr->tenant_count.end()) n += it->second;
+  }
+  return n;
 }
 
 size_t ResultCache::size() const {

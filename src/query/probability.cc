@@ -56,7 +56,7 @@ StatusOr<ReachabilityProbability> ReachabilityProbability::Create(
 }
 
 StatusOr<double> ReachabilityProbability::Probability(SegmentId r) {
-  ++verifications_;
+  verifications_.fetch_add(1, std::memory_order_relaxed);
   const int num_days = st_index_->num_days();
   if (num_days == 0 || start_active_days_ == 0) return 0.0;
 
@@ -67,7 +67,7 @@ StatusOr<double> ReachabilityProbability::Probability(SegmentId r) {
   for (SlotId slot : candidate_slots_) {
     if (!st_index_->HasTraffic(r, slot)) continue;  // directory check, no IO
     STRR_ASSIGN_OR_RETURN(TimeList lists, st_index_->ReadTimeList(r, slot));
-    ++time_lists_read_;
+    time_lists_read_.fetch_add(1, std::memory_order_relaxed);
     for (int d = 0; d < num_days; ++d) {
       if (day_hit[d] || lists[d].empty() || start_ids_[d].empty()) continue;
       if (SortedIntersects(start_ids_[d], lists[d])) {

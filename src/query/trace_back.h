@@ -21,6 +21,7 @@
 #include "query/probability.h"
 #include "query/query.h"
 #include "util/result.h"
+#include "util/thread_pool.h"
 
 namespace strr {
 
@@ -33,12 +34,29 @@ struct TbsOutcome {
   uint64_t segments_failed = 0;
 };
 
+/// Execution knobs for TBS. Results are bit-identical for every setting:
+/// the FIFO walk is ring-by-ring (all of ring k verifies before ring k+1
+/// exists), per-segment probabilities are pure, and the inward expansion
+/// commits in ring order — exactly the sequential queue order.
+struct TraceBackOptions {
+  ThreadPool* pool = nullptr;  ///< null = sequential
+  int workers = 1;
+  /// Rings smaller than this verify inline (fan-out overhead dominates).
+  size_t min_parallel_ring = 16;
+  /// Walk neighbours through the network's flat CSR view (identical
+  /// neighbour order; layout change only).
+  bool flat_adjacency = false;
+
+  bool parallel() const { return pool != nullptr && workers > 1; }
+};
+
 /// Runs trace back search. `prob_oracle` must have been created for the
 /// same query (same starts / T / L).
 StatusOr<TbsOutcome> TraceBackSearch(const RoadNetwork& network,
                                      const BoundingRegions& regions,
                                      double prob_threshold,
-                                     ReachabilityProbability& prob_oracle);
+                                     ReachabilityProbability& prob_oracle,
+                                     const TraceBackOptions& options = {});
 
 }  // namespace strr
 

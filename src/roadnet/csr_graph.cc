@@ -1,0 +1,70 @@
+#include "roadnet/csr_graph.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "roadnet/road_network.h"
+
+namespace strr {
+namespace {
+
+/// Cell edge for the locality ranking. Matches SegmentGrid's default: a few
+/// city blocks — big enough that a chunk's segments share lines in the
+/// label arrays, small enough to split a city into many chunks.
+constexpr double kLocalityCellMeters = 250.0;
+
+}  // namespace
+
+CsrAdjacency::CsrAdjacency(const RoadNetwork& net) {
+  const size_t n = net.NumSegments();
+  lengths_.resize(n);
+  cell_rank_.assign(n, 0);
+  out_offsets_.resize(n + 1);
+  nb_offsets_.resize(n + 1);
+
+  size_t out_total = 0;
+  size_t nb_total = 0;
+  for (SegmentId s = 0; s < n; ++s) {
+    out_total += net.OutgoingOf(s).size();
+    nb_total += net.NeighborsOf(s).size();
+  }
+  out_neighbors_.reserve(out_total);
+  nb_neighbors_.reserve(nb_total);
+
+  std::vector<int64_t> cell_keys(n, 0);
+  for (SegmentId s = 0; s < n; ++s) {
+    out_offsets_[s] = static_cast<uint32_t>(out_neighbors_.size());
+    for (SegmentId next : net.OutgoingOf(s)) out_neighbors_.push_back(next);
+    nb_offsets_[s] = static_cast<uint32_t>(nb_neighbors_.size());
+    for (SegmentId nb : net.NeighborsOf(s)) nb_neighbors_.push_back(nb);
+
+    const RoadSegment& seg = net.segment(s);
+    lengths_[s] = seg.length;
+    const XyPoint mid = seg.bounding_box().Center();
+    const double mx = mid.x;
+    const double my = mid.y;
+    const int64_t cx =
+        static_cast<int64_t>(std::floor(mx / kLocalityCellMeters));
+    const int64_t cy =
+        static_cast<int64_t>(std::floor(my / kLocalityCellMeters));
+    cell_keys[s] = (cx << 32) ^ (cy & 0xffffffffLL);
+  }
+  out_offsets_[n] = static_cast<uint32_t>(out_neighbors_.size());
+  nb_offsets_[n] = static_cast<uint32_t>(nb_neighbors_.size());
+
+  // Densify cell keys into ranks: sort the distinct keys, then each
+  // segment's rank is its key's position. Equal rank <=> same 250 m cell.
+  std::vector<int64_t> distinct = cell_keys;
+  std::sort(distinct.begin(), distinct.end());
+  distinct.erase(std::unique(distinct.begin(), distinct.end()),
+                 distinct.end());
+  num_cells_ = static_cast<uint32_t>(distinct.size());
+  for (SegmentId s = 0; s < n; ++s) {
+    cell_rank_[s] = static_cast<uint32_t>(
+        std::lower_bound(distinct.begin(), distinct.end(), cell_keys[s]) -
+        distinct.begin());
+  }
+}
+
+}  // namespace strr

@@ -1,0 +1,80 @@
+// CsrAdjacency: flat compressed-sparse-row view of a finalized RoadNetwork,
+// the cache-conscious layout the frontier interior streams instead of
+// chasing per-segment std::vector adjacency.
+//
+// Layout (all arrays cache-line aligned, see util/aligned.h):
+//   out_offsets_[n+1] / out_neighbors_   — directed hops (OutgoingOf)
+//   nb_offsets_[n+1]  / nb_neighbors_    — undirected hops (NeighborsOf,
+//                                          the Trace Back Search relation)
+//   lengths_[n]                          — static segment lengths, so the
+//                                          hot loop's travel-time divide
+//                                          reads one flat double instead of
+//                                          the whole 100+-byte RoadSegment
+//   cell_rank_[n]                        — spatial-locality rank (dense id
+//                                          of the segment's 250 m grid
+//                                          cell) for locality-aware gather
+//                                          chunking in parallel rounds
+//
+// Neighbor order is copied verbatim from the RoadNetwork vectors, and
+// lengths_[s] == segment(s).length exactly, so `lengths_[next] / speed` is
+// the identical floating-point expression the legacy path computes via
+// RoadSegment::TravelTimeSeconds — the bit-identity contract holds by
+// construction, only the memory layout changes.
+#ifndef STRR_ROADNET_CSR_GRAPH_H_
+#define STRR_ROADNET_CSR_GRAPH_H_
+
+#include <cstdint>
+#include <span>
+
+#include "roadnet/segment.h"
+#include "util/aligned.h"
+
+namespace strr {
+
+class RoadNetwork;
+
+/// See file comment. Immutable after construction; safe to share across
+/// threads by const reference.
+class CsrAdjacency {
+ public:
+  /// Flattens `net` (which must be finalized). Called once from
+  /// RoadNetwork::Finalize().
+  explicit CsrAdjacency(const RoadNetwork& net);
+
+  size_t num_segments() const { return lengths_.size(); }
+
+  /// Directed successors of `s`, same order as RoadNetwork::OutgoingOf.
+  std::span<const SegmentId> Out(SegmentId s) const {
+    return {out_neighbors_.data() + out_offsets_[s],
+            out_neighbors_.data() + out_offsets_[s + 1]};
+  }
+
+  /// Undirected neighborhood of `s`, same order as RoadNetwork::NeighborsOf.
+  std::span<const SegmentId> Neighbors(SegmentId s) const {
+    return {nb_neighbors_.data() + nb_offsets_[s],
+            nb_neighbors_.data() + nb_offsets_[s + 1]};
+  }
+
+  /// Static length of `s`, meters (== RoadSegment::length, bit-exact).
+  double length(SegmentId s) const { return lengths_[s]; }
+  const double* lengths() const { return lengths_.data(); }
+
+  /// Dense id of the 250 m spatial cell holding `s`'s midpoint; segments
+  /// with equal ranks are road-network-close. Used only for scheduling
+  /// (chunk assignment), never for results.
+  uint32_t cell_rank(SegmentId s) const { return cell_rank_[s]; }
+  uint32_t num_cells() const { return num_cells_; }
+
+ private:
+  AlignedVector<uint32_t> out_offsets_;
+  AlignedVector<SegmentId> out_neighbors_;
+  AlignedVector<uint32_t> nb_offsets_;
+  AlignedVector<SegmentId> nb_neighbors_;
+  AlignedVector<double> lengths_;
+  AlignedVector<uint32_t> cell_rank_;
+  uint32_t num_cells_ = 0;
+};
+
+}  // namespace strr
+
+#endif  // STRR_ROADNET_CSR_GRAPH_H_

@@ -4,6 +4,8 @@
 #include <limits>
 #include <unordered_set>
 
+#include "roadnet/csr_graph.h"
+
 namespace strr {
 
 NodeId AddNodeImpl(std::vector<XyPoint>& nodes, const XyPoint& pos) {
@@ -108,6 +110,7 @@ Status RoadNetwork::Finalize() {
     std::sort(neighbors_[s.id].begin(), neighbors_[s.id].end());
   }
   finalized_ = true;
+  csr_ = std::make_shared<const CsrAdjacency>(*this);
   return Status::OK();
 }
 

@@ -90,14 +90,12 @@ std::vector<SegmentId> Router::Route(SegmentId source, SegmentId target) {
 const std::vector<SegmentId>& Router::RouteCached(SegmentId source,
                                                   SegmentId target) {
   uint64_t key = (static_cast<uint64_t>(source) << 32) | target;
-  auto it = cache_.find(key);
-  if (it != cache_.end()) {
+  if (const std::vector<SegmentId>* hit = cache_.Find(key)) {
     ++cache_hits_;
-    return it->second;
+    return *hit;
   }
   ++cache_misses_;
-  auto [ins, inserted] = cache_.emplace(key, Route(source, target));
-  return ins->second;
+  return *cache_.Emplace(key, Route(source, target)).first;
 }
 
 }  // namespace strr

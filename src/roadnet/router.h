@@ -7,11 +7,11 @@
 #ifndef STRR_ROADNET_ROUTER_H_
 #define STRR_ROADNET_ROUTER_H_
 
-#include <unordered_map>
 #include <vector>
 
 #include "roadnet/expansion.h"
 #include "roadnet/road_network.h"
+#include "util/flat_hash.h"
 
 namespace strr {
 
@@ -48,7 +48,10 @@ class Router {
   std::vector<uint32_t> touched_gen_;
   uint32_t generation_ = 0;
 
-  std::unordered_map<uint64_t, std::vector<SegmentId>> cache_;
+  /// Grow-only (src, dst) -> path memo. Flat open addressing: a lookup
+  /// probes one contiguous key array instead of chasing bucket nodes —
+  /// see util/flat_hash.h and bench_micro_components.
+  FlatU64Map<std::vector<SegmentId>> cache_;
   uint64_t cache_hits_ = 0;
   uint64_t cache_misses_ = 0;
 };

@@ -9,6 +9,10 @@ namespace strr {
 
 SegmentGrid::SegmentGrid(const RoadNetwork& network, double cell_meters)
     : network_(network), cell_(cell_meters > 0 ? cell_meters : 250.0) {
+  // Collect (cell, segment) pairs, then freeze them into a sorted CSR
+  // directory: the grid is build-once, so paying one sort here buys every
+  // later lookup a binary search over contiguous keys.
+  std::vector<std::pair<CellKey, SegmentId>> pairs;
   for (const RoadSegment& seg : network.segments()) {
     const Mbr& box = seg.bounding_box();
     int x0 = CellX(box.min_x());
@@ -17,10 +21,28 @@ SegmentGrid::SegmentGrid(const RoadNetwork& network, double cell_meters)
     int y1 = CellY(box.max_y());
     for (int cx = x0; cx <= x1; ++cx) {
       for (int cy = y0; cy <= y1; ++cy) {
-        cells_[KeyFor(cx, cy)].push_back(seg.id);
+        pairs.emplace_back(KeyFor(cx, cy), seg.id);
       }
     }
   }
+  std::sort(pairs.begin(), pairs.end());
+  cell_segments_.reserve(pairs.size());
+  for (const auto& [key, id] : pairs) {
+    if (cell_keys_.empty() || cell_keys_.back() != key) {
+      cell_keys_.push_back(key);
+      cell_offsets_.push_back(static_cast<uint32_t>(cell_segments_.size()));
+    }
+    cell_segments_.push_back(id);
+  }
+  cell_offsets_.push_back(static_cast<uint32_t>(cell_segments_.size()));
+}
+
+std::span<const SegmentId> SegmentGrid::CellSegments(CellKey key) const {
+  auto it = std::lower_bound(cell_keys_.begin(), cell_keys_.end(), key);
+  if (it == cell_keys_.end() || *it != key) return {};
+  size_t i = static_cast<size_t>(it - cell_keys_.begin());
+  return {cell_segments_.data() + cell_offsets_[i],
+          cell_offsets_[i + 1] - cell_offsets_[i]};
 }
 
 std::vector<SegmentId> SegmentGrid::WithinRadius(const XyPoint& p,
@@ -33,9 +55,7 @@ std::vector<SegmentId> SegmentGrid::WithinRadius(const XyPoint& p,
   int y1 = CellY(p.y + radius);
   for (int cx = x0; cx <= x1; ++cx) {
     for (int cy = y0; cy <= y1; ++cy) {
-      auto it = cells_.find(KeyFor(cx, cy));
-      if (it == cells_.end()) continue;
-      for (SegmentId id : it->second) {
+      for (SegmentId id : CellSegments(KeyFor(cx, cy))) {
         if (!seen.insert(id).second) continue;
         double d = network_.segment(id).shape.Project(p).distance;
         if (d <= radius) found.emplace_back(d, id);

@@ -7,7 +7,7 @@
 #ifndef STRR_ROADNET_SEGMENT_GRID_H_
 #define STRR_ROADNET_SEGMENT_GRID_H_
 
-#include <unordered_map>
+#include <span>
 #include <vector>
 
 #include "roadnet/road_network.h"
@@ -39,9 +39,20 @@ class SegmentGrid {
   int CellX(double x) const { return static_cast<int>(std::floor(x / cell_)); }
   int CellY(double y) const { return static_cast<int>(std::floor(y / cell_)); }
 
+  /// The segments bucketed into cell (cx, cy); empty when the cell holds
+  /// none.
+  std::span<const SegmentId> CellSegments(CellKey key) const;
+
   const RoadNetwork& network_;
   double cell_;
-  std::unordered_map<CellKey, std::vector<SegmentId>> cells_;
+  /// Frozen CSR cell directory (the grid is build-once): occupied cell
+  /// keys sorted ascending, with cell_offsets_[i] .. cell_offsets_[i+1]
+  /// delimiting cell i's segment ids in cell_segments_. A lookup is one
+  /// binary search over a contiguous key array — no bucket chains, no
+  /// per-cell vector headers.
+  std::vector<CellKey> cell_keys_;
+  std::vector<uint32_t> cell_offsets_;
+  std::vector<SegmentId> cell_segments_;
 };
 
 }  // namespace strr

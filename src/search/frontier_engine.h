@@ -96,6 +96,19 @@ struct FrontierRuntime {
   /// derives budget / 48.
   double bucket_width_seconds = 0.0;
 
+  // --- Raw-speed layout knobs (results bit-identical either way) ----------
+  /// Stream the network's flat CSR adjacency (offset/neighbor/length
+  /// arrays) instead of per-segment std::vector hops. Same neighbor order,
+  /// same float expressions — a pure layout change.
+  bool flat_adjacency = false;
+  /// Software-prefetch successor label slots ahead of each relaxation.
+  /// A scheduling hint only; no effect on results.
+  bool prefetch = false;
+  /// Partition parallel gather rounds by SegmentGrid cell (spatial
+  /// locality) instead of arrival order. Candidates are re-sorted to the
+  /// sequential commit order before applying, so results are unchanged.
+  bool locality_chunking = false;
+
   bool parallel() const { return pool != nullptr && workers > 1; }
 };
 

@@ -1,0 +1,101 @@
+// FlatU64Map: open-addressing hash map from uint64_t keys to values,
+// stored flat in two parallel arrays — the cache-conscious replacement
+// for node-based unordered_map in grow-only memo caches (Router's path
+// cache). One lookup is a hash, a mask and a short linear probe over one
+// contiguous array: no bucket pointer chase, no per-node allocation.
+//
+// Deliberately minimal: insert-or-find and lookup only (no erase — the
+// memo caches it serves never remove entries), power-of-two capacity,
+// linear probing at <= 0.7 load. Values live in a parallel vector so
+// probing touches only the 8-byte keys.
+#ifndef STRR_UTIL_FLAT_HASH_H_
+#define STRR_UTIL_FLAT_HASH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace strr {
+
+template <typename V>
+class FlatU64Map {
+ public:
+  explicit FlatU64Map(size_t initial_capacity = 64) {
+    size_t cap = 16;
+    while (cap < initial_capacity) cap <<= 1;
+    slots_.assign(cap, Slot{});
+  }
+
+  size_t size() const { return size_; }
+
+  /// Pointer to the value for `key`, or nullptr when absent.
+  V* Find(uint64_t key) {
+    size_t i = Probe(key);
+    return slots_[i].used ? &values_[slots_[i].value_index] : nullptr;
+  }
+  const V* Find(uint64_t key) const {
+    size_t i = Probe(key);
+    return slots_[i].used ? &values_[slots_[i].value_index] : nullptr;
+  }
+
+  /// Returns {value pointer, inserted}. The pointer stays valid until the
+  /// next insertion (values live in a growing vector).
+  std::pair<V*, bool> Emplace(uint64_t key, V value) {
+    MaybeGrow();
+    size_t i = Probe(key);
+    if (slots_[i].used) return {&values_[slots_[i].value_index], false};
+    slots_[i].used = true;
+    slots_[i].key = key;
+    slots_[i].value_index = static_cast<uint32_t>(values_.size());
+    values_.push_back(std::move(value));
+    ++size_;
+    return {&values_.back(), true};
+  }
+
+ private:
+  struct Slot {
+    uint64_t key = 0;
+    uint32_t value_index = 0;
+    bool used = false;
+  };
+
+  static uint64_t Mix(uint64_t k) {
+    // splitmix64 finalizer: full-avalanche so sequential (src<<32)|dst
+    // keys spread over the table.
+    k ^= k >> 30;
+    k *= 0xbf58476d1ce4e5b9ULL;
+    k ^= k >> 27;
+    k *= 0x94d049bb133111ebULL;
+    k ^= k >> 31;
+    return k;
+  }
+
+  /// Index of `key`'s slot (used) or the first free slot of its probe
+  /// sequence. The table always keeps free slots (load <= 0.7).
+  size_t Probe(uint64_t key) const {
+    const size_t mask = slots_.size() - 1;
+    size_t i = static_cast<size_t>(Mix(key)) & mask;
+    while (slots_[i].used && slots_[i].key != key) i = (i + 1) & mask;
+    return i;
+  }
+
+  void MaybeGrow() {
+    if ((size_ + 1) * 10 <= slots_.size() * 7) return;
+    std::vector<Slot> old = std::move(slots_);
+    slots_.assign(old.size() * 2, Slot{});
+    for (const Slot& s : old) {
+      if (!s.used) continue;
+      size_t i = Probe(s.key);
+      slots_[i] = s;
+    }
+  }
+
+  std::vector<Slot> slots_;
+  std::vector<V> values_;
+  size_t size_ = 0;
+};
+
+}  // namespace strr
+
+#endif  // STRR_UTIL_FLAT_HASH_H_

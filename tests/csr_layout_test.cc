@@ -1,0 +1,336 @@
+// Raw-speed interior tests: the flat CSR adjacency view and every layout
+// knob stacked on it must be bit-identical to the legacy per-segment walk.
+//
+//  * CsrAdjacency structure oracle (flattened lists == RoadNetwork's);
+//  * timed expansion: every knob combination (flat, flat+prefetch,
+//    flat+prefetch+locality) vs the legacy engine, sequential AND
+//    parallel, over randomized cities and a tie-heavy uniform grid;
+//  * cone expansion (Con-Index flat_interior) determinism;
+//  * parallel TBS: ring-fanned verification vs sequential, through the
+//    executor knobs so the wiring is covered too;
+//  * SoA context pool reuse under a concurrent query x ingest hammer with
+//    all layout knobs on (the TSan/ASan CI workload for this PR).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "core/query_executor.h"
+#include "core/reachability_engine.h"
+#include "index/con_index.h"
+#include "query/bounding_region.h"
+#include "roadnet/city_generator.h"
+#include "roadnet/csr_graph.h"
+#include "roadnet/expansion.h"
+#include "search/expansion_context.h"
+#include "search/frontier_engine.h"
+#include "tests/test_util.h"
+#include "util/thread_pool.h"
+
+namespace strr {
+namespace {
+
+using testing_util::GetSharedStack;
+using testing_util::MakeGridNetwork;
+
+SpeedFn HashSpeeds(uint64_t salt) {
+  return [salt](SegmentId id) {
+    uint64_t h = (static_cast<uint64_t>(id) + salt) * 0x9e3779b97f4a7c15ull;
+    h ^= h >> 29;
+    return 4.0 + static_cast<double>(h % 1000) / 40.0;
+  };
+}
+
+SpeedFn ConstantSpeed(double v) {
+  return [v](SegmentId) { return v; };
+}
+
+/// The layout knob combinations under test (legacy is the oracle).
+struct LayoutCase {
+  const char* name;
+  bool flat;
+  bool prefetch;
+  bool locality;
+};
+constexpr LayoutCase kLayouts[] = {
+    {"flat", true, false, false},
+    {"flat+prefetch", true, true, false},
+    {"flat+prefetch+locality", true, true, true},
+};
+
+FrontierRuntime LayoutRuntime(const LayoutCase& layout, ThreadPool* pool,
+                              int workers) {
+  FrontierRuntime runtime;
+  runtime.pool = pool;
+  runtime.workers = workers;
+  if (pool != nullptr) runtime.min_parallel_frontier = 1;
+  runtime.flat_adjacency = layout.flat;
+  runtime.prefetch = layout.prefetch;
+  runtime.locality_chunking = layout.locality;
+  return runtime;
+}
+
+void ExpectTimedIdentical(const RoadNetwork& net, ExpansionContext& want,
+                          ExpansionContext& got, const char* tag) {
+  for (SegmentId s = 0; s < net.NumSegments(); ++s) {
+    ASSERT_EQ(want.Seen(s), got.Seen(s)) << tag << ": seen differs at " << s;
+    if (!want.Seen(s)) continue;
+    ASSERT_EQ(want.Label(s), got.Label(s)) << tag << ": label at " << s;
+    ASSERT_EQ(want.Origin(s), got.Origin(s)) << tag << ": origin at " << s;
+    ASSERT_EQ(want.Parent(s), got.Parent(s)) << tag << ": parent at " << s;
+  }
+}
+
+// --- CSR structure ----------------------------------------------------------
+
+TEST(CsrAdjacencyTest, FlattensNetworkListsVerbatim) {
+  for (uint64_t seed : {5ull, 23ull}) {
+    CityOptions copt;
+    copt.grid_cols = 7;
+    copt.grid_rows = 6;
+    copt.seed = seed;
+    auto city = GenerateCity(copt);
+    ASSERT_TRUE(city.ok());
+    const RoadNetwork& net = city->network;
+    const CsrAdjacency* csr = net.csr();
+    ASSERT_NE(csr, nullptr) << "Finalize must build the CSR view";
+    ASSERT_EQ(csr->num_segments(), net.NumSegments());
+    for (SegmentId s = 0; s < net.NumSegments(); ++s) {
+      const std::vector<SegmentId>& out = net.OutgoingOf(s);
+      std::span<const SegmentId> flat = csr->Out(s);
+      ASSERT_EQ(std::vector<SegmentId>(flat.begin(), flat.end()), out)
+          << "outgoing list differs at " << s;
+      const std::vector<SegmentId>& nb = net.NeighborsOf(s);
+      std::span<const SegmentId> fnb = csr->Neighbors(s);
+      ASSERT_EQ(std::vector<SegmentId>(fnb.begin(), fnb.end()), nb)
+          << "neighbor list differs at " << s;
+      ASSERT_EQ(csr->length(s), net.segment(s).length);
+      ASSERT_LT(csr->cell_rank(s), csr->num_cells());
+    }
+  }
+}
+
+// --- Timed expansion: CSR == legacy, sequential and parallel ----------------
+
+TEST(CsrLayoutTest, TimedBitIdenticalOnRandomCities) {
+  ThreadPool pool(3);
+  for (uint64_t seed : {3ull, 19ull, 71ull}) {
+    CityOptions copt;
+    copt.grid_cols = 9;
+    copt.grid_rows = 7;
+    copt.seed = seed;
+    auto city = GenerateCity(copt);
+    ASSERT_TRUE(city.ok());
+    const RoadNetwork& net = city->network;
+    std::vector<SegmentId> sources{
+        0, SegmentId(net.NumSegments() / 3), SegmentId(net.NumSegments() / 2),
+        SegmentId(net.NumSegments() - 1)};
+
+    FrontierEngine::TimedRequest request;
+    request.sources = sources;
+    request.budget = 700.0;
+    request.track_origin = true;
+    request.track_parent = true;
+    SpeedFn speeds = HashSpeeds(seed);
+
+    FrontierEngine legacy(net);
+    ExpansionContext want;
+    legacy.RunTimed(want, request, speeds);
+
+    for (const LayoutCase& layout : kLayouts) {
+      FrontierEngine seq(net, LayoutRuntime(layout, nullptr, 1));
+      ExpansionContext seq_ctx;
+      seq.RunTimed(seq_ctx, request, speeds);
+      ExpectTimedIdentical(net, want, seq_ctx, layout.name);
+      EXPECT_EQ(legacy.ReachedSorted(want), seq.ReachedSorted(seq_ctx));
+
+      FrontierEngine par(net, LayoutRuntime(layout, &pool, 4));
+      ExpansionContext par_ctx;
+      SearchMetrics metrics;
+      par.RunTimed(par_ctx, request, speeds, &metrics);
+      ExpectTimedIdentical(net, want, par_ctx, layout.name);
+      EXPECT_GT(metrics.parallel_rounds, 0u)
+          << layout.name << ": fan-out never engaged";
+    }
+  }
+}
+
+TEST(CsrLayoutTest, TimedBitIdenticalUnderHeavyTies) {
+  // Uniform grid + constant speed: maximal equal-cost ties — the worst
+  // case for origin/parent determinism under reordered gathers.
+  RoadNetwork net = MakeGridNetwork(9, 9, 250.0);
+  ThreadPool pool(3);
+  std::vector<SegmentId> sources{0, SegmentId(net.NumSegments() / 2),
+                                 SegmentId(net.NumSegments() - 2)};
+  FrontierEngine::TimedRequest request;
+  request.sources = sources;
+  request.budget = 500.0;
+  request.track_origin = true;
+  request.track_parent = true;
+  SpeedFn speeds = ConstantSpeed(10.0);
+
+  FrontierEngine legacy(net);
+  ExpansionContext want;
+  legacy.RunTimed(want, request, speeds);
+  for (const LayoutCase& layout : kLayouts) {
+    FrontierEngine par(net, LayoutRuntime(layout, &pool, 4));
+    ExpansionContext got;
+    par.RunTimed(got, request, speeds);
+    ExpectTimedIdentical(net, want, got, layout.name);
+  }
+}
+
+// --- Con-Index flat interior ------------------------------------------------
+
+TEST(CsrLayoutTest, ConIndexFlatInteriorBuildsIdenticalTables) {
+  auto& stack = GetSharedStack();
+  const RoadNetwork& net = stack.engine->network();
+  const SpeedProfile& profile = stack.engine->speed_profile();
+  ConIndexOptions legacy_opt;
+  legacy_opt.delta_t_seconds = 300;
+  ConIndexOptions flat_opt = legacy_opt;
+  flat_opt.flat_interior = true;
+
+  auto legacy = ConIndex::Create(net, profile, legacy_opt);
+  auto flat = ConIndex::Create(net, profile, flat_opt);
+  ASSERT_TRUE(legacy.ok() && flat.ok());
+  const int64_t tod = HMS(11);
+  for (SegmentId s = 0; s < net.NumSegments(); ++s) {
+    ASSERT_EQ((**legacy).Far(s, tod), (**flat).Far(s, tod))
+        << "Far list differs at " << s;
+    ASSERT_EQ((**legacy).Near(s, tod), (**flat).Near(s, tod))
+        << "Near list differs at " << s;
+  }
+}
+
+// --- Executor end to end: all knobs, sequential vs parallel -----------------
+
+TEST(CsrLayoutTest, ExecutorLayoutKnobsMatchLegacyEndToEnd) {
+  auto& stack = GetSharedStack();
+  auto legacy = stack.engine->MakeExecutor({.num_threads = 1});
+  auto flat_seq = stack.engine->MakeExecutor({.num_threads = 1,
+                                              .interior_flat_adjacency = true,
+                                              .interior_prefetch = true});
+  auto flat_par = stack.engine->MakeExecutor(
+      {.num_threads = 1,
+       .interior_workers = 4,
+       .interior_flat_adjacency = true,
+       .interior_prefetch = true,
+       .interior_locality_chunking = true,
+       .parallel_tbs = true});
+
+  MQuery q;
+  q.locations = {stack.dataset.center,
+                 {stack.dataset.center.x + 1500.0, stack.dataset.center.y},
+                 {stack.dataset.center.x, stack.dataset.center.y - 1800.0}};
+  q.start_tod = HMS(11);
+  q.duration = 1200;
+  q.prob = 0.2;
+  auto plan = stack.engine->planner().PlanMQuery(q, QueryStrategy::kIndexed);
+  ASSERT_TRUE(plan.ok());
+
+  auto want = legacy->Execute(*plan);
+  auto seq = flat_seq->Execute(*plan);
+  auto par = flat_par->Execute(*plan);
+  ASSERT_TRUE(want.ok() && seq.ok() && par.ok());
+  EXPECT_EQ(want->segments, seq->segments);
+  EXPECT_EQ(want->segments, par->segments);
+  EXPECT_EQ(want->total_length_m, seq->total_length_m);
+  EXPECT_EQ(want->total_length_m, par->total_length_m);
+  EXPECT_EQ(want->stats.segments_expanded, seq->stats.segments_expanded);
+  EXPECT_EQ(want->stats.segments_expanded, par->stats.segments_expanded);
+  EXPECT_EQ(want->stats.segments_verified, seq->stats.segments_verified);
+  EXPECT_EQ(want->stats.segments_verified, par->stats.segments_verified);
+  EXPECT_GT(want->stats.segments_expanded, 0u);
+}
+
+TEST(CsrLayoutTest, ParallelTbsMatchesSequentialAcrossProbabilities) {
+  // Low thresholds grow the trace-back rings (most segments fail), so the
+  // ring fan-out actually engages; high thresholds exercise the
+  // everything-qualifies early exit.
+  auto& stack = GetSharedStack();
+  auto sequential = stack.engine->MakeExecutor({.num_threads = 1});
+  auto parallel = stack.engine->MakeExecutor({.num_threads = 1,
+                                              .interior_workers = 4,
+                                              .parallel_tbs = true});
+  for (double prob : {0.05, 0.2, 0.6, 0.95}) {
+    SQuery q{stack.dataset.center, HMS(11), 900, prob};
+    auto plan = stack.engine->planner().PlanSQuery(q);
+    ASSERT_TRUE(plan.ok());
+    auto want = sequential->Execute(*plan);
+    auto got = parallel->Execute(*plan);
+    ASSERT_TRUE(want.ok() && got.ok());
+    EXPECT_EQ(want->segments, got->segments) << "prob " << prob;
+    EXPECT_EQ(want->stats.segments_verified, got->stats.segments_verified)
+        << "prob " << prob;
+  }
+}
+
+// --- Pool reuse under query x ingest with all knobs on ----------------------
+
+TEST(CsrLayoutTest, PoolReuseUnderQueryIngestHammerWithFlatInterior) {
+  auto& base = GetSharedStack();
+  EngineOptions opt;
+  opt.work_dir = testing_util::MakeTempDir("csr_hammer");
+  opt.delta_t_seconds = 300;
+  opt.query_threads = 2;
+  opt.interior_workers = 3;
+  opt.interior_flat_adjacency = true;
+  opt.interior_prefetch = true;
+  opt.interior_locality_chunking = true;
+  opt.parallel_tbs = true;
+  opt.live_ingestion = true;
+  opt.live_batch_window_ms = 2;
+  opt.result_cache_entries = 128;
+  auto engine_or =
+      ReachabilityEngine::Build(base.dataset.network, *base.dataset.store, opt);
+  ASSERT_TRUE(engine_or.ok()) << engine_or.status().ToString();
+  ReachabilityEngine& engine = **engine_or;
+
+  SQuery q{base.dataset.center, HMS(11), 900, 0.2};
+  auto plan = engine.planner().PlanSQuery(q);
+  ASSERT_TRUE(plan.ok());
+  auto reference = engine.executor().Execute(*plan);
+  ASSERT_TRUE(reference.ok());
+
+  std::atomic<bool> stop{false};
+  std::atomic<bool> ok{true};
+  std::thread feeder([&] {
+    uint64_t i = 0;
+    while (!stop.load()) {
+      SegmentId seg = static_cast<SegmentId>(
+          i % base.dataset.network.NumSegments());
+      engine.ApplySpeedObservation(seg, HMS(11, static_cast<int>(i % 60)),
+                                   3.0 + static_cast<double>(i % 14));
+      ++i;
+      std::this_thread::yield();
+    }
+  });
+  std::vector<std::thread> queriers;
+  for (int t = 0; t < 3; ++t) {
+    queriers.emplace_back([&] {
+      for (int i = 0; i < 30 && ok.load(); ++i) {
+        auto result = engine.executor().Execute(*plan);
+        if (!result.ok() || result->segments.empty()) ok.store(false);
+      }
+    });
+  }
+  for (auto& t : queriers) t.join();
+  stop.store(true);
+  feeder.join();
+  EXPECT_TRUE(ok.load());
+
+  // The SoA contexts must be recycled, not reallocated per query.
+  QueryExecutor::FrontDoorStats fds = engine.executor().front_door_stats();
+  EXPECT_GT(fds.ctx_pool_reuses, 0u);
+
+  auto again = engine.executor().Execute(*plan);
+  ASSERT_TRUE(again.ok());
+  if (again->stats.snapshot_version == reference->stats.snapshot_version) {
+    EXPECT_EQ(again->segments, reference->segments);
+  }
+}
+
+}  // namespace
+}  // namespace strr

@@ -236,6 +236,88 @@ TEST(ResultCacheDoorkeeperTest, OffByDefaultKeepsPlainLruChurn) {
                                                "scan churns the hot entry";
 }
 
+// --- Segmented LRU (full TinyLFU) -------------------------------------------
+
+TEST(ResultCacheSegmentedTest, ScanCannotChurnTwiceAccessedEntries) {
+  // Probation/protected split: entries with a second access live in the
+  // protected segment, so a scan far larger than capacity churns only
+  // probation. (Contrast OffByDefaultKeepsPlainLruChurn, where one-shot
+  // inserts evict the hot entry.)
+  ResultCache cache(300,
+                    {.capacity = 8, .shards = 1, .protected_share = 0.5});
+  std::vector<PlanKey> hot;
+  for (int i = 0; i < 4; ++i) {
+    hot.push_back(MakePlanKey(HandPlan(HMS(8), 300 + 60 * i)));
+    cache.Insert(hot.back(), FakeResult({SegmentId(i)}));
+  }
+  // Second access promotes each hot entry out of probation.
+  for (const PlanKey& k : hot) EXPECT_TRUE(cache.Lookup(k).has_value());
+
+  for (int i = 0; i < 100; ++i) {
+    cache.Insert(MakePlanKey(HandPlan(HMS(13), 300 + 60 * i)),
+                 FakeResult({999}));
+  }
+  for (size_t i = 0; i < hot.size(); ++i) {
+    EXPECT_TRUE(cache.Lookup(hot[i]).has_value())
+        << "scan evicted protected entry " << i;
+  }
+  ResultCache::Stats stats = cache.stats();
+  EXPECT_GE(stats.promotions, 4u);
+  EXPECT_GT(stats.evictions, 0u);
+}
+
+TEST(ResultCacheSegmentedTest, ProtectedOverflowDemotesBackToProbation) {
+  // Protected capacity 2 of 4: promoting a third hot entry demotes the
+  // protected tail, which becomes evictable again.
+  ResultCache cache(300,
+                    {.capacity = 4, .shards = 1, .protected_share = 0.5});
+  std::vector<PlanKey> keys;
+  for (int i = 0; i < 3; ++i) {
+    keys.push_back(MakePlanKey(HandPlan(HMS(8), 300 + 60 * i)));
+    cache.Insert(keys.back(), FakeResult({SegmentId(i)}));
+    EXPECT_TRUE(cache.Lookup(keys.back()).has_value());  // promote
+  }
+  ResultCache::Stats stats = cache.stats();
+  EXPECT_EQ(stats.promotions, 3u);
+  EXPECT_GE(stats.demotions, 1u);
+  // All three still resident (demotion moves, never drops).
+  for (const PlanKey& k : keys) EXPECT_TRUE(cache.Lookup(k).has_value());
+}
+
+// --- Per-tenant capacity envelopes ------------------------------------------
+
+TEST(ResultCacheTenantEnvelopeTest, HotTenantFloodCannotEvictColdTenant) {
+  // Envelope 0.5 of a 64-entry shard: the hot tenant caps at 32 resident
+  // entries and evicts its own LRU once there; the cold tenant's 8
+  // entries survive a 1000-insert flood untouched.
+  ResultCache cache(300, {.capacity = 64,
+                          .shards = 1,
+                          .tenant_capacity_share = 0.5});
+  const TenantId cold = 1, hot = 2;
+  std::vector<PlanKey> cold_keys;
+  for (int i = 0; i < 8; ++i) {
+    QueryPlan plan = HandPlan(HMS(8), 300 + 60 * i);
+    plan.tenant = cold;
+    cold_keys.push_back(MakePlanKey(plan));
+    cache.Insert(cold_keys.back(), FakeResult({SegmentId(i)}), cold);
+  }
+  for (int i = 0; i < 1000; ++i) {
+    QueryPlan plan = HandPlan(HMS(13), 300 + 60 * i);
+    plan.tenant = hot;
+    cache.Insert(MakePlanKey(plan), FakeResult({999}), hot);
+  }
+  EXPECT_LE(cache.TenantSize(hot), 32u);
+  EXPECT_EQ(cache.TenantSize(cold), 8u);
+  for (size_t i = 0; i < cold_keys.size(); ++i) {
+    EXPECT_TRUE(cache.Lookup(cold_keys[i]).has_value())
+        << "hot flood evicted cold entry " << i;
+  }
+  ResultCache::Stats stats = cache.stats();
+  EXPECT_GT(stats.tenant_evictions, 0u);
+  EXPECT_EQ(stats.evictions, 0u)
+      << "the shard never filled; every eviction must be envelope-driven";
+}
+
 // --- Executor front door: cached == uncached --------------------------------
 
 TEST(ResultCacheExecutorTest, CachedResultsAreBitIdenticalToUncached) {
