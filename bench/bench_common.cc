@@ -35,7 +35,7 @@ DatasetOptions BenchScaleOptions() {
 
 StatusOr<Dataset> LoadOrBuildBenchDataset() {
   std::string dir = CacheDir() + (SmallScale() ? "/small" : "/full");
-  if (std::filesystem::exists(dir + "/meta.strr")) {
+  if (DatasetExists(dir)) {
     Stopwatch watch;
     auto loaded = LoadDataset(dir);
     if (loaded.ok()) {

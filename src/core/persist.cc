@@ -1,36 +1,316 @@
 #include "core/persist.h"
 
+#include <algorithm>
+#include <cmath>
+#include <cstring>
 #include <filesystem>
-#include <fstream>
+#include <utility>
+#include <vector>
 
+#include "storage/fs_util.h"
+#include "util/crc32c.h"
 #include "util/serialize.h"
 
 namespace strr {
 
 namespace {
 
+namespace fs = std::filesystem;
+
 constexpr uint64_t kNetworkMagic = 0x5354525f4e455431ULL;   // "STR_NET1"
 constexpr uint64_t kTrajMagic = 0x5354525f54524a31ULL;      // "STR_TRJ1"
 constexpr uint64_t kMetaMagic = 0x5354525f4d455431ULL;      // "STR_MET1"
+constexpr uint64_t kManifestMagic = 0x5354525f4d414e31ULL;  // "STR_MAN1"
 constexpr uint32_t kFormatVersion = 1;
+constexpr uint32_t kManifestVersion = 1;
 
-Status WriteFileBytes(const std::string& path, const std::string& bytes) {
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  if (!out) return Status::IoError("cannot open for write: " + path);
-  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
-  if (!out) return Status::IoError("short write: " + path);
+constexpr char kManifestName[] = "MANIFEST.strr";
+
+// Speeds are stored at cm/s resolution. The clamp bounds make the varint
+// encoding total (negative/NaN inputs cannot wrap to garbage) and give the
+// loader a tight validity check: nothing on a road moves at > 1 km/s.
+constexpr double kMaxSpeedMps = 1000.0;
+constexpr uint32_t kMaxSpeedCms = 100000;
+
+constexpr int32_t kMaxDays = 100000;
+
+// Dataset file roles, in manifest order.
+enum class FileRole : uint8_t { kNetwork = 0, kTrajectories = 1, kMeta = 2 };
+
+const char* RoleBaseName(FileRole role) {
+  switch (role) {
+    case FileRole::kNetwork: return "network";
+    case FileRole::kTrajectories: return "trajectories";
+    case FileRole::kMeta: return "meta";
+  }
+  return "unknown";
+}
+
+std::string VersionedName(FileRole role, uint64_t revision) {
+  return std::string(RoleBaseName(role)) + "." + std::to_string(revision) +
+         ".strr";
+}
+
+std::string LegacyName(FileRole role) {
+  return std::string(RoleBaseName(role)) + ".strr";
+}
+
+uint32_t EncodeSpeedCms(float speed_mps) {
+  double s = static_cast<double>(speed_mps);
+  if (!std::isfinite(s) || s < 0.0) s = 0.0;
+  if (s > kMaxSpeedMps) s = kMaxSpeedMps;
+  return static_cast<uint32_t>(s * 100.0 + 0.5);
+}
+
+std::string SerializeTrajectories(const Dataset& dataset) {
+  BinaryWriter t;
+  t.PutU64(kTrajMagic);
+  t.PutU32(kFormatVersion);
+  t.PutU32(static_cast<uint32_t>(dataset.store->num_days()));
+  t.PutU64(dataset.store->NumTrajectories());
+  dataset.store->ForEach([&](const MatchedTrajectory& traj) {
+    t.PutU32(traj.id);
+    t.PutU32(traj.taxi);
+    t.PutU32(static_cast<uint32_t>(traj.day));
+    t.PutVarint32(static_cast<uint32_t>(traj.samples.size()));
+    Timestamp prev = MakeTimestamp(traj.day, 0);
+    for (const MatchedSample& s : traj.samples) {
+      t.PutVarint32(s.segment);
+      t.PutVarint64(static_cast<uint64_t>(s.timestamp - prev));
+      prev = s.timestamp;
+      // Speed at cm/s resolution keeps the file compact.
+      t.PutVarint32(EncodeSpeedCms(s.speed_mps));
+    }
+  });
+  return t.Release();
+}
+
+std::string SerializeMeta(const Dataset& dataset) {
+  BinaryWriter m;
+  m.PutU64(kMetaMagic);
+  m.PutU32(kFormatVersion);
+  m.PutDouble(dataset.projection.origin().lat);
+  m.PutDouble(dataset.projection.origin().lon);
+  m.PutDouble(dataset.center.x);
+  m.PutDouble(dataset.center.y);
+  m.PutU64(dataset.num_trips);
+  m.PutU64(dataset.approx_gps_points);
+  return m.Release();
+}
+
+Status ParseTrajectories(const std::string& bytes, Dataset* dataset) {
+  BinaryReader r(bytes);
+  STRR_ASSIGN_OR_RETURN(uint64_t magic, r.GetU64());
+  if (magic != kTrajMagic) return Status::Corruption("bad trajectory magic");
+  STRR_ASSIGN_OR_RETURN(uint32_t version, r.GetU32());
+  if (version != kFormatVersion) {
+    return Status::Corruption("unsupported trajectory format version");
+  }
+  STRR_ASSIGN_OR_RETURN(uint32_t num_days, r.GetU32());
+  if (num_days > static_cast<uint32_t>(kMaxDays)) {
+    return Status::Corruption("implausible day count " +
+                              std::to_string(num_days));
+  }
+  STRR_ASSIGN_OR_RETURN(uint64_t num_trajs, r.GetU64());
+  // A trajectory costs >= 13 bytes (id, taxi, day, sample count); reject
+  // impossible counts before allocating anything proportional to them.
+  if (num_trajs > r.RemainingBytes() / 13) {
+    return Status::Corruption("trajectory count exceeds remaining bytes");
+  }
+  dataset->store =
+      std::make_unique<TrajectoryStore>(static_cast<int32_t>(num_days));
+  for (uint64_t i = 0; i < num_trajs; ++i) {
+    MatchedTrajectory traj;
+    STRR_ASSIGN_OR_RETURN(traj.id, r.GetU32());
+    STRR_ASSIGN_OR_RETURN(traj.taxi, r.GetU32());
+    STRR_ASSIGN_OR_RETURN(uint32_t day, r.GetU32());
+    traj.day = static_cast<DayIndex>(day);
+    STRR_ASSIGN_OR_RETURN(uint32_t num_samples, r.GetVarint32());
+    // A sample costs >= 3 bytes (segment, delta, speed varints).
+    if (num_samples > r.RemainingBytes() / 3) {
+      return Status::Corruption("sample count exceeds remaining bytes");
+    }
+    traj.samples.reserve(num_samples);
+    Timestamp prev = MakeTimestamp(traj.day, 0);
+    for (uint32_t k = 0; k < num_samples; ++k) {
+      MatchedSample s;
+      STRR_ASSIGN_OR_RETURN(s.segment, r.GetVarint32());
+      STRR_ASSIGN_OR_RETURN(uint64_t delta, r.GetVarint64());
+      s.timestamp = prev + static_cast<Timestamp>(delta);
+      prev = s.timestamp;
+      STRR_ASSIGN_OR_RETURN(uint32_t speed_cms, r.GetVarint32());
+      if (speed_cms > kMaxSpeedCms) {
+        return Status::Corruption("sample speed out of range: " +
+                                  std::to_string(speed_cms) + " cm/s");
+      }
+      s.speed_mps = speed_cms / 100.0f;
+      traj.samples.push_back(s);
+    }
+    STRR_RETURN_IF_ERROR(dataset->store->Add(std::move(traj)));
+  }
   return Status::OK();
 }
 
-StatusOr<std::string> ReadFileBytes(const std::string& path) {
-  std::ifstream in(path, std::ios::binary | std::ios::ate);
-  if (!in) return Status::IoError("cannot open for read: " + path);
-  std::streamsize size = in.tellg();
-  in.seekg(0);
-  std::string bytes(static_cast<size_t>(size), '\0');
-  in.read(bytes.data(), size);
-  if (!in) return Status::IoError("short read: " + path);
+Status ParseMeta(const std::string& bytes, Dataset* dataset) {
+  BinaryReader r(bytes);
+  STRR_ASSIGN_OR_RETURN(uint64_t magic, r.GetU64());
+  if (magic != kMetaMagic) return Status::Corruption("bad meta magic");
+  STRR_ASSIGN_OR_RETURN(uint32_t version, r.GetU32());
+  if (version != kFormatVersion) {
+    return Status::Corruption("unsupported meta format version");
+  }
+  STRR_ASSIGN_OR_RETURN(double lat, r.GetDouble());
+  STRR_ASSIGN_OR_RETURN(double lon, r.GetDouble());
+  dataset->projection = Projection({lat, lon});
+  STRR_ASSIGN_OR_RETURN(dataset->center.x, r.GetDouble());
+  STRR_ASSIGN_OR_RETURN(dataset->center.y, r.GetDouble());
+  STRR_ASSIGN_OR_RETURN(dataset->num_trips, r.GetU64());
+  STRR_ASSIGN_OR_RETURN(dataset->approx_gps_points, r.GetU64());
+  return Status::OK();
+}
+
+struct ManifestEntry {
+  FileRole role;
+  std::string filename;
+  uint64_t size = 0;
+  uint32_t crc = 0;
+};
+
+struct Manifest {
+  uint64_t revision = 0;
+  std::vector<ManifestEntry> entries;
+};
+
+std::string SerializeManifest(const Manifest& manifest) {
+  BinaryWriter w;
+  w.PutU64(kManifestMagic);
+  w.PutU32(kManifestVersion);
+  w.PutU64(manifest.revision);
+  w.PutVarint32(static_cast<uint32_t>(manifest.entries.size()));
+  for (const ManifestEntry& e : manifest.entries) {
+    w.PutU8(static_cast<uint8_t>(e.role));
+    w.PutString(e.filename);
+    w.PutU64(e.size);
+    w.PutU32(e.crc);
+  }
+  // Self-checksum: a torn or bit-flipped manifest is detected before any
+  // entry is trusted.
+  w.PutU32(Crc32c(w.data()));
+  return w.Release();
+}
+
+StatusOr<Manifest> ParseManifest(const std::string& bytes) {
+  if (bytes.size() < 4) return Status::Corruption("manifest too short");
+  uint32_t stored_crc;
+  std::memcpy(&stored_crc, bytes.data() + bytes.size() - 4, 4);
+  if (Crc32c(bytes.data(), bytes.size() - 4) != stored_crc) {
+    return Status::Corruption("manifest checksum mismatch");
+  }
+  BinaryReader r(bytes.data(), bytes.size() - 4);
+  STRR_ASSIGN_OR_RETURN(uint64_t magic, r.GetU64());
+  if (magic != kManifestMagic) return Status::Corruption("bad manifest magic");
+  STRR_ASSIGN_OR_RETURN(uint32_t version, r.GetU32());
+  if (version != kManifestVersion) {
+    return Status::Corruption("unsupported manifest version " +
+                              std::to_string(version));
+  }
+  Manifest manifest;
+  STRR_ASSIGN_OR_RETURN(manifest.revision, r.GetU64());
+  STRR_ASSIGN_OR_RETURN(uint32_t num_entries, r.GetVarint32());
+  // An entry costs >= 14 bytes (role, empty name, size, crc).
+  if (num_entries > r.RemainingBytes() / 14) {
+    return Status::Corruption("manifest entry count exceeds remaining bytes");
+  }
+  manifest.entries.reserve(num_entries);
+  for (uint32_t i = 0; i < num_entries; ++i) {
+    ManifestEntry e;
+    STRR_ASSIGN_OR_RETURN(uint8_t role, r.GetU8());
+    if (role > static_cast<uint8_t>(FileRole::kMeta)) {
+      return Status::Corruption("unknown manifest file role " +
+                                std::to_string(role));
+    }
+    e.role = static_cast<FileRole>(role);
+    STRR_ASSIGN_OR_RETURN(e.filename, r.GetString());
+    if (e.filename.empty() ||
+        e.filename.find('/') != std::string::npos ||
+        e.filename.find("..") != std::string::npos) {
+      return Status::Corruption("manifest filename escapes dataset dir");
+    }
+    STRR_ASSIGN_OR_RETURN(e.size, r.GetU64());
+    STRR_ASSIGN_OR_RETURN(e.crc, r.GetU32());
+    manifest.entries.push_back(std::move(e));
+  }
+  if (!r.AtEnd()) return Status::Corruption("trailing bytes in manifest");
+  return manifest;
+}
+
+/// Reads a manifest entry's file and verifies size + checksum against the
+/// manifest before handing the bytes to a parser.
+StatusOr<std::string> ReadVerifiedFile(const std::string& dir,
+                                       const ManifestEntry& entry) {
+  STRR_ASSIGN_OR_RETURN(std::string bytes,
+                        ReadFileToString(dir + "/" + entry.filename));
+  if (bytes.size() != entry.size) {
+    return Status::Corruption("size mismatch for " + entry.filename +
+                              ": manifest says " + std::to_string(entry.size) +
+                              ", file has " + std::to_string(bytes.size()));
+  }
+  if (Crc32c(bytes) != entry.crc) {
+    return Status::Corruption("checksum mismatch for " + entry.filename);
+  }
   return bytes;
+}
+
+// Largest revision number visible in versioned dataset filenames
+// ("<base>.<N>.strr"), so a save never reuses a revision even when the
+// manifest is missing or unreadable.
+uint64_t MaxRevisionOnDisk(const std::string& dir) {
+  uint64_t max_rev = 0;
+  std::error_code ec;
+  for (const fs::directory_entry& entry : fs::directory_iterator(dir, ec)) {
+    const std::string name = entry.path().filename().string();
+    size_t first = name.find('.');
+    size_t last = name.rfind(".strr");
+    if (first == std::string::npos || last == std::string::npos ||
+        first + 1 >= last || last + 5 != name.size()) {
+      continue;
+    }
+    uint64_t rev = 0;
+    bool numeric = true;
+    for (size_t i = first + 1; i < last; ++i) {
+      if (name[i] < '0' || name[i] > '9') {
+        numeric = false;
+        break;
+      }
+      rev = rev * 10 + static_cast<uint64_t>(name[i] - '0');
+    }
+    if (numeric) max_rev = std::max(max_rev, rev);
+  }
+  return max_rev;
+}
+
+// Deletes every .strr file that is not the manifest and not part of the
+// current revision (stale revisions, legacy plain names) plus leftover
+// .tmp files. Best-effort: the new revision is already committed.
+void GarbageCollect(const std::string& dir, const Manifest& current) {
+  std::error_code ec;
+  for (const fs::directory_entry& entry : fs::directory_iterator(dir, ec)) {
+    const std::string name = entry.path().filename().string();
+    bool is_tmp = name.size() > 4 &&
+                  name.compare(name.size() - 4, 4, ".tmp") == 0;
+    bool is_strr = name.size() > 5 &&
+                   name.compare(name.size() - 5, 5, ".strr") == 0;
+    if (!is_tmp && !is_strr) continue;
+    if (name == kManifestName) continue;
+    bool current_file = false;
+    for (const ManifestEntry& e : current.entries) {
+      if (name == e.filename) {
+        current_file = true;
+        break;
+      }
+    }
+    if (!current_file) fs::remove(entry.path(), ec);
+  }
 }
 
 }  // namespace
@@ -74,12 +354,22 @@ StatusOr<RoadNetwork> DeserializeNetwork(const std::string& bytes) {
   }
   RoadNetwork net;
   STRR_ASSIGN_OR_RETURN(uint64_t num_nodes, r.GetU64());
+  // Each node costs 16 bytes; reject impossible counts up front so a
+  // corrupted header fails fast instead of looping gigabytes away.
+  if (num_nodes > r.RemainingBytes() / 16) {
+    return Status::Corruption("node count exceeds remaining bytes");
+  }
   for (uint64_t i = 0; i < num_nodes; ++i) {
     STRR_ASSIGN_OR_RETURN(double x, r.GetDouble());
     STRR_ASSIGN_OR_RETURN(double y, r.GetDouble());
     net.AddNode({x, y});
   }
   STRR_ASSIGN_OR_RETURN(uint64_t num_segments, r.GetU64());
+  // Each segment costs >= 15 bytes (endpoints, level, two_way, reverse,
+  // shape count); clamps the twins reserve below.
+  if (num_segments > r.RemainingBytes() / 15) {
+    return Status::Corruption("segment count exceeds remaining bytes");
+  }
   std::vector<std::pair<bool, SegmentId>> twins;  // (two_way, reverse)
   twins.reserve(num_segments);
   for (uint64_t i = 0; i < num_segments; ++i) {
@@ -91,6 +381,9 @@ StatusOr<RoadNetwork> DeserializeNetwork(const std::string& bytes) {
     STRR_ASSIGN_OR_RETURN(uint32_t reverse, r.GetU32());
     STRR_ASSIGN_OR_RETURN(uint32_t num_points, r.GetVarint32());
     if (num_points < 2) return Status::Corruption("segment shape too short");
+    if (num_points > r.RemainingBytes() / 16) {
+      return Status::Corruption("shape point count exceeds remaining bytes");
+    }
     std::vector<XyPoint> points;
     points.reserve(num_points);
     for (uint32_t k = 0; k < num_points; ++k) {
@@ -118,107 +411,102 @@ StatusOr<RoadNetwork> DeserializeNetwork(const std::string& bytes) {
 
 Status SaveDataset(const Dataset& dataset, const std::string& dir) {
   std::error_code ec;
-  std::filesystem::create_directories(dir, ec);
+  fs::create_directories(dir, ec);
   if (ec) return Status::IoError("cannot create dir " + dir);
 
-  STRR_RETURN_IF_ERROR(
-      WriteFileBytes(dir + "/network.strr", SerializeNetwork(dataset.network)));
-
-  BinaryWriter t;
-  t.PutU64(kTrajMagic);
-  t.PutU32(kFormatVersion);
-  t.PutU32(static_cast<uint32_t>(dataset.store->num_days()));
-  t.PutU64(dataset.store->NumTrajectories());
-  dataset.store->ForEach([&](const MatchedTrajectory& traj) {
-    t.PutU32(traj.id);
-    t.PutU32(traj.taxi);
-    t.PutU32(static_cast<uint32_t>(traj.day));
-    t.PutVarint32(static_cast<uint32_t>(traj.samples.size()));
-    Timestamp prev = MakeTimestamp(traj.day, 0);
-    for (const MatchedSample& s : traj.samples) {
-      t.PutVarint32(s.segment);
-      t.PutVarint64(static_cast<uint64_t>(s.timestamp - prev));
-      prev = s.timestamp;
-      // Speed at cm/s resolution keeps the file compact.
-      t.PutVarint32(static_cast<uint32_t>(s.speed_mps * 100.0f + 0.5f));
+  // A save is a new revision: payloads land under versioned names, then
+  // the manifest rename is the single atomic commit point. A crash at any
+  // earlier step leaves the previous revision fully intact.
+  uint64_t revision = MaxRevisionOnDisk(dir);
+  {
+    auto bytes = ReadFileToString(dir + "/" + kManifestName);
+    if (bytes.ok()) {
+      auto previous = ParseManifest(*bytes);
+      if (previous.ok()) revision = std::max(revision, previous->revision);
     }
-  });
-  STRR_RETURN_IF_ERROR(WriteFileBytes(dir + "/trajectories.strr", t.data()));
+  }
+  ++revision;
 
-  BinaryWriter m;
-  m.PutU64(kMetaMagic);
-  m.PutU32(kFormatVersion);
-  m.PutDouble(dataset.projection.origin().lat);
-  m.PutDouble(dataset.projection.origin().lon);
-  m.PutDouble(dataset.center.x);
-  m.PutDouble(dataset.center.y);
-  m.PutU64(dataset.num_trips);
-  m.PutU64(dataset.approx_gps_points);
-  STRR_RETURN_IF_ERROR(WriteFileBytes(dir + "/meta.strr", m.data()));
+  Manifest manifest;
+  manifest.revision = revision;
+  const std::pair<FileRole, std::string> payloads[] = {
+      {FileRole::kNetwork, SerializeNetwork(dataset.network)},
+      {FileRole::kTrajectories, SerializeTrajectories(dataset)},
+      {FileRole::kMeta, SerializeMeta(dataset)},
+  };
+  for (const auto& [role, bytes] : payloads) {
+    ManifestEntry e;
+    e.role = role;
+    e.filename = VersionedName(role, revision);
+    e.size = bytes.size();
+    e.crc = Crc32c(bytes);
+    STRR_RETURN_IF_ERROR(AtomicWriteFile(dir + "/" + e.filename, bytes));
+    manifest.entries.push_back(std::move(e));
+  }
+  STRR_RETURN_IF_ERROR(
+      AtomicWriteFile(dir + "/" + kManifestName, SerializeManifest(manifest)));
+
+  GarbageCollect(dir, manifest);
   return Status::OK();
 }
 
 StatusOr<Dataset> LoadDataset(const std::string& dir) {
   Dataset dataset;
+
+  auto manifest_bytes = ReadFileToString(dir + "/" + kManifestName);
+  if (manifest_bytes.ok()) {
+    STRR_ASSIGN_OR_RETURN(Manifest manifest, ParseManifest(*manifest_bytes));
+    bool have[3] = {false, false, false};
+    for (const ManifestEntry& entry : manifest.entries) {
+      STRR_ASSIGN_OR_RETURN(std::string bytes, ReadVerifiedFile(dir, entry));
+      switch (entry.role) {
+        case FileRole::kNetwork: {
+          STRR_ASSIGN_OR_RETURN(dataset.network, DeserializeNetwork(bytes));
+          break;
+        }
+        case FileRole::kTrajectories: {
+          STRR_RETURN_IF_ERROR(ParseTrajectories(bytes, &dataset));
+          break;
+        }
+        case FileRole::kMeta: {
+          STRR_RETURN_IF_ERROR(ParseMeta(bytes, &dataset));
+          break;
+        }
+      }
+      have[static_cast<uint8_t>(entry.role)] = true;
+    }
+    if (!have[0] || !have[1] || !have[2]) {
+      return Status::Corruption("manifest missing a dataset file role");
+    }
+    return dataset;
+  }
+
+  // Legacy layout (pre-manifest): plain filenames, no checksums.
   {
-    STRR_ASSIGN_OR_RETURN(std::string bytes,
-                          ReadFileBytes(dir + "/network.strr"));
+    STRR_ASSIGN_OR_RETURN(
+        std::string bytes,
+        ReadFileToString(dir + "/" + LegacyName(FileRole::kNetwork)));
     STRR_ASSIGN_OR_RETURN(dataset.network, DeserializeNetwork(bytes));
   }
   {
-    STRR_ASSIGN_OR_RETURN(std::string bytes,
-                          ReadFileBytes(dir + "/trajectories.strr"));
-    BinaryReader r(bytes);
-    STRR_ASSIGN_OR_RETURN(uint64_t magic, r.GetU64());
-    if (magic != kTrajMagic) return Status::Corruption("bad trajectory magic");
-    STRR_ASSIGN_OR_RETURN(uint32_t version, r.GetU32());
-    if (version != kFormatVersion) {
-      return Status::Corruption("unsupported trajectory format version");
-    }
-    STRR_ASSIGN_OR_RETURN(uint32_t num_days, r.GetU32());
-    STRR_ASSIGN_OR_RETURN(uint64_t num_trajs, r.GetU64());
-    dataset.store = std::make_unique<TrajectoryStore>(
-        static_cast<int32_t>(num_days));
-    for (uint64_t i = 0; i < num_trajs; ++i) {
-      MatchedTrajectory traj;
-      STRR_ASSIGN_OR_RETURN(traj.id, r.GetU32());
-      STRR_ASSIGN_OR_RETURN(traj.taxi, r.GetU32());
-      STRR_ASSIGN_OR_RETURN(uint32_t day, r.GetU32());
-      traj.day = static_cast<DayIndex>(day);
-      STRR_ASSIGN_OR_RETURN(uint32_t num_samples, r.GetVarint32());
-      traj.samples.reserve(num_samples);
-      Timestamp prev = MakeTimestamp(traj.day, 0);
-      for (uint32_t k = 0; k < num_samples; ++k) {
-        MatchedSample s;
-        STRR_ASSIGN_OR_RETURN(s.segment, r.GetVarint32());
-        STRR_ASSIGN_OR_RETURN(uint64_t delta, r.GetVarint64());
-        s.timestamp = prev + static_cast<Timestamp>(delta);
-        prev = s.timestamp;
-        STRR_ASSIGN_OR_RETURN(uint32_t speed_cms, r.GetVarint32());
-        s.speed_mps = speed_cms / 100.0f;
-        traj.samples.push_back(s);
-      }
-      STRR_RETURN_IF_ERROR(dataset.store->Add(std::move(traj)));
-    }
+    STRR_ASSIGN_OR_RETURN(
+        std::string bytes,
+        ReadFileToString(dir + "/" + LegacyName(FileRole::kTrajectories)));
+    STRR_RETURN_IF_ERROR(ParseTrajectories(bytes, &dataset));
   }
   {
-    STRR_ASSIGN_OR_RETURN(std::string bytes, ReadFileBytes(dir + "/meta.strr"));
-    BinaryReader r(bytes);
-    STRR_ASSIGN_OR_RETURN(uint64_t magic, r.GetU64());
-    if (magic != kMetaMagic) return Status::Corruption("bad meta magic");
-    STRR_ASSIGN_OR_RETURN(uint32_t version, r.GetU32());
-    if (version != kFormatVersion) {
-      return Status::Corruption("unsupported meta format version");
-    }
-    STRR_ASSIGN_OR_RETURN(double lat, r.GetDouble());
-    STRR_ASSIGN_OR_RETURN(double lon, r.GetDouble());
-    dataset.projection = Projection({lat, lon});
-    STRR_ASSIGN_OR_RETURN(dataset.center.x, r.GetDouble());
-    STRR_ASSIGN_OR_RETURN(dataset.center.y, r.GetDouble());
-    STRR_ASSIGN_OR_RETURN(dataset.num_trips, r.GetU64());
-    STRR_ASSIGN_OR_RETURN(dataset.approx_gps_points, r.GetU64());
+    STRR_ASSIGN_OR_RETURN(
+        std::string bytes,
+        ReadFileToString(dir + "/" + LegacyName(FileRole::kMeta)));
+    STRR_RETURN_IF_ERROR(ParseMeta(bytes, &dataset));
   }
   return dataset;
+}
+
+bool DatasetExists(const std::string& dir) {
+  std::error_code ec;
+  return fs::exists(dir + "/" + kManifestName, ec) ||
+         fs::exists(dir + "/" + LegacyName(FileRole::kMeta), ec);
 }
 
 }  // namespace strr

@@ -16,13 +16,23 @@
 
 namespace strr {
 
-/// Writes `dataset` under `dir` (created if missing): network.strr,
-/// trajectories.strr, meta.strr.
+/// Writes `dataset` under `dir` (created if missing) as a new revision:
+/// network.<rev>.strr, trajectories.<rev>.strr, meta.<rev>.strr, each
+/// published atomically (temp file + fsync + rename), then MANIFEST.strr
+/// (format/version/revision plus per-file size and CRC32C) renamed into
+/// place as the single commit point. A crash or full disk at any step
+/// leaves the previous revision loadable; stale revisions are garbage-
+/// collected after the commit.
 Status SaveDataset(const Dataset& dataset, const std::string& dir);
 
-/// Loads a dataset previously written by SaveDataset. Fails with
-/// Corruption on format/version mismatches.
+/// Loads the dataset committed by the manifest (verifying every file's
+/// size and checksum), falling back to the legacy plain-filename layout
+/// when no manifest exists. Fails with Corruption on format/version/
+/// checksum mismatches and IoError on missing files.
 StatusOr<Dataset> LoadDataset(const std::string& dir);
+
+/// True when `dir` holds a committed dataset (manifest or legacy layout).
+bool DatasetExists(const std::string& dir);
 
 /// Serializes one road network to a byte string (exposed for tests).
 std::string SerializeNetwork(const RoadNetwork& network);

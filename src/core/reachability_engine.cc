@@ -3,6 +3,8 @@
 #include <cstring>
 #include <filesystem>
 
+#include "live/recovery_manager.h"
+
 namespace strr {
 
 StatusOr<std::unique_ptr<ReachabilityEngine>> ReachabilityEngine::Build(
@@ -10,6 +12,10 @@ StatusOr<std::unique_ptr<ReachabilityEngine>> ReachabilityEngine::Build(
     const EngineOptions& options) {
   if (options.work_dir.empty()) {
     return Status::InvalidArgument("EngineOptions.work_dir is required");
+  }
+  if (options.live_durability && !options.live_ingestion) {
+    return Status::InvalidArgument(
+        "EngineOptions.live_durability requires live_ingestion");
   }
   std::error_code ec;
   std::filesystem::create_directories(options.work_dir, ec);
@@ -108,9 +114,32 @@ StatusOr<std::unique_ptr<ReachabilityEngine>> ReachabilityEngine::Build(
     // any MakeExecutor-created one) registered its own Δt-slot eviction
     // listener at construction. Con-Index tables need no hook either —
     // every publish carries its own copy-on-invalidate index.
+    if (options.live_durability) {
+      // Durability bring-up happens before the ingestor exists, so no new
+      // observations race the replay: recover the acked stream, fold it
+      // into the serving snapshots, then open the journal for appends.
+      ObservationJournalOptions journal_opt;
+      journal_opt.dir = options.live_durability_dir.empty()
+                            ? options.work_dir + "/obs_wal"
+                            : options.live_durability_dir;
+      journal_opt.memtable_flush_bytes = options.live_memtable_flush_bytes;
+      journal_opt.sync_each_batch = options.live_wal_sync_each_batch;
+      STRR_ASSIGN_OR_RETURN(RecoveredLog recovered,
+                            RecoveryManager::Recover(journal_opt.dir));
+      engine->live_recovery_.recovered_batches = recovered.batches.size();
+      engine->live_recovery_.last_seq = recovered.last_seq;
+      engine->live_recovery_.wal_tail_torn = recovered.wal_tail_torn;
+      engine->live_recovery_.tables_loaded = recovered.tables_loaded;
+      engine->live_recovery_.wal_files_loaded = recovered.wal_files_loaded;
+      engine->live_recovery_.replay_publishes =
+          RecoveryManager::Replay(recovered, *engine->live_manager_);
+      STRR_ASSIGN_OR_RETURN(engine->journal_,
+                            ObservationJournal::Open(journal_opt, recovered));
+    }
     ObservationIngestorOptions ingest_opt;
     ingest_opt.queue_bound = options.live_queue_bound;
     ingest_opt.batch_window_ms = options.live_batch_window_ms;
+    ingest_opt.journal = engine->journal_.get();
     engine->ingestor_ = std::make_unique<ObservationIngestor>(
         *engine->live_manager_, ingest_opt);
   } else {

@@ -36,6 +36,7 @@
 #include "live/epoch_manager.h"
 #include "live/live_profile_manager.h"
 #include "live/observation_ingestor.h"
+#include "live/observation_journal.h"
 #include "query/bounding_region.h"
 #include "query/query.h"
 #include "query/query_plan.h"
@@ -133,6 +134,20 @@ struct EngineOptions {
   /// the lazy-build latency (see LiveProfileOptions). Off by default.
   bool live_prewarm = false;
   int live_prewarm_threads = 1;
+  /// Crash-safe durability for the live tier: every accepted observation
+  /// batch is WAL-logged before it is published (the ack point), sealed
+  /// into checksummed immutable tables, and replayed on engine build so
+  /// the serving snapshots resume at exactly the last acked observation.
+  /// Off by default (seed behavior: live state is in-memory only).
+  /// Requires live_ingestion.
+  bool live_durability = false;
+  /// Journal directory; defaults to "<work_dir>/obs_wal" when empty.
+  std::string live_durability_dir;
+  /// Memtable byte threshold that seals a table and rotates the WAL.
+  size_t live_memtable_flush_bytes = 1 << 20;
+  /// fdatasync the WAL per batch (ack = stable storage). Off trades power-
+  /// loss durability for throughput; process crashes still lose nothing.
+  bool live_wal_sync_each_batch = true;
   /// Location match radius for planning (see
   /// StIndexOptions::max_locate_distance_m); <= 0 restores unconditional
   /// snap-to-nearest.
@@ -231,6 +246,20 @@ class ReachabilityEngine {
   /// The observation ingestor, or nullptr when live ingestion is off.
   ObservationIngestor* ingestor() { return ingestor_.get(); }
 
+  /// The live tier's durability journal, or nullptr when off.
+  ObservationJournal* journal() { return journal_.get(); }
+
+  /// What Build() recovered from the journal before serving.
+  struct LiveRecoveryInfo {
+    uint64_t recovered_batches = 0;   ///< acked batches replayed
+    uint64_t last_seq = 0;            ///< highest acked sequence number
+    bool wal_tail_torn = false;       ///< crash tore the final WAL record
+    size_t tables_loaded = 0;
+    size_t wal_files_loaded = 0;
+    size_t replay_publishes = 0;      ///< snapshot publishes during replay
+  };
+  const LiveRecoveryInfo& live_recovery() const { return live_recovery_; }
+
   /// The facade's NotFound cache, or nullptr when disabled.
   NegativeCache* negative_cache() { return negative_cache_.get(); }
 
@@ -263,6 +292,10 @@ class ReachabilityEngine {
   // reclaims and the manager before the base indexes die.
   std::unique_ptr<EpochManager> epochs_;
   std::unique_ptr<LiveProfileManager> live_manager_;
+  // Journal before ingestor: the ingestor appends to it from the batcher
+  // thread, so it must be destroyed after the ingestor joins.
+  std::unique_ptr<ObservationJournal> journal_;
+  LiveRecoveryInfo live_recovery_;
   std::unique_ptr<ObservationIngestor> ingestor_;
   std::unique_ptr<NegativeCache> negative_cache_;  // null when disabled
   /// Per-tenant config/stats shared across executors (null = tenancy off).

@@ -1,0 +1,49 @@
+#include "live/observation.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "util/time_util.h"
+
+namespace strr {
+
+std::vector<CoalescedUpdate> CoalesceObservations(
+    std::span<const SpeedObservation> observations, int64_t slot_seconds) {
+  // One cell-sized aggregate per (segment, profile slot), sums accumulated
+  // in input order so folding the aggregate is bit-equivalent to folding
+  // each observation.
+  std::unordered_map<uint64_t, CoalescedUpdate> groups;
+  groups.reserve(observations.size());
+  for (const SpeedObservation& obs : observations) {
+    int64_t tod = NormalizeTimeOfDay(obs.time_of_day_sec);
+    SlotId slot = SlotOfTimeOfDay(tod, slot_seconds);
+    uint64_t key = (static_cast<uint64_t>(obs.segment) << 32) |
+                   static_cast<uint64_t>(static_cast<uint32_t>(slot));
+    float speed = static_cast<float>(obs.speed_mps);
+    auto [it, inserted] = groups.try_emplace(key);
+    CoalescedUpdate& u = it->second;
+    if (inserted) {
+      u.segment = obs.segment;
+      u.slot_tod = tod;
+      u.min_speed = speed;
+      u.max_speed = speed;
+    } else {
+      u.min_speed = std::min(u.min_speed, speed);
+      u.max_speed = std::max(u.max_speed, speed);
+    }
+    u.sum_speed += speed;
+    ++u.count;
+  }
+  std::vector<CoalescedUpdate> batch;
+  batch.reserve(groups.size());
+  for (auto& [key, update] : groups) batch.push_back(update);
+  // Deterministic publish order regardless of hash iteration.
+  std::sort(batch.begin(), batch.end(),
+            [](const CoalescedUpdate& a, const CoalescedUpdate& b) {
+              return a.segment != b.segment ? a.segment < b.segment
+                                            : a.slot_tod < b.slot_tod;
+            });
+  return batch;
+}
+
+}  // namespace strr

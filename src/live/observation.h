@@ -8,6 +8,8 @@
 #define STRR_LIVE_OBSERVATION_H_
 
 #include <cstdint>
+#include <span>
+#include <vector>
 
 #include "roadnet/segment.h"
 
@@ -37,6 +39,14 @@ struct CoalescedUpdate {
   float sum_speed = 0.0f;
   uint32_t count = 0;
 };
+
+/// Coalesces observations per (segment, profile slot of `slot_seconds`)
+/// into cell-sized aggregates, sums accumulated in input order, sorted by
+/// (segment, slot_tod) for a deterministic publish order. This is the one
+/// grouping used by both the live ingest path and WAL replay, so recovery
+/// folds the same aggregates the ingestor originally published.
+std::vector<CoalescedUpdate> CoalesceObservations(
+    std::span<const SpeedObservation> observations, int64_t slot_seconds);
 
 }  // namespace strr
 

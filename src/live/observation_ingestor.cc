@@ -2,9 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
-#include <unordered_map>
 #include <utility>
 
+#include "live/observation_journal.h"
 #include "storage/io_context.h"
 #include "util/time_util.h"
 
@@ -67,46 +67,35 @@ size_t ObservationIngestor::DrainAndPublish() {
   }
   if (drained.empty()) return 0;
 
-  // Coalesce per (segment, profile slot): one cell-sized aggregate per
-  // group, sums accumulated in arrival order so folding the aggregate is
-  // bit-equivalent to folding each observation.
-  std::unordered_map<uint64_t, CoalescedUpdate> groups;
-  groups.reserve(drained.size());
-  for (const Queued& q : drained) {
-    int64_t tod = NormalizeTimeOfDay(q.obs.time_of_day_sec);
-    SlotId slot = SlotOfTimeOfDay(tod, profile_slot_seconds_);
-    uint64_t key = (static_cast<uint64_t>(q.obs.segment) << 32) |
-                   static_cast<uint64_t>(static_cast<uint32_t>(slot));
-    float speed = static_cast<float>(q.obs.speed_mps);
-    auto [it, inserted] = groups.try_emplace(key);
-    CoalescedUpdate& u = it->second;
-    if (inserted) {
-      u.segment = q.obs.segment;
-      u.slot_tod = tod;
-      u.min_speed = speed;
-      u.max_speed = speed;
-    } else {
-      u.min_speed = std::min(u.min_speed, speed);
-      u.max_speed = std::max(u.max_speed, speed);
-    }
-    u.sum_speed += speed;
-    ++u.count;
-  }
-  std::vector<CoalescedUpdate> batch;
-  batch.reserve(groups.size());
-  for (auto& [key, update] : groups) batch.push_back(update);
-  // Deterministic publish order regardless of hash iteration.
-  std::sort(batch.begin(), batch.end(),
-            [](const CoalescedUpdate& a, const CoalescedUpdate& b) {
-              return a.segment != b.segment ? a.segment < b.segment
-                                            : a.slot_tod < b.slot_tod;
-            });
+  std::vector<SpeedObservation> observations;
+  observations.reserve(drained.size());
+  for (const Queued& q : drained) observations.push_back(q.obs);
+
+  // Coalesce per (segment, profile slot): the shared helper WAL replay
+  // also uses, so recovery folds the same aggregates this publish does.
+  std::vector<CoalescedUpdate> batch =
+      CoalesceObservations(observations, profile_slot_seconds_);
 
   // Writer-side attribution: refresh work (profile fork, table
   // invalidation, cache eviction listeners) counts against this scope,
   // never against a concurrently running query's thread-local counters.
   ScopedIoCounters writer_scope;
-  manager_->Publish(batch);
+  {
+    // WAL-append then Publish under one lock: the journal's batch order
+    // must be the publish order for replay to reproduce this stream.
+    std::lock_guard<std::mutex> order(publish_order_mu_);
+    if (options_.journal != nullptr) {
+      StatusOr<uint64_t> acked = options_.journal->AppendBatch(observations);
+      if (acked.ok()) {
+        wal_batches_.fetch_add(1);
+      } else {
+        // Durability degraded, availability kept: count it and publish
+        // anyway so live queries stay fresh.
+        wal_append_failures_.fetch_add(1);
+      }
+    }
+    manager_->Publish(batch);
+  }
   auto done = std::chrono::steady_clock::now();
 
   double staleness_ms = 0.0;
@@ -180,6 +169,8 @@ ObservationIngestor::Stats ObservationIngestor::stats() const {
   out.published = published_.load();
   out.coalesced_updates = coalesced_updates_.load();
   out.batches = batches_.load();
+  out.wal_batches = wal_batches_.load();
+  out.wal_append_failures = wal_append_failures_.load();
   std::lock_guard<std::mutex> lock(mu_);
   out.queue_depth = queue_.size();
   out.max_queue_depth = max_queue_depth_;

@@ -36,6 +36,8 @@
 
 namespace strr {
 
+class ObservationJournal;
+
 /// Ingestor construction knobs.
 struct ObservationIngestorOptions {
   /// Queue capacity; Offer drops (and counts) beyond it.
@@ -48,6 +50,11 @@ struct ObservationIngestorOptions {
   /// When true, no batcher thread is started: observations queue up until
   /// Flush() publishes them. Deterministic mode for tests.
   bool manual = false;
+  /// Optional durability: every drained batch is appended to this journal
+  /// (the WAL ack point) *before* it is published, in publish order. The
+  /// journal must outlive the ingestor. Null = no durability (seed
+  /// behavior). Append failures are counted, never block publishing.
+  ObservationJournal* journal = nullptr;
 };
 
 /// Bounded-queue batcher in front of a LiveProfileManager. Offer is
@@ -90,6 +97,8 @@ class ObservationIngestor {
     uint64_t published = 0;         ///< observations folded into snapshots
     uint64_t coalesced_updates = 0;  ///< (segment, slot) cells written
     uint64_t batches = 0;           ///< publishes
+    uint64_t wal_batches = 0;       ///< batches acked by the journal
+    uint64_t wal_append_failures = 0;  ///< journal appends that failed
     size_t queue_depth = 0;         ///< queued right now
     size_t max_queue_depth = 0;     ///< high-water mark
     /// Mean milliseconds an observation waited between Offer and its
@@ -118,6 +127,9 @@ class ObservationIngestor {
   int64_t profile_slot_seconds_;
 
   mutable std::mutex mu_;
+  /// Serializes journal-append + Publish so the WAL's batch order is the
+  /// publish order (concurrent Flush callers cannot interleave the two).
+  std::mutex publish_order_mu_;
   std::condition_variable cv_;
   std::deque<Queued> queue_;
   bool stopped_ = false;
@@ -134,6 +146,8 @@ class ObservationIngestor {
   std::atomic<uint64_t> published_{0};
   std::atomic<uint64_t> coalesced_updates_{0};
   std::atomic<uint64_t> batches_{0};
+  std::atomic<uint64_t> wal_batches_{0};
+  std::atomic<uint64_t> wal_append_failures_{0};
 
   std::thread batcher_;  // last member: joins before the rest tears down
 };

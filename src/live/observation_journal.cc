@@ -1,0 +1,185 @@
+#include "live/observation_journal.h"
+
+#include <filesystem>
+
+#include "util/serialize.h"
+
+namespace strr {
+
+namespace fs = std::filesystem;
+
+std::string ObservationTableFileName(const std::string& dir,
+                                     uint64_t number) {
+  return dir + "/obs_" + std::to_string(number) + ".tbl";
+}
+
+std::string WalFileName(const std::string& dir, uint64_t number) {
+  return dir + "/wal_" + std::to_string(number) + ".log";
+}
+
+StatusOr<std::unique_ptr<ObservationJournal>> ObservationJournal::Open(
+    const ObservationJournalOptions& options, const RecoveredLog& recovered) {
+  if (options.dir.empty()) {
+    return Status::InvalidArgument("observation journal dir is empty");
+  }
+  std::error_code ec;
+  fs::create_directories(options.dir, ec);
+  if (ec) {
+    return Status::IoError("cannot create journal dir " + options.dir + ": " +
+                           ec.message());
+  }
+
+  auto journal =
+      std::unique_ptr<ObservationJournal>(new ObservationJournal(options));
+  journal->next_seq_ = recovered.last_seq + 1;
+  journal->next_file_number_ = recovered.next_file_number;
+  journal->memtable_ = ObservationTableBuilder(options.bloom_bits_per_key);
+
+  // Startup compaction: batches that only the WAL tail held are sealed
+  // into a table now, so every old WAL is fully covered and deletable.
+  ObservationTableBuilder tail(options.bloom_bits_per_key);
+  for (const ObservationBatch& batch : recovered.batches) {
+    if (batch.seq > recovered.last_table_seq) tail.AddBatch(batch);
+  }
+  if (tail.num_batches() > 0) {
+    uint64_t number = journal->next_file_number_++;
+    STRR_RETURN_IF_ERROR(
+        tail.Finish(ObservationTableFileName(options.dir, number)));
+  }
+
+  // Old WALs (now redundant) and stray temp files from interrupted atomic
+  // writes go away before the fresh log opens.
+  for (const fs::directory_entry& entry :
+       fs::directory_iterator(options.dir, ec)) {
+    const std::string name = entry.path().filename().string();
+    bool is_wal = name.rfind("wal_", 0) == 0 &&
+                  name.size() > 8 &&
+                  name.compare(name.size() - 4, 4, ".log") == 0;
+    bool is_tmp = name.size() > 4 &&
+                  name.compare(name.size() - 4, 4, ".tmp") == 0;
+    if (is_wal || is_tmp) fs::remove(entry.path(), ec);
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(journal->mu_);
+    STRR_RETURN_IF_ERROR(journal->OpenFreshWalLocked());
+  }
+  return journal;
+}
+
+ObservationJournal::~ObservationJournal() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (broken_.ok() && memtable_.num_batches() > 0) {
+    // Best-effort seal so a clean shutdown restarts with no WAL replay;
+    // the WAL still covers these batches if the seal fails.
+    Status ignored = FlushMemtableLocked();
+    (void)ignored;
+  }
+  if (wal_file_ != nullptr) {
+    Status ignored = wal_file_->Close();
+    (void)ignored;
+  }
+}
+
+Status ObservationJournal::OpenFreshWalLocked() {
+  uint64_t number = next_file_number_++;
+  STRR_ASSIGN_OR_RETURN(wal_file_,
+                        AppendOnlyFile::Create(WalFileName(options_.dir,
+                                                           number)));
+  wal_writer_ = std::make_unique<wal::LogWriter>(wal_file_.get());
+  return Status::OK();
+}
+
+Status ObservationJournal::FlushMemtableLocked() {
+  if (memtable_.num_batches() == 0) return Status::OK();
+
+  uint64_t table_number = next_file_number_++;
+  STRR_RETURN_IF_ERROR(
+      memtable_.Finish(ObservationTableFileName(options_.dir, table_number)));
+  memtable_ = ObservationTableBuilder(options_.bloom_bits_per_key);
+  memtable_batches_ = 0;
+  ++tables_flushed_;
+
+  // Rotate: new log first, then drop the old one. A crash between the two
+  // leaves an extra WAL whose batches the table also holds — recovery
+  // deduplicates by sequence number.
+  std::string old_wal = wal_file_->path();
+  STRR_RETURN_IF_ERROR(wal_file_->Close());
+  STRR_RETURN_IF_ERROR(OpenFreshWalLocked());
+  std::error_code ec;
+  fs::remove(old_wal, ec);  // redundant data; failure is not fatal
+  return Status::OK();
+}
+
+StatusOr<uint64_t> ObservationJournal::AppendBatch(
+    std::span<const SpeedObservation> batch) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!broken_.ok()) {
+    ++append_errors_;
+    return broken_;
+  }
+
+  ObservationBatch record;
+  record.seq = next_seq_;
+  record.observations.assign(batch.begin(), batch.end());
+  BinaryWriter payload;
+  EncodeObservationBatch(payload, record);
+
+  Status s = wal_writer_->AddRecord(payload.data());
+  if (s.ok() && options_.sync_each_batch) {
+    s = wal_writer_->Sync();
+    if (s.ok()) ++wal_syncs_;
+  }
+  if (!s.ok()) {
+    // Fail-stop: the WAL may now hold a torn fragment (exactly the crash
+    // shape readers tolerate at the tail); never write past it.
+    broken_ = s;
+    ++append_errors_;
+    return s;
+  }
+
+  ++next_seq_;
+  memtable_.AddBatch(record);
+  ++memtable_batches_;
+  ++batches_appended_;
+  observations_appended_ += record.observations.size();
+  wal_bytes_ = wal_file_->size();
+
+  if (memtable_.encoded_size() >= options_.memtable_flush_bytes) {
+    Status flush = FlushMemtableLocked();
+    if (!flush.ok()) {
+      broken_ = flush;
+      return flush;
+    }
+  }
+  return record.seq;
+}
+
+Status ObservationJournal::FlushMemtable() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!broken_.ok()) return broken_;
+  Status s = FlushMemtableLocked();
+  if (!s.ok()) broken_ = s;
+  return s;
+}
+
+uint64_t ObservationJournal::last_seq() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return next_seq_ - 1;
+}
+
+ObservationJournal::Stats ObservationJournal::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Stats out;
+  out.batches_appended = batches_appended_;
+  out.observations_appended = observations_appended_;
+  out.wal_bytes = wal_bytes_;
+  out.wal_syncs = wal_syncs_;
+  out.tables_flushed = tables_flushed_;
+  out.append_errors = append_errors_;
+  out.memtable_bytes = memtable_.encoded_size();
+  out.memtable_batches = memtable_batches_;
+  return out;
+}
+
+}  // namespace strr

@@ -1,0 +1,137 @@
+// ObservationJournal: the durability spine of the live tier. Every
+// accepted observation batch is appended to a checksummed WAL record (and
+// optionally fdatasync'd) *before* it is published — the append is the ack
+// point. Acked batches also accumulate in an in-memory memtable (a table
+// builder) that is sealed into an immutable, bloom-filtered observation
+// table once it crosses a byte threshold, after which the WAL rotates and
+// the fully-covered old log is deleted.
+//
+// On-disk layout inside the journal directory (one shared file-number
+// space, so recovery can order everything by number):
+//
+//   obs_<N>.tbl   sealed observation tables (atomic rename publish)
+//   wal_<N>.log   the single active WAL (older ones exist only in the
+//                 crash window between table seal and log delete)
+//
+// Startup (Open) compacts any WAL-tail batches recovered by the
+// RecoveryManager into a fresh table first, so every old WAL can be
+// deleted and the journal always restarts with an empty active log.
+#ifndef STRR_LIVE_OBSERVATION_JOURNAL_H_
+#define STRR_LIVE_OBSERVATION_JOURNAL_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "live/observation.h"
+#include "storage/fs_util.h"
+#include "storage/obs_table.h"
+#include "storage/wal/log_writer.h"
+#include "util/result.h"
+#include "util/status.h"
+
+namespace strr {
+
+struct ObservationJournalOptions {
+  std::string dir;
+  /// Seal the memtable into a table once its encoded batches reach this
+  /// many bytes (then rotate the WAL).
+  size_t memtable_flush_bytes = 1 << 20;
+  /// fdatasync the WAL after every batch append. On: the ack point is
+  /// stable storage. Off: the ack point is the OS page cache (process
+  /// crashes keep everything, power loss may cost the unsynced tail).
+  bool sync_each_batch = true;
+  int bloom_bits_per_key = 10;
+};
+
+/// What RecoveryManager reconstructed from a journal directory; feeds both
+/// the replay into the live profile manager and ObservationJournal::Open.
+struct RecoveredLog {
+  /// Every recovered batch (tables first, then the WAL tail), seq-ordered
+  /// and deduplicated.
+  std::vector<ObservationBatch> batches;
+  uint64_t last_seq = 0;        ///< highest recovered batch seq (0 if none)
+  uint64_t last_table_seq = 0;  ///< highest seq already sealed in a table
+  uint64_t next_file_number = 1;
+  bool wal_tail_torn = false;   ///< a crash tore the final WAL record
+  size_t tables_loaded = 0;
+  size_t wal_files_loaded = 0;
+};
+
+/// File-name helpers shared with RecoveryManager.
+std::string ObservationTableFileName(const std::string& dir, uint64_t number);
+std::string WalFileName(const std::string& dir, uint64_t number);
+
+class ObservationJournal {
+ public:
+  struct Stats {
+    uint64_t batches_appended = 0;
+    uint64_t observations_appended = 0;
+    uint64_t wal_bytes = 0;
+    uint64_t wal_syncs = 0;
+    uint64_t tables_flushed = 0;
+    uint64_t append_errors = 0;
+    size_t memtable_bytes = 0;
+    uint64_t memtable_batches = 0;
+  };
+
+  /// Opens the journal over a recovered directory: compacts the recovered
+  /// WAL tail into a table, deletes every old WAL (and stray .tmp), and
+  /// starts a fresh active log. `recovered` must come from
+  /// RecoveryManager::Recover over the same directory.
+  static StatusOr<std::unique_ptr<ObservationJournal>> Open(
+      const ObservationJournalOptions& options, const RecoveredLog& recovered);
+
+  ~ObservationJournal();
+
+  ObservationJournal(const ObservationJournal&) = delete;
+  ObservationJournal& operator=(const ObservationJournal&) = delete;
+
+  /// Assigns the next sequence number, appends the batch to the WAL (the
+  /// ack point), and feeds the memtable — flushing/rotating when full.
+  /// Thread-safe. After the first failure the journal is fail-stop: the
+  /// sticky error is returned and nothing further is written (a failed
+  /// append may leave a torn WAL tail, which recovery tolerates).
+  StatusOr<uint64_t> AppendBatch(std::span<const SpeedObservation> batch);
+
+  /// Seals the current memtable (if non-empty) and rotates the WAL.
+  Status FlushMemtable();
+
+  /// Highest sequence number acked so far (0 if none).
+  uint64_t last_seq() const;
+
+  Stats stats() const;
+  const std::string& dir() const { return options_.dir; }
+
+ private:
+  explicit ObservationJournal(const ObservationJournalOptions& options)
+      : options_(options) {}
+
+  Status OpenFreshWalLocked();
+  Status FlushMemtableLocked();
+
+  ObservationJournalOptions options_;
+
+  mutable std::mutex mu_;
+  std::unique_ptr<AppendOnlyFile> wal_file_;
+  std::unique_ptr<wal::LogWriter> wal_writer_;
+  ObservationTableBuilder memtable_{10};
+  uint64_t memtable_batches_ = 0;
+  uint64_t next_seq_ = 1;
+  uint64_t next_file_number_ = 1;
+  Status broken_;  // sticky first failure; OK while healthy
+
+  uint64_t batches_appended_ = 0;
+  uint64_t observations_appended_ = 0;
+  uint64_t wal_bytes_ = 0;
+  uint64_t wal_syncs_ = 0;
+  uint64_t tables_flushed_ = 0;
+  uint64_t append_errors_ = 0;
+};
+
+}  // namespace strr
+
+#endif  // STRR_LIVE_OBSERVATION_JOURNAL_H_

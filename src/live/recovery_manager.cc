@@ -1,0 +1,154 @@
+#include "live/recovery_manager.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <utility>
+#include <vector>
+
+#include "storage/fs_util.h"
+#include "storage/obs_table.h"
+#include "storage/wal/log_reader.h"
+#include "util/serialize.h"
+
+namespace strr {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+// Observations per Publish during replay. Large enough that replaying a
+// long history costs few snapshot forks, small enough to bound the
+// coalescing map; correctness does not depend on the value (see header).
+constexpr size_t kReplayChunk = 4096;
+
+bool ParseNumberedName(const std::string& name, const char* prefix,
+                       const char* suffix, uint64_t* number) {
+  const std::string pre(prefix), suf(suffix);
+  if (name.size() <= pre.size() + suf.size()) return false;
+  if (name.compare(0, pre.size(), pre) != 0) return false;
+  if (name.compare(name.size() - suf.size(), suf.size(), suf) != 0) {
+    return false;
+  }
+  uint64_t n = 0;
+  size_t digits = 0;
+  for (size_t i = pre.size(); i < name.size() - suf.size(); ++i) {
+    char c = name[i];
+    if (c < '0' || c > '9') return false;
+    n = n * 10 + static_cast<uint64_t>(c - '0');
+    ++digits;
+  }
+  if (digits == 0) return false;
+  *number = n;
+  return true;
+}
+
+// Appends `batch` to the recovered stream, skipping duplicates (the
+// table/WAL crash-window overlap) and rejecting gaps.
+Status FoldBatch(ObservationBatch&& batch, const std::string& origin,
+                 RecoveredLog* out) {
+  if (batch.seq <= out->last_seq) return Status::OK();  // duplicate
+  if (batch.seq != out->last_seq + 1) {
+    return Status::Corruption(
+        "observation sequence gap: expected " +
+        std::to_string(out->last_seq + 1) + ", found " +
+        std::to_string(batch.seq) + " in " + origin);
+  }
+  out->last_seq = batch.seq;
+  out->batches.push_back(std::move(batch));
+  return Status::OK();
+}
+
+}  // namespace
+
+StatusOr<RecoveredLog> RecoveryManager::Recover(const std::string& dir) {
+  RecoveredLog out;
+  std::error_code ec;
+  if (!fs::exists(dir, ec) || ec) return out;  // fresh start
+
+  std::vector<std::pair<uint64_t, std::string>> tables;
+  std::vector<std::pair<uint64_t, std::string>> wals;
+  uint64_t max_number = 0;
+  for (const fs::directory_entry& entry : fs::directory_iterator(dir, ec)) {
+    const std::string name = entry.path().filename().string();
+    uint64_t number = 0;
+    if (ParseNumberedName(name, "obs_", ".tbl", &number)) {
+      tables.emplace_back(number, entry.path().string());
+    } else if (ParseNumberedName(name, "wal_", ".log", &number)) {
+      wals.emplace_back(number, entry.path().string());
+    } else {
+      continue;  // .tmp leftovers etc.; Open() cleans them up
+    }
+    max_number = std::max(max_number, number);
+  }
+  if (ec) {
+    return Status::IoError("cannot list journal dir " + dir + ": " +
+                           ec.message());
+  }
+  out.next_file_number = max_number + 1;
+  std::sort(tables.begin(), tables.end());
+  std::sort(wals.begin(), wals.end());
+
+  // Sealed tables: strict. They were published atomically, so any damage
+  // is real corruption, not a crash artifact.
+  for (const auto& [number, path] : tables) {
+    STRR_ASSIGN_OR_RETURN(ObservationTable table, ObservationTable::Open(path));
+    for (ObservationBatch& batch : table.TakeBatches()) {
+      STRR_RETURN_IF_ERROR(FoldBatch(std::move(batch), path, &out));
+    }
+    ++out.tables_loaded;
+  }
+  out.last_table_seq = out.last_seq;
+
+  // WAL tail: torn records at end of file are the expected crash shape and
+  // terminate replay cleanly; inconsistent bytes are Corruption.
+  for (const auto& [number, path] : wals) {
+    STRR_ASSIGN_OR_RETURN(std::string bytes, ReadFileToString(path));
+    wal::LogReader reader(bytes);
+    std::string record;
+    while (reader.ReadRecord(&record)) {
+      BinaryReader r(record);
+      ObservationBatch batch;
+      Status s = DecodeObservationBatch(r, &batch);
+      if (s.ok() && !r.AtEnd()) {
+        s = Status::Corruption("trailing bytes in WAL batch record");
+      }
+      if (!s.ok()) {
+        return Status::Corruption(s.message() + " in " + path);
+      }
+      STRR_RETURN_IF_ERROR(FoldBatch(std::move(batch), path, &out));
+    }
+    if (!reader.status().ok()) {
+      return Status::Corruption(reader.status().message() + " in " + path);
+    }
+    if (reader.torn_tail()) out.wal_tail_torn = true;
+    ++out.wal_files_loaded;
+  }
+  return out;
+}
+
+size_t RecoveryManager::Replay(const RecoveredLog& recovered,
+                               LiveProfileManager& manager) {
+  if (recovered.batches.empty()) return 0;
+  const int64_t slot_seconds = manager.Acquire().profile().slot_seconds();
+
+  size_t publishes = 0;
+  std::vector<SpeedObservation> chunk;
+  chunk.reserve(kReplayChunk);
+  auto flush = [&] {
+    if (chunk.empty()) return;
+    std::vector<CoalescedUpdate> updates =
+        CoalesceObservations(chunk, slot_seconds);
+    manager.Publish(updates);
+    ++publishes;
+    chunk.clear();
+  };
+  for (const ObservationBatch& batch : recovered.batches) {
+    chunk.insert(chunk.end(), batch.observations.begin(),
+                 batch.observations.end());
+    if (chunk.size() >= kReplayChunk) flush();
+  }
+  flush();
+  return publishes;
+}
+
+}  // namespace strr

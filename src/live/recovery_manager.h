@@ -1,0 +1,44 @@
+// RecoveryManager: rebuilds the live tier's acked observation stream from
+// a journal directory after a restart or crash.
+//
+// Recover() loads every sealed observation table (strict: any checksum or
+// structural failure is typed Corruption — sealed files are never torn)
+// and then the WAL(s) through a torn-tail-tolerant LogReader: bytes
+// missing at the end of a log are the expected crash artifact and mark a
+// clean recovery point, while bytes present but inconsistent are
+// Corruption. Batches are deduplicated by sequence number (tables and the
+// WAL overlap in one crash window) and checked for gaps, so the result is
+// exactly the contiguous prefix of acked batches.
+//
+// Replay() folds the recovered stream back into a LiveProfileManager in
+// chunks. Chunking is safe because a profile cell's min/max/count are
+// order- and batching-independent; the float sum is the only
+// order-sensitive field and nothing on the query path reads it (regions
+// derive from extremes only).
+#ifndef STRR_LIVE_RECOVERY_MANAGER_H_
+#define STRR_LIVE_RECOVERY_MANAGER_H_
+
+#include <cstddef>
+#include <string>
+
+#include "live/live_profile_manager.h"
+#include "live/observation_journal.h"
+#include "util/result.h"
+
+namespace strr {
+
+class RecoveryManager {
+ public:
+  /// Reconstructs the acked batch stream from `dir`. A missing directory
+  /// yields an empty RecoveredLog (fresh start), never an error.
+  static StatusOr<RecoveredLog> Recover(const std::string& dir);
+
+  /// Publishes the recovered observations into `manager` in seq order.
+  /// Returns the number of snapshot publishes performed.
+  static size_t Replay(const RecoveredLog& recovered,
+                       LiveProfileManager& manager);
+};
+
+}  // namespace strr
+
+#endif  // STRR_LIVE_RECOVERY_MANAGER_H_

@@ -1,0 +1,176 @@
+#include "storage/fs_util.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <cstring>
+#include <filesystem>
+
+namespace strr {
+
+namespace {
+
+// Bytes remaining before the injected "disk full" fires; negative = off.
+// A single global is enough: the hook exists for single-threaded
+// persistence tests.
+std::atomic<int64_t> g_inject_failure_after{-1};
+
+Status Errno(const std::string& what, const std::string& path) {
+  return Status::IoError(what + " " + path + ": " + std::strerror(errno));
+}
+
+/// write(2) until done, honoring the failure-injection budget. On an
+/// injected failure a *prefix* may have reached the file — exactly the
+/// torn-write shape a crash or full disk produces.
+Status WriteFully(int fd, const char* data, size_t n, const std::string& path) {
+  int64_t budget = g_inject_failure_after.load(std::memory_order_relaxed);
+  if (budget >= 0) {
+    int64_t allowed = budget < static_cast<int64_t>(n)
+                          ? budget
+                          : static_cast<int64_t>(n);
+    g_inject_failure_after.store(budget - allowed, std::memory_order_relaxed);
+    if (allowed < static_cast<int64_t>(n)) {
+      // Write the allowed prefix, then report ENOSPC-like failure.
+      size_t wrote = 0;
+      while (wrote < static_cast<size_t>(allowed)) {
+        ssize_t r = ::write(fd, data + wrote,
+                            static_cast<size_t>(allowed) - wrote);
+        if (r < 0) {
+          if (errno == EINTR) continue;
+          return Errno("write", path);
+        }
+        wrote += static_cast<size_t>(r);
+      }
+      return Status::IoError("injected short write: " + path);
+    }
+  }
+  size_t wrote = 0;
+  while (wrote < n) {
+    ssize_t r = ::write(fd, data + wrote, n - wrote);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      return Errno("write", path);
+    }
+    wrote += static_cast<size_t>(r);
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+void TestInjectWriteFailureAfter(int64_t bytes) {
+  g_inject_failure_after.store(bytes, std::memory_order_relaxed);
+}
+
+StatusOr<std::string> ReadFileToString(const std::string& path) {
+  int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) return Errno("cannot open for read", path);
+  struct stat st;
+  if (::fstat(fd, &st) != 0) {
+    Status s = Errno("fstat", path);
+    ::close(fd);
+    return s;
+  }
+  if (st.st_size < 0) {
+    ::close(fd);
+    return Status::IoError("negative file size reported for " + path);
+  }
+  std::string bytes;
+  bytes.resize(static_cast<size_t>(st.st_size));
+  size_t got = 0;
+  while (got < bytes.size()) {
+    ssize_t r = ::read(fd, bytes.data() + got, bytes.size() - got);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      Status s = Errno("read", path);
+      ::close(fd);
+      return s;
+    }
+    if (r == 0) break;  // file shrank under us
+    got += static_cast<size_t>(r);
+  }
+  ::close(fd);
+  if (got != bytes.size()) {
+    return Status::IoError("short read: " + path);
+  }
+  return bytes;
+}
+
+Status SyncDir(const std::string& dir) {
+  int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+  if (fd < 0) return Errno("cannot open dir for sync", dir);
+  Status s;
+  if (::fsync(fd) != 0) s = Errno("fsync dir", dir);
+  ::close(fd);
+  return s;
+}
+
+Status AtomicWriteFile(const std::string& path, std::string_view bytes) {
+  const std::string tmp = path + ".tmp";
+  int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+  if (fd < 0) return Errno("cannot open for write", tmp);
+  Status s = WriteFully(fd, bytes.data(), bytes.size(), tmp);
+  if (s.ok() && ::fsync(fd) != 0) s = Errno("fsync", tmp);
+  if (::close(fd) != 0 && s.ok()) s = Errno("close", tmp);
+  if (!s.ok()) {
+    ::unlink(tmp.c_str());  // best effort; never touch the destination
+    return s;
+  }
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    s = Errno("rename", tmp + " -> " + path);
+    ::unlink(tmp.c_str());
+    return s;
+  }
+  // Make the rename itself durable.
+  std::filesystem::path parent = std::filesystem::path(path).parent_path();
+  if (parent.empty()) parent = ".";
+  return SyncDir(parent.string());
+}
+
+StatusOr<std::unique_ptr<AppendOnlyFile>> AppendOnlyFile::Create(
+    const std::string& path) {
+  int fd =
+      ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+  if (fd < 0) return Errno("cannot create", path);
+  std::filesystem::path parent = std::filesystem::path(path).parent_path();
+  if (parent.empty()) parent = ".";
+  if (Status s = SyncDir(parent.string()); !s.ok()) {
+    ::close(fd);
+    return s;
+  }
+  return std::unique_ptr<AppendOnlyFile>(new AppendOnlyFile(path, fd));
+}
+
+AppendOnlyFile::~AppendOnlyFile() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Status AppendOnlyFile::Append(std::string_view data) {
+  if (fd_ < 0) return Status::IoError("append on closed file " + path_);
+  STRR_RETURN_IF_ERROR(WriteFully(fd_, data.data(), data.size(), path_));
+  size_ += data.size();
+  return Status::OK();
+}
+
+Status AppendOnlyFile::Sync() {
+  if (fd_ < 0) return Status::IoError("sync on closed file " + path_);
+#if defined(__APPLE__)
+  if (::fsync(fd_) != 0) return Errno("fsync", path_);
+#else
+  if (::fdatasync(fd_) != 0) return Errno("fdatasync", path_);
+#endif
+  return Status::OK();
+}
+
+Status AppendOnlyFile::Close() {
+  if (fd_ < 0) return Status::OK();
+  int fd = fd_;
+  fd_ = -1;
+  if (::close(fd) != 0) return Errno("close", path_);
+  return Status::OK();
+}
+
+}  // namespace strr

@@ -1,0 +1,74 @@
+// Crash-safe filesystem primitives shared by dataset persistence and the
+// WAL layer: whole-file reads with size validation, atomic
+// temp-file + fsync + rename writes, append-only files with explicit
+// durability points, and directory fsync.
+//
+// All failure paths return typed Status (IoError) instead of leaving a
+// torn destination: AtomicWriteFile either publishes the complete new
+// bytes under `path` or leaves whatever was there before untouched.
+#ifndef STRR_STORAGE_FS_UTIL_H_
+#define STRR_STORAGE_FS_UTIL_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "util/result.h"
+#include "util/status.h"
+
+namespace strr {
+
+/// Reads the whole file into a string. IoError on open/seek/short-read
+/// problems (including an unrepresentable size from the OS).
+StatusOr<std::string> ReadFileToString(const std::string& path);
+
+/// Writes `bytes` to `<path>.tmp`, fsyncs, closes with error checking,
+/// renames onto `path`, and fsyncs the parent directory. A crash or full
+/// disk at any point leaves the previous `path` contents intact.
+Status AtomicWriteFile(const std::string& path, std::string_view bytes);
+
+/// fsyncs a directory so a rename/creation inside it is durable.
+Status SyncDir(const std::string& dir);
+
+/// Test hook: after `bytes` more bytes have been written through this
+/// layer, every write fails as if the disk were full (short write). Pass a
+/// negative value to disable. Not for production use.
+void TestInjectWriteFailureAfter(int64_t bytes);
+
+/// Append-only file handle for the WAL: explicit Append / Sync / Close,
+/// every step error-checked. Not thread-safe; the owner serializes.
+class AppendOnlyFile {
+ public:
+  /// Creates (or truncates) `path` for appending; fsyncs the parent
+  /// directory so the file's existence survives a crash.
+  static StatusOr<std::unique_ptr<AppendOnlyFile>> Create(
+      const std::string& path);
+
+  ~AppendOnlyFile();
+
+  AppendOnlyFile(const AppendOnlyFile&) = delete;
+  AppendOnlyFile& operator=(const AppendOnlyFile&) = delete;
+
+  Status Append(std::string_view data);
+
+  /// Durability point: flushes the file to stable storage (fdatasync).
+  Status Sync();
+
+  /// Closes with error checking; further use is invalid. Idempotent.
+  Status Close();
+
+  uint64_t size() const { return size_; }
+  const std::string& path() const { return path_; }
+
+ private:
+  AppendOnlyFile(std::string path, int fd) : path_(std::move(path)), fd_(fd) {}
+
+  std::string path_;
+  int fd_;
+  uint64_t size_ = 0;
+};
+
+}  // namespace strr
+
+#endif  // STRR_STORAGE_FS_UTIL_H_

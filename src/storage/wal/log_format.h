@@ -1,0 +1,47 @@
+// On-disk format shared by LogWriter and LogReader (LevelDB-style
+// record-oriented WAL).
+//
+// The log is a sequence of 32 KiB blocks. A logical record is stored as
+// one or more physical fragments, each with a 7-byte header:
+//
+//   [masked crc32c : u32 LE] [payload length : u16 LE] [type : u8]
+//
+// The checksum covers the type byte plus the payload, and is masked
+// (util/crc32c.h) so a WAL that is later embedded in checksummed state
+// keeps full error-detection strength. A fragment never crosses a block
+// boundary; when fewer than 7 bytes remain in a block the writer pads the
+// trailer with zeros and the reader skips it. kFirst/kMiddle/kLast chain
+// fragments of one record across blocks; kFull is the common
+// single-fragment case.
+//
+// Torn-tail contract: an append is a single sequential write, so a crash
+// leaves a *prefix* of the final record (possibly zero-padded by the
+// filesystem). The reader distinguishes "bytes missing at end of file"
+// (tolerated: clean recovery point) from "bytes present but inconsistent"
+// (typed Corruption).
+#ifndef STRR_STORAGE_WAL_LOG_FORMAT_H_
+#define STRR_STORAGE_WAL_LOG_FORMAT_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace strr {
+namespace wal {
+
+inline constexpr size_t kBlockSize = 32768;
+inline constexpr size_t kHeaderSize = 7;  // u32 crc + u16 length + u8 type
+
+enum class RecordType : uint8_t {
+  kZero = 0,  // reserved: zero-filled regions (trailer padding)
+  kFull = 1,
+  kFirst = 2,
+  kMiddle = 3,
+  kLast = 4,
+};
+
+inline constexpr uint8_t kMaxRecordType = 4;
+
+}  // namespace wal
+}  // namespace strr
+
+#endif  // STRR_STORAGE_WAL_LOG_FORMAT_H_

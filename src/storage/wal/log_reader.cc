@@ -1,0 +1,165 @@
+#include "storage/wal/log_reader.h"
+
+#include <cstring>
+
+#include "util/crc32c.h"
+
+namespace strr {
+namespace wal {
+
+bool LogReader::RemainingAllZero() const {
+  for (size_t i = pos_; i < contents_.size(); ++i) {
+    if (contents_[i] != '\0') return false;
+  }
+  return true;
+}
+
+LogReader::Outcome LogReader::ParsePhysicalRecord(std::string_view* fragment,
+                                                  RecordType* type) {
+  for (;;) {
+    size_t block_rem = kBlockSize - (pos_ % kBlockSize);
+    size_t file_rem = contents_.size() - pos_;
+
+    if (block_rem < kHeaderSize) {
+      // Block trailer: the writer zero-pads it. Nonzero bytes here are
+      // corruption; a file ending inside the trailer is fine.
+      size_t n = std::min(block_rem, file_rem);
+      for (size_t i = 0; i < n; ++i) {
+        if (contents_[pos_ + i] != '\0') {
+          status_ = Status::Corruption("nonzero WAL block trailer");
+          return Outcome::kCorrupt;
+        }
+      }
+      pos_ += n;
+      if (pos_ >= contents_.size()) return Outcome::kEof;
+      continue;
+    }
+
+    if (file_rem == 0) return Outcome::kEof;
+    if (file_rem < kHeaderSize) {
+      // Partial header at end of file: the crash landed mid-append.
+      pos_ = contents_.size();
+      return Outcome::kTornTail;
+    }
+
+    uint32_t masked_crc;
+    uint16_t length;
+    std::memcpy(&masked_crc, contents_.data() + pos_, 4);
+    std::memcpy(&length, contents_.data() + pos_ + 4, 2);
+    uint8_t type_byte = static_cast<uint8_t>(contents_[pos_ + 6]);
+
+    if (masked_crc == 0 && length == 0 && type_byte == 0) {
+      // A zero header is either a zero-filled tail (filesystems may
+      // materialize zeros past the last durable write after a crash) or
+      // corruption when real data follows it.
+      if (RemainingAllZero()) {
+        pos_ = contents_.size();
+        return Outcome::kTornTail;
+      }
+      status_ = Status::Corruption("zero WAL record header amid data");
+      return Outcome::kCorrupt;
+    }
+    if (type_byte == 0 || type_byte > kMaxRecordType) {
+      status_ = Status::Corruption("unknown WAL record type " +
+                                   std::to_string(type_byte));
+      return Outcome::kCorrupt;
+    }
+    if (length > block_rem - kHeaderSize) {
+      status_ = Status::Corruption("WAL fragment length crosses block");
+      return Outcome::kCorrupt;
+    }
+    if (kHeaderSize + length > file_rem) {
+      // The payload was cut off by the crash.
+      pos_ = contents_.size();
+      return Outcome::kTornTail;
+    }
+
+    const char* payload = contents_.data() + pos_ + kHeaderSize;
+    uint32_t expect = Crc32cUnmask(masked_crc);
+    uint32_t actual = Crc32cExtend(Crc32c(&type_byte, 1), payload, length);
+    if (expect != actual) {
+      status_ = Status::Corruption("WAL fragment checksum mismatch");
+      return Outcome::kCorrupt;
+    }
+
+    pos_ += kHeaderSize + length;
+    *fragment = std::string_view(payload, length);
+    *type = static_cast<RecordType>(type_byte);
+    return Outcome::kRecord;
+  }
+}
+
+bool LogReader::ReadRecord(std::string* record) {
+  record->clear();
+  if (done_) return false;
+
+  std::string scratch;
+  bool in_fragmented = false;
+  for (;;) {
+    std::string_view fragment;
+    RecordType type = RecordType::kZero;
+    Outcome outcome = ParsePhysicalRecord(&fragment, &type);
+    switch (outcome) {
+      case Outcome::kEof:
+        done_ = true;
+        if (in_fragmented) {
+          // kFirst/kMiddle durable but the chain never completed: the
+          // crash hit between fragment appends. Same contract as a torn
+          // final fragment.
+          torn_tail_ = true;
+        }
+        return false;
+      case Outcome::kTornTail:
+        done_ = true;
+        torn_tail_ = true;
+        return false;
+      case Outcome::kCorrupt:
+        done_ = true;
+        return false;
+      case Outcome::kRecord:
+        break;
+    }
+
+    switch (type) {
+      case RecordType::kFull:
+        if (in_fragmented) {
+          status_ = Status::Corruption("kFull fragment inside a record");
+          done_ = true;
+          return false;
+        }
+        record->assign(fragment.data(), fragment.size());
+        consumed_ = pos_;
+        return true;
+      case RecordType::kFirst:
+        if (in_fragmented) {
+          status_ = Status::Corruption("kFirst fragment inside a record");
+          done_ = true;
+          return false;
+        }
+        scratch.assign(fragment.data(), fragment.size());
+        in_fragmented = true;
+        break;
+      case RecordType::kMiddle:
+      case RecordType::kLast:
+        if (!in_fragmented) {
+          status_ = Status::Corruption("continuation fragment without start");
+          done_ = true;
+          return false;
+        }
+        scratch.append(fragment.data(), fragment.size());
+        if (type == RecordType::kLast) {
+          *record = std::move(scratch);
+          consumed_ = pos_;
+          return true;
+        }
+        break;
+      case RecordType::kZero:
+        status_ = Status::Corruption("unexpected zero record type");
+        done_ = true;
+        return false;
+    }
+  }
+}
+
+}  // namespace wal
+}  // namespace strr

@@ -1,0 +1,59 @@
+// LogReader: sequentially decodes records written by LogWriter, verifying
+// every fragment checksum and distinguishing a torn tail (crash artifact
+// at end of file — tolerated, clean recovery point) from corruption
+// (bytes fully present but inconsistent — typed error).
+#ifndef STRR_STORAGE_WAL_LOG_READER_H_
+#define STRR_STORAGE_WAL_LOG_READER_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "storage/wal/log_format.h"
+#include "util/status.h"
+
+namespace strr {
+namespace wal {
+
+class LogReader {
+ public:
+  /// Reads from `contents` (the whole log file), which must outlive the
+  /// reader.
+  explicit LogReader(std::string_view contents) : contents_(contents) {}
+
+  /// Fetches the next logical record into `*record`. Returns false when no
+  /// further record can be read; check status() to distinguish a clean end
+  /// (OK — true EOF or a tolerated torn tail, see torn_tail()) from
+  /// corruption.
+  bool ReadRecord(std::string* record);
+
+  /// OK after a clean end; Corruption when fully-present bytes failed a
+  /// checksum or structural check. Never transitions back to OK.
+  const Status& status() const { return status_; }
+
+  /// True when reading stopped because the final record was torn by a
+  /// crash (incomplete header/payload or a mid-record end of file).
+  bool torn_tail() const { return torn_tail_; }
+
+  /// Offset of the first byte not consumed as a complete record — the
+  /// safe truncation point for the tail.
+  uint64_t consumed_offset() const { return consumed_; }
+
+ private:
+  enum class Outcome { kRecord, kEof, kTornTail, kCorrupt };
+
+  Outcome ParsePhysicalRecord(std::string_view* fragment, RecordType* type);
+  bool RemainingAllZero() const;
+
+  std::string_view contents_;
+  size_t pos_ = 0;
+  uint64_t consumed_ = 0;
+  Status status_;
+  bool torn_tail_ = false;
+  bool done_ = false;
+};
+
+}  // namespace wal
+}  // namespace strr
+
+#endif  // STRR_STORAGE_WAL_LOG_READER_H_

@@ -1,0 +1,67 @@
+#include "storage/wal/log_writer.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "util/crc32c.h"
+
+namespace strr {
+namespace wal {
+
+Status LogWriter::AddRecord(std::string_view payload) {
+  const char* ptr = payload.data();
+  size_t left = payload.size();
+
+  // Emit at least one fragment (an empty payload is a valid record).
+  bool begin = true;
+  do {
+    size_t leftover = kBlockSize - block_offset_;
+    if (leftover < kHeaderSize) {
+      // Not enough room for a header: zero-pad the block trailer.
+      if (leftover > 0) {
+        static const char kZeros[kHeaderSize] = {0};
+        STRR_RETURN_IF_ERROR(
+            dest_->Append(std::string_view(kZeros, leftover)));
+      }
+      block_offset_ = 0;
+    }
+
+    size_t avail = kBlockSize - block_offset_ - kHeaderSize;
+    size_t fragment = std::min(left, avail);
+    bool end = (fragment == left);
+    RecordType type = (begin && end)  ? RecordType::kFull
+                      : begin         ? RecordType::kFirst
+                      : end           ? RecordType::kLast
+                                      : RecordType::kMiddle;
+    STRR_RETURN_IF_ERROR(EmitPhysicalRecord(type, ptr, fragment));
+    ptr += fragment;
+    left -= fragment;
+    begin = false;
+  } while (left > 0);
+  return Status::OK();
+}
+
+Status LogWriter::EmitPhysicalRecord(RecordType type, const char* data,
+                                     size_t n) {
+  // Header + payload in one buffer so the append is a single sequential
+  // write — a crash leaves a prefix, never an interleaving.
+  char header[kHeaderSize];
+  uint8_t type_byte = static_cast<uint8_t>(type);
+  uint32_t crc = Crc32cExtend(Crc32c(&type_byte, 1), data, n);
+  uint32_t masked = Crc32cMask(crc);
+  uint16_t length = static_cast<uint16_t>(n);
+  std::memcpy(header, &masked, 4);
+  std::memcpy(header + 4, &length, 2);
+  header[6] = static_cast<char>(type_byte);
+
+  std::string buf;
+  buf.reserve(kHeaderSize + n);
+  buf.append(header, kHeaderSize);
+  buf.append(data, n);
+  STRR_RETURN_IF_ERROR(dest_->Append(buf));
+  block_offset_ += kHeaderSize + n;
+  return Status::OK();
+}
+
+}  // namespace wal
+}  // namespace strr

@@ -1,0 +1,43 @@
+// LogWriter: appends checksummed, block-aligned records to an append-only
+// file (see log_format.h). One writer per file; not thread-safe — the
+// ObservationJournal serializes appends.
+#ifndef STRR_STORAGE_WAL_LOG_WRITER_H_
+#define STRR_STORAGE_WAL_LOG_WRITER_H_
+
+#include <string_view>
+
+#include "storage/fs_util.h"
+#include "storage/wal/log_format.h"
+#include "util/status.h"
+
+namespace strr {
+namespace wal {
+
+class LogWriter {
+ public:
+  /// Writes to `dest`, which must be fresh (the writer assumes it starts
+  /// at a block boundary) and must outlive the writer.
+  explicit LogWriter(AppendOnlyFile* dest) : dest_(dest) {}
+
+  LogWriter(const LogWriter&) = delete;
+  LogWriter& operator=(const LogWriter&) = delete;
+
+  /// Appends one logical record (fragmented across blocks as needed).
+  /// On failure the file may hold a torn fragment — exactly what a crash
+  /// would leave; readers tolerate it at the tail.
+  Status AddRecord(std::string_view payload);
+
+  /// Durability point for everything appended so far.
+  Status Sync() { return dest_->Sync(); }
+
+ private:
+  Status EmitPhysicalRecord(RecordType type, const char* data, size_t n);
+
+  AppendOnlyFile* dest_;
+  size_t block_offset_ = 0;  // position within the current block
+};
+
+}  // namespace wal
+}  // namespace strr
+
+#endif  // STRR_STORAGE_WAL_LOG_WRITER_H_

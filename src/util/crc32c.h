@@ -1,0 +1,71 @@
+// CRC32C (Castagnoli) checksums for on-disk record integrity.
+//
+// Software byte-table implementation (no SSE4.2 dependency) with the
+// LevelDB-style mask/unmask transform: a raw CRC stored inside data that is
+// itself CRC'd later degenerates (CRC of a string containing its own CRC is
+// pathologically weak), so stored checksums are masked first.
+#ifndef STRR_UTIL_CRC32C_H_
+#define STRR_UTIL_CRC32C_H_
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace strr {
+
+namespace crc32c_internal {
+
+constexpr uint32_t kPoly = 0x82f63b78u;  // reflected Castagnoli polynomial
+
+constexpr std::array<uint32_t, 256> MakeTable() {
+  std::array<uint32_t, 256> table{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t crc = i;
+    for (int k = 0; k < 8; ++k) {
+      crc = (crc & 1u) ? (kPoly ^ (crc >> 1)) : (crc >> 1);
+    }
+    table[i] = crc;
+  }
+  return table;
+}
+
+inline constexpr std::array<uint32_t, 256> kTable = MakeTable();
+
+}  // namespace crc32c_internal
+
+/// Extends `crc` (a previous Crc32c result, or 0) with `data[0, n)`.
+inline uint32_t Crc32cExtend(uint32_t crc, const void* data, size_t n) {
+  const uint8_t* p = static_cast<const uint8_t*>(data);
+  crc ^= 0xffffffffu;
+  for (size_t i = 0; i < n; ++i) {
+    crc = crc32c_internal::kTable[(crc ^ p[i]) & 0xffu] ^ (crc >> 8);
+  }
+  return crc ^ 0xffffffffu;
+}
+
+/// CRC32C of `data[0, n)`.
+inline uint32_t Crc32c(const void* data, size_t n) {
+  return Crc32cExtend(0, data, n);
+}
+
+inline uint32_t Crc32c(std::string_view bytes) {
+  return Crc32c(bytes.data(), bytes.size());
+}
+
+inline constexpr uint32_t kCrcMaskDelta = 0xa282ead8u;
+
+/// Masks a CRC before storing it inside data that may itself be checksummed.
+inline uint32_t Crc32cMask(uint32_t crc) {
+  return ((crc >> 15) | (crc << 17)) + kCrcMaskDelta;
+}
+
+/// Inverse of Crc32cMask.
+inline uint32_t Crc32cUnmask(uint32_t masked) {
+  uint32_t rot = masked - kCrcMaskDelta;
+  return (rot >> 17) | (rot << 15);
+}
+
+}  // namespace strr
+
+#endif  // STRR_UTIL_CRC32C_H_

@@ -129,12 +129,21 @@ TEST(PersistDatasetTest, CorruptTrajectoryFileFails) {
   ASSERT_TRUE(dataset.ok());
   std::string dir = MakeTempDir("persistc");
   ASSERT_TRUE(SaveDataset(*dataset, dir).ok());
+  // Saves are versioned now: find the committed trajectories file by
+  // prefix instead of assuming a fixed name.
+  std::string traj_path;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    const std::string name = entry.path().filename().string();
+    if (name.rfind("trajectories", 0) == 0) traj_path = entry.path().string();
+  }
+  ASSERT_FALSE(traj_path.empty());
   {
-    std::ofstream out(dir + "/trajectories.strr",
-                      std::ios::binary | std::ios::trunc);
+    std::ofstream out(traj_path, std::ios::binary | std::ios::trunc);
     out << "not a trajectory file";
   }
-  EXPECT_FALSE(LoadDataset(dir).ok());
+  auto loaded = LoadDataset(dir);
+  EXPECT_FALSE(loaded.ok());
+  EXPECT_TRUE(loaded.status().IsCorruption()) << loaded.status().ToString();
 }
 
 }  // namespace

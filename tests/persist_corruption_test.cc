@@ -1,0 +1,276 @@
+// Hostile-input and crash-safety tests for dataset persistence: the
+// round-trip oracle, the injected-short-write regression (a failed save
+// must leave the previous revision loadable), and systematic truncation /
+// byte-flip sweeps over every committed file — each mutation must yield a
+// typed Corruption/IoError, never a crash, hang, or huge allocation.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <filesystem>
+#include <fstream>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "core/persist.h"
+#include "storage/fs_util.h"
+#include "tests/test_util.h"
+#include "util/serialize.h"
+
+namespace strr {
+namespace {
+
+namespace fs = std::filesystem;
+using testing_util::MakeGridNetwork;
+using testing_util::MakeTempDir;
+
+Dataset MakeTinyDataset(float speed_a = 8.0f, float speed_b = 12.0f) {
+  Dataset dataset;
+  dataset.network = MakeGridNetwork(3, 3, 300.0);
+  dataset.store = std::make_unique<TrajectoryStore>(2);
+  MatchedTrajectory traj;
+  traj.id = 1;
+  traj.taxi = 7;
+  traj.day = 0;
+  traj.samples = {{0, MakeTimestamp(0, 100), speed_a},
+                  {1, MakeTimestamp(0, 130), speed_b}};
+  EXPECT_TRUE(dataset.store->Add(std::move(traj)).ok());
+  dataset.projection = Projection({39.9, 116.4});
+  dataset.center = {450.0, 450.0};
+  dataset.num_trips = 1;
+  dataset.approx_gps_points = 2;
+  return dataset;
+}
+
+std::vector<std::string> CommittedFiles(const std::string& dir) {
+  std::vector<std::string> files;
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    if (entry.path().extension() == ".strr") {
+      files.push_back(entry.path().string());
+    }
+  }
+  return files;
+}
+
+void OverwriteFile(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+TEST(PersistCorruptionTest, RoundTripOracle) {
+  Dataset dataset = MakeTinyDataset();
+  std::string dir = MakeTempDir("pc_oracle");
+  STRR_ASSERT_OK(SaveDataset(dataset, dir));
+  ASSERT_TRUE(DatasetExists(dir));
+  auto loaded = LoadDataset(dir);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->network.NumSegments(), dataset.network.NumSegments());
+  EXPECT_EQ(loaded->store->NumTrajectories(), 1u);
+  const MatchedTrajectory& got = loaded->store->TrajectoriesOnDay(0)[0];
+  EXPECT_NEAR(got.samples[0].speed_mps, 8.0f, 0.01);
+  EXPECT_NEAR(got.samples[1].speed_mps, 12.0f, 0.01);
+}
+
+TEST(PersistCorruptionTest, FailedSaveLeavesPreviousRevisionLoadable) {
+  // The satellite-1 regression: the old WriteFileBytes truncated the
+  // destination in place, so a failed re-save destroyed the dataset. Now
+  // every write lands in a temp file; an injected short write (full disk
+  // / crash) at ANY byte budget must fail the save AND leave the first
+  // revision bit-for-bit loadable.
+  Dataset first = MakeTinyDataset(8.0f, 12.0f);
+  Dataset second = MakeTinyDataset(3.0f, 4.0f);
+
+  // Byte budgets sweep every crash window: inside each payload write,
+  // inside the manifest commit, and past the end (save succeeds). The
+  // invariant: the directory ALWAYS loads, to exactly the old dataset
+  // when the save failed or exactly the new one when it succeeded.
+  bool saw_failure = false, saw_success = false;
+  for (int64_t budget : {0, 10, 80, 300, 700, 1100, 1350, 1450, 1550, 1700,
+                         2500, 100000}) {
+    std::string dir = MakeTempDir("pc_sw_" + std::to_string(budget));
+    STRR_ASSERT_OK(SaveDataset(first, dir));
+    TestInjectWriteFailureAfter(budget);
+    Status s = SaveDataset(second, dir);
+    TestInjectWriteFailureAfter(-1);
+
+    auto loaded = LoadDataset(dir);
+    ASSERT_TRUE(loaded.ok())
+        << "budget=" << budget << " " << loaded.status().ToString();
+    float got = loaded->store->TrajectoriesOnDay(0)[0].samples[0].speed_mps;
+    if (s.ok()) {
+      saw_success = true;
+      EXPECT_NEAR(got, 3.0f, 0.01) << "budget=" << budget;
+    } else {
+      saw_failure = true;
+      EXPECT_TRUE(s.IsIoError()) << "budget=" << budget << " " << s.ToString();
+      EXPECT_NEAR(got, 8.0f, 0.01) << "budget=" << budget;
+    }
+  }
+  // The sweep must actually exercise both outcomes.
+  EXPECT_TRUE(saw_failure);
+  EXPECT_TRUE(saw_success);
+}
+
+TEST(PersistCorruptionTest, TruncationSweepOverEveryCommittedFile) {
+  Dataset dataset = MakeTinyDataset();
+  std::string dir = MakeTempDir("pc_trunc");
+  STRR_ASSERT_OK(SaveDataset(dataset, dir));
+  std::vector<std::string> files = CommittedFiles(dir);
+  ASSERT_EQ(files.size(), 4u);  // manifest + three payloads
+
+  for (const std::string& path : files) {
+    auto original = ReadFileToString(path);
+    ASSERT_TRUE(original.ok());
+    for (size_t cut : {size_t{0}, size_t{1}, original->size() / 4,
+                       original->size() / 2, original->size() - 1}) {
+      OverwriteFile(path, original->substr(0, cut));
+      auto loaded = LoadDataset(dir);
+      ASSERT_FALSE(loaded.ok()) << path << " cut=" << cut;
+      ASSERT_TRUE(loaded.status().IsCorruption() ||
+                  loaded.status().IsIoError())
+          << path << " cut=" << cut << " " << loaded.status().ToString();
+    }
+    OverwriteFile(path, *original);
+    ASSERT_TRUE(LoadDataset(dir).ok()) << "restore failed for " << path;
+  }
+}
+
+TEST(PersistCorruptionTest, ByteFlipSweepOverEveryCommittedFile) {
+  Dataset dataset = MakeTinyDataset();
+  std::string dir = MakeTempDir("pc_flip");
+  STRR_ASSERT_OK(SaveDataset(dataset, dir));
+
+  for (const std::string& path : CommittedFiles(dir)) {
+    auto original = ReadFileToString(path);
+    ASSERT_TRUE(original.ok());
+    size_t stride = std::max<size_t>(1, original->size() / 37);
+    for (size_t pos = 0; pos < original->size(); pos += stride) {
+      std::string mutated = *original;
+      mutated[pos] ^= 0x20;
+      OverwriteFile(path, mutated);
+      auto loaded = LoadDataset(dir);
+      // Every byte of every committed file is covered by a CRC in the
+      // manifest (or the manifest's own trailing CRC), so any flip must
+      // be caught as typed Corruption.
+      ASSERT_FALSE(loaded.ok()) << path << " pos=" << pos;
+      ASSERT_TRUE(loaded.status().IsCorruption())
+          << path << " pos=" << pos << " " << loaded.status().ToString();
+    }
+    OverwriteFile(path, *original);
+    ASSERT_TRUE(LoadDataset(dir).ok()) << "restore failed for " << path;
+  }
+}
+
+TEST(PersistCorruptionTest, HostileCountsFailFastWithoutAllocating) {
+  // A network header claiming 2^32 nodes in a 30-byte file must be
+  // rejected by the remaining-bytes clamp, not attempted.
+  BinaryWriter w;
+  w.PutU64(0x5354525f4e455431ULL);  // network magic
+  w.PutU32(1);                      // version
+  w.PutU64(uint64_t{1} << 32);      // num_nodes
+  auto network = DeserializeNetwork(w.data());
+  ASSERT_FALSE(network.ok());
+  EXPECT_TRUE(network.status().IsCorruption());
+
+  // Same for a trajectory file with an absurd trajectory count, loaded
+  // through the legacy (manifest-less) path.
+  std::string dir = MakeTempDir("pc_hostile");
+  Dataset dataset = MakeTinyDataset();
+  OverwriteFile(dir + "/network.strr", SerializeNetwork(dataset.network));
+  BinaryWriter t;
+  t.PutU64(0x5354525f54524a31ULL);  // trajectory magic
+  t.PutU32(1);                      // version
+  t.PutU32(1);                      // num_days
+  t.PutU64(uint64_t{1} << 60);      // num_trajs
+  OverwriteFile(dir + "/trajectories.strr", t.data());
+  auto loaded = LoadDataset(dir);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_TRUE(loaded.status().IsCorruption()) << loaded.status().ToString();
+}
+
+TEST(PersistCorruptionTest, SpeedClampOnSaveAndRejectOnLoad) {
+  // Satellite 3: negative / NaN / absurd speeds used to wrap through the
+  // unsigned cm/s varint. They must clamp into [0, 1000 m/s] on save...
+  Dataset dataset = MakeTinyDataset();
+  MatchedTrajectory traj;
+  traj.id = 2;
+  traj.taxi = 9;
+  traj.day = 1;
+  traj.samples = {{0, MakeTimestamp(1, 50), -5.0f},
+                  {1, MakeTimestamp(1, 80), std::numeric_limits<float>::quiet_NaN()},
+                  {2, MakeTimestamp(1, 110), 1.0e9f},
+                  {3, MakeTimestamp(1, 140), 9.5f}};
+  ASSERT_TRUE(dataset.store->Add(std::move(traj)).ok());
+  std::string dir = MakeTempDir("pc_speed");
+  STRR_ASSERT_OK(SaveDataset(dataset, dir));
+  auto loaded = LoadDataset(dir);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  const auto& got = loaded->store->TrajectoriesOnDay(1)[0].samples;
+  EXPECT_FLOAT_EQ(got[0].speed_mps, 0.0f);
+  EXPECT_FLOAT_EQ(got[1].speed_mps, 0.0f);
+  EXPECT_FLOAT_EQ(got[2].speed_mps, 1000.0f);
+  EXPECT_NEAR(got[3].speed_mps, 9.5f, 0.01);
+
+  // ...and a crafted file with an out-of-range stored speed must fail
+  // with Corruption on load.
+  std::string dir2 = MakeTempDir("pc_speed2");
+  OverwriteFile(dir2 + "/network.strr", SerializeNetwork(dataset.network));
+  BinaryWriter t;
+  t.PutU64(0x5354525f54524a31ULL);
+  t.PutU32(1);
+  t.PutU32(1);   // num_days
+  t.PutU64(1);   // one trajectory
+  t.PutU32(1);   // id
+  t.PutU32(1);   // taxi
+  t.PutU32(0);   // day
+  t.PutVarint32(1);         // one sample
+  t.PutVarint32(0);         // segment
+  t.PutVarint64(100);       // timestamp delta
+  t.PutVarint32(200000);    // 2000 m/s: past the clamp ceiling
+  OverwriteFile(dir2 + "/trajectories.strr", t.data());
+  auto bad = LoadDataset(dir2);
+  ASSERT_FALSE(bad.ok());
+  EXPECT_TRUE(bad.status().IsCorruption()) << bad.status().ToString();
+}
+
+TEST(PersistCorruptionTest, LegacyLayoutStillLoads) {
+  // Pre-manifest datasets (plain filenames, no checksums) keep loading.
+  Dataset dataset = MakeTinyDataset();
+  std::string dir = MakeTempDir("pc_legacy");
+  std::string committed = MakeTempDir("pc_legacy_src");
+  STRR_ASSERT_OK(SaveDataset(dataset, committed));
+  auto reference = LoadDataset(committed);
+  ASSERT_TRUE(reference.ok());
+
+  OverwriteFile(dir + "/network.strr", SerializeNetwork(dataset.network));
+  // Reuse the committed payload bytes under legacy names.
+  for (const std::string& path : CommittedFiles(committed)) {
+    std::string name = fs::path(path).filename().string();
+    for (const char* base : {"trajectories", "meta"}) {
+      if (name.rfind(base, 0) == 0) {
+        auto bytes = ReadFileToString(path);
+        ASSERT_TRUE(bytes.ok());
+        OverwriteFile(dir + "/" + std::string(base) + ".strr", *bytes);
+      }
+    }
+  }
+  ASSERT_TRUE(DatasetExists(dir));
+  auto loaded = LoadDataset(dir);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->store->NumTrajectories(),
+            reference->store->NumTrajectories());
+}
+
+TEST(PersistCorruptionTest, SaveBumpsRevisionAndCollectsStaleFiles) {
+  Dataset dataset = MakeTinyDataset();
+  std::string dir = MakeTempDir("pc_rev");
+  STRR_ASSERT_OK(SaveDataset(dataset, dir));
+  STRR_ASSERT_OK(SaveDataset(dataset, dir));
+  STRR_ASSERT_OK(SaveDataset(dataset, dir));
+  // Only the manifest and the three current-revision payloads remain.
+  EXPECT_EQ(CommittedFiles(dir).size(), 4u);
+  ASSERT_TRUE(LoadDataset(dir).ok());
+}
+
+}  // namespace
+}  // namespace strr

@@ -1,0 +1,38 @@
+// Deterministic observation-batch stream shared by the crash harness's
+// writer and checker (and the durability tests' oracle): batch `seq` is a
+// pure function of (seq, num_segments), so a checker process can regenerate
+// exactly the batches a killed writer acked and compare bit-for-bit.
+#ifndef STRR_TOOLS_CRASH_STREAM_H_
+#define STRR_TOOLS_CRASH_STREAM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "live/observation.h"
+#include "util/rng.h"
+
+namespace strr {
+namespace crash_stream {
+
+/// Regenerates batch `seq` of the stream over `num_segments` segments.
+inline std::vector<SpeedObservation> GenBatch(uint64_t seq,
+                                              uint32_t num_segments) {
+  Rng rng(1234567 + seq);
+  int64_t count = rng.UniformInt(1, 8);
+  std::vector<SpeedObservation> batch;
+  batch.reserve(static_cast<size_t>(count));
+  for (int64_t i = 0; i < count; ++i) {
+    SpeedObservation obs;
+    obs.segment = static_cast<SegmentId>(
+        rng.UniformInt(0, static_cast<int64_t>(num_segments) - 1));
+    obs.time_of_day_sec = rng.UniformInt(0, 86399);
+    obs.speed_mps = rng.Uniform(1.0, 30.0);
+    batch.push_back(obs);
+  }
+  return batch;
+}
+
+}  // namespace crash_stream
+}  // namespace strr
+
+#endif  // STRR_TOOLS_CRASH_STREAM_H_
