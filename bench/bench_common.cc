@@ -3,6 +3,7 @@
 #include <cstdlib>
 #include <filesystem>
 
+#include "util/logging.h"
 #include "util/stopwatch.h"
 
 namespace strr {
@@ -80,6 +81,9 @@ StatusOr<std::unique_ptr<ReachabilityEngine>> BuildBenchEngine(
 }
 
 StatusOr<std::unique_ptr<BenchStack>> LoadBenchStack() {
+  // Benches honor STRR_LOG_LEVEL (e.g. =info to watch engine build and
+  // live-tier events during a long run).
+  SetLogLevelFromEnv();
   auto stack = std::make_unique<BenchStack>();
   STRR_ASSIGN_OR_RETURN(stack->dataset, LoadOrBuildBenchDataset());
   STRR_ASSIGN_OR_RETURN(stack->engine, BuildBenchEngine(stack->dataset, 300));

@@ -47,6 +47,8 @@
 #include "live/epoch_manager.h"
 #include "live/live_profile_manager.h"
 #include "live/observation_ingestor.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "query/query_plan.h"
 #include "traj/fleet_simulator.h"
 #include "util/rng.h"
@@ -114,6 +116,11 @@ struct TenantRow {
 struct LiveRow {
   int rate = 0;  ///< observations offered per second
   double qps = 0.0;
+  // Latency percentiles from an obs::Histogram over per-query wall µs —
+  // the same log-linear-bucket estimator the Prometheus surface exports,
+  // so the bench column and a production scrape agree by construction.
+  double p50_ms = 0.0;
+  double p95_ms = 0.0;
   double p99_ms = 0.0;
   double staleness_ms = 0.0;  ///< mean Offer -> published-snapshot delay
   uint64_t versions = 0;      ///< snapshots published during the window
@@ -150,12 +157,29 @@ int main() {
   }
 
   std::vector<RowResult> rows;
-  // Runs one config: median of three timed batches, hit/shed rates from
-  // the executor's front-door counters over the timed window.
+  // Runs one config: best-of-N timed batches (N adapts so the timed
+  // window covers >= ~1.2 s — at small scale a median-of-3 over ~50 ms
+  // batches is ±10% run-to-run, which would flake the 5% obs-overhead
+  // gate; the minimum is robust because scheduling noise only ever adds
+  // time), hit/shed rates from the executor's front-door counters over
+  // the timed window.
   auto run_config = [&](int workers, const std::string& mode,
                         const QueryExecutorOptions& opt,
                         bool allow_shed) -> RowResult {
     auto executor = stack.engine->MakeExecutor(opt);
+    // "obs" = the "none" configuration with the full observability stack
+    // on: metrics recording at every instrumented site, every query
+    // traced into the flight recorder, and a Prometheus scrape inside
+    // each timed run (a scrape concurrent with traffic is the production
+    // shape). The identical check below then proves knobs-on queries are
+    // bit-identical, and check_regression.py gates obs-vs-none qps.
+    const bool obs_on = mode == "obs";
+    if (obs_on) {
+      obs::MetricsRegistry::Global().set_enabled(true);
+      obs::Tracer::Global().Configure({.sample_n = 1,
+                                       .flight_recorder_events = 4096,
+                                       .slow_query_ms = 0.0});
+    }
     if (mode == "cache") {
       // Cold fill outside the timing: the hot-spot scenario is a steady
       // stream of repeats over an already-warm front door.
@@ -166,10 +190,17 @@ int main() {
     std::vector<double> times;
     bool identical = true;
     size_t shed = 0, served = 0;
-    for (int run = 0; run < 3; ++run) {
+    double total_ms = 0.0;
+    while ((times.size() < 3 || total_ms < 1200.0) && times.size() < 15) {
       Stopwatch watch;
       auto results = executor->ExecuteBatch(plans);
+      if (obs_on) {
+        std::string scrape;
+        obs::MetricsRegistry::Global().DumpPrometheus(&scrape);
+        if (scrape.empty()) identical = false;  // scrape must produce text
+      }
       times.push_back(watch.ElapsedMillis());
+      total_ms += times.back();
       for (size_t i = 0; i < results.size(); ++i) {
         if (!results[i].ok()) {
           if (allow_shed && results[i].status().IsResourceExhausted()) {
@@ -188,10 +219,11 @@ int main() {
     RowResult row;
     row.workers = workers;
     row.mode = mode;
-    row.batch_ms = times[1];
+    row.batch_ms = times.front();
     // qps counts only *served* queries: shed plans return in microseconds
     // and would otherwise inflate the admit-mode throughput ~8x.
-    double served_per_run = static_cast<double>(served) / 3.0;
+    double served_per_run =
+        static_cast<double>(served) / static_cast<double>(times.size());
     row.qps = served_per_run / (row.batch_ms / 1000.0);
     uint64_t hits = after.cache_hits - before.cache_hits;
     uint64_t misses = after.cache_misses - before.cache_misses;
@@ -202,6 +234,12 @@ int main() {
                         ? static_cast<double>(shed) / (shed + served)
                         : 0.0;
     row.identical = identical;
+    if (obs_on) {
+      // Leave the process exactly as the other modes see it.
+      obs::Tracer::Global().Disable();
+      obs::MetricsRegistry::Global().set_enabled(false);
+      obs::MetricsRegistry::Global().ResetValues();
+    }
     return row;
   };
 
@@ -211,7 +249,11 @@ int main() {
             "shed_rate", "identical"});
   double qps1 = 0.0, qps4 = 0.0, qps4_cache = 0.0;
   for (int workers : {1, 2, 4, 8}) {
-    for (const char* mode : {"none", "cache"}) {
+    // "obs" rows only at 1 and 4 workers: enough to gate the overhead at
+    // both the sequential and the scaled shape without doubling the sweep.
+    std::vector<const char*> modes = {"none", "cache"};
+    if (workers == 1 || workers == 4) modes.push_back("obs");
+    for (const char* mode : modes) {
       QueryExecutorOptions opt;
       opt.num_threads = workers;
       if (std::string(mode) == "cache") opt.result_cache_entries = 4096;
@@ -479,7 +521,13 @@ int main() {
         });
       }
 
-      std::vector<std::vector<double>> latencies(kQueryThreads);
+      // Per-query latency sink: a private (always-enabled) registry so the
+      // bench's own recording never depends on — or pollutes — the global
+      // export surface. Sharded buckets make the concurrent Record calls
+      // below cheap and race-free.
+      obs::MetricsRegistry latency_registry(/*enabled=*/true);
+      obs::Histogram& latency_us =
+          latency_registry.GetHistogram("bench_live_latency_us");
       std::atomic<bool> identical{true};
       auto deadline = std::chrono::steady_clock::now() +
                       std::chrono::milliseconds(kWindowMs);
@@ -495,7 +543,7 @@ int main() {
               identical.store(false);
               continue;
             }
-            latencies[t].push_back(watch.ElapsedMillis());
+            latency_us.Record(static_cast<uint64_t>(watch.ElapsedMicros()));
             if (rate == 0) {
               const auto& expected = primed_reference[i % plans.size()];
               if (!expected.ok() || result->segments != expected->segments) {
@@ -512,15 +560,15 @@ int main() {
       if (feeder.joinable()) feeder.join();
       ingest.Stop();
 
-      std::vector<double> all;
-      for (auto& v : latencies) all.insert(all.end(), v.begin(), v.end());
-      std::sort(all.begin(), all.end());
       LiveRow row;
       row.rate = rate;
-      row.qps = all.empty() ? 0.0 : all.size() / (elapsed_ms / 1000.0);
-      row.p99_ms = all.empty()
-                       ? 0.0
-                       : all[static_cast<size_t>(0.99 * (all.size() - 1))];
+      const uint64_t served = latency_us.Count();
+      row.qps = served == 0 ? 0.0
+                            : static_cast<double>(served) /
+                                  (elapsed_ms / 1000.0);
+      row.p50_ms = latency_us.Percentile(0.50) / 1000.0;
+      row.p95_ms = latency_us.Percentile(0.95) / 1000.0;
+      row.p99_ms = latency_us.Percentile(0.99) / 1000.0;
       row.staleness_ms = ingest.stats().mean_staleness_ms;
       row.versions = live.version() - primed_versions;
       row.slots_invalidated = live.stats().slots_invalidated +
@@ -533,11 +581,12 @@ int main() {
     std::printf("\nLive ingestion: %d query threads vs observation stream "
                 "(batch window 200 ms, steady-state primed)\n",
                 kQueryThreads);
-    PrintRow({"obs_per_sec", "qps", "p99_ms", "staleness_ms", "versions",
-              "slots_inval", "identical"});
+    PrintRow({"obs_per_sec", "qps", "p50_ms", "p95_ms", "p99_ms",
+              "staleness_ms", "versions", "slots_inval", "identical"});
     for (int rate : {0, 100, 1000}) {
       LiveRow row = run_live(rate);
       PrintRow({std::to_string(row.rate), Cell(row.qps, 1),
+                Cell(row.p50_ms, 1), Cell(row.p95_ms, 1),
                 Cell(row.p99_ms, 1), Cell(row.staleness_ms, 1),
                 std::to_string(row.versions),
                 std::to_string(row.slots_invalidated),
@@ -623,10 +672,11 @@ int main() {
       const LiveRow& r = live_rows[i];
       std::fprintf(
           f,
-          "    {\"obs_per_sec\": %d, \"qps\": %.1f, \"p99_ms\": %.2f, "
+          "    {\"obs_per_sec\": %d, \"qps\": %.1f, \"p50_ms\": %.2f, "
+          "\"p95_ms\": %.2f, \"p99_ms\": %.2f, "
           "\"staleness_ms\": %.2f, \"versions\": %llu, "
           "\"slots_invalidated\": %llu, \"identical\": %s}%s\n",
-          r.rate, r.qps, r.p99_ms, r.staleness_ms,
+          r.rate, r.qps, r.p50_ms, r.p95_ms, r.p99_ms, r.staleness_ms,
           static_cast<unsigned long long>(r.versions),
           static_cast<unsigned long long>(r.slots_invalidated),
           r.identical ? "true" : "false", i + 1 < live_rows.size() ? "," : "");

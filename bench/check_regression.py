@@ -19,7 +19,11 @@ checks three kinds of signals:
     than --tolerance (default 25%) fails the gate. Rows whose baseline
     batch time is under --min-batch-ms (cache rows: the measurement is
     pure front-door overhead in microseconds) skip the qps check and are
-    covered by their hit_rate instead.
+    covered by their hit_rate instead;
+  * obs overhead — within the fresh run only, the "obs" mode rows
+    (metrics + tracing + an in-window scrape) must stay within
+    --obs-overhead-tolerance (default 5%) of the same-worker "none"
+    rows, so observability can never silently become expensive.
 
 Exit code 0 = no regression; 1 = regression (reasons printed); 2 = usage
 or malformed input. Rows present in the baseline but missing from the
@@ -126,6 +130,39 @@ def check_throughput_rows(gate, base, fresh, tolerance, min_batch_ms):
                     f"throughput row {key}: normalized qps {fresh_norm[key]:.3f} "
                     f"regressed more than {tolerance:.0%} vs baseline "
                     f"{base_norm[key]:.3f}")
+
+
+def check_obs_overhead(gate, fresh, obs_tolerance):
+    """Observability cost gate, computed entirely within the fresh run:
+    for every worker count that has both an "obs" row (metrics + tracing
+    + an in-window Prometheus scrape) and a "none" row, the obs qps may
+    not fall more than --obs-overhead-tolerance below the none qps. Both
+    rows come from the same host and the same process, so this is a raw
+    ratio, not a normalized one. identical=false on obs rows is already
+    a hard failure via check_throughput_rows."""
+    fresh_idx = index_rows(fresh.get("rows"), ("workers", "mode"))
+    compared = 0
+    for (workers, mode), row in sorted(fresh_idx.items()):
+        if mode != "obs":
+            continue
+        ref = fresh_idx.get((workers, "none"))
+        if ref is None or not ref.get("qps"):
+            gate.fail(f"obs overhead: ({workers}, 'obs') row has no usable "
+                      f"({workers}, 'none') row to compare against")
+            continue
+        compared += 1
+        ratio = row.get("qps", 0.0) / ref["qps"]
+        if ratio < 1.0 - obs_tolerance:
+            gate.fail(
+                f"obs overhead: {workers}-worker qps with observability on "
+                f"is {ratio:.3f}x of the off row — more than "
+                f"{obs_tolerance:.0%} overhead")
+        else:
+            gate.note(f"obs overhead: {workers}-worker on/off qps ratio "
+                      f"{ratio:.3f} (floor {1.0 - obs_tolerance:.2f})")
+    if compared == 0:
+        gate.fail("obs overhead: fresh run has no 'obs' mode rows — the "
+                  "overhead measurement silently vanished")
 
 
 def check_tenant_rows(gate, base, fresh, fairness_tolerance):
@@ -252,6 +289,10 @@ def main():
                         help="max allowed WFQ weight-share deviation in the "
                              "fresh run (default 0.25; the bench itself "
                              "shape-checks 0.20 on the bench host)")
+    parser.add_argument("--obs-overhead-tolerance", type=float, default=0.05,
+                        help="max allowed qps cost of metrics+tracing, "
+                             "measured within the fresh run as the obs/none "
+                             "qps ratio per worker count (default 0.05)")
     parser.add_argument("--min-batch-ms", type=float, default=1.0,
                         help="skip qps comparison for rows whose baseline "
                              "batch_ms is below this (overhead-dominated "
@@ -277,6 +318,7 @@ def main():
 
     gate = Gate()
     check_throughput_rows(gate, base, fresh, args.tolerance, args.min_batch_ms)
+    check_obs_overhead(gate, fresh, args.obs_overhead_tolerance)
     check_tenant_rows(gate, base, fresh, args.fairness_tolerance)
     check_live_rows(gate, base, fresh, args.tolerance)
 

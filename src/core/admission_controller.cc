@@ -3,7 +3,28 @@
 #include <algorithm>
 #include <string>
 
+#include "obs/metrics.h"
+
 namespace strr {
+
+namespace {
+
+/// Callers currently parked in an admission queue (this controller and
+/// the WFQ one report into the same gauge: at most one is active per
+/// executor, and multiple executors' queues sum meaningfully).
+obs::Gauge& QueuedGauge() {
+  static obs::Gauge& g =
+      obs::MetricsRegistry::Global().GetGauge("strr_admission_queued");
+  return g;
+}
+
+obs::Counter& WaitsCounter() {
+  static obs::Counter& c = obs::MetricsRegistry::Global().GetCounter(
+      "strr_admission_waits_total");
+  return c;
+}
+
+}  // namespace
 
 AdmissionController::AdmissionController(const AdmissionOptions& options)
     : max_inflight_(options.max_inflight), max_queued_(options.max_queued) {
@@ -26,7 +47,10 @@ Status AdmissionController::Admit() {
           ")");
     }
     ++waiting_;
+    WaitsCounter().Add();
+    QueuedGauge().Add(1);
     ticket_free_.wait(lock, [this] { return inflight_ < max_inflight_; });
+    QueuedGauge().Add(-1);
     --waiting_;
   }
   ++inflight_;

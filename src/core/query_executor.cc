@@ -6,6 +6,8 @@
 #include <string>
 #include <utility>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "query/es_baseline.h"
 #include "query/probability.h"
 #include "query/trace_back.h"
@@ -14,6 +16,45 @@
 namespace strr {
 
 namespace {
+
+// Front-door observability (no-ops until the global registry/tracer are
+// enabled — see obs/metrics.h; handles are cached once per site).
+obs::Counter& QueryCounter() {
+  static obs::Counter& c =
+      obs::MetricsRegistry::Global().GetCounter("strr_queries_total");
+  return c;
+}
+obs::Counter& QueryErrorCounter() {
+  static obs::Counter& c =
+      obs::MetricsRegistry::Global().GetCounter("strr_query_errors_total");
+  return c;
+}
+obs::Histogram& QueryWallHistogram() {
+  static obs::Histogram& h =
+      obs::MetricsRegistry::Global().GetHistogram("strr_query_wall_us");
+  return h;
+}
+obs::Histogram& AdmissionWaitHistogram() {
+  static obs::Histogram& h = obs::MetricsRegistry::Global().GetHistogram(
+      "strr_admission_wait_us");
+  return h;
+}
+obs::Counter& AdmissionShedCounter() {
+  static obs::Counter& c = obs::MetricsRegistry::Global().GetCounter(
+      "strr_admission_shed_total");
+  return c;
+}
+
+/// Records the wall time and outcome of one front-door execution.
+void RecordQueryMetrics(const Stopwatch& watch,
+                        const StatusOr<RegionResult>& result) {
+  QueryCounter().Add();
+  if (!result.ok()) QueryErrorCounter().Add();
+  if (obs::MetricsRegistry::Global().enabled()) {
+    QueryWallHistogram().Record(
+        static_cast<uint64_t>(watch.ElapsedMicros()));
+  }
+}
 
 /// Sanity checks a plan before execution. Plans from QueryPlanner always
 /// pass; this guards hand-built or mutated plans so a bad one surfaces as
@@ -142,12 +183,23 @@ StatusOr<RegionResult> QueryExecutor::Execute(const QueryPlan& plan) {
 
 StatusOr<RegionResult> QueryExecutor::ExecuteFrontDoor(const QueryPlan& plan,
                                                        bool batch) {
+  // Root span for this query's tree (degrades to a child span when the
+  // facade already opened one). All stage spans below record into it.
+  obs::QueryTrace trace("query");
+  Stopwatch wall_watch;
   std::optional<PlanKey> key;
   if (cache_ != nullptr) {
     key = MakePlanKey(plan, /*tenant_scoped=*/!options_.tenant_shared_cache);
-    if (std::optional<RegionResult> hit = cache_->Lookup(*key)) {
+    std::optional<RegionResult> hit;
+    {
+      obs::TraceSpan span("cache_lookup");
+      hit = cache_->Lookup(*key);
+    }
+    if (hit) {
       if (tenants_ != nullptr) tenants_->RecordCacheHit(plan.tenant);
-      return *std::move(hit);
+      StatusOr<RegionResult> result = *std::move(hit);
+      RecordQueryMetrics(wall_watch, result);
+      return result;
     }
     if (tenants_ != nullptr) tenants_->RecordCacheMiss(plan.tenant);
   }
@@ -175,17 +227,29 @@ StatusOr<RegionResult> QueryExecutor::ExecuteFrontDoor(const QueryPlan& plan,
     tenants_->RecordCompletion(plan.tenant, result->stats.io);
   }
   if (key && result.ok()) MaybeCacheInsert(*key, *result, plan.tenant);
+  RecordQueryMetrics(wall_watch, result);
   return result;
 }
 
 Status QueryExecutor::AdmitSingle(TenantId tenant) {
-  if (wfq_ != nullptr) return wfq_->Admit(tenant);
-  return admission_->Admit();
+  obs::TraceSpan span("admission_wait");
+  bool timed = obs::MetricsRegistry::Global().enabled();
+  Stopwatch watch;
+  Status admitted =
+      wfq_ != nullptr ? wfq_->Admit(tenant) : admission_->Admit();
+  if (timed) {
+    AdmissionWaitHistogram().Record(
+        static_cast<uint64_t>(watch.ElapsedMicros()));
+  }
+  if (!admitted.ok()) AdmissionShedCounter().Add();
+  return admitted;
 }
 
 Status QueryExecutor::TryAdmitBatchTicket(TenantId tenant) {
-  if (wfq_ != nullptr) return wfq_->TryAdmitBatch(tenant);
-  return admission_->TryAdmitBatch();
+  Status admitted = wfq_ != nullptr ? wfq_->TryAdmitBatch(tenant)
+                                    : admission_->TryAdmitBatch();
+  if (!admitted.ok()) AdmissionShedCounter().Add();
+  return admitted;
 }
 
 void QueryExecutor::ReleaseTicket(TenantId tenant, bool batch,
@@ -208,6 +272,9 @@ void QueryExecutor::ReleaseTicket(TenantId tenant, bool batch,
 StatusOr<RegionResult> QueryExecutor::RunAdmitted(const QueryPlan& plan,
                                                   const PlanKey* key,
                                                   bool batch_ticket) {
+  // Batch plans fanned to pool workers root their trace here (lookup and
+  // admission already happened on the submitting thread).
+  obs::QueryTrace trace("query");
   Stopwatch exec_watch;
   StatusOr<RegionResult> result = ExecutePinned(plan);
   if (batch_ticket) {
@@ -217,7 +284,10 @@ StatusOr<RegionResult> QueryExecutor::RunAdmitted(const QueryPlan& plan,
   if (tenants_ != nullptr && result.ok()) {
     tenants_->RecordCompletion(plan.tenant, result->stats.io);
   }
-  if (key != nullptr && result.ok()) MaybeCacheInsert(*key, *result, plan.tenant);
+  if (key != nullptr && result.ok()) {
+    MaybeCacheInsert(*key, *result, plan.tenant);
+  }
+  RecordQueryMetrics(exec_watch, result);
   return result;
 }
 
@@ -228,6 +298,7 @@ StatusOr<RegionResult> QueryExecutor::ExecutePinned(const QueryPlan& plan) {
   SnapshotRef snap;
   IndexView view = StaticView();
   if (live_ != nullptr) {
+    obs::TraceSpan span("snapshot_pin");
     snap = live_->Acquire();
     view = IndexView{&snap.con_index(), &snap.profile(), snap.version()};
   }
@@ -238,6 +309,7 @@ void QueryExecutor::MaybeCacheInsert(const PlanKey& key,
                                      const RegionResult& result,
                                      TenantId tenant) {
   if (cache_ == nullptr) return;
+  obs::TraceSpan span("cache_insert");
   if (live_ == nullptr) {
     cache_->Insert(key, result, tenant);
     return;
@@ -399,10 +471,15 @@ StatusOr<RegionResult> QueryExecutor::RunTraceBack(
     const BoundingRegions& regions, int64_t start_tod, int64_t duration,
     double prob, double setup_ms, const ScopedIoCounters& io_scope) {
   Stopwatch watch;
+  obs::TraceSpan tbs_span("tbs", regions.max_region.size());
   STRR_ASSIGN_OR_RETURN(
-      ReachabilityProbability oracle,
-      ReachabilityProbability::Create(*st_index_, regions.start_segments,
-                                      start_tod, delta_t_seconds_, duration));
+      ReachabilityProbability oracle, [&] {
+        obs::TraceSpan span("probability_oracle");
+        return ReachabilityProbability::Create(*st_index_,
+                                               regions.start_segments,
+                                               start_tod, delta_t_seconds_,
+                                               duration);
+      }());
 
   RegionResult result;
   if (oracle.StartHasNoTraffic()) {
@@ -453,11 +530,13 @@ StatusOr<RegionResult> QueryExecutor::ExecuteIndexed(const QueryPlan& plan,
   search_opt.runtime.locality_chunking = options_.interior_locality_chunking;
   BoundingRegions regions;
   if (plan.IsMultiLocation()) {
+    obs::TraceSpan span("mqmb_search");
     STRR_ASSIGN_OR_RETURN(
         regions, MqmbSearch(*network_, *view.con_index, *view.profile,
                             plan.AllStartSegments(), plan.start_tod,
                             plan.duration, search_opt));
   } else {
+    obs::TraceSpan span("sqmb_search");
     STRR_ASSIGN_OR_RETURN(
         regions,
         SqmbSearchSet(*network_, *view.con_index, plan.location_starts[0],
@@ -509,6 +588,7 @@ StatusOr<RegionResult> QueryExecutor::ExecuteRepeatedS(const QueryPlan& plan,
   }
 
   std::vector<StatusOr<RegionResult>> leg_results;
+  obs::TraceSpan legs_span("mquery_legs", legs.size());
   if (options_.parallel_mquery_legs) {
     // ExecuteRaw degrades to an inline sequential loop on a pool worker or
     // a single-thread pool — one fan-out decision point. Legs bypass the

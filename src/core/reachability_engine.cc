@@ -4,6 +4,9 @@
 #include <filesystem>
 
 #include "live/recovery_manager.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "util/logging.h"
 
 namespace strr {
 
@@ -25,6 +28,22 @@ StatusOr<std::unique_ptr<ReachabilityEngine>> ReachabilityEngine::Build(
   }
   auto engine = std::unique_ptr<ReachabilityEngine>(
       new ReachabilityEngine(network, options));
+
+  // Observability is process-global (one scrape surface per process), so
+  // the knobs configure the shared registry/tracer rather than an
+  // engine-owned object. Deliberately one-way for metrics: building a
+  // second engine without the knob must not disable a first engine's
+  // scrape surface mid-flight.
+  if (options.metrics) {
+    obs::MetricsRegistry::Global().set_enabled(true);
+  }
+  if (options.trace_sample_n > 0 || options.slow_query_ms > 0.0) {
+    obs::TracerOptions trace_opt;
+    trace_opt.sample_n = options.trace_sample_n;
+    trace_opt.flight_recorder_events = options.flight_recorder_events;
+    trace_opt.slow_query_ms = options.slow_query_ms;
+    obs::Tracer::Global().Configure(trace_opt);
+  }
 
   SpeedProfileOptions profile_opt;
   profile_opt.slot_seconds = options.profile_slot_seconds;
@@ -133,6 +152,19 @@ StatusOr<std::unique_ptr<ReachabilityEngine>> ReachabilityEngine::Build(
       engine->live_recovery_.wal_files_loaded = recovered.wal_files_loaded;
       engine->live_recovery_.replay_publishes =
           RecoveryManager::Replay(recovered, *engine->live_manager_);
+      if (recovered.wal_tail_torn) {
+        STRR_LOG(Warning)
+            << "live recovery: WAL tail torn (crash mid-append); "
+               "replayed through the last intact record, seq "
+            << recovered.last_seq;
+      }
+      STRR_LOG(Info) << "live recovery: replayed "
+                     << recovered.batches.size() << " acked batches (seq "
+                     << recovered.last_seq << ") from "
+                     << recovered.tables_loaded << " tables + "
+                     << recovered.wal_files_loaded << " WAL files, "
+                     << engine->live_recovery_.replay_publishes
+                     << " snapshot publishes";
       STRR_ASSIGN_OR_RETURN(engine->journal_,
                             ObservationJournal::Open(journal_opt, recovered));
     }
@@ -187,6 +219,9 @@ std::string ReachabilityEngine::NegativeKey(const XyPoint* locations,
 template <typename PlanFn>
 StatusOr<RegionResult> ReachabilityEngine::PlanAndExecute(
     const XyPoint* locations, size_t n, PlanFn&& plan_fn) {
+  // Root the span tree at the facade so planning is part of the query's
+  // trace; the executor's own root below degrades to a child span.
+  obs::QueryTrace trace("request");
   std::string neg_key;
   if (negative_cache_ != nullptr) {
     neg_key = NegativeKey(locations, n);
@@ -194,7 +229,10 @@ StatusOr<RegionResult> ReachabilityEngine::PlanAndExecute(
       return *std::move(cached);
     }
   }
-  StatusOr<QueryPlan> plan = plan_fn();
+  StatusOr<QueryPlan> plan = [&] {
+    obs::TraceSpan span("plan", n);
+    return plan_fn();
+  }();
   if (!plan.ok()) {
     // Only NotFound is cacheable: it depends on the locations alone.
     // InvalidArgument (bad Prob/duration) is parameter-specific and cheap
@@ -231,6 +269,14 @@ StatusOr<RegionResult> ReachabilityEngine::MQueryRepeatedSQuery(
   return PlanAndExecute(query.locations.data(), query.locations.size(), [&] {
     return planner_->PlanMQuery(query, QueryStrategy::kRepeatedS);
   });
+}
+
+Status ReachabilityEngine::DumpTrace(const std::string& path) const {
+  return obs::Tracer::Global().WriteChromeTrace(path);
+}
+
+void ReachabilityEngine::DumpMetricsPrometheus(std::string* out) const {
+  obs::MetricsRegistry::Global().DumpPrometheus(out);
 }
 
 void ReachabilityEngine::ResetIoStats(bool drop_cache) {

@@ -152,6 +152,25 @@ struct EngineOptions {
   /// StIndexOptions::max_locate_distance_m); <= 0 restores unconditional
   /// snap-to-nearest.
   double max_locate_distance_m = 25000.0;
+  // --- Observability (src/obs/; all off by default — with every knob off
+  // the query path records nothing, allocates nothing, and results plus
+  // bench rows stay bit-identical). These configure the PROCESS-GLOBAL
+  // metrics registry and tracer: engines in one process share one export
+  // surface, and the last Build() wins on conflicting settings. ---------
+  /// Enable the global MetricsRegistry: counters/gauges/histograms across
+  /// the whole stack (admission, cache, live tier, WAL, frontier, pools),
+  /// scraped via obs::MetricsRegistry::Global().DumpPrometheus or
+  /// DumpMetricsPrometheus() below.
+  bool metrics = false;
+  /// Record every Nth query's span tree into the flight recorder; 0
+  /// disables sampling (tracing stays off unless slow_query_ms arms it).
+  uint32_t trace_sample_n = 0;
+  /// Flight-recorder ring capacity in span events.
+  size_t flight_recorder_events = 4096;
+  /// Queries slower than this log their full span tree through
+  /// util/logging (one structured sink) and are force-recorded into the
+  /// flight recorder; 0 disables the slow-query log.
+  double slow_query_ms = 0.0;
   // --- Negative caching (off by default) -------------------------------------
   /// Entries in the facade's NotFound cache; 0 disables it. Junk query
   /// locations (no matchable segment) then fail from memory instead of
@@ -262,6 +281,17 @@ class ReachabilityEngine {
 
   /// The facade's NotFound cache, or nullptr when disabled.
   NegativeCache* negative_cache() { return negative_cache_.get(); }
+
+  // --- Observability ---------------------------------------------------------
+
+  /// Writes the flight recorder as Chrome trace-event JSON (loadable in
+  /// chrome://tracing / Perfetto). Available whenever tracing was enabled
+  /// (trace_sample_n or slow_query_ms); the recorder is process-global.
+  Status DumpTrace(const std::string& path) const;
+
+  /// Appends the global metrics registry in Prometheus text exposition
+  /// format (convenience over obs::MetricsRegistry::Global()).
+  void DumpMetricsPrometheus(std::string* out) const;
 
   /// The engine-wide tenant config/stats registry, or nullptr when
   /// tenant_fairness is off. Shared by every executor over this engine.

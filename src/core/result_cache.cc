@@ -3,12 +3,48 @@
 #include <algorithm>
 #include <bit>
 
+#include "obs/metrics.h"
 #include "util/hashing.h"
 #include "util/serialize.h"
 
 namespace strr {
 
 namespace {
+
+// Process-global mirrors of the per-instance Stats fields (no-ops until
+// the registry is enabled). The per-instance struct stays authoritative
+// for front_door_stats(); these aggregate every cache in the process for
+// the scrape surface.
+obs::Counter& HitsCounter() {
+  static obs::Counter& c =
+      obs::MetricsRegistry::Global().GetCounter("strr_cache_hits_total");
+  return c;
+}
+obs::Counter& MissesCounter() {
+  static obs::Counter& c =
+      obs::MetricsRegistry::Global().GetCounter("strr_cache_misses_total");
+  return c;
+}
+obs::Counter& InsertionsCounter() {
+  static obs::Counter& c = obs::MetricsRegistry::Global().GetCounter(
+      "strr_cache_insertions_total");
+  return c;
+}
+obs::Counter& EvictionsCounter() {
+  static obs::Counter& c = obs::MetricsRegistry::Global().GetCounter(
+      "strr_cache_evictions_total");
+  return c;
+}
+obs::Counter& InvalidatedCounter() {
+  static obs::Counter& c = obs::MetricsRegistry::Global().GetCounter(
+      "strr_cache_invalidated_total");
+  return c;
+}
+obs::Counter& DoorkeeperRejectsCounter() {
+  static obs::Counter& c = obs::MetricsRegistry::Global().GetCounter(
+      "strr_cache_doorkeeper_rejects_total");
+  return c;
+}
 
 /// Δt slot of the first second a query window [start_tod, start_tod + L)
 /// touches. Windows are within-day by construction (queries take a
@@ -117,6 +153,7 @@ void ResultCache::EvictOneLocked(Shard& shard) {
   shard.index.erase(victim.canonical);
   seg.pop_back();
   ++shard.stats.evictions;
+  EvictionsCounter().Add();
 }
 
 void ResultCache::EvictTenantOneLocked(Shard& shard, TenantId tenant) {
@@ -143,9 +180,11 @@ std::optional<RegionResult> ResultCache::Lookup(const PlanKey& key) {
     auto it = shard.index.find(key.canonical);
     if (it == shard.index.end()) {
       ++shard.stats.misses;
+      MissesCounter().Add();
       return std::nullopt;
     }
     ++shard.stats.hits;
+    HitsCounter().Add();
     if (it->second->in_protected) {
       shard.hot.splice(shard.hot.begin(), shard.hot, it->second);
     } else if (protected_capacity_ > 0) {
@@ -194,6 +233,7 @@ void ResultCache::Insert(const PlanKey& key, const RegionResult& result,
     uint32_t victim_freq = shard.sketch->Estimate(VictimLocked(shard).hash);
     if (candidate_freq <= victim_freq) {
       ++shard.stats.doorkeeper_rejected;
+      DoorkeeperRejectsCounter().Add();
       return;
     }
   }
@@ -225,6 +265,7 @@ void ResultCache::Insert(const PlanKey& key, const RegionResult& result,
   shard.index[key.canonical] = shard.lru.begin();
   CountInsertLocked(shard, tenant);
   ++shard.stats.insertions;
+  InsertionsCounter().Add();
   while (shard.index.size() > shard_capacity_) EvictOneLocked(shard);
 }
 
@@ -247,6 +288,7 @@ void ResultCache::InvalidateSlotRange(SlotId begin, SlotId end) {
           shard.index.erase(it->canonical);
           it = seg->erase(it);
           ++shard.stats.invalidated;
+          InvalidatedCounter().Add();
         } else {
           ++it;
         }
@@ -264,6 +306,7 @@ void ResultCache::Erase(const PlanKey& key) {
   (it->second->in_protected ? shard.hot : shard.lru).erase(it->second);
   shard.index.erase(it);
   ++shard.stats.invalidated;
+  InvalidatedCounter().Add();
 }
 
 void ResultCache::InvalidateAll() {
@@ -271,6 +314,7 @@ void ResultCache::InvalidateAll() {
     Shard& shard = *shard_ptr;
     std::lock_guard<std::mutex> lock(shard.mu);
     shard.stats.invalidated += shard.index.size();
+    InvalidatedCounter().Add(shard.index.size());
     shard.lru.clear();
     shard.hot.clear();
     shard.index.clear();

@@ -3,7 +3,28 @@
 #include <algorithm>
 #include <string>
 
+#include "obs/metrics.h"
+
 namespace strr {
+
+namespace {
+
+// Shared with the plain controller: both report parked callers into the
+// one strr_admission_queued gauge (at most one controller is active per
+// executor).
+obs::Gauge& QueuedGauge() {
+  static obs::Gauge& g =
+      obs::MetricsRegistry::Global().GetGauge("strr_admission_queued");
+  return g;
+}
+
+obs::Counter& WaitsCounter() {
+  static obs::Counter& c = obs::MetricsRegistry::Global().GetCounter(
+      "strr_admission_waits_total");
+  return c;
+}
+
+}  // namespace
 
 WfqAdmissionController::WfqAdmissionController(const WfqOptions& options,
                                                TenantRegistry* registry)
@@ -75,7 +96,10 @@ Status WfqAdmissionController::Admit(TenantId tenant) {
   // Granted by DispatchLocked (which also does all the accounting); the
   // dispatcher never touches the node again after setting granted, so the
   // stack frame is safe to unwind once this returns.
+  WaitsCounter().Add();
+  QueuedGauge().Add(1);
   waiter.cv.wait(lock, [&] { return waiter.granted; });
+  QueuedGauge().Add(-1);
   return Status::OK();
 }
 

@@ -4,7 +4,42 @@
 #include <map>
 #include <utility>
 
+#include "obs/metrics.h"
+#include "util/stopwatch.h"
+
 namespace strr {
+
+namespace {
+
+/// Fork-fold-swap latency of one snapshot publish, in µs.
+obs::Histogram& PublishBuildHistogram() {
+  static obs::Histogram& h = obs::MetricsRegistry::Global().GetHistogram(
+      "strr_live_snapshot_build_us");
+  return h;
+}
+obs::Counter& PublishesCounter() {
+  static obs::Counter& c = obs::MetricsRegistry::Global().GetCounter(
+      "strr_live_publishes_total");
+  return c;
+}
+obs::Counter& SlotsInvalidatedCounter() {
+  static obs::Counter& c = obs::MetricsRegistry::Global().GetCounter(
+      "strr_live_slots_invalidated_total");
+  return c;
+}
+obs::Gauge& SnapshotVersionGauge() {
+  static obs::Gauge& g = obs::MetricsRegistry::Global().GetGauge(
+      "strr_live_snapshot_version");
+  return g;
+}
+/// Per-table prewarm rebuild latency, in µs.
+obs::Histogram& PrewarmHistogram() {
+  static obs::Histogram& h = obs::MetricsRegistry::Global().GetHistogram(
+      "strr_live_prewarm_us");
+  return h;
+}
+
+}  // namespace
 
 LiveProfileManager::LiveProfileManager(EpochManager& epochs,
                                        const SpeedProfile& base_profile,
@@ -65,6 +100,7 @@ void LiveProfileManager::RemoveInvalidationListener(uint64_t id) {
 
 uint64_t LiveProfileManager::Publish(std::span<const CoalescedUpdate> batch) {
   std::lock_guard<std::mutex> lock(publish_mu_);
+  Stopwatch publish_watch;
   const IndexSnapshot* cur = current_.load();
 
   // Fork the profile and fold the batch, tracking which profile slots had
@@ -151,6 +187,13 @@ uint64_t LiveProfileManager::Publish(std::span<const CoalescedUpdate> batch) {
   slots_invalidated_.fetch_add(full_slots.size());
   slots_partially_invalidated_.fetch_add(partial.size());
   if (changed_slots.empty()) publishes_quiet_.fetch_add(1);
+  PublishesCounter().Add();
+  SlotsInvalidatedCounter().Add(full_slots.size() + partial.size());
+  SnapshotVersionGauge().Set(static_cast<int64_t>(next->version));
+  if (obs::MetricsRegistry::Global().enabled()) {
+    PublishBuildHistogram().Record(
+        static_cast<uint64_t>(publish_watch.ElapsedMicros()));
+  }
 
   {
     std::lock_guard<std::mutex> listeners_lock(listener_mu_);
@@ -180,8 +223,13 @@ uint64_t LiveProfileManager::Publish(std::span<const CoalescedUpdate> batch) {
               prewarm_stale_skips_.fetch_add(1);
               return;
             }
+            Stopwatch prewarm_watch;
             prewarm_tables_built_.fetch_add(
                 ref.con_index().PrewarmSlot(slot, segments));
+            if (obs::MetricsRegistry::Global().enabled()) {
+              PrewarmHistogram().Record(
+                  static_cast<uint64_t>(prewarm_watch.ElapsedMicros()));
+            }
           });
     }
   }

@@ -5,10 +5,44 @@
 #include <utility>
 
 #include "live/observation_journal.h"
+#include "obs/metrics.h"
 #include "storage/io_context.h"
+#include "util/logging.h"
 #include "util/time_util.h"
 
 namespace strr {
+
+namespace {
+
+obs::Gauge& QueueDepthGauge() {
+  static obs::Gauge& g = obs::MetricsRegistry::Global().GetGauge(
+      "strr_live_ingest_queue_depth");
+  return g;
+}
+obs::Counter& DroppedFullCounter() {
+  static obs::Counter& c = obs::MetricsRegistry::Global().GetCounter(
+      "strr_live_ingest_dropped_total");
+  return c;
+}
+obs::Counter& PublishedCounter() {
+  static obs::Counter& c = obs::MetricsRegistry::Global().GetCounter(
+      "strr_live_observations_published_total");
+  return c;
+}
+/// Mean enqueue-to-publish staleness of the most recent batch, in ms.
+obs::Gauge& StalenessGauge() {
+  static obs::Gauge& g =
+      obs::MetricsRegistry::Global().GetGauge("strr_live_staleness_ms");
+  return g;
+}
+/// WAL-append + snapshot-publish latency per batch, in µs.
+obs::Histogram& PublishHistogram() {
+  static obs::Histogram& h = obs::MetricsRegistry::Global().GetHistogram(
+      "strr_live_publish_us");
+  return h;
+}
+
+}  // namespace
 
 ObservationIngestor::ObservationIngestor(
     LiveProfileManager& manager, const ObservationIngestorOptions& options)
@@ -44,10 +78,12 @@ bool ObservationIngestor::Offer(const SpeedObservation& observation) {
     }
     if (queue_.size() >= options_.queue_bound) {
       dropped_full_.fetch_add(1);
+      DroppedFullCounter().Add();
       return false;
     }
     queue_.push_back(Queued{observation, std::chrono::steady_clock::now()});
     max_queue_depth_ = std::max(max_queue_depth_, queue_.size());
+    QueueDepthGauge().Set(static_cast<int64_t>(queue_.size()));
   }
   accepted_.fetch_add(1);
   cv_.notify_one();
@@ -64,6 +100,7 @@ size_t ObservationIngestor::DrainAndPublish() {
       drained.push_back(std::move(queue_.front()));
       queue_.pop_front();
     }
+    QueueDepthGauge().Set(static_cast<int64_t>(queue_.size()));
   }
   if (drained.empty()) return 0;
 
@@ -80,6 +117,7 @@ size_t ObservationIngestor::DrainAndPublish() {
   // invalidation, cache eviction listeners) counts against this scope,
   // never against a concurrently running query's thread-local counters.
   ScopedIoCounters writer_scope;
+  auto publish_start = std::chrono::steady_clock::now();
   {
     // WAL-append then Publish under one lock: the journal's batch order
     // must be the publish order for replay to reproduce this stream.
@@ -92,11 +130,21 @@ size_t ObservationIngestor::DrainAndPublish() {
         // Durability degraded, availability kept: count it and publish
         // anyway so live queries stay fresh.
         wal_append_failures_.fetch_add(1);
+        STRR_LOG(Error) << "live ingest: WAL append failed ("
+                        << acked.status().message()
+                        << "); publishing batch of " << observations.size()
+                        << " without durability";
       }
     }
     manager_->Publish(batch);
   }
   auto done = std::chrono::steady_clock::now();
+  if (obs::MetricsRegistry::Global().enabled()) {
+    PublishHistogram().Record(static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            done - publish_start)
+            .count()));
+  }
 
   double staleness_ms = 0.0;
   for (const Queued& q : drained) {
@@ -113,6 +161,9 @@ size_t ObservationIngestor::DrainAndPublish() {
   published_.fetch_add(drained.size());
   coalesced_updates_.fetch_add(batch.size());
   batches_.fetch_add(1);
+  PublishedCounter().Add(drained.size());
+  StalenessGauge().Set(static_cast<int64_t>(
+      staleness_ms / static_cast<double>(drained.size())));
   return drained.size();
 }
 

@@ -2,11 +2,42 @@
 
 #include <filesystem>
 
+#include "obs/metrics.h"
+#include "util/logging.h"
 #include "util/serialize.h"
+#include "util/stopwatch.h"
 
 namespace strr {
 
 namespace fs = std::filesystem;
+
+namespace {
+
+/// WAL AddRecord latency per batch, in µs (excludes the fsync below).
+obs::Histogram& WalAppendHistogram() {
+  static obs::Histogram& h = obs::MetricsRegistry::Global().GetHistogram(
+      "strr_wal_append_us");
+  return h;
+}
+/// WAL fdatasync latency per batch, in µs (ack = stable storage).
+obs::Histogram& WalSyncHistogram() {
+  static obs::Histogram& h =
+      obs::MetricsRegistry::Global().GetHistogram("strr_wal_fsync_us");
+  return h;
+}
+/// Memtable seal + WAL rotation latency, in µs.
+obs::Histogram& SealHistogram() {
+  static obs::Histogram& h = obs::MetricsRegistry::Global().GetHistogram(
+      "strr_wal_memtable_seal_us");
+  return h;
+}
+obs::Counter& AppendFailuresCounter() {
+  static obs::Counter& c = obs::MetricsRegistry::Global().GetCounter(
+      "strr_wal_append_failures_total");
+  return c;
+}
+
+}  // namespace
 
 std::string ObservationTableFileName(const std::string& dir,
                                      uint64_t number) {
@@ -93,6 +124,9 @@ Status ObservationJournal::OpenFreshWalLocked() {
 Status ObservationJournal::FlushMemtableLocked() {
   if (memtable_.num_batches() == 0) return Status::OK();
 
+  const bool obs_on = obs::MetricsRegistry::Global().enabled();
+  Stopwatch seal_watch;
+  const size_t sealed_batches = memtable_batches_;
   uint64_t table_number = next_file_number_++;
   STRR_RETURN_IF_ERROR(
       memtable_.Finish(ObservationTableFileName(options_.dir, table_number)));
@@ -108,6 +142,11 @@ Status ObservationJournal::FlushMemtableLocked() {
   STRR_RETURN_IF_ERROR(OpenFreshWalLocked());
   std::error_code ec;
   fs::remove(old_wal, ec);  // redundant data; failure is not fatal
+  if (obs_on) {
+    SealHistogram().Record(static_cast<uint64_t>(seal_watch.ElapsedMicros()));
+  }
+  STRR_LOG(Info) << "observation journal: sealed table " << table_number
+                 << " (" << sealed_batches << " batches), rotated WAL";
   return Status::OK();
 }
 
@@ -125,9 +164,20 @@ StatusOr<uint64_t> ObservationJournal::AppendBatch(
   BinaryWriter payload;
   EncodeObservationBatch(payload, record);
 
+  const bool obs_on = obs::MetricsRegistry::Global().enabled();
+  Stopwatch append_watch;
   Status s = wal_writer_->AddRecord(payload.data());
+  if (obs_on) {
+    WalAppendHistogram().Record(
+        static_cast<uint64_t>(append_watch.ElapsedMicros()));
+  }
   if (s.ok() && options_.sync_each_batch) {
+    Stopwatch sync_watch;
     s = wal_writer_->Sync();
+    if (obs_on) {
+      WalSyncHistogram().Record(
+          static_cast<uint64_t>(sync_watch.ElapsedMicros()));
+    }
     if (s.ok()) ++wal_syncs_;
   }
   if (!s.ok()) {
@@ -135,6 +185,9 @@ StatusOr<uint64_t> ObservationJournal::AppendBatch(
     // shape readers tolerate at the tail); never write past it.
     broken_ = s;
     ++append_errors_;
+    AppendFailuresCounter().Add();
+    STRR_LOG(Error) << "observation journal: WAL append failed ("
+                    << s.message() << "); journal is now fail-stopped";
     return s;
   }
 

@@ -1,0 +1,259 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <bit>
+#include <cassert>
+#include <chrono>
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+#include <thread>
+
+namespace strr::obs {
+
+namespace internal {
+
+uint32_t ThreadIndex() {
+  static std::atomic<uint32_t> next{0};
+  thread_local uint32_t id = next.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
+}  // namespace internal
+
+namespace {
+
+constexpr int kFirstOctave = 5;  // 2^5 == Histogram::kLinearMax
+
+/// Debug-only guard: names are exported verbatim, so they must already be
+/// valid Prometheus metric names.
+bool ValidMetricName(const std::string& name) {
+  if (name.empty()) return false;
+  for (size_t i = 0; i < name.size(); ++i) {
+    char c = name[i];
+    bool alpha = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                 c == '_' || c == ':';
+    bool digit = c >= '0' && c <= '9';
+    if (!(alpha || (digit && i > 0))) return false;
+  }
+  return true;
+}
+
+void AppendF(std::string* out, const char* fmt, ...) {
+  char buf[256];
+  va_list args;
+  va_start(args, fmt);
+  int n = vsnprintf(buf, sizeof(buf), fmt, args);
+  va_end(args);
+  if (n > 0) out->append(buf, std::min<size_t>(static_cast<size_t>(n),
+                                               sizeof(buf) - 1));
+}
+
+}  // namespace
+
+size_t Histogram::BucketIndex(uint64_t value) {
+  if (value < kLinearMax) return static_cast<size_t>(value);
+  int msb = 63 - std::countl_zero(value);
+  if (msb >= kMaxPow2) return kNumBuckets - 1;  // overflow bucket
+  uint64_t sub = (value >> (msb - kSubBits)) & ((1u << kSubBits) - 1);
+  return kLinearMax +
+         static_cast<size_t>(msb - kFirstOctave) * (1u << kSubBits) +
+         static_cast<size_t>(sub);
+}
+
+uint64_t Histogram::BucketLowerBound(size_t index) {
+  if (index < kLinearMax) return index;
+  if (index >= kNumBuckets - 1) return uint64_t{1} << kMaxPow2;
+  size_t rel = index - kLinearMax;
+  int octave = kFirstOctave + static_cast<int>(rel >> kSubBits);
+  uint64_t sub = rel & ((1u << kSubBits) - 1);
+  return (uint64_t{1} << octave) + (sub << (octave - kSubBits));
+}
+
+uint64_t Histogram::BucketUpperBound(size_t index) {
+  if (index < kLinearMax) return index + 1;
+  if (index >= kNumBuckets - 1) return uint64_t{1} << kMaxPow2;
+  size_t rel = index - kLinearMax;
+  int octave = kFirstOctave + static_cast<int>(rel >> kSubBits);
+  return BucketLowerBound(index) + (uint64_t{1} << (octave - kSubBits));
+}
+
+Histogram::Snapshot Histogram::Snap() const {
+  Snapshot out;
+  for (const Shard& s : shards_) {
+    for (size_t i = 0; i < kNumBuckets; ++i) {
+      out.buckets[i] += s.buckets[i].load(std::memory_order_relaxed);
+    }
+    out.count += s.count.load(std::memory_order_relaxed);
+    out.sum += s.sum.load(std::memory_order_relaxed);
+  }
+  return out;
+}
+
+uint64_t Histogram::Count() const {
+  uint64_t total = 0;
+  for (const Shard& s : shards_) {
+    total += s.count.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+uint64_t Histogram::Sum() const {
+  uint64_t total = 0;
+  for (const Shard& s : shards_) {
+    total += s.sum.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+double Histogram::PercentileOf(const Snapshot& snap, double q) {
+  // Bucket totals can momentarily exceed the count total under concurrent
+  // writers (bucket and count are bumped with two relaxed ops); summing
+  // the buckets keeps rank and cumulative walk consistent with each other.
+  uint64_t count = 0;
+  for (uint64_t b : snap.buckets) count += b;
+  if (count == 0) return 0.0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  double target = q * static_cast<double>(count);
+  uint64_t cumulative = 0;
+  for (size_t i = 0; i < kNumBuckets; ++i) {
+    uint64_t in_bucket = snap.buckets[i];
+    if (in_bucket == 0) continue;
+    cumulative += in_bucket;
+    if (static_cast<double>(cumulative) >= target) {
+      double before = static_cast<double>(cumulative - in_bucket);
+      double fraction = (target - before) / static_cast<double>(in_bucket);
+      if (fraction < 0.0) fraction = 0.0;
+      if (fraction > 1.0) fraction = 1.0;
+      double lower = static_cast<double>(BucketLowerBound(i));
+      double upper = static_cast<double>(BucketUpperBound(i));
+      return lower + fraction * (upper - lower);
+    }
+  }
+  return static_cast<double>(BucketLowerBound(kNumBuckets - 1));
+}
+
+double Histogram::Percentile(double q) const { return PercentileOf(Snap(), q); }
+
+void Histogram::Reset() {
+  for (Shard& s : shards_) {
+    for (auto& b : s.buckets) b.store(0, std::memory_order_relaxed);
+    s.count.store(0, std::memory_order_relaxed);
+    s.sum.store(0, std::memory_order_relaxed);
+  }
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  // Leaked singleton: instrumentation sites hold references from static
+  // initializers and may fire during static destruction (pool threads).
+  static MetricsRegistry* g = new MetricsRegistry();
+  return *g;
+}
+
+Counter& MetricsRegistry::GetCounter(const std::string& name) {
+  assert(ValidMetricName(name));
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (slot == nullptr) slot = std::make_unique<Counter>(&enabled_);
+  return *slot;
+}
+
+Gauge& MetricsRegistry::GetGauge(const std::string& name) {
+  assert(ValidMetricName(name));
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[name];
+  if (slot == nullptr) slot = std::make_unique<Gauge>(&enabled_);
+  return *slot;
+}
+
+Histogram& MetricsRegistry::GetHistogram(const std::string& name) {
+  assert(ValidMetricName(name));
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[name];
+  if (slot == nullptr) slot = std::make_unique<Histogram>(&enabled_);
+  return *slot;
+}
+
+void MetricsRegistry::DumpPrometheus(std::string* out) const {
+  // CI overhead-gate negative test: an injected scrape latency must trip
+  // the >5% qps gate. Read per call — the scrape path is cold by design.
+  if (const char* ms = std::getenv("STRR_OBS_SCRAPE_SLEEP_MS")) {
+    long sleep_ms = std::atol(ms);
+    if (sleep_ms > 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(sleep_ms));
+    }
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [name, counter] : counters_) {
+    AppendF(out, "# TYPE %s counter\n", name.c_str());
+    AppendF(out, "%s %llu\n", name.c_str(),
+            static_cast<unsigned long long>(counter->Value()));
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    AppendF(out, "# TYPE %s gauge\n", name.c_str());
+    AppendF(out, "%s %lld\n", name.c_str(),
+            static_cast<long long>(gauge->Value()));
+  }
+  for (const auto& [name, hist] : histograms_) {
+    Histogram::Snapshot snap = hist->Snap();
+    AppendF(out, "# TYPE %s histogram\n", name.c_str());
+    uint64_t cumulative = 0;
+    for (size_t i = 0; i < Histogram::kNumBuckets; ++i) {
+      if (snap.buckets[i] == 0) continue;  // sparse: only boundaries that
+      cumulative += snap.buckets[i];       // advance the cumulative count
+      if (i == Histogram::kNumBuckets - 1) break;  // overflow -> +Inf only
+      AppendF(out, "%s_bucket{le=\"%llu\"} %llu\n", name.c_str(),
+              static_cast<unsigned long long>(Histogram::BucketUpperBound(i)),
+              static_cast<unsigned long long>(cumulative));
+    }
+    AppendF(out, "%s_bucket{le=\"+Inf\"} %llu\n", name.c_str(),
+            static_cast<unsigned long long>(cumulative));
+    AppendF(out, "%s_sum %llu\n", name.c_str(),
+            static_cast<unsigned long long>(snap.sum));
+    AppendF(out, "%s_count %llu\n", name.c_str(),
+            static_cast<unsigned long long>(cumulative));
+  }
+}
+
+void MetricsRegistry::DumpJson(std::string* out) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  out->append("{\"counters\":{");
+  bool first = true;
+  for (const auto& [name, counter] : counters_) {
+    AppendF(out, "%s\"%s\":%llu", first ? "" : ",", name.c_str(),
+            static_cast<unsigned long long>(counter->Value()));
+    first = false;
+  }
+  out->append("},\"gauges\":{");
+  first = true;
+  for (const auto& [name, gauge] : gauges_) {
+    AppendF(out, "%s\"%s\":%lld", first ? "" : ",", name.c_str(),
+            static_cast<long long>(gauge->Value()));
+    first = false;
+  }
+  out->append("},\"histograms\":{");
+  first = true;
+  for (const auto& [name, hist] : histograms_) {
+    Histogram::Snapshot snap = hist->Snap();
+    AppendF(out, "%s\"%s\":{\"count\":%llu,\"sum\":%llu", first ? "" : ",",
+            name.c_str(), static_cast<unsigned long long>(snap.count),
+            static_cast<unsigned long long>(snap.sum));
+    AppendF(out, ",\"p50\":%.3f,\"p90\":%.3f,\"p99\":%.3f,\"p999\":%.3f}",
+            Histogram::PercentileOf(snap, 0.50),
+            Histogram::PercentileOf(snap, 0.90),
+            Histogram::PercentileOf(snap, 0.99),
+            Histogram::PercentileOf(snap, 0.999));
+    first = false;
+  }
+  out->append("}}");
+}
+
+void MetricsRegistry::ResetValues() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, counter] : counters_) counter->Reset();
+  for (auto& [name, gauge] : gauges_) gauge->Reset();
+  for (auto& [name, hist] : histograms_) hist->Reset();
+}
+
+}  // namespace strr::obs

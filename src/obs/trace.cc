@@ -1,0 +1,284 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+
+#include "obs/metrics.h"
+#include "util/logging.h"
+
+namespace strr::obs {
+
+namespace internal {
+
+namespace {
+
+/// Per-query span cap: a runaway expansion cannot grow a trace without
+/// bound; overflow is counted, never reallocated past this.
+constexpr size_t kMaxEventsPerQuery = 512;
+
+/// Spans close leaves-first, so at the cap the first casualties would be
+/// the query's own summary spans (search phase, TBS, the root) — the
+/// ones a trace is least able to lose. Shallow spans therefore keep
+/// recording past the cap, up to this slack.
+constexpr uint16_t kAlwaysKeepDepth = 2;
+constexpr size_t kShallowSlack = 64;
+
+thread_local TraceBuffer* tl_active = nullptr;
+
+}  // namespace
+
+TraceBuffer* ActiveBuffer() { return tl_active; }
+
+void SetActiveBuffer(TraceBuffer* buf) { tl_active = buf; }
+
+void OpenSpan(TraceBuffer* buf, const char* name, uint64_t arg) {
+  buf->stack.push_back(TraceBuffer::OpenSpan{
+      name, Tracer::NowUs(), arg, static_cast<uint16_t>(buf->stack.size())});
+}
+
+void CloseSpan(TraceBuffer* buf) {
+  if (buf->stack.empty()) return;  // defensive: unbalanced close
+  TraceBuffer::OpenSpan open = buf->stack.back();
+  buf->stack.pop_back();
+  size_t cap = open.depth <= kAlwaysKeepDepth
+                   ? kMaxEventsPerQuery + kShallowSlack
+                   : kMaxEventsPerQuery;
+  if (buf->events.size() >= cap) {
+    ++buf->dropped;
+    return;
+  }
+  TraceEvent ev;
+  ev.name = open.name;
+  ev.query_id = buf->query_id;
+  ev.tid = ThreadIndex();
+  ev.depth = open.depth;
+  ev.start_us = open.start_us;
+  ev.dur_us = Tracer::NowUs() - open.start_us;
+  ev.arg = open.arg;
+  buf->events.push_back(ev);
+}
+
+}  // namespace internal
+
+namespace {
+
+/// Indented span tree for the slow-query log: events sorted by start time
+/// (ties broken by depth, so a parent precedes children that started in
+/// the same microsecond).
+std::string FormatSpanTree(const internal::TraceBuffer& buf,
+                           int64_t wall_us, int64_t threshold_us) {
+  std::vector<TraceEvent> events = buf.events;
+  std::stable_sort(events.begin(), events.end(),
+                   [](const TraceEvent& a, const TraceEvent& b) {
+                     if (a.start_us != b.start_us) {
+                       return a.start_us < b.start_us;
+                     }
+                     return a.depth < b.depth;
+                   });
+  int64_t root_start = events.empty() ? 0 : events.front().start_us;
+  std::string out;
+  char line[160];
+  std::snprintf(line, sizeof(line),
+                "slow query %llu: %.3f ms (threshold %.3f ms), %zu spans%s",
+                static_cast<unsigned long long>(buf.query_id),
+                static_cast<double>(wall_us) / 1000.0,
+                static_cast<double>(threshold_us) / 1000.0, events.size(),
+                buf.dropped > 0 ? " (truncated)" : "");
+  out += line;
+  for (const TraceEvent& ev : events) {
+    std::snprintf(line, sizeof(line), "\n%*s%s +%lldus %lldus",
+                  2 * (ev.depth + 1), "", ev.name,
+                  static_cast<long long>(ev.start_us - root_start),
+                  static_cast<long long>(ev.dur_us));
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace
+
+Tracer& Tracer::Global() {
+  // Leaked: span destructors may run during static teardown.
+  static Tracer* g = new Tracer();
+  return *g;
+}
+
+int64_t Tracer::NowUs() {
+  static const std::chrono::steady_clock::time_point epoch =
+      std::chrono::steady_clock::now();
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now() - epoch)
+      .count();
+}
+
+void Tracer::Configure(const TracerOptions& options) {
+  bool on = options.sample_n > 0 || options.slow_query_ms > 0.0;
+  // Drop the flag first so in-flight roots on other threads stop
+  // activating while the ring is being resized.
+  enabled_.store(false, std::memory_order_relaxed);
+  sample_n_.store(options.sample_n, std::memory_order_relaxed);
+  slow_us_.store(static_cast<int64_t>(options.slow_query_ms * 1000.0),
+                 std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ring_.assign(on ? options.flight_recorder_events : 0, TraceEvent{});
+    ring_next_ = 0;
+  }
+  enabled_.store(on, std::memory_order_relaxed);
+}
+
+uint64_t Tracer::BeginQuery(bool* sampled) {
+  uint64_t id = next_query_id_.fetch_add(1, std::memory_order_relaxed) + 1;
+  uint32_t n = sample_n_.load(std::memory_order_relaxed);
+  *sampled = n > 0 && ((id - 1) % n == 0);
+  return id;
+}
+
+void Tracer::FinishQuery(internal::TraceBuffer* buf, int64_t wall_us) {
+  if (buf->dropped > 0) {
+    events_dropped_.fetch_add(buf->dropped, std::memory_order_relaxed);
+  }
+  int64_t threshold_us = slow_us_.load(std::memory_order_relaxed);
+  bool slow = threshold_us > 0 && wall_us >= threshold_us;
+  // Slow queries are force-recorded into the ring even when unsampled:
+  // the flight recorder's whole point is having the incident on hand.
+  if (!buf->sampled && !slow) return;
+  std::string report;
+  if (slow) {
+    slow_queries_.fetch_add(1, std::memory_order_relaxed);
+    report = FormatSpanTree(*buf, wall_us, threshold_us);
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!ring_.empty()) {
+      for (const TraceEvent& ev : buf->events) {
+        ring_[ring_next_ % ring_.size()] = ev;
+        ++ring_next_;
+      }
+      events_recorded_.fetch_add(buf->events.size(),
+                                 std::memory_order_relaxed);
+    }
+    if (slow) last_slow_report_ = report;
+  }
+  if (slow) {
+    STRR_LOG(Warning) << report;
+  }
+}
+
+std::vector<TraceEvent> Tracer::FlightRecorderSnapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<TraceEvent> out;
+  if (ring_.empty()) return out;
+  size_t cap = ring_.size();
+  size_t n = std::min(ring_next_, cap);
+  out.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    out.push_back(ring_[(ring_next_ - n + i) % cap]);
+  }
+  return out;
+}
+
+void Tracer::DumpChromeTrace(std::string* out) const {
+  std::vector<TraceEvent> events = FlightRecorderSnapshot();
+  out->append("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[");
+  char line[224];
+  for (size_t i = 0; i < events.size(); ++i) {
+    const TraceEvent& ev = events[i];
+    std::snprintf(
+        line, sizeof(line),
+        "%s\n{\"name\":\"%s\",\"cat\":\"strr\",\"ph\":\"X\",\"ts\":%lld,"
+        "\"dur\":%lld,\"pid\":%llu,\"tid\":%u,\"args\":{\"depth\":%u,"
+        "\"arg\":%llu}}",
+        i == 0 ? "" : ",", ev.name == nullptr ? "?" : ev.name,
+        static_cast<long long>(ev.start_us),
+        static_cast<long long>(ev.dur_us),
+        static_cast<unsigned long long>(ev.query_id), ev.tid,
+        static_cast<unsigned>(ev.depth),
+        static_cast<unsigned long long>(ev.arg));
+    out->append(line);
+  }
+  out->append("\n]}\n");
+}
+
+Status Tracer::WriteChromeTrace(const std::string& path) const {
+  std::string json;
+  DumpChromeTrace(&json);
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return Status::IoError("trace dump: cannot open " + path);
+  }
+  size_t written = std::fwrite(json.data(), 1, json.size(), f);
+  int close_err = std::fclose(f);
+  if (written != json.size() || close_err != 0) {
+    return Status::IoError("trace dump: short write to " + path);
+  }
+  return Status::OK();
+}
+
+uint64_t Tracer::events_recorded() const {
+  return events_recorded_.load(std::memory_order_relaxed);
+}
+
+uint64_t Tracer::events_dropped() const {
+  return events_dropped_.load(std::memory_order_relaxed);
+}
+
+uint64_t Tracer::slow_queries() const {
+  return slow_queries_.load(std::memory_order_relaxed);
+}
+
+std::string Tracer::last_slow_report() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return last_slow_report_;
+}
+
+void Tracer::ResetForTest() {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::fill(ring_.begin(), ring_.end(), TraceEvent{});
+  ring_next_ = 0;
+  events_recorded_.store(0, std::memory_order_relaxed);
+  events_dropped_.store(0, std::memory_order_relaxed);
+  slow_queries_.store(0, std::memory_order_relaxed);
+  next_query_id_.store(0, std::memory_order_relaxed);
+  last_slow_report_.clear();
+}
+
+QueryTrace::QueryTrace(const char* name) {
+  Tracer& tracer = Tracer::Global();
+  if (!tracer.enabled()) return;
+  internal::TraceBuffer* active = internal::ActiveBuffer();
+  if (active != nullptr) {
+    // Nested root (facade over executor): record as a plain child span so
+    // the outer frame keeps ownership of the buffer.
+    child_ = true;
+    internal::OpenSpan(active, name, 0);
+    return;
+  }
+  bool sampled = false;
+  uint64_t id = tracer.BeginQuery(&sampled);
+  if (!sampled && tracer.slow_query_us() <= 0) return;  // no sink consumes
+  buffer_.query_id = id;
+  buffer_.sampled = sampled;
+  buffer_.events.reserve(64);
+  buffer_.stack.reserve(16);
+  internal::SetActiveBuffer(&buffer_);
+  internal::OpenSpan(&buffer_, name, 0);
+  owner_ = true;
+}
+
+QueryTrace::~QueryTrace() {
+  if (child_) {
+    internal::TraceBuffer* active = internal::ActiveBuffer();
+    if (active != nullptr) internal::CloseSpan(active);
+    return;
+  }
+  if (!owner_) return;
+  int64_t root_start = buffer_.stack.empty() ? Tracer::NowUs()
+                                             : buffer_.stack.front().start_us;
+  internal::CloseSpan(&buffer_);
+  internal::SetActiveBuffer(nullptr);
+  Tracer::Global().FinishQuery(&buffer_, Tracer::NowUs() - root_start);
+}
+
+}  // namespace strr::obs

@@ -2,7 +2,24 @@
 
 #include <algorithm>
 
+#include "obs/metrics.h"
+
 namespace strr {
+
+namespace {
+
+obs::Counter& CtxAcquiresCounter() {
+  static obs::Counter& c = obs::MetricsRegistry::Global().GetCounter(
+      "strr_ctx_pool_acquires_total");
+  return c;
+}
+obs::Counter& CtxReusesCounter() {
+  static obs::Counter& c = obs::MetricsRegistry::Global().GetCounter(
+      "strr_ctx_pool_reuses_total");
+  return c;
+}
+
+}  // namespace
 
 void ExpansionContext::Begin(size_t num_segments) {
   if (num_segments != stamp_.size()) {
@@ -85,10 +102,12 @@ ExpansionContextPool::Lease ExpansionContextPool::Acquire() {
       ctx = std::move(free_.back());
       free_.pop_back();
       ++reuses_;
+      CtxReusesCounter().Add();
     } else {
       ++created_;
     }
   }
+  CtxAcquiresCounter().Add();
   if (ctx == nullptr) ctx = std::make_unique<ExpansionContext>();
   return Lease(this, std::move(ctx));
 }

@@ -3,12 +3,39 @@
 #include <algorithm>
 #include <future>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "roadnet/csr_graph.h"
 #include "util/time_util.h"
 
 namespace strr {
 
 namespace {
+
+obs::Counter& HeapPopsCounter() {
+  static obs::Counter& c = obs::MetricsRegistry::Global().GetCounter(
+      "strr_search_heap_pops_total");
+  return c;
+}
+obs::Counter& SegmentsExpandedCounter() {
+  static obs::Counter& c = obs::MetricsRegistry::Global().GetCounter(
+      "strr_search_segments_expanded_total");
+  return c;
+}
+obs::Counter& ParallelRoundsCounter() {
+  static obs::Counter& c = obs::MetricsRegistry::Global().GetCounter(
+      "strr_search_parallel_rounds_total");
+  return c;
+}
+
+/// Folds one search's per-call tallies into the process counters. Called
+/// on the orchestrating thread only, once per search, so pool workers
+/// never touch the registry from the hot gather loops.
+void RecordSearchCounters(uint64_t pops, uint64_t expanded, uint64_t rounds) {
+  if (pops != 0) HeapPopsCounter().Add(pops);
+  if (expanded != 0) SegmentsExpandedCounter().Add(expanded);
+  if (rounds != 0) ParallelRoundsCounter().Add(rounds);
+}
 
 /// Number of Δt hops for duration L: k with kΔt <= L < (k+1)Δt, at least 1.
 int NumHops(int64_t duration, int64_t delta_t) {
@@ -122,6 +149,7 @@ void SequentialLoop(ExpansionContext& ctx,
     metrics->heap_pops += pops;
     metrics->segments_expanded += expanded;
   }
+  RecordSearchCounters(pops, expanded, 0);
 }
 
 /// Gathers relaxation candidates for permuted frontier slots [begin, end)
@@ -314,6 +342,7 @@ void ParallelLoop(ExpansionContext& ctx,
     metrics->segments_expanded += expanded;
     metrics->parallel_rounds += rounds;
   }
+  RecordSearchCounters(pops, expanded, rounds);
 }
 
 }  // namespace
@@ -344,6 +373,7 @@ void FrontierEngine::SeedSources(ExpansionContext& ctx,
 void FrontierEngine::RunTimed(ExpansionContext& ctx,
                               const TimedRequest& request, const SpeedFn& speed,
                               SearchMetrics* metrics) const {
+  obs::TraceSpan span("frontier_expand", request.sources.size());
   ctx.Begin(network_->NumSegments());
   const bool parallel = runtime_.parallel() &&
                         request.budget < kUnreachedLabel &&
@@ -440,6 +470,7 @@ std::vector<SegmentId> FrontierEngine::RunCone(
     ExpansionContext& ctx, const ConeRequest& request, const ListFn& lists,
     const ConeFilter& filter, std::vector<SegmentId>* last_frontier_out,
     SearchMetrics* metrics) const {
+  obs::TraceSpan span("cone_expand", request.starts.size());
   const size_t n = network_->NumSegments();
   ctx.Begin(n);
   const size_t workers =
@@ -502,6 +533,7 @@ std::vector<SegmentId> FrontierEngine::RunCone(
     }
     if (frontier.empty()) continue;
     expanded += frontier.size();
+    obs::TraceSpan hop_span("cone_hop", frontier.size());
 
     size_t chunks = 1;
     bool permuted = false;
@@ -570,6 +602,7 @@ std::vector<SegmentId> FrontierEngine::RunCone(
     metrics->segments_expanded += expanded;
     metrics->parallel_rounds += rounds;
   }
+  RecordSearchCounters(0, expanded, rounds);
   std::vector<SegmentId> out(members.begin(), members.end());
   std::sort(out.begin(), out.end());
   return out;

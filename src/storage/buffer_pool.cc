@@ -1,5 +1,6 @@
 #include "storage/buffer_pool.h"
 
+#include "obs/metrics.h"
 #include "storage/io_context.h"
 
 namespace strr {
@@ -13,6 +14,22 @@ inline void Count(uint64_t StorageStats::* field) {
   if (StorageStats* scope = ScopedIoCounters::Current()) ++(scope->*field);
 }
 
+obs::Counter& PageHitsCounter() {
+  static obs::Counter& c = obs::MetricsRegistry::Global().GetCounter(
+      "strr_bufferpool_hits_total");
+  return c;
+}
+obs::Counter& PageMissesCounter() {
+  static obs::Counter& c = obs::MetricsRegistry::Global().GetCounter(
+      "strr_bufferpool_misses_total");
+  return c;
+}
+obs::Counter& PageEvictionsCounter() {
+  static obs::Counter& c = obs::MetricsRegistry::Global().GetCounter(
+      "strr_bufferpool_evictions_total");
+  return c;
+}
+
 }  // namespace
 
 BufferPool::Frame* BufferPool::InstallLocked(PageId id) {
@@ -22,6 +39,7 @@ BufferPool::Frame* BufferPool::InstallLocked(PageId id) {
     frames_.erase(victim);
     ++pool_stats_.evictions;
     Count(&StorageStats::evictions);
+    PageEvictionsCounter().Add();
   }
   auto frame = std::make_unique<Frame>(file_->page_size());
   lru_.push_front(id);
@@ -50,6 +68,7 @@ StatusOr<const Page*> BufferPool::FetchLocked(PageId id) {
     // a private scratch frame (valid until the next Fetch).
     ++pool_stats_.cache_misses;
     Count(&StorageStats::cache_misses);
+    PageMissesCounter().Add();
     if (scratch_ == nullptr) {
       scratch_ = std::make_unique<Page>(file_->page_size());
     }
@@ -61,6 +80,7 @@ StatusOr<const Page*> BufferPool::FetchLocked(PageId id) {
   if (it != frames_.end()) {
     ++pool_stats_.cache_hits;
     Count(&StorageStats::cache_hits);
+    PageHitsCounter().Add();
     lru_.erase(it->second->lru_it);
     lru_.push_front(id);
     it->second->lru_it = lru_.begin();
@@ -68,6 +88,7 @@ StatusOr<const Page*> BufferPool::FetchLocked(PageId id) {
   }
   ++pool_stats_.cache_misses;
   Count(&StorageStats::cache_misses);
+  PageMissesCounter().Add();
   Frame* frame = InstallLocked(id);
   Status s = file_->ReadPage(id, &frame->page);
   if (!s.ok()) {

@@ -1,6 +1,8 @@
 #include "util/logging.h"
 
 #include <atomic>
+#include <cctype>
+#include <cstdlib>
 #include <cstring>
 
 namespace strr {
@@ -32,6 +34,28 @@ const char* Basename(const char* path) {
 
 LogLevel GetLogLevel() { return static_cast<LogLevel>(g_level.load()); }
 void SetLogLevel(LogLevel level) { g_level.store(static_cast<int>(level)); }
+
+void SetLogLevelFromEnv() {
+  const char* raw = std::getenv("STRR_LOG_LEVEL");
+  if (raw == nullptr || *raw == '\0') return;
+  std::string name(raw);
+  for (char& c : name) c = static_cast<char>(std::tolower(c));
+  if (name == "debug") {
+    SetLogLevel(LogLevel::kDebug);
+  } else if (name == "info") {
+    SetLogLevel(LogLevel::kInfo);
+  } else if (name == "warning" || name == "warn") {
+    SetLogLevel(LogLevel::kWarning);
+  } else if (name == "error") {
+    SetLogLevel(LogLevel::kError);
+  } else if (name == "off") {
+    SetLogLevel(LogLevel::kOff);
+  } else {
+    STRR_LOG(Warning) << "STRR_LOG_LEVEL=\"" << raw
+                      << "\" is not one of debug|info|warning|error|off; "
+                         "keeping the current level";
+  }
+}
 
 namespace internal {
 

@@ -21,6 +21,13 @@ enum class LogLevel : int {
 LogLevel GetLogLevel();
 void SetLogLevel(LogLevel level);
 
+/// Applies STRR_LOG_LEVEL from the environment, if set: one of
+/// debug|info|warning|error|off (case-insensitive). Unset or
+/// unrecognized values leave the level untouched. Tools and tests call
+/// this once at startup so operators can turn on structured logging
+/// without a rebuild.
+void SetLogLevelFromEnv();
+
 namespace internal {
 
 /// Stream-collecting helper behind the STRR_LOG macro.

@@ -16,6 +16,8 @@
 #include <utility>
 #include <vector>
 
+#include "obs/metrics.h"
+
 namespace strr {
 
 /// Simple task-queue thread pool. Tasks are void() callables; exceptions
@@ -64,6 +66,7 @@ class ThreadPool {
       // or pending > submitted.
       submitted_.fetch_add(1, std::memory_order_relaxed);
     }
+    QueuedTasksGauge().Add(1);
     cv_.notify_one();
   }
 
@@ -131,6 +134,7 @@ class ThreadPool {
         task = std::move(tasks_.front());
         tasks_.pop();
       }
+      QueuedTasksGauge().Add(-1);
       task();
       completed_.fetch_add(1, std::memory_order_relaxed);
       {
@@ -138,6 +142,15 @@ class ThreadPool {
         if (--pending_ == 0) done_cv_.notify_all();
       }
     }
+  }
+
+  /// Tasks enqueued-but-not-started summed over every pool in the process
+  /// (executor, prewarm, frontier workers share one gauge): the per-pool
+  /// split lives in stats(); the gauge answers "is anything backed up".
+  static obs::Gauge& QueuedTasksGauge() {
+    static obs::Gauge& g = obs::MetricsRegistry::Global().GetGauge(
+        "strr_pool_queued_tasks");
+    return g;
   }
 
   static thread_local const ThreadPool* current_pool_;

@@ -1,0 +1,464 @@
+// Tests for the observability layer: sharded metric merge under
+// multi-threaded hammering, histogram bucket math and percentile accuracy
+// against a sorted-sample oracle, Prometheus/JSON export shape, span
+// nesting and buffer ownership, flight-recorder wraparound, and the
+// slow-query log trigger.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace strr::obs {
+namespace {
+
+// --- Metrics: enable gating and merge -----------------------------------
+
+TEST(MetricsTest, DisabledRegistryDropsWrites) {
+  MetricsRegistry reg(/*enabled=*/false);
+  Counter& c = reg.GetCounter("strr_test_total");
+  Gauge& g = reg.GetGauge("strr_test_gauge");
+  Histogram& h = reg.GetHistogram("strr_test_us");
+  c.Add(5);
+  g.Set(7);
+  g.Add(3);
+  h.Record(123);
+  EXPECT_EQ(c.Value(), 0u);
+  EXPECT_EQ(g.Value(), 0);
+  EXPECT_EQ(h.Count(), 0u);
+}
+
+TEST(MetricsTest, GetReturnsStableHandles) {
+  MetricsRegistry reg(/*enabled=*/true);
+  Counter& a = reg.GetCounter("strr_test_total");
+  Counter& b = reg.GetCounter("strr_test_total");
+  EXPECT_EQ(&a, &b);
+  a.Add(2);
+  b.Add(3);
+  EXPECT_EQ(a.Value(), 5u);
+}
+
+TEST(MetricsTest, CounterMergesAcrossThreads) {
+  MetricsRegistry reg(/*enabled=*/true);
+  Counter& c = reg.GetCounter("strr_hammer_total");
+  Histogram& h = reg.GetHistogram("strr_hammer_us");
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 20000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&c, &h, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        c.Add();
+        h.Record(static_cast<uint64_t>(t));
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(c.Value(), static_cast<uint64_t>(kThreads) * kPerThread);
+  EXPECT_EQ(h.Count(), static_cast<uint64_t>(kThreads) * kPerThread);
+  // Sum of t over threads, kPerThread each: kPerThread * (0+1+...+7).
+  EXPECT_EQ(h.Sum(), static_cast<uint64_t>(kPerThread) * 28);
+}
+
+TEST(MetricsTest, GaugeAddTracksLevelAcrossThreads) {
+  MetricsRegistry reg(/*enabled=*/true);
+  Gauge& g = reg.GetGauge("strr_test_depth");
+  constexpr int kThreads = 4;
+  constexpr int kIters = 10000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&g] {
+      for (int i = 0; i < kIters; ++i) {
+        g.Add(1);
+        g.Add(-1);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(g.Value(), 0);
+}
+
+TEST(MetricsTest, ResetValuesZeroesButKeepsHandles) {
+  MetricsRegistry reg(/*enabled=*/true);
+  Counter& c = reg.GetCounter("strr_test_total");
+  Histogram& h = reg.GetHistogram("strr_test_us");
+  c.Add(9);
+  h.Record(100);
+  reg.ResetValues();
+  EXPECT_EQ(c.Value(), 0u);
+  EXPECT_EQ(h.Count(), 0u);
+  c.Add(1);  // handle still live
+  EXPECT_EQ(c.Value(), 1u);
+}
+
+// --- Histogram bucket math and percentiles -------------------------------
+
+TEST(HistogramTest, BucketBoundsContainTheirValues) {
+  // Every probe value must land in a bucket whose [lower, upper) range
+  // contains it, and bucket indexes must be monotone in the value.
+  std::vector<uint64_t> probes;
+  for (uint64_t v = 0; v < 200; ++v) probes.push_back(v);
+  for (int p = 8; p < Histogram::kMaxPow2 + 2; ++p) {
+    uint64_t base = 1ull << p;
+    probes.push_back(base - 1);
+    probes.push_back(base);
+    probes.push_back(base + base / 3);
+  }
+  size_t prev_index = 0;
+  uint64_t prev_value = 0;
+  for (uint64_t v : probes) {
+    size_t idx = Histogram::BucketIndex(v);
+    ASSERT_LT(idx, Histogram::kNumBuckets);
+    EXPECT_GE(v, Histogram::BucketLowerBound(idx)) << "value " << v;
+    if (idx + 1 < Histogram::kNumBuckets) {
+      EXPECT_LT(v, Histogram::BucketUpperBound(idx)) << "value " << v;
+    }
+    if (v > prev_value) {
+      EXPECT_GE(idx, prev_index) << "value " << v;
+    }
+    prev_value = v;
+    prev_index = idx;
+  }
+}
+
+TEST(HistogramTest, PercentileMatchesSortedSampleOracle) {
+  MetricsRegistry reg(/*enabled=*/true);
+  Histogram& h = reg.GetHistogram("strr_test_us");
+  // Deterministic LCG spanning several octaves; the oracle is the sorted
+  // sample array.
+  std::vector<uint64_t> samples;
+  uint64_t x = 0x2545F4914F6CDD1Dull;
+  for (int i = 0; i < 50000; ++i) {
+    x = x * 6364136223846793005ull + 1442695040888963407ull;
+    uint64_t v = (x >> 33) % 1000000;  // [0, 1e6) microseconds
+    samples.push_back(v);
+    h.Record(v);
+  }
+  std::sort(samples.begin(), samples.end());
+  for (double q : {0.5, 0.9, 0.99, 0.999}) {
+    double est = h.Percentile(q);
+    double oracle = static_cast<double>(
+        samples[static_cast<size_t>(q * (samples.size() - 1))]);
+    // Log-linear buckets with 8 sub-buckets per octave: worst case
+    // relative error one bucket width, 12.5%, plus interpolation slack.
+    EXPECT_NEAR(est, oracle, oracle * 0.13 + 1.0) << "q=" << q;
+  }
+}
+
+TEST(HistogramTest, SmallValuesAreExact) {
+  MetricsRegistry reg(/*enabled=*/true);
+  Histogram& h = reg.GetHistogram("strr_test_us");
+  // Unit buckets below kLinearMax: the median of {10 x 4, 20 x 6} is 20.
+  for (int i = 0; i < 4; ++i) h.Record(10);
+  for (int i = 0; i < 6; ++i) h.Record(20);
+  EXPECT_GE(h.Percentile(0.5), 10.0);
+  EXPECT_LT(h.Percentile(0.5), 21.0);
+  EXPECT_GE(h.Percentile(0.99), 20.0);
+  EXPECT_LT(h.Percentile(0.99), 21.0);
+}
+
+TEST(HistogramTest, EmptyHistogramReportsZero) {
+  MetricsRegistry reg(/*enabled=*/true);
+  Histogram& h = reg.GetHistogram("strr_test_us");
+  EXPECT_EQ(h.Count(), 0u);
+  EXPECT_EQ(h.Percentile(0.5), 0.0);
+}
+
+// --- Export surfaces -----------------------------------------------------
+
+TEST(MetricsExportTest, PrometheusShapeIsWellFormed) {
+  MetricsRegistry reg(/*enabled=*/true);
+  reg.GetCounter("strr_test_total").Add(42);
+  reg.GetGauge("strr_test_depth").Set(7);
+  Histogram& h = reg.GetHistogram("strr_test_us");
+  h.Record(10);
+  h.Record(100);
+  h.Record(100000);
+
+  std::string text;
+  reg.DumpPrometheus(&text);
+  EXPECT_NE(text.find("# TYPE strr_test_total counter"), std::string::npos)
+      << text;
+  EXPECT_NE(text.find("strr_test_total 42"), std::string::npos) << text;
+  EXPECT_NE(text.find("# TYPE strr_test_depth gauge"), std::string::npos);
+  EXPECT_NE(text.find("strr_test_depth 7"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE strr_test_us histogram"), std::string::npos);
+  EXPECT_NE(text.find("strr_test_us_bucket{le=\"+Inf\"} 3"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("strr_test_us_count 3"), std::string::npos);
+  EXPECT_NE(text.find("strr_test_us_sum 100110"), std::string::npos);
+
+  // Exposition-format sanity: every non-comment line is `name{...} value`
+  // or `name value`, and cumulative bucket counts never decrease.
+  uint64_t prev_bucket = 0;
+  size_t pos = 0;
+  while (pos < text.size()) {
+    size_t eol = text.find('\n', pos);
+    if (eol == std::string::npos) eol = text.size();
+    std::string line = text.substr(pos, eol - pos);
+    pos = eol + 1;
+    if (line.empty() || line[0] == '#') continue;
+    size_t space = line.rfind(' ');
+    ASSERT_NE(space, std::string::npos) << line;
+    std::string value = line.substr(space + 1);
+    ASSERT_FALSE(value.empty()) << line;
+    EXPECT_NE(value.find_first_of("0123456789"), std::string::npos) << line;
+    if (line.find("strr_test_us_bucket{") == 0) {
+      uint64_t v = std::stoull(value);
+      EXPECT_GE(v, prev_bucket) << line;
+      prev_bucket = v;
+    }
+  }
+}
+
+TEST(MetricsExportTest, JsonContainsPercentiles) {
+  MetricsRegistry reg(/*enabled=*/true);
+  Histogram& h = reg.GetHistogram("strr_test_us");
+  for (int i = 1; i <= 100; ++i) h.Record(static_cast<uint64_t>(i * 100));
+  std::string json;
+  reg.DumpJson(&json);
+  EXPECT_NE(json.find("\"strr_test_us\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"count\":100"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"p99\""), std::string::npos) << json;
+}
+
+// --- Tracing -------------------------------------------------------------
+
+/// Restores the global tracer to disabled after each tracing test; the
+/// tracer is process-global, so tests must not leak configuration.
+class TracingTest : public ::testing::Test {
+ protected:
+  void TearDown() override {
+    Tracer::Global().Disable();
+    Tracer::Global().ResetForTest();
+  }
+};
+
+TEST_F(TracingTest, SpanIsNoOpWhenDisabled) {
+  Tracer::Global().Disable();
+  QueryTrace root("query");
+  EXPECT_FALSE(root.active());
+  { TraceSpan span("child"); }
+  EXPECT_EQ(Tracer::Global().events_recorded(), 0u);
+}
+
+TEST_F(TracingTest, NestedSpansRecordDepthAndOrder) {
+  Tracer::Global().Configure(
+      {.sample_n = 1, .flight_recorder_events = 64, .slow_query_ms = 0.0});
+  Tracer::Global().ResetForTest();
+  {
+    QueryTrace root("query");
+    ASSERT_TRUE(root.active());
+    {
+      TraceSpan outer("expand", 17);
+      { TraceSpan inner("round"); }
+      { TraceSpan inner2("round"); }
+    }
+    { TraceSpan tbs("tbs"); }
+  }
+  std::vector<TraceEvent> events = Tracer::Global().FlightRecorderSnapshot();
+  ASSERT_EQ(events.size(), 5u);  // round, round, expand, tbs, query
+  // Spans close innermost-first; the root closes last.
+  EXPECT_STREQ(events[0].name, "round");
+  EXPECT_EQ(events[0].depth, 2);
+  EXPECT_STREQ(events[1].name, "round");
+  EXPECT_STREQ(events[2].name, "expand");
+  EXPECT_EQ(events[2].depth, 1);
+  EXPECT_EQ(events[2].arg, 17u);
+  EXPECT_STREQ(events[3].name, "tbs");
+  EXPECT_EQ(events[3].depth, 1);
+  EXPECT_STREQ(events[4].name, "query");
+  EXPECT_EQ(events[4].depth, 0);
+  // All events share the query id, and parents cover their children.
+  for (const TraceEvent& ev : events) {
+    EXPECT_EQ(ev.query_id, events[0].query_id);
+  }
+  EXPECT_LE(events[2].start_us, events[0].start_us);
+  EXPECT_GE(events[2].start_us + events[2].dur_us,
+            events[0].start_us + events[0].dur_us);
+}
+
+TEST_F(TracingTest, NestedQueryTraceDegradesToChildSpan) {
+  Tracer::Global().Configure(
+      {.sample_n = 1, .flight_recorder_events = 64, .slow_query_ms = 0.0});
+  Tracer::Global().ResetForTest();
+  {
+    QueryTrace facade("request");
+    ASSERT_TRUE(facade.active());
+    {
+      QueryTrace executor("query");
+      EXPECT_FALSE(executor.active());  // degraded: outer frame owns
+      { TraceSpan span("cache_lookup"); }
+    }
+  }
+  std::vector<TraceEvent> events = Tracer::Global().FlightRecorderSnapshot();
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_STREQ(events[0].name, "cache_lookup");
+  EXPECT_EQ(events[0].depth, 2);
+  EXPECT_STREQ(events[1].name, "query");
+  EXPECT_EQ(events[1].depth, 1);
+  EXPECT_STREQ(events[2].name, "request");
+  EXPECT_EQ(events[2].depth, 0);
+}
+
+TEST_F(TracingTest, SamplingSelectsOneInN) {
+  Tracer::Global().Configure(
+      {.sample_n = 4, .flight_recorder_events = 256, .slow_query_ms = 0.0});
+  Tracer::Global().ResetForTest();
+  for (int i = 0; i < 16; ++i) {
+    QueryTrace root("query");
+  }
+  // 1-in-4 of 16 queries, one root span each.
+  EXPECT_EQ(Tracer::Global().events_recorded(), 4u);
+}
+
+TEST_F(TracingTest, RingWrapsKeepingMostRecent) {
+  Tracer::Global().Configure(
+      {.sample_n = 1, .flight_recorder_events = 8, .slow_query_ms = 0.0});
+  Tracer::Global().ResetForTest();
+  for (int i = 0; i < 20; ++i) {
+    QueryTrace root("query");
+  }
+  EXPECT_EQ(Tracer::Global().events_recorded(), 20u);
+  std::vector<TraceEvent> events = Tracer::Global().FlightRecorderSnapshot();
+  ASSERT_EQ(events.size(), 8u);  // capacity, not total
+  // Oldest-first snapshot of the 8 most recent queries: ids 13..20.
+  for (size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(events[i].query_id, 13 + i);
+  }
+}
+
+TEST_F(TracingTest, ShallowSpansSurviveTheEventCap) {
+  Tracer::Global().Configure(
+      {.sample_n = 1, .flight_recorder_events = 2048, .slow_query_ms = 0.0});
+  Tracer::Global().ResetForTest();
+  {
+    QueryTrace root("request");      // depth 0
+    TraceSpan query("query");        // depth 1
+    TraceSpan search("search");      // depth 2
+    // Far past the per-query cap: a chatty expansion closes leaves first,
+    // so without the shallow-span allowance the query's own summary spans
+    // (search/query/request, which close last) would be the ones dropped.
+    for (int i = 0; i < 700; ++i) {
+      TraceSpan hop("hop");          // depth 3
+      TraceSpan leaf("leaf");        // depth 4
+    }
+  }
+  EXPECT_GT(Tracer::Global().events_dropped(), 0u);
+  std::vector<TraceEvent> events = Tracer::Global().FlightRecorderSnapshot();
+  int shallow_seen = 0;
+  for (const TraceEvent& ev : events) {
+    if (std::string(ev.name) == "request" ||
+        std::string(ev.name) == "query" ||
+        std::string(ev.name) == "search") {
+      ++shallow_seen;
+      EXPECT_LE(ev.depth, 2);
+    }
+  }
+  EXPECT_EQ(shallow_seen, 3);
+}
+
+TEST_F(TracingTest, SlowQueryTriggersReportAndForceRecord) {
+  // sample_n = 0: nothing records unless the slow-query path forces it.
+  Tracer::Global().Configure({.sample_n = 0,
+                              .flight_recorder_events = 64,
+                              .slow_query_ms = 0.001});
+  Tracer::Global().ResetForTest();
+  {
+    QueryTrace root("query");
+    ASSERT_TRUE(root.active());  // armed by the slow-query sink
+    TraceSpan span("expand");
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  EXPECT_EQ(Tracer::Global().slow_queries(), 1u);
+  EXPECT_GT(Tracer::Global().events_recorded(), 0u);
+  std::string report = Tracer::Global().last_slow_report();
+  EXPECT_NE(report.find("slow query"), std::string::npos) << report;
+  EXPECT_NE(report.find("expand"), std::string::npos) << report;
+  EXPECT_NE(report.find("query"), std::string::npos) << report;
+}
+
+TEST_F(TracingTest, FastQueryBelowThresholdDoesNotReport) {
+  Tracer::Global().Configure({.sample_n = 0,
+                              .flight_recorder_events = 64,
+                              .slow_query_ms = 10000.0});
+  Tracer::Global().ResetForTest();
+  {
+    QueryTrace root("query");
+    TraceSpan span("expand");
+  }
+  EXPECT_EQ(Tracer::Global().slow_queries(), 0u);
+  EXPECT_EQ(Tracer::Global().events_recorded(), 0u);
+  EXPECT_TRUE(Tracer::Global().last_slow_report().empty());
+}
+
+TEST_F(TracingTest, ChromeTraceIsWellFormedJson) {
+  Tracer::Global().Configure(
+      {.sample_n = 1, .flight_recorder_events = 64, .slow_query_ms = 0.0});
+  Tracer::Global().ResetForTest();
+  {
+    QueryTrace root("query");
+    TraceSpan span("expand", 3);
+  }
+  std::string json;
+  Tracer::Global().DumpChromeTrace(&json);
+  EXPECT_NE(json.find("\"traceEvents\":["), std::string::npos) << json;
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"name\":\"expand\""), std::string::npos) << json;
+  // Balanced braces/brackets: a cheap structural parse.
+  int braces = 0, brackets = 0;
+  for (char ch : json) {
+    if (ch == '{') ++braces;
+    if (ch == '}') --braces;
+    if (ch == '[') ++brackets;
+    if (ch == ']') --brackets;
+    EXPECT_GE(braces, 0);
+    EXPECT_GE(brackets, 0);
+  }
+  EXPECT_EQ(braces, 0);
+  EXPECT_EQ(brackets, 0);
+}
+
+TEST_F(TracingTest, ConcurrentTracedQueriesKeepSpanTreesSeparate) {
+  Tracer::Global().Configure({.sample_n = 1,
+                              .flight_recorder_events = 16384,
+                              .slow_query_ms = 0.0});
+  Tracer::Global().ResetForTest();
+  constexpr int kThreads = 4;
+  constexpr int kQueries = 200;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([] {
+      for (int i = 0; i < kQueries; ++i) {
+        QueryTrace root("query");
+        TraceSpan a("expand");
+        TraceSpan b("round");
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(Tracer::Global().events_recorded(),
+            static_cast<uint64_t>(kThreads) * kQueries * 3);
+  // Every query's three spans must agree on the query id and nest by
+  // depth (the ring holds whole queries: 3 events pushed atomically).
+  std::vector<TraceEvent> events = Tracer::Global().FlightRecorderSnapshot();
+  ASSERT_EQ(events.size() % 3, 0u);
+  for (size_t i = 0; i < events.size(); i += 3) {
+    EXPECT_EQ(events[i].query_id, events[i + 1].query_id);
+    EXPECT_EQ(events[i].query_id, events[i + 2].query_id);
+    EXPECT_EQ(events[i].depth, 2);      // innermost closes first
+    EXPECT_EQ(events[i + 1].depth, 1);
+    EXPECT_EQ(events[i + 2].depth, 0);  // root
+  }
+}
+
+}  // namespace
+}  // namespace strr::obs

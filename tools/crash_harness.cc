@@ -31,6 +31,7 @@
 #include "live/recovery_manager.h"
 #include "storage/fs_util.h"
 #include "tools/crash_stream.h"
+#include "util/logging.h"
 
 namespace strr {
 namespace {
@@ -219,6 +220,7 @@ int RunChecker(const std::string& dir) {
 }  // namespace strr
 
 int main(int argc, char** argv) {
+  strr::SetLogLevelFromEnv();
   if (argc < 3) {
     std::fprintf(stderr,
                  "usage: crash_harness write <dir> [max_batches]\n"
