@@ -1,6 +1,10 @@
 #include "core/tenant_registry.h"
 
 #include <algorithm>
+#include <chrono>
+#include <fstream>
+#include <sstream>
+#include <utility>
 
 namespace strr {
 
@@ -12,6 +16,8 @@ TenantRegistry::TenantRegistry(const TenantConfig& defaults)
     : defaults_(defaults) {
   if (defaults_.weight == 0) defaults_.weight = 1;
 }
+
+TenantRegistry::~TenantRegistry() { StopFileWatch(); }
 
 TenantRegistry::State* TenantRegistry::GetOrCreate(TenantId tenant) {
   {
@@ -43,6 +49,125 @@ TenantConfig TenantRegistry::config(TenantId tenant) const {
   if (it == tenants_.end() || !it->second->configured) return defaults_;
   return it->second->config;
 }
+
+Status TenantRegistry::LoadFromFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in.is_open()) {
+    return Status::IoError("tenant config: cannot open " + path);
+  }
+  // Parse everything before applying anything: a bad line must not leave
+  // the registry half-reconfigured.
+  std::vector<std::pair<TenantId, TenantConfig>> parsed;
+  std::string line;
+  size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    size_t hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    std::istringstream fields(line);
+    uint64_t tenant = 0;
+    uint64_t weight = 0;
+    uint64_t max_inflight = 0;
+    uint64_t max_queued = 0;
+    if (!(fields >> tenant)) {
+      // Only genuinely empty lines skip; junk must reject, or a typoed
+      // tenant id silently serves under defaults.
+      if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
+      return Status::InvalidArgument("tenant config: " + path + ":" +
+                                     std::to_string(line_no) +
+                                     ": non-numeric tenant id");
+    }
+    if (!(fields >> weight >> max_inflight >> max_queued)) {
+      return Status::InvalidArgument("tenant config: " + path + ":" +
+                                     std::to_string(line_no) +
+                                     ": want `tenant weight max_inflight "
+                                     "max_queued`");
+    }
+    std::string extra;
+    if (fields >> extra) {
+      return Status::InvalidArgument("tenant config: " + path + ":" +
+                                     std::to_string(line_no) +
+                                     ": trailing field `" + extra + "`");
+    }
+    TenantConfig config;
+    config.weight = weight == 0 ? 1 : static_cast<uint32_t>(weight);
+    config.max_inflight = static_cast<size_t>(max_inflight);
+    config.max_queued = static_cast<size_t>(max_queued);
+    parsed.emplace_back(static_cast<TenantId>(tenant), config);
+  }
+  for (const auto& [tenant, config] : parsed) {
+    Configure(tenant, config);
+  }
+  reloads_.fetch_add(1, kRelaxed);
+  return Status::OK();
+}
+
+Status TenantRegistry::StartFileWatch(const std::string& path,
+                                      int64_t poll_ms) {
+  StopFileWatch();
+  Status initial = LoadFromFile(path);
+  if (!initial.ok()) return initial;
+  std::error_code ec;
+  std::filesystem::file_time_type mtime =
+      std::filesystem::last_write_time(path, ec);
+  {
+    std::lock_guard<std::mutex> lock(watch_mu_);
+    watch_stop_ = false;
+    watch_path_ = path;
+    watch_mtime_ = ec ? std::filesystem::file_time_type{} : mtime;
+  }
+  if (poll_ms < 1) poll_ms = 1;
+  watch_thread_ = std::thread([this, poll_ms] {
+    std::unique_lock<std::mutex> lock(watch_mu_);
+    for (;;) {
+      watch_cv_.wait_for(lock, std::chrono::milliseconds(poll_ms),
+                         [this] { return watch_stop_; });
+      if (watch_stop_) return;
+      std::error_code poll_ec;
+      std::filesystem::file_time_type now =
+          std::filesystem::last_write_time(watch_path_, poll_ec);
+      if (poll_ec || now == watch_mtime_) continue;
+      watch_mtime_ = now;
+      std::string path_copy = watch_path_;
+      lock.unlock();
+      // A mid-write read may parse garbage; the parse-then-apply contract
+      // makes that a harmless skipped reload, retried next poll via the
+      // writer's final mtime bump.
+      (void)LoadFromFile(path_copy);
+      lock.lock();
+    }
+  });
+  return Status::OK();
+}
+
+void TenantRegistry::StopFileWatch() {
+  {
+    std::lock_guard<std::mutex> lock(watch_mu_);
+    watch_stop_ = true;
+  }
+  watch_cv_.notify_all();
+  if (watch_thread_.joinable()) watch_thread_.join();
+}
+
+bool TenantRegistry::TryClaimInflight(TenantId tenant, size_t max_inflight) {
+  State* state = GetOrCreate(tenant);
+  if (max_inflight == 0) {
+    state->admitted.fetch_add(1, kRelaxed);
+    state->inflight.fetch_add(1, kRelaxed);
+    return true;
+  }
+  uint64_t current = state->inflight.load(kRelaxed);
+  while (current < max_inflight) {
+    if (state->inflight.compare_exchange_weak(current, current + 1, kRelaxed,
+                                              kRelaxed)) {
+      state->admitted.fetch_add(1, kRelaxed);
+      return true;
+    }
+  }
+  return false;
+}
+
+void TenantRegistry::ReleaseClaim(TenantId tenant) { RecordRelease(tenant); }
 
 void TenantRegistry::RecordAdmission(TenantId tenant) {
   State* state = GetOrCreate(tenant);

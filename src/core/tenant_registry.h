@@ -29,15 +29,20 @@
 #define STRR_CORE_TENANT_REGISTRY_H_
 
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
+#include <filesystem>
 #include <memory>
 #include <mutex>
 #include <shared_mutex>
+#include <string>
+#include <thread>
 #include <unordered_map>
 #include <vector>
 
 #include "query/query.h"
 #include "storage/page.h"
+#include "util/status.h"
 
 namespace strr {
 
@@ -84,6 +89,9 @@ class TenantRegistry {
   /// `defaults` applies to every tenant that was never Configure()d.
   explicit TenantRegistry(const TenantConfig& defaults = {});
 
+  /// Stops the config-file watcher, if one is running.
+  ~TenantRegistry();
+
   /// Sets (or replaces) one tenant's configuration. Counters survive
   /// reconfiguration.
   void Configure(TenantId tenant, const TenantConfig& config);
@@ -91,6 +99,38 @@ class TenantRegistry {
   /// The tenant's configuration, or the registry defaults when it never
   /// registered.
   TenantConfig config(TenantId tenant) const;
+
+  // --- Dynamic configuration -------------------------------------------------
+
+  /// Replaces tenant configs from a text file: one whitespace-separated
+  /// `tenant weight max_inflight max_queued` line per tenant, '#' starts
+  /// a comment, blank lines ignored. The whole file parses before any
+  /// tenant is touched — a malformed line rejects the load and leaves
+  /// every config as it was (counters always survive).
+  Status LoadFromFile(const std::string& path);
+
+  /// Starts a background thread that re-runs LoadFromFile whenever the
+  /// file's mtime changes (polled every poll_ms). Loads the file once
+  /// synchronously and fails if that load fails. One watcher per
+  /// registry; call StopFileWatch (or destroy the registry) to stop.
+  Status StartFileWatch(const std::string& path, int64_t poll_ms = 200);
+  void StopFileWatch();
+
+  /// Successful config loads (initial + reloads) since construction.
+  uint64_t reloads() const { return reloads_.load(std::memory_order_relaxed); }
+
+  // --- Shared quota arbitration ---------------------------------------------
+
+  /// Atomically claims one in-flight slot for the tenant iff its current
+  /// in-flight count is below `max_inflight` (0 = unlimited). On success
+  /// bumps admitted + inflight (one admission ticket); on failure changes
+  /// nothing. CAS on the shared counter makes the quota engine-global:
+  /// every shard arbitrates against the same count instead of N separate
+  /// per-executor tallies.
+  bool TryClaimInflight(TenantId tenant, size_t max_inflight);
+
+  /// Returns a claim taken with TryClaimInflight (decrements inflight).
+  void ReleaseClaim(TenantId tenant);
 
   // --- Counter bumps (lock-free once the tenant exists) ----------------------
 
@@ -145,6 +185,15 @@ class TenantRegistry {
   TenantConfig defaults_;
   mutable std::shared_mutex mu_;  ///< guards the map and config fields
   std::unordered_map<TenantId, std::unique_ptr<State>> tenants_;
+
+  // Config-file watcher (StartFileWatch).
+  std::atomic<uint64_t> reloads_{0};
+  std::mutex watch_mu_;  ///< guards watch_* below and pairs with watch_cv_
+  std::condition_variable watch_cv_;
+  std::thread watch_thread_;
+  bool watch_stop_ = false;
+  std::string watch_path_;
+  std::filesystem::file_time_type watch_mtime_{};
 };
 
 }  // namespace strr

@@ -7,6 +7,7 @@
 #include <cstdarg>
 #include <cstdio>
 #include <cstdlib>
+#include <set>
 #include <thread>
 
 namespace strr::obs {
@@ -26,17 +27,47 @@ namespace {
 constexpr int kFirstOctave = 5;  // 2^5 == Histogram::kLinearMax
 
 /// Debug-only guard: names are exported verbatim, so they must already be
-/// valid Prometheus metric names.
+/// valid Prometheus metric names, optionally carrying one canonical
+/// `{k="v",...}` label suffix (see MetricsRegistry::CanonicalLabels).
 bool ValidMetricName(const std::string& name) {
   if (name.empty()) return false;
-  for (size_t i = 0; i < name.size(); ++i) {
+  size_t base_end = name.find('{');
+  if (base_end == std::string::npos) base_end = name.size();
+  if (base_end == 0) return false;
+  for (size_t i = 0; i < base_end; ++i) {
     char c = name[i];
     bool alpha = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
                  c == '_' || c == ':';
     bool digit = c >= '0' && c <= '9';
     if (!(alpha || (digit && i > 0))) return false;
   }
+  if (base_end < name.size() && name.back() != '}') return false;
   return true;
+}
+
+/// Splits a series name into its base name and the inner label list (the
+/// suffix without braces, "" when unlabeled).
+void SplitSeries(const std::string& name, std::string* base,
+                 std::string* inner) {
+  size_t brace = name.find('{');
+  if (brace == std::string::npos) {
+    *base = name;
+    inner->clear();
+    return;
+  }
+  *base = name.substr(0, brace);
+  *inner = name.substr(brace + 1, name.size() - brace - 2);
+}
+
+/// JSON string escape for series names (label values may hold quotes).
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
 }
 
 void AppendF(std::string* out, const char* fmt, ...) {
@@ -175,6 +206,42 @@ Histogram& MetricsRegistry::GetHistogram(const std::string& name) {
   return *slot;
 }
 
+std::string MetricsRegistry::CanonicalLabels(const Labels& labels) {
+  if (labels.empty()) return "";
+  Labels sorted = labels;
+  std::sort(sorted.begin(), sorted.end());
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [key, value] : sorted) {
+    if (!first) out.push_back(',');
+    first = false;
+    out += key;
+    out += "=\"";
+    for (char c : value) {
+      if (c == '"' || c == '\\') out.push_back('\\');
+      out.push_back(c);
+    }
+    out += "\"";
+  }
+  out.push_back('}');
+  return out;
+}
+
+Counter& MetricsRegistry::GetCounter(const std::string& name,
+                                     const Labels& labels) {
+  return GetCounter(name + CanonicalLabels(labels));
+}
+
+Gauge& MetricsRegistry::GetGauge(const std::string& name,
+                                 const Labels& labels) {
+  return GetGauge(name + CanonicalLabels(labels));
+}
+
+Histogram& MetricsRegistry::GetHistogram(const std::string& name,
+                                         const Labels& labels) {
+  return GetHistogram(name + CanonicalLabels(labels));
+}
+
 void MetricsRegistry::DumpPrometheus(std::string* out) const {
   // CI overhead-gate negative test: an injected scrape latency must trip
   // the >5% qps gate. Read per call — the scrape path is cold by design.
@@ -185,34 +252,58 @@ void MetricsRegistry::DumpPrometheus(std::string* out) const {
     }
   }
   std::lock_guard<std::mutex> lock(mu_);
+  // One `# TYPE` line per base name: labeled series share the base metric.
+  // '{' sorts after '_' so "foo_x" can interleave between "foo" and
+  // "foo{...}" in the map — dedupe TYPE lines with a seen-set instead of
+  // relying on contiguity.
+  std::string base;
+  std::string inner;
+  std::set<std::string> typed;
   for (const auto& [name, counter] : counters_) {
-    AppendF(out, "# TYPE %s counter\n", name.c_str());
-    AppendF(out, "%s %llu\n", name.c_str(),
-            static_cast<unsigned long long>(counter->Value()));
+    SplitSeries(name, &base, &inner);
+    if (typed.insert(base).second) {
+      AppendF(out, "# TYPE %s counter\n", base.c_str());
+    }
+    out->append(name);
+    AppendF(out, " %llu\n", static_cast<unsigned long long>(counter->Value()));
   }
+  typed.clear();
   for (const auto& [name, gauge] : gauges_) {
-    AppendF(out, "# TYPE %s gauge\n", name.c_str());
-    AppendF(out, "%s %lld\n", name.c_str(),
-            static_cast<long long>(gauge->Value()));
+    SplitSeries(name, &base, &inner);
+    if (typed.insert(base).second) {
+      AppendF(out, "# TYPE %s gauge\n", base.c_str());
+    }
+    out->append(name);
+    AppendF(out, " %lld\n", static_cast<long long>(gauge->Value()));
   }
+  typed.clear();
   for (const auto& [name, hist] : histograms_) {
+    SplitSeries(name, &base, &inner);
+    if (typed.insert(base).second) {
+      AppendF(out, "# TYPE %s histogram\n", base.c_str());
+    }
+    // The series' own labels splice ahead of `le` in each bucket line.
+    std::string bucket_prefix = base + "_bucket{";
+    if (!inner.empty()) bucket_prefix += inner + ",";
     Histogram::Snapshot snap = hist->Snap();
-    AppendF(out, "# TYPE %s histogram\n", name.c_str());
     uint64_t cumulative = 0;
     for (size_t i = 0; i < Histogram::kNumBuckets; ++i) {
       if (snap.buckets[i] == 0) continue;  // sparse: only boundaries that
       cumulative += snap.buckets[i];       // advance the cumulative count
       if (i == Histogram::kNumBuckets - 1) break;  // overflow -> +Inf only
-      AppendF(out, "%s_bucket{le=\"%llu\"} %llu\n", name.c_str(),
+      out->append(bucket_prefix);
+      AppendF(out, "le=\"%llu\"} %llu\n",
               static_cast<unsigned long long>(Histogram::BucketUpperBound(i)),
               static_cast<unsigned long long>(cumulative));
     }
-    AppendF(out, "%s_bucket{le=\"+Inf\"} %llu\n", name.c_str(),
+    out->append(bucket_prefix);
+    AppendF(out, "le=\"+Inf\"} %llu\n",
             static_cast<unsigned long long>(cumulative));
-    AppendF(out, "%s_sum %llu\n", name.c_str(),
-            static_cast<unsigned long long>(snap.sum));
-    AppendF(out, "%s_count %llu\n", name.c_str(),
-            static_cast<unsigned long long>(cumulative));
+    std::string suffix = inner.empty() ? "" : "{" + inner + "}";
+    out->append(base).append("_sum").append(suffix);
+    AppendF(out, " %llu\n", static_cast<unsigned long long>(snap.sum));
+    out->append(base).append("_count").append(suffix);
+    AppendF(out, " %llu\n", static_cast<unsigned long long>(cumulative));
   }
 }
 
@@ -221,14 +312,14 @@ void MetricsRegistry::DumpJson(std::string* out) const {
   out->append("{\"counters\":{");
   bool first = true;
   for (const auto& [name, counter] : counters_) {
-    AppendF(out, "%s\"%s\":%llu", first ? "" : ",", name.c_str(),
+    AppendF(out, "%s\"%s\":%llu", first ? "" : ",", JsonEscape(name).c_str(),
             static_cast<unsigned long long>(counter->Value()));
     first = false;
   }
   out->append("},\"gauges\":{");
   first = true;
   for (const auto& [name, gauge] : gauges_) {
-    AppendF(out, "%s\"%s\":%lld", first ? "" : ",", name.c_str(),
+    AppendF(out, "%s\"%s\":%lld", first ? "" : ",", JsonEscape(name).c_str(),
             static_cast<long long>(gauge->Value()));
     first = false;
   }
@@ -237,7 +328,8 @@ void MetricsRegistry::DumpJson(std::string* out) const {
   for (const auto& [name, hist] : histograms_) {
     Histogram::Snapshot snap = hist->Snap();
     AppendF(out, "%s\"%s\":{\"count\":%llu,\"sum\":%llu", first ? "" : ",",
-            name.c_str(), static_cast<unsigned long long>(snap.count),
+            JsonEscape(name).c_str(),
+            static_cast<unsigned long long>(snap.count),
             static_cast<unsigned long long>(snap.sum));
     AppendF(out, ",\"p50\":%.3f,\"p90\":%.3f,\"p99\":%.3f,\"p999\":%.3f}",
             Histogram::PercentileOf(snap, 0.50),

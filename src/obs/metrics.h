@@ -37,6 +37,7 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace strr::obs {
@@ -207,6 +208,22 @@ class MetricsRegistry {
   Counter& GetCounter(const std::string& name);
   Gauge& GetGauge(const std::string& name);
   Histogram& GetHistogram(const std::string& name);
+
+  /// One label dimension per series: (key, value) pairs rendered into the
+  /// canonical `{k="v",...}` suffix (keys sorted, so any call-site order
+  /// maps to one series). Labeled and unlabeled series of the same base
+  /// name coexist; the exporters emit one `# TYPE` line per base name and
+  /// splice histogram `le` labels into the series' own label set. Handles
+  /// are stable exactly like the unlabeled ones; hot sites cache the
+  /// handle per (tenant, shard) instead of re-rendering the suffix.
+  using Labels = std::vector<std::pair<std::string, std::string>>;
+  Counter& GetCounter(const std::string& name, const Labels& labels);
+  Gauge& GetGauge(const std::string& name, const Labels& labels);
+  Histogram& GetHistogram(const std::string& name, const Labels& labels);
+
+  /// The canonical label suffix (`{k="v",...}`, keys sorted); "" for no
+  /// labels. Exposed for tests and for callers pre-building series names.
+  static std::string CanonicalLabels(const Labels& labels);
 
   /// Appends the full registry in Prometheus text exposition format
   /// (counters as `# TYPE x counter`, histograms as cumulative

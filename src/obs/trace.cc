@@ -41,22 +41,56 @@ void CloseSpan(TraceBuffer* buf) {
   if (buf->stack.empty()) return;  // defensive: unbalanced close
   TraceBuffer::OpenSpan open = buf->stack.back();
   buf->stack.pop_back();
-  size_t cap = open.depth <= kAlwaysKeepDepth
-                   ? kMaxEventsPerQuery + kShallowSlack
-                   : kMaxEventsPerQuery;
-  if (buf->events.size() >= cap) {
-    ++buf->dropped;
-    return;
-  }
+  uint16_t depth = static_cast<uint16_t>(buf->base_depth + open.depth);
+  size_t cap = depth <= kAlwaysKeepDepth ? kMaxEventsPerQuery + kShallowSlack
+                                         : kMaxEventsPerQuery;
   TraceEvent ev;
   ev.name = open.name;
   ev.query_id = buf->query_id;
   ev.tid = ThreadIndex();
-  ev.depth = open.depth;
+  ev.depth = depth;
   ev.start_us = open.start_us;
   ev.dur_us = Tracer::NowUs() - open.start_us;
   ev.arg = open.arg;
+  std::lock_guard<std::mutex> lock(buf->events_mu);
+  if (buf->events.size() >= cap) {
+    ++buf->dropped;
+    return;
+  }
   buf->events.push_back(ev);
+}
+
+TaskTraceHandle CaptureTaskTrace() {
+  TraceBuffer* buf = tl_active;
+  if (buf == nullptr) return TaskTraceHandle{};
+  return TaskTraceHandle{
+      buf, static_cast<uint16_t>(buf->base_depth + buf->stack.size())};
+}
+
+ScopedTaskTrace::ScopedTaskTrace(const TaskTraceHandle& handle)
+    : parent_(handle.parent), prev_(tl_active) {
+  local_.query_id = parent_->query_id;
+  local_.sampled = parent_->sampled;
+  local_.base_depth = handle.depth;
+  local_.events.reserve(16);
+  local_.stack.reserve(8);
+  tl_active = &local_;
+}
+
+ScopedTaskTrace::~ScopedTaskTrace() {
+  while (!local_.stack.empty()) CloseSpan(&local_);  // defensive drain
+  tl_active = prev_;
+  std::lock_guard<std::mutex> lock(parent_->events_mu);
+  for (const TraceEvent& ev : local_.events) {
+    if (parent_->events.size() >= kMaxEventsPerQuery + kShallowSlack) {
+      parent_->dropped +=
+          static_cast<uint32_t>(local_.events.size() -
+                                (&ev - local_.events.data()));
+      break;
+    }
+    parent_->events.push_back(ev);
+  }
+  parent_->dropped += local_.dropped;
 }
 
 }  // namespace internal

@@ -6,10 +6,15 @@
 // a RAII `TraceSpan`. Spans propagate through a thread_local active-buffer
 // pointer — the same idiom as storage's ScopedIoCounters — so call sites
 // never thread a context object through the stack, and a span constructed
-// on a thread with no active query trace is a no-op. Consequence: spans
-// are recorded on the query's orchestrating thread; work fanned to pool
-// workers (m-query legs, parallel gather chunks) is attributed to the
-// enclosing span on the caller, not sub-traced per worker.
+// on a thread with no active query trace is a no-op. Work fanned out to
+// ThreadPool workers carries the active trace along: Submit() captures a
+// TaskTraceHandle and the worker runs under a ScopedTaskTrace whose local
+// buffer merges into the parent query's buffer when the task finishes, so
+// scatter-gather spans show per-worker imbalance instead of collapsing
+// onto the orchestrating thread. The merge contract: the submitter joins
+// the task's future before the root QueryTrace closes (true for every
+// in-tree fan-out — gather chunks, m-query legs and batch futures are all
+// joined inside the query).
 //
 // Lifecycle and cost:
 //  * Off (default): every QueryTrace/TraceSpan constructor is one relaxed
@@ -64,7 +69,9 @@ struct TracerOptions {
 namespace internal {
 
 /// Per-query span buffer, owned by the root QueryTrace frame and reached
-/// through a thread_local pointer while that query runs.
+/// through a thread_local pointer while that query runs. Pool workers run
+/// under task-local child buffers (base_depth > 0) whose events merge into
+/// the root buffer under events_mu when the task finishes.
 struct TraceBuffer {
   struct OpenSpan {
     const char* name;
@@ -77,12 +84,45 @@ struct TraceBuffer {
   uint64_t query_id = 0;
   uint32_t dropped = 0;
   bool sampled = false;
+  /// Depth of this buffer's spans under the query root (0 for the root
+  /// buffer; the capturing span's depth for a task-local child).
+  uint16_t base_depth = 0;
+  /// Serializes event pushes: the owner thread closes spans while joined
+  /// tasks merge their child buffers back in.
+  std::mutex events_mu;
 };
 
 TraceBuffer* ActiveBuffer();
 void SetActiveBuffer(TraceBuffer* buf);
 void OpenSpan(TraceBuffer* buf, const char* name, uint64_t arg);
 void CloseSpan(TraceBuffer* buf);
+
+/// Snapshot of the submitting thread's active trace, captured inside
+/// ThreadPool::Submit. parent == nullptr means "no active trace" (the
+/// task runs untraced).
+struct TaskTraceHandle {
+  TraceBuffer* parent = nullptr;
+  uint16_t depth = 0;  ///< effective depth of the capturing span
+};
+
+TaskTraceHandle CaptureTaskTrace();
+
+/// RAII frame a pool worker runs a traced task under: activates a local
+/// child buffer for the task's spans and merges them into the parent
+/// query buffer on destruction. Requires handle.parent != nullptr; the
+/// submitter must join the task before the parent QueryTrace closes.
+class ScopedTaskTrace {
+ public:
+  explicit ScopedTaskTrace(const TaskTraceHandle& handle);
+  ScopedTaskTrace(const ScopedTaskTrace&) = delete;
+  ScopedTaskTrace& operator=(const ScopedTaskTrace&) = delete;
+  ~ScopedTaskTrace();
+
+ private:
+  TraceBuffer* parent_;
+  TraceBuffer* prev_;
+  TraceBuffer local_;
+};
 
 }  // namespace internal
 

@@ -1,0 +1,52 @@
+#include "roadnet/subnetwork.h"
+
+#include <utility>
+
+namespace strr {
+
+StatusOr<Subnetwork> ExtractSubnetwork(const RoadNetwork& parent,
+                                       std::span<const SegmentId> segments) {
+  if (!parent.finalized()) {
+    return Status::InvalidArgument("subnetwork: parent not finalized");
+  }
+  Subnetwork out;
+  std::unordered_map<NodeId, NodeId> node_map;
+  auto import_node = [&](NodeId global) {
+    auto [it, inserted] = node_map.try_emplace(global, 0);
+    if (inserted) {
+      it->second = out.network.AddNode(parent.node(global));
+      out.node_to_global.push_back(global);
+    }
+    return it->second;
+  };
+  for (SegmentId global : segments) {
+    if (global >= parent.NumSegments()) {
+      return Status::InvalidArgument("subnetwork: segment out of range");
+    }
+    if (out.to_local.count(global) > 0) continue;  // duplicate input
+    const RoadSegment& seg = parent.segment(global);
+    NodeId from = import_node(seg.from_node);
+    NodeId to = import_node(seg.to_node);
+    auto local = out.network.AddSegment(from, to, seg.level, seg.shape);
+    if (!local.ok()) return local.status();
+    out.to_local.emplace(global, *local);
+    out.to_global.push_back(global);
+  }
+  // Re-link two-way twins where both directions made it into the subset.
+  // Link from the forward direction only so each pair is linked once.
+  for (SegmentId global : out.to_global) {
+    const RoadSegment& seg = parent.segment(global);
+    if (!seg.two_way || seg.reverse_id == kInvalidSegment) continue;
+    if (global > seg.reverse_id) continue;
+    auto twin = out.to_local.find(seg.reverse_id);
+    if (twin == out.to_local.end()) continue;
+    Status linked =
+        out.network.LinkTwins(out.to_local.at(global), twin->second);
+    if (!linked.ok()) return linked;
+  }
+  Status finalized = out.network.Finalize();
+  if (!finalized.ok()) return finalized;
+  return out;
+}
+
+}  // namespace strr

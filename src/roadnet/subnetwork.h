@@ -1,0 +1,43 @@
+// Subnetwork extraction: a standalone RoadNetwork induced by a segment
+// subset of a parent network, with id maps in both directions.
+//
+// The sharded serving tier uses this for per-partition views (a shard's
+// owned segments plus its boundary halo): diagnostics, balance audits and
+// the future process-per-shard transport all want a self-contained graph
+// per shard. Extraction is *not* on the query path — sharded execution
+// runs against the shared global network, which is what keeps it
+// bit-identical — so a subnetwork is a faithful copy, not an authority.
+#ifndef STRR_ROADNET_SUBNETWORK_H_
+#define STRR_ROADNET_SUBNETWORK_H_
+
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "roadnet/road_network.h"
+
+namespace strr {
+
+/// A finalized induced subgraph plus the id translation tables.
+struct Subnetwork {
+  RoadNetwork network;
+  /// to_global[local_seg] = parent segment id. Local ids are assigned in
+  /// the order segments appear in the extraction input.
+  std::vector<SegmentId> to_global;
+  /// Parent segment id -> local segment id (only selected segments).
+  std::unordered_map<SegmentId, SegmentId> to_local;
+  /// node_to_global[local_node] = parent node id.
+  std::vector<NodeId> node_to_global;
+};
+
+/// Builds the subgraph induced by `segments` (parent segment ids; must be
+/// valid, duplicates ignored). Endpoint nodes are imported on demand;
+/// geometry, level and length are copied verbatim; twin links are
+/// reconstructed when both directions of a two-way street are selected.
+/// The result is finalized.
+StatusOr<Subnetwork> ExtractSubnetwork(const RoadNetwork& parent,
+                                       std::span<const SegmentId> segments);
+
+}  // namespace strr
+
+#endif  // STRR_ROADNET_SUBNETWORK_H_

@@ -1,0 +1,42 @@
+#include "shard/engine_shard.h"
+
+#include <algorithm>
+
+namespace strr {
+
+EngineShard::EngineShard(uint32_t id, const ShardingOptions& options)
+    : id_(id),
+      options_(options),
+      query_pool_(static_cast<size_t>(std::max(1, options.shard_query_threads))),
+      slice_pool_(static_cast<size_t>(std::max(1, options.slice_threads))) {}
+
+void EngineShard::BuildExecutor(const RoadNetwork& network,
+                                const StIndex& st_index,
+                                const ConIndex& con_index,
+                                const SpeedProfile& profile,
+                                int64_t delta_t_seconds,
+                                std::span<const uint32_t> owners,
+                                std::span<ThreadPool* const> slice_pools) {
+  QueryExecutorOptions opt;
+  // The coordinator is the front door; the shard executor only computes.
+  opt.num_threads = 1;  // its internal batch pool is unused
+  opt.parallel_mquery_legs = false;  // legs are scattered by the coordinator
+  opt.interior_workers = 1;
+  opt.result_cache_entries = 0;
+  opt.max_inflight = 0;
+  opt.tenant_fairness = false;
+  opt.shard_owner = owners;
+  opt.shard_pools = slice_pools;
+  opt.home_shard = id_;
+  opt.min_parallel_frontier = options_.min_scatter_frontier;
+  opt.min_parallel_ring = options_.min_scatter_ring;
+  executor_ = std::make_unique<QueryExecutor>(network, st_index, con_index,
+                                              profile, delta_t_seconds, opt);
+}
+
+void EngineShard::EnableIngestor(LiveProfileManager& live,
+                                 const ObservationIngestorOptions& options) {
+  ingestor_ = std::make_unique<ObservationIngestor>(live, options);
+}
+
+}  // namespace strr

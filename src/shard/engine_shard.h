@@ -1,0 +1,75 @@
+// EngineShard: one partition's serving resources.
+//
+// A shard owns two thread pools and a private QueryExecutor over the
+// SHARED global index stack:
+//
+//  * query pool — whole queries (and m-query legs) routed to this shard
+//    by the ShardCoordinator run here; its size bounds the shard's query
+//    concurrency;
+//  * slice pool — per-hop cone frontier slices and TBS ring buckets that
+//    OTHER shards' queries scatter to this shard run here (see
+//    search/frontier_engine.h FrontierRuntime::shard_pools).
+//
+// Query-pool tasks wait on slice-pool futures; slice tasks are pure
+// compute and never wait on anything — the wait graph is acyclic across
+// any number of shards, so cross-shard scatter cannot deadlock.
+//
+// The executor is deliberately stripped: no cache, no admission, no
+// tenancy, no live manager — the coordinator owns the front door (shared
+// cache + engine-global quota) and pins one snapshot per query, passing
+// the pinned surfaces through QueryExecutor::ExecuteAgainst.
+//
+// Optionally a shard carries its own ObservationIngestor over the shared
+// LiveProfileManager, so live observation fan-in parallelizes by owning
+// shard (Publish serializes internally; concurrent ingestors are safe).
+#ifndef STRR_SHARD_ENGINE_SHARD_H_
+#define STRR_SHARD_ENGINE_SHARD_H_
+
+#include <cstdint>
+#include <memory>
+#include <span>
+
+#include "core/query_executor.h"
+#include "live/observation_ingestor.h"
+#include "shard/shard_options.h"
+#include "util/thread_pool.h"
+
+namespace strr {
+
+/// See file comment. Constructed in two phases by the ShardCoordinator:
+/// pools first (every shard's slice pool must exist before any executor
+/// can hold the full pool table), then BuildExecutor.
+class EngineShard {
+ public:
+  EngineShard(uint32_t id, const ShardingOptions& options);
+
+  /// Phase two: creates the shard's executor over the shared stack.
+  /// `owners` / `slice_pools` must outlive the shard (the coordinator owns
+  /// both); `slice_pools` is indexed by shard id and includes this shard.
+  void BuildExecutor(const RoadNetwork& network, const StIndex& st_index,
+                     const ConIndex& con_index, const SpeedProfile& profile,
+                     int64_t delta_t_seconds, std::span<const uint32_t> owners,
+                     std::span<ThreadPool* const> slice_pools);
+
+  /// Attaches a per-shard live ingestor over the shared manager.
+  void EnableIngestor(LiveProfileManager& live,
+                      const ObservationIngestorOptions& options);
+
+  uint32_t id() const { return id_; }
+  ThreadPool& query_pool() { return query_pool_; }
+  ThreadPool& slice_pool() { return slice_pool_; }
+  QueryExecutor* executor() { return executor_.get(); }
+  ObservationIngestor* ingestor() { return ingestor_.get(); }
+
+ private:
+  uint32_t id_;
+  ShardingOptions options_;
+  ThreadPool query_pool_;
+  ThreadPool slice_pool_;
+  std::unique_ptr<QueryExecutor> executor_;
+  std::unique_ptr<ObservationIngestor> ingestor_;
+};
+
+}  // namespace strr
+
+#endif  // STRR_SHARD_ENGINE_SHARD_H_

@@ -1,0 +1,284 @@
+#include "shard/shard_coordinator.h"
+
+#include <algorithm>
+#include <future>
+#include <string>
+#include <utility>
+
+#include "core/result_cache.h"
+#include "obs/trace.h"
+#include "util/stopwatch.h"
+
+namespace strr {
+
+ShardCoordinator::ShardCoordinator(const RoadNetwork& network,
+                                   const StIndex& st_index,
+                                   const ConIndex& con_index,
+                                   const SpeedProfile& profile,
+                                   int64_t delta_t_seconds,
+                                   const ShardingOptions& options,
+                                   LiveProfileManager* live,
+                                   TenantRegistry* tenants)
+    : network_(&network),
+      options_(options),
+      live_(live),
+      tenants_(tenants),
+      map_(network, std::max(1, options.num_shards), options.cell_meters),
+      cache_(options.shared_cache_entries, options.shared_cache_shards) {
+  const int n = map_.num_shards();
+  shards_.reserve(n);
+  slice_pools_.reserve(n);
+  for (int s = 0; s < n; ++s) {
+    shards_.push_back(
+        std::make_unique<EngineShard>(static_cast<uint32_t>(s), options_));
+    slice_pools_.push_back(&shards_.back()->slice_pool());
+  }
+  // Executors second: each holds the complete slice-pool table so its
+  // searches can scatter to any shard.
+  for (int s = 0; s < n; ++s) {
+    shards_[s]->BuildExecutor(
+        network, st_index, con_index, profile, delta_t_seconds, map_.owners(),
+        {slice_pools_.data(), slice_pools_.size()});
+  }
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
+  routed_counters_.reserve(n);
+  cross_counters_.reserve(n);
+  for (int s = 0; s < n; ++s) {
+    obs::MetricsRegistry::Labels labels = {{"shard", std::to_string(s)}};
+    routed_counters_.push_back(
+        &reg.GetCounter("strr_shard_queries_total", labels));
+    cross_counters_.push_back(
+        &reg.GetCounter("strr_shard_cross_shard_queries_total", labels));
+  }
+}
+
+uint32_t ShardCoordinator::HomeShard(const QueryPlan& plan) const {
+  for (const std::vector<SegmentId>& starts : plan.location_starts) {
+    for (SegmentId s : starts) {
+      if (s < map_.owners().size()) return map_.owner(s);
+    }
+  }
+  return 0;
+}
+
+bool ShardCoordinator::RoutableRepeatedS(const QueryPlan& plan) {
+  if (plan.locations.empty()) return false;
+  if (plan.location_starts.size() != plan.locations.size()) return false;
+  for (const std::vector<SegmentId>& starts : plan.location_starts) {
+    if (starts.empty()) return false;
+  }
+  return true;
+}
+
+StatusOr<RegionResult> ShardCoordinator::Execute(const QueryPlan& plan) {
+  obs::TraceSpan span("shard_route");
+  // One snapshot pin per query, held across routing, scatter and merge —
+  // every leg and every slice reads exactly this version.
+  SnapshotRef snap;
+  const ConIndex* con = nullptr;
+  const SpeedProfile* profile = nullptr;
+  uint64_t version = 0;
+  if (live_ != nullptr) {
+    obs::TraceSpan pin_span("snapshot_pin");
+    snap = live_->Acquire();
+    con = &snap.con_index();
+    profile = &snap.profile();
+    version = snap.version();
+  }
+
+  std::string cache_key;
+  if (cache_.capacity() > 0) {
+    // Tenant-shared key space: results are bit-identical across tenants
+    // by construction, and the shard tier exists to pool work.
+    PlanKey key = MakePlanKey(plan, /*tenant_scoped=*/false);
+    cache_key = SharedResultCache::MakeKey(key.canonical, version);
+    StatusOr<RegionResult> hit = cache_.Lookup(cache_key);
+    if (hit.ok()) {
+      if (tenants_ != nullptr) tenants_->RecordCacheHit(plan.tenant);
+      hit->stats.cache_hit = true;
+      return hit;
+    }
+    if (tenants_ != nullptr) tenants_->RecordCacheMiss(plan.tenant);
+  }
+
+  bool claimed = false;
+  if (tenants_ != nullptr) {
+    size_t quota = tenants_->config(plan.tenant).max_inflight;
+    if (!tenants_->TryClaimInflight(plan.tenant, quota)) {
+      tenants_->RecordShed(plan.tenant);
+      shed_.fetch_add(1, std::memory_order_relaxed);
+      return Status::ResourceExhausted(
+          "sharded front door: tenant in-flight quota exhausted");
+    }
+    claimed = true;
+  }
+
+  const uint32_t home = HomeShard(plan);
+  StatusOr<RegionResult> result =
+      plan.strategy == QueryStrategy::kRepeatedS && RoutableRepeatedS(plan)
+          ? ScatterRepeatedS(plan, con, profile, version)
+          : RouteWhole(plan, home, con, profile, version);
+
+  if (claimed) {
+    tenants_->ReleaseClaim(plan.tenant);
+    if (result.ok()) tenants_->RecordCompletion(plan.tenant, result->stats.io);
+  }
+  if (result.ok()) {
+    routed_.fetch_add(1, std::memory_order_relaxed);
+    routed_counters_[home]->Add(1);
+    bool cross = false;
+    for (SegmentId s : result->segments) {
+      if (map_.owner(s) != home) {
+        cross = true;
+        break;
+      }
+    }
+    if (cross) {
+      cross_shard_.fetch_add(1, std::memory_order_relaxed);
+      cross_counters_[home]->Add(1);
+    }
+    // The snapshot version is part of the key, so the entry stays valid
+    // forever (it can only be looked up by queries pinned to the same
+    // version); no insert/publish race to guard against.
+    if (!cache_key.empty()) cache_.Insert(cache_key, *result);
+  }
+  return result;
+}
+
+StatusOr<RegionResult> ShardCoordinator::RouteWhole(const QueryPlan& plan,
+                                                    uint32_t home,
+                                                    const ConIndex* con,
+                                                    const SpeedProfile* profile,
+                                                    uint64_t version) {
+  EngineShard& shard = *shards_[home];
+  auto run = [&shard, &plan, con, profile, version]() {
+    return shard.executor()->ExecuteAgainst(plan, con, profile, version);
+  };
+  // Inline when already on the owner's query pool (nested routing must
+  // not block a worker on a task that may never be scheduled).
+  if (shard.query_pool().OnWorkerThread()) return run();
+  std::future<StatusOr<RegionResult>> fut = shard.query_pool().Submit(run);
+  return fut.get();
+}
+
+StatusOr<RegionResult> ShardCoordinator::ScatterRepeatedS(
+    const QueryPlan& plan, const ConIndex* con, const SpeedProfile* profile,
+    uint64_t version) {
+  Stopwatch watch;
+
+  // One independent single-location indexed leg per query location,
+  // exactly as QueryExecutor::ExecuteRepeatedS builds them.
+  std::vector<QueryPlan> legs;
+  legs.reserve(plan.locations.size());
+  for (size_t i = 0; i < plan.locations.size(); ++i) {
+    QueryPlan leg;
+    leg.strategy = QueryStrategy::kIndexed;
+    leg.locations = {plan.locations[i]};
+    leg.location_starts = {plan.location_starts[i]};
+    leg.start_tod = plan.start_tod;
+    leg.duration = plan.duration;
+    leg.prob = plan.prob;
+    legs.push_back(std::move(leg));
+  }
+
+  // Scatter each leg to its owning shard's query pool; gather in index
+  // order so the merge below is independent of scheduling.
+  obs::TraceSpan legs_span("mquery_legs", legs.size());
+  std::vector<StatusOr<RegionResult>> leg_results;
+  leg_results.reserve(legs.size());
+  for (size_t i = 0; i < legs.size(); ++i) {
+    leg_results.push_back(Status::Internal("leg not executed"));
+  }
+  struct Pending {
+    size_t index;
+    std::future<StatusOr<RegionResult>> future;
+  };
+  std::vector<Pending> pending;
+  pending.reserve(legs.size());
+  for (size_t i = 0; i < legs.size(); ++i) {
+    uint32_t owner = HomeShard(legs[i]);
+    EngineShard& shard = *shards_[owner];
+    auto run = [&shard, &legs, i, con, profile, version]() {
+      return shard.executor()->ExecuteAgainst(legs[i], con, profile, version);
+    };
+    if (shard.query_pool().OnWorkerThread()) {
+      leg_results[i] = run();
+    } else {
+      pending.push_back({i, shard.query_pool().Submit(run)});
+    }
+  }
+  for (Pending& p : pending) leg_results[p.index] = p.future.get();
+
+  // Merge in location order — byte-for-byte the unsharded
+  // ExecuteRepeatedS merge, so composite results stay bit-identical.
+  RegionResult merged;
+  std::vector<SegmentId> all;
+  for (auto& leg_result : leg_results) {
+    if (!leg_result.ok()) return leg_result.status();
+    const RegionResult& r = *leg_result;
+    all.insert(all.end(), r.segments.begin(), r.segments.end());
+    merged.stats.sum_wall_ms += r.stats.wall_ms;
+    merged.stats.segments_verified += r.stats.segments_verified;
+    merged.stats.time_lists_read += r.stats.time_lists_read;
+    merged.stats.segments_expanded += r.stats.segments_expanded;
+    merged.stats.heap_pops += r.stats.heap_pops;
+    merged.stats.parallel_rounds += r.stats.parallel_rounds;
+    merged.stats.max_region_segments += r.stats.max_region_segments;
+    merged.stats.min_region_segments += r.stats.min_region_segments;
+    merged.stats.boundary_segments += r.stats.boundary_segments;
+    merged.stats.io += r.stats.io;
+  }
+  std::sort(all.begin(), all.end());
+  all.erase(std::unique(all.begin(), all.end()), all.end());
+  merged.segments = std::move(all);
+  merged.total_length_m = network_->LengthOfSegments(merged.segments);
+  merged.stats.wall_ms = watch.ElapsedMillis();
+  merged.stats.snapshot_version = version;
+  return merged;
+}
+
+Status ShardCoordinator::EnableLiveIngestors(
+    const ObservationIngestorOptions& options) {
+  if (live_ == nullptr) {
+    return Status::FailedPrecondition(
+        "shard ingestors require a live profile manager");
+  }
+  if (options.journal != nullptr) {
+    return Status::FailedPrecondition(
+        "shard ingestors are incompatible with a journal (single-writer)");
+  }
+  for (auto& shard : shards_) {
+    shard->EnableIngestor(*live_, options);
+  }
+  ingestors_enabled_ = true;
+  return Status::OK();
+}
+
+bool ShardCoordinator::OfferObservation(const SpeedObservation& observation) {
+  if (!ingestors_enabled_) return false;
+  uint32_t owner = observation.segment < map_.owners().size()
+                       ? map_.owner(observation.segment)
+                       : 0;
+  ObservationIngestor* ingestor = shards_[owner]->ingestor();
+  if (ingestor == nullptr) return false;
+  return ingestor->Offer(observation);
+}
+
+size_t ShardCoordinator::FlushIngestors() {
+  size_t total = 0;
+  for (auto& shard : shards_) {
+    if (shard->ingestor() != nullptr) total += shard->ingestor()->Flush();
+  }
+  return total;
+}
+
+ShardCoordinator::Stats ShardCoordinator::stats() const {
+  Stats out;
+  out.routed = routed_.load(std::memory_order_relaxed);
+  out.cross_shard = cross_shard_.load(std::memory_order_relaxed);
+  out.shed = shed_.load(std::memory_order_relaxed);
+  out.cache = cache_.stats();
+  return out;
+}
+
+}  // namespace strr

@@ -1,0 +1,139 @@
+// ShardCoordinator: the scatter-gather front door of the sharded serving
+// tier.
+//
+// The coordinator partitions the road network into N EngineShards
+// (ShardMap) and routes every query to the shard owning its start
+// segment. A query runs on the owner's query pool; when its cone or TBS
+// rings spill across the partition, the per-hop slices are scattered to
+// the owning shards' slice pools and merged through the search kernels'
+// deterministic ordered commit — so the sharded answer is bit-identical
+// to the unsharded executor's, and the 1-shard configuration measures a
+// true serialized baseline for the shard-count sweep.
+//
+// Front door, engine-global (not N× per shard):
+//  * SharedResultCache keyed by canonical plan + snapshot version — a hit
+//    on any shard's earlier answer serves without executing, and the
+//    version-in-key makes stale hits structurally impossible;
+//  * quota arbitration through TenantRegistry::TryClaimInflight — one
+//    CAS-maintained in-flight count per tenant across all shards;
+//  * one snapshot pin per query (m-query legs included), taken here and
+//    passed down via QueryExecutor::ExecuteAgainst, so a scattered query
+//    is never stitched from two live versions.
+//
+// kRepeatedS m-queries scatter per-location legs to their owning shards
+// and merge in location order, replicating the unsharded merge exactly.
+// Whole kIndexed m-queries route to the first start's owner: MQMB's
+// joint cone is not decomposable by start, but its interior still
+// scatters per hop through the slice pools.
+//
+// Live observations fan to the owning shard's ingestor when per-shard
+// ingestors are enabled (live mode without durability; the journal is
+// single-writer).
+//
+// Thread-safe: Execute may be called concurrently from any thread. Do not
+// destroy the coordinator while queries are in flight.
+#ifndef STRR_SHARD_SHARD_COORDINATOR_H_
+#define STRR_SHARD_SHARD_COORDINATOR_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/tenant_registry.h"
+#include "live/live_profile_manager.h"
+#include "live/observation_ingestor.h"
+#include "obs/metrics.h"
+#include "query/query_plan.h"
+#include "shard/engine_shard.h"
+#include "shard/shard_map.h"
+#include "shard/shard_options.h"
+#include "shard/shared_result_cache.h"
+
+namespace strr {
+
+/// See file comment.
+class ShardCoordinator {
+ public:
+  /// All referenced structures must outlive the coordinator. `live`
+  /// (optional) supplies per-query snapshot pins; `tenants` (optional)
+  /// supplies the engine-global quota + attribution registry.
+  ShardCoordinator(const RoadNetwork& network, const StIndex& st_index,
+                   const ConIndex& con_index, const SpeedProfile& profile,
+                   int64_t delta_t_seconds, const ShardingOptions& options,
+                   LiveProfileManager* live = nullptr,
+                   TenantRegistry* tenants = nullptr);
+
+  /// Executes one plan through the sharded front door (shared cache ->
+  /// quota -> route/scatter -> merge -> cache insert). Blocks the calling
+  /// thread until the result is ready.
+  StatusOr<RegionResult> Execute(const QueryPlan& plan);
+
+  /// Creates one ObservationIngestor per shard over the live manager.
+  /// FailedPrecondition without a live manager.
+  Status EnableLiveIngestors(const ObservationIngestorOptions& options);
+  bool has_ingestors() const { return ingestors_enabled_; }
+
+  /// Routes one observation to its owning shard's ingestor. False when
+  /// per-shard ingestors are off (caller falls back) or the owner's queue
+  /// rejected it.
+  bool OfferObservation(const SpeedObservation& observation);
+
+  /// Drains every shard ingestor's queue into publishes; returns the
+  /// total observations published. Deterministic settling for tests.
+  size_t FlushIngestors();
+
+  struct Stats {
+    uint64_t routed = 0;       ///< queries executed through the tier
+    uint64_t cross_shard = 0;  ///< routed queries whose region left home
+    uint64_t shed = 0;         ///< quota rejections
+    SharedResultCache::Stats cache;
+  };
+  Stats stats() const;
+
+  int num_shards() const { return map_.num_shards(); }
+  const ShardMap& map() const { return map_; }
+  SharedResultCache& shared_cache() { return cache_; }
+  EngineShard& shard(uint32_t s) { return *shards_[s]; }
+
+ private:
+  /// Owner of the plan's first start segment (shard 0 when unlocatable;
+  /// validation then fails identically on any shard).
+  uint32_t HomeShard(const QueryPlan& plan) const;
+
+  /// True when a kRepeatedS plan is well-formed enough to scatter per-leg
+  /// (malformed plans route whole so validation errors match unsharded).
+  static bool RoutableRepeatedS(const QueryPlan& plan);
+
+  StatusOr<RegionResult> RouteWhole(const QueryPlan& plan, uint32_t home,
+                                    const ConIndex* con,
+                                    const SpeedProfile* profile,
+                                    uint64_t version);
+  StatusOr<RegionResult> ScatterRepeatedS(const QueryPlan& plan,
+                                          const ConIndex* con,
+                                          const SpeedProfile* profile,
+                                          uint64_t version);
+
+  const RoadNetwork* network_;
+  ShardingOptions options_;
+  LiveProfileManager* live_;
+  TenantRegistry* tenants_;
+  ShardMap map_;
+  std::vector<std::unique_ptr<EngineShard>> shards_;
+  /// Slice pool table indexed by shard id; the spans the per-shard
+  /// executors hold point into this vector.
+  std::vector<ThreadPool*> slice_pools_;
+  SharedResultCache cache_;
+  bool ingestors_enabled_ = false;
+
+  std::atomic<uint64_t> routed_{0};
+  std::atomic<uint64_t> cross_shard_{0};
+  std::atomic<uint64_t> shed_{0};
+  /// Labeled per-shard metric handles ({shard="i"}), cached once.
+  std::vector<obs::Counter*> routed_counters_;
+  std::vector<obs::Counter*> cross_counters_;
+};
+
+}  // namespace strr
+
+#endif  // STRR_SHARD_SHARD_COORDINATOR_H_

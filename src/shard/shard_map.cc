@@ -1,0 +1,97 @@
+#include "shard/shard_map.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace strr {
+
+namespace {
+
+/// SegmentGrid's cell key scheme: pack signed cell coordinates into one
+/// sortable 64-bit key (x-major, so sorted cells sweep west-to-east in
+/// column strips — contiguous runs are spatially coherent bands).
+int64_t CellKeyFor(const XyPoint& p, double cell_meters) {
+  int cx = static_cast<int>(std::floor(p.x / cell_meters));
+  int cy = static_cast<int>(std::floor(p.y / cell_meters));
+  return (static_cast<int64_t>(cx) << 32) ^ (cy & 0xffffffffLL);
+}
+
+}  // namespace
+
+ShardMap::ShardMap(const RoadNetwork& network, int num_shards,
+                   double cell_meters) {
+  size_t n = network.NumSegments();
+  if (cell_meters <= 0.0) cell_meters = 2000.0;
+  num_shards_ = std::max(1, num_shards);
+  if (n > 0 && static_cast<size_t>(num_shards_) > n) {
+    num_shards_ = static_cast<int>(n);
+  }
+  owner_.assign(n, 0);
+  shard_segments_.assign(num_shards_, {});
+  boundary_.assign(num_shards_, {});
+  halo_.assign(num_shards_, {});
+  if (n == 0) return;
+
+  // Bucket segments by cell key. A two-way street's twin shares the shape,
+  // hence the cell, hence the shard — twins never straddle the cut.
+  std::vector<std::pair<int64_t, SegmentId>> keyed;
+  keyed.reserve(n);
+  for (SegmentId s = 0; s < n; ++s) {
+    const RoadSegment& seg = network.segment(s);
+    XyPoint mid = (network.node(seg.from_node) + network.node(seg.to_node)) *
+                  0.5;
+    keyed.emplace_back(CellKeyFor(mid, cell_meters), s);
+  }
+  std::sort(keyed.begin(), keyed.end());
+
+  // Cut the sorted run into num_shards_ spans of roughly equal segment
+  // count, never splitting a cell across shards: a cell goes to the shard
+  // whose span its first segment falls into.
+  size_t per_shard = (n + num_shards_ - 1) / num_shards_;
+  size_t i = 0;
+  uint32_t shard = 0;
+  while (i < n) {
+    size_t cell_end = i + 1;
+    while (cell_end < n && keyed[cell_end].first == keyed[i].first) {
+      ++cell_end;
+    }
+    // Advance to the next shard when the current one is full, but keep the
+    // last shard open-ended so every trailing cell lands somewhere.
+    if (shard + 1 < static_cast<uint32_t>(num_shards_) &&
+        shard_segments_[shard].size() >= per_shard) {
+      ++shard;
+    }
+    for (; i < cell_end; ++i) {
+      owner_[keyed[i].second] = shard;
+      shard_segments_[shard].push_back(keyed[i].second);
+    }
+  }
+  for (auto& segs : shard_segments_) std::sort(segs.begin(), segs.end());
+
+  // Boundary + halo from the TBS neighbor relation (NeighborsOf already
+  // includes the reverse twin), the exact adjacency cones expand through.
+  for (SegmentId s = 0; s < n; ++s) {
+    uint32_t own = owner_[s];
+    bool cut = false;
+    for (SegmentId nb : network.NeighborsOf(s)) {
+      if (owner_[nb] != own) {
+        cut = true;
+        halo_[own].push_back(nb);
+      }
+    }
+    if (cut) boundary_[own].push_back(s);
+  }
+  for (auto& h : halo_) {
+    std::sort(h.begin(), h.end());
+    h.erase(std::unique(h.begin(), h.end()), h.end());
+  }
+}
+
+double ShardMap::boundary_fraction() const {
+  if (owner_.empty()) return 0.0;
+  size_t cut = 0;
+  for (const auto& b : boundary_) cut += b.size();
+  return static_cast<double>(cut) / static_cast<double>(owner_.size());
+}
+
+}  // namespace strr

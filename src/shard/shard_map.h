@@ -1,0 +1,75 @@
+// ShardMap: a spatial partition of the road network into N engine shards.
+//
+// Sharding here is a *scheduling* partition, not an index partition: every
+// shard executes against the same immutable global index stack, and the
+// map only decides which shard's slice pool expands a given segment's
+// frontier slice (and which shard's query pool owns a query that starts
+// there). Because the partition never changes what is computed — only
+// where — the sharded answer stays bit-identical to the unsharded one.
+//
+// Construction mirrors SegmentGrid's cell scheme: each segment is bucketed
+// by the midpoint of its endpoint nodes into a square cell, occupied cells
+// are sorted by key, and the sorted run is cut into `num_shards`
+// contiguous spans of roughly equal segment count. Sorted-cell contiguity
+// keeps shards spatially coherent (a cone mostly stays on one shard), and
+// the deterministic cut makes the map a pure function of the network.
+#ifndef STRR_SHARD_SHARD_MAP_H_
+#define STRR_SHARD_SHARD_MAP_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "roadnet/road_network.h"
+
+namespace strr {
+
+/// Immutable segment -> shard assignment. Thread-safe after construction.
+class ShardMap {
+ public:
+  /// Partitions `network` (finalized) into `num_shards` shards using
+  /// `cell_meters` spatial cells. num_shards is clamped to [1, segments].
+  ShardMap(const RoadNetwork& network, int num_shards,
+           double cell_meters = 2000.0);
+
+  int num_shards() const { return num_shards_; }
+
+  /// Owning shard of a segment.
+  uint32_t owner(SegmentId seg) const { return owner_[seg]; }
+
+  /// Dense per-segment owner table (indexed by SegmentId) for the search
+  /// kernels' scatter loops.
+  std::span<const uint32_t> owners() const { return owner_; }
+
+  /// All segments owned by shard `s`, ascending.
+  const std::vector<SegmentId>& shard_segments(uint32_t s) const {
+    return shard_segments_[s];
+  }
+
+  /// Shard `s`'s boundary: its segments with at least one NeighborsOf
+  /// neighbor (or reverse twin) owned by a different shard. Ascending.
+  const std::vector<SegmentId>& boundary(uint32_t s) const {
+    return boundary_[s];
+  }
+
+  /// Shard `s`'s halo: segments owned by *other* shards adjacent to shard
+  /// s's boundary — what a per-partition subnetwork needs to import so
+  /// cones seeded at the boundary can take their first cross-shard hop
+  /// locally. Ascending, deduplicated.
+  const std::vector<SegmentId>& halo(uint32_t s) const { return halo_[s]; }
+
+  /// Fraction of segments whose owner differs from at least one neighbor
+  /// (diagnostic: how much of the network is cut surface).
+  double boundary_fraction() const;
+
+ private:
+  int num_shards_ = 1;
+  std::vector<uint32_t> owner_;                     // by SegmentId
+  std::vector<std::vector<SegmentId>> shard_segments_;
+  std::vector<std::vector<SegmentId>> boundary_;
+  std::vector<std::vector<SegmentId>> halo_;
+};
+
+}  // namespace strr
+
+#endif  // STRR_SHARD_SHARD_MAP_H_

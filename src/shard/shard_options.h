@@ -1,0 +1,47 @@
+// Knobs for the sharded scatter-gather serving tier. Standalone header so
+// EngineOptions can embed it by value without pulling the shard subsystem
+// into every core translation unit.
+#ifndef STRR_SHARD_SHARD_OPTIONS_H_
+#define STRR_SHARD_SHARD_OPTIONS_H_
+
+#include <cstddef>
+
+namespace strr {
+
+/// Configuration for the sharded serving tier (ShardCoordinator). All off
+/// by default: `num_shards <= 1` keeps the engine on its single executor
+/// path, bit-for-bit unchanged.
+struct ShardingOptions {
+  /// Engine shards to partition the road network across. <= 1 disables
+  /// sharding entirely.
+  int num_shards = 0;
+  /// Worker threads in each shard's query pool (whole queries / m-query
+  /// legs routed to the shard run here).
+  int shard_query_threads = 1;
+  /// Worker threads in each shard's slice pool (per-hop frontier slices
+  /// and trace-back ring slices scattered to the shard run here). These
+  /// are the pools cross-shard cones fan out over.
+  int slice_threads = 1;
+  /// Spatial granularity of the shard map: segments are bucketed into
+  /// SegmentGrid-style square cells of this size before cells are dealt
+  /// to shards. Coarser cells = fewer boundary segments, lumpier balance.
+  double cell_meters = 2000.0;
+  /// Capacity (entries) of the shard-shared result cache keyed by
+  /// canonical plan + snapshot version. 0 disables the shared cache.
+  size_t shared_cache_entries = 0;
+  /// Lock shards inside the shared result cache (concurrency, not
+  /// correctness; clamped to >= 1).
+  size_t shared_cache_shards = 8;
+  /// Minimum cone-frontier size before a gather round scatters across
+  /// shard slice pools; below it the round runs on the owning shard
+  /// alone. Tests lower this to force cross-shard scatter on tiny grids.
+  size_t min_scatter_frontier = 128;
+  /// Minimum TBS ring size before ring verification scatters.
+  size_t min_scatter_ring = 16;
+
+  bool enabled() const { return num_shards > 1; }
+};
+
+}  // namespace strr
+
+#endif  // STRR_SHARD_SHARD_OPTIONS_H_

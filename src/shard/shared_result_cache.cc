@@ -1,0 +1,176 @@
+#include "shard/shared_result_cache.h"
+
+#include <algorithm>
+#include <cstring>
+#include <utility>
+
+#include "util/serialize.h"
+
+namespace strr {
+
+namespace {
+
+constexpr uint8_t kFormatVersion = 1;
+
+uint64_t Fnv1a(const std::string& s) {
+  uint64_t h = 1469598103934665603ull;
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+}  // namespace
+
+std::string EncodeRegionResult(const RegionResult& result) {
+  BinaryWriter w;
+  w.PutU8(kFormatVersion);
+  w.PutU32List(result.segments, /*sorted=*/true);
+  w.PutDouble(result.total_length_m);
+  const QueryStats& s = result.stats;
+  w.PutDouble(s.wall_ms);
+  w.PutDouble(s.sum_wall_ms);
+  w.PutVarint64(s.time_lists_read);
+  w.PutVarint64(s.segments_verified);
+  w.PutVarint64(s.segments_expanded);
+  w.PutVarint64(s.heap_pops);
+  w.PutVarint64(s.parallel_rounds);
+  w.PutU64(s.snapshot_version);
+  w.PutVarint64(s.io.disk_page_reads);
+  w.PutVarint64(s.io.disk_page_writes);
+  w.PutVarint64(s.io.cache_hits);
+  w.PutVarint64(s.io.cache_misses);
+  w.PutVarint64(s.io.evictions);
+  w.PutVarint64(s.max_region_segments);
+  w.PutVarint64(s.min_region_segments);
+  w.PutVarint64(s.boundary_segments);
+  return w.Release();
+}
+
+StatusOr<RegionResult> DecodeRegionResult(const std::string& bytes) {
+  BinaryReader r(bytes);
+  STRR_ASSIGN_OR_RETURN(uint8_t format, r.GetU8());
+  if (format != kFormatVersion) {
+    return Status::Corruption("region result: unknown format version");
+  }
+  RegionResult out;
+  STRR_ASSIGN_OR_RETURN(out.segments, r.GetU32List(/*sorted=*/true));
+  STRR_ASSIGN_OR_RETURN(out.total_length_m, r.GetDouble());
+  QueryStats& s = out.stats;
+  STRR_ASSIGN_OR_RETURN(s.wall_ms, r.GetDouble());
+  STRR_ASSIGN_OR_RETURN(s.sum_wall_ms, r.GetDouble());
+  STRR_ASSIGN_OR_RETURN(s.time_lists_read, r.GetVarint64());
+  STRR_ASSIGN_OR_RETURN(s.segments_verified, r.GetVarint64());
+  STRR_ASSIGN_OR_RETURN(s.segments_expanded, r.GetVarint64());
+  STRR_ASSIGN_OR_RETURN(s.heap_pops, r.GetVarint64());
+  STRR_ASSIGN_OR_RETURN(s.parallel_rounds, r.GetVarint64());
+  STRR_ASSIGN_OR_RETURN(s.snapshot_version, r.GetU64());
+  STRR_ASSIGN_OR_RETURN(s.io.disk_page_reads, r.GetVarint64());
+  STRR_ASSIGN_OR_RETURN(s.io.disk_page_writes, r.GetVarint64());
+  STRR_ASSIGN_OR_RETURN(s.io.cache_hits, r.GetVarint64());
+  STRR_ASSIGN_OR_RETURN(s.io.cache_misses, r.GetVarint64());
+  STRR_ASSIGN_OR_RETURN(s.io.evictions, r.GetVarint64());
+  uint64_t max_region = 0, min_region = 0, boundary = 0;
+  STRR_ASSIGN_OR_RETURN(max_region, r.GetVarint64());
+  STRR_ASSIGN_OR_RETURN(min_region, r.GetVarint64());
+  STRR_ASSIGN_OR_RETURN(boundary, r.GetVarint64());
+  s.max_region_segments = static_cast<size_t>(max_region);
+  s.min_region_segments = static_cast<size_t>(min_region);
+  s.boundary_segments = static_cast<size_t>(boundary);
+  if (!r.AtEnd()) {
+    return Status::Corruption("region result: trailing bytes");
+  }
+  return out;
+}
+
+SharedResultCache::SharedResultCache(size_t capacity, size_t lock_shards)
+    : capacity_(capacity) {
+  if (lock_shards == 0) lock_shards = 1;
+  lock_shards = std::min(lock_shards, std::max<size_t>(capacity, 1));
+  shards_.reserve(lock_shards);
+  for (size_t i = 0; i < lock_shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+  per_shard_capacity_ = (capacity + shards_.size() - 1) / shards_.size();
+}
+
+std::string SharedResultCache::MakeKey(const std::string& canonical,
+                                       uint64_t version) {
+  std::string key = canonical;
+  char tail[8];
+  std::memcpy(tail, &version, 8);
+  key.append(tail, 8);
+  return key;
+}
+
+SharedResultCache::Shard& SharedResultCache::ShardFor(const std::string& key) {
+  return *shards_[Fnv1a(key) % shards_.size()];
+}
+
+StatusOr<RegionResult> SharedResultCache::Lookup(const std::string& key) {
+  if (capacity_ == 0) return Status::NotFound("shared cache disabled");
+  Shard& shard = ShardFor(key);
+  std::string bytes;
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.entries.find(key);
+    if (it == shard.entries.end()) {
+      ++shard.misses;
+      return Status::NotFound("shared cache miss");
+    }
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second.second);
+    ++shard.hits;
+    bytes = it->second.first;
+  }
+  // Decode outside the lock: hits on the same lock shard stay concurrent.
+  return DecodeRegionResult(bytes);
+}
+
+void SharedResultCache::Insert(const std::string& key,
+                               const RegionResult& result) {
+  if (capacity_ == 0) return;
+  std::string bytes = EncodeRegionResult(result);
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.entries.find(key);
+  if (it != shard.entries.end()) {
+    it->second.first = std::move(bytes);
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second.second);
+    return;
+  }
+  shard.lru.push_front(key);
+  shard.entries.emplace(key, std::make_pair(std::move(bytes),
+                                            shard.lru.begin()));
+  ++shard.insertions;
+  while (shard.entries.size() > per_shard_capacity_) {
+    shard.entries.erase(shard.lru.back());
+    shard.lru.pop_back();
+    ++shard.evictions;
+  }
+}
+
+void SharedResultCache::Erase(const std::string& key) {
+  if (capacity_ == 0) return;
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.entries.find(key);
+  if (it == shard.entries.end()) return;
+  shard.lru.erase(it->second.second);
+  shard.entries.erase(it);
+}
+
+SharedResultCache::Stats SharedResultCache::stats() const {
+  Stats out;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    out.hits += shard->hits;
+    out.misses += shard->misses;
+    out.insertions += shard->insertions;
+    out.evictions += shard->evictions;
+    out.entries += shard->entries.size();
+  }
+  return out;
+}
+
+}  // namespace strr

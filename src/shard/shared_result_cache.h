@@ -1,0 +1,101 @@
+// SharedResultCache: one result-cache tier shared by every engine shard.
+//
+// The per-executor ResultCache (src/core/result_cache.h) is private to its
+// executor — N shards would hold N disjoint caches, and a query routed to
+// shard 2 could not reuse the answer shard 0 computed a moment ago. This
+// tier sits in front of routing at the coordinator, keyed by
+//
+//   PlanKey::canonical + snapshot_version (8 bytes, little-endian)
+//
+// so the live snapshot version is *part of the key*: a publish does not
+// invalidate anything, it simply makes new queries miss onto fresh entries
+// while readers pinned to the old snapshot keep hitting the old ones.
+// Entries are the serialized RegionResult (sorted segment list
+// delta-coded), so a hit deserializes instead of re-executing — and the
+// encode/decode pair doubles as the wire format a future remote-shard
+// transport would ship results in.
+//
+// Thread-safe: the key hash picks an internal lock shard, each an
+// independent mutex + LRU list, so concurrent hits on different keys never
+// contend on one lock.
+#ifndef STRR_SHARD_SHARED_RESULT_CACHE_H_
+#define STRR_SHARD_SHARED_RESULT_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "query/query.h"
+#include "util/result.h"
+
+namespace strr {
+
+/// Serializes a RegionResult (segments delta-coded; all stats fields).
+std::string EncodeRegionResult(const RegionResult& result);
+
+/// Inverse of EncodeRegionResult; Corruption on malformed bytes.
+StatusOr<RegionResult> DecodeRegionResult(const std::string& bytes);
+
+/// Bounded, sharded LRU over serialized results. See file comment.
+class SharedResultCache {
+ public:
+  /// `capacity` = max entries across all lock shards (0 caches nothing);
+  /// `lock_shards` clamped to >= 1.
+  SharedResultCache(size_t capacity, size_t lock_shards = 8);
+
+  /// Composes the cache key for a canonical plan at a snapshot version.
+  static std::string MakeKey(const std::string& canonical, uint64_t version);
+
+  /// Looks up and decodes; nullopt-style via ok()==false NotFound when
+  /// absent. Promotes the entry to most-recent on hit.
+  StatusOr<RegionResult> Lookup(const std::string& key);
+
+  /// Inserts (or refreshes) the serialized form of `result` under `key`,
+  /// evicting the least-recently-used entries of the same lock shard
+  /// beyond per-shard capacity.
+  void Insert(const std::string& key, const RegionResult& result);
+
+  /// Drops one entry if present (used when a version race makes a freshly
+  /// inserted entry untrustworthy).
+  void Erase(const std::string& key);
+
+  struct Stats {
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t insertions = 0;
+    uint64_t evictions = 0;
+    size_t entries = 0;
+  };
+  Stats stats() const;
+
+  size_t capacity() const { return capacity_; }
+
+ private:
+  struct Shard {
+    mutable std::mutex mu;
+    /// MRU-first list of keys; the map stores (serialized value, list
+    /// position) for O(1) promote/evict.
+    std::list<std::string> lru;
+    std::unordered_map<std::string,
+                       std::pair<std::string, std::list<std::string>::iterator>>
+        entries;
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t insertions = 0;
+    uint64_t evictions = 0;
+  };
+
+  Shard& ShardFor(const std::string& key);
+
+  size_t capacity_;
+  size_t per_shard_capacity_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+}  // namespace strr
+
+#endif  // STRR_SHARD_SHARED_RESULT_CACHE_H_

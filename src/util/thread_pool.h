@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace strr {
 
@@ -56,8 +57,20 @@ class ThreadPool {
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
-  /// Enqueues a task for execution on some worker.
+  /// Enqueues a task for execution on some worker. When the submitting
+  /// thread has an active query trace, the task carries it along: the
+  /// worker runs under a task-local child buffer that merges back into
+  /// the query's span tree (the submitter joins the task — via future or
+  /// Wait — before its QueryTrace closes, which every in-tree fan-out
+  /// already does).
   void Submit(std::function<void()> task) {
+    obs::internal::TaskTraceHandle trace = obs::internal::CaptureTaskTrace();
+    if (trace.parent != nullptr) {
+      task = [trace, inner = std::move(task)] {
+        obs::internal::ScopedTaskTrace scope(trace);
+        inner();
+      };
+    }
     {
       std::lock_guard<std::mutex> lock(mu_);
       tasks_.push(std::move(task));

@@ -627,11 +627,18 @@ TEST(LiveEngineTest, EndToEndSoakWithFleetObservationSource) {
     });
   }
   for (auto& t : queriers) t.join();
+  // On a single-core host the feeder may not have won the CPU from the
+  // spinning queriers yet; wait on the ingestion condition (bounded) so
+  // the assertions test the pipeline, not the scheduler.
+  auto wait_deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(60);
+  while (engine.ingestor()->stats().accepted == 0 &&
+         std::chrono::steady_clock::now() < wait_deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
   stop.store(true);
   feeder.join();
-  // On a single-core host the batcher thread may never have won the CPU
-  // from the spinning queriers; drain deterministically so the assertions
-  // test the pipeline, not the scheduler.
+  // Likewise the batcher thread: drain deterministically.
   engine.ingestor()->Flush();
 
   EXPECT_EQ(mismatches.load(), 0);

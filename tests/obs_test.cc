@@ -9,12 +9,15 @@
 #include <atomic>
 #include <chrono>
 #include <cmath>
+#include <future>
 #include <string>
+#include <string_view>
 #include <thread>
 #include <vector>
 
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "util/thread_pool.h"
 
 namespace strr::obs {
 namespace {
@@ -219,6 +222,60 @@ TEST(MetricsExportTest, PrometheusShapeIsWellFormed) {
   }
 }
 
+TEST(MetricsTest, LabeledSeriesAreDistinctAndCanonical) {
+  MetricsRegistry reg(/*enabled=*/true);
+  Counter& unlabeled = reg.GetCounter("strr_shard_total");
+  Counter& s0 = reg.GetCounter("strr_shard_total", {{"shard", "0"}});
+  Counter& s1 = reg.GetCounter("strr_shard_total", {{"shard", "1"}});
+  EXPECT_NE(&unlabeled, &s0);
+  EXPECT_NE(&s0, &s1);
+  // Label order never splits a series: keys are canonically sorted.
+  Counter& ab = reg.GetCounter("strr_pair_total",
+                               {{"a", "1"}, {"b", "2"}});
+  Counter& ba = reg.GetCounter("strr_pair_total",
+                               {{"b", "2"}, {"a", "1"}});
+  EXPECT_EQ(&ab, &ba);
+  EXPECT_EQ(MetricsRegistry::CanonicalLabels({{"b", "2"}, {"a", "1"}}),
+            "{a=\"1\",b=\"2\"}");
+  EXPECT_EQ(MetricsRegistry::CanonicalLabels({}), "");
+
+  unlabeled.Add(1);
+  s0.Add(2);
+  s1.Add(3);
+  EXPECT_EQ(unlabeled.Value(), 1u);
+  EXPECT_EQ(s0.Value(), 2u);
+  EXPECT_EQ(s1.Value(), 3u);
+}
+
+TEST(MetricsExportTest, PrometheusEmitsOneTypeLinePerLabeledFamily) {
+  MetricsRegistry reg(/*enabled=*/true);
+  reg.GetCounter("strr_shard_total", {{"shard", "0"}}).Add(4);
+  reg.GetCounter("strr_shard_total", {{"shard", "1"}}).Add(5);
+  reg.GetCounter("strr_shard_total").Add(6);
+  reg.GetHistogram("strr_shard_us", {{"shard", "0"}}).Record(10);
+
+  std::string text;
+  reg.DumpPrometheus(&text);
+  // One # TYPE per base name even with several labeled series (label
+  // suffixes sort after '_' in byte order, so naive map-order grouping
+  // would emit duplicates).
+  size_t type_lines = 0;
+  for (size_t pos = text.find("# TYPE strr_shard_total counter");
+       pos != std::string::npos;
+       pos = text.find("# TYPE strr_shard_total counter", pos + 1)) {
+    ++type_lines;
+  }
+  EXPECT_EQ(type_lines, 1u) << text;
+  EXPECT_NE(text.find("strr_shard_total{shard=\"0\"} 4"), std::string::npos)
+      << text;
+  EXPECT_NE(text.find("strr_shard_total{shard=\"1\"} 5"), std::string::npos);
+  EXPECT_NE(text.find("strr_shard_total 6"), std::string::npos);
+  // Histogram `le` splices into the series' own label set.
+  EXPECT_NE(text.find("strr_shard_us_bucket{shard=\"0\",le=\"+Inf\"} 1"),
+            std::string::npos)
+      << text;
+}
+
 TEST(MetricsExportTest, JsonContainsPercentiles) {
   MetricsRegistry reg(/*enabled=*/true);
   Histogram& h = reg.GetHistogram("strr_test_us");
@@ -284,6 +341,40 @@ TEST_F(TracingTest, NestedSpansRecordDepthAndOrder) {
   EXPECT_LE(events[2].start_us, events[0].start_us);
   EXPECT_GE(events[2].start_us + events[2].dur_us,
             events[0].start_us + events[0].dur_us);
+}
+
+TEST_F(TracingTest, SpansPropagateIntoThreadPoolWorkers) {
+  Tracer::Global().Configure(
+      {.sample_n = 1, .flight_recorder_events = 64, .slow_query_ms = 0.0});
+  Tracer::Global().ResetForTest();
+  ThreadPool pool(2);
+  {
+    QueryTrace root("query");
+    ASSERT_TRUE(root.active());
+    std::vector<std::future<int>> futures;
+    for (int i = 0; i < 4; ++i) {
+      futures.push_back(pool.Submit([i]() -> int {
+        TraceSpan span("worker_slice", static_cast<uint64_t>(i));
+        return i;
+      }));
+    }
+    // Tasks must be joined before the root closes (the worker spans write
+    // into the root's buffer) — exactly the executor's contract.
+    for (auto& f : futures) f.get();
+  }
+  std::vector<TraceEvent> events = Tracer::Global().FlightRecorderSnapshot();
+  ASSERT_EQ(events.size(), 5u) << "4 worker spans + the root";
+  uint64_t query_id = events.back().query_id;
+  size_t worker_spans = 0;
+  for (const TraceEvent& ev : events) {
+    EXPECT_EQ(ev.query_id, query_id)
+        << "a pool-run span detached from its submitting query";
+    if (std::string_view(ev.name) == "worker_slice") {
+      ++worker_spans;
+      EXPECT_GE(ev.depth, 1);
+    }
+  }
+  EXPECT_EQ(worker_spans, 4u);
 }
 
 TEST_F(TracingTest, NestedQueryTraceDegradesToChildSpan) {

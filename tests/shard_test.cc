@@ -1,0 +1,613 @@
+// Sharded serving tier: ShardMap partition invariants, subnetwork
+// extraction, the shared result cache (codec + LRU + version isolation),
+// engine-global quota CAS, and — the load-bearing property — bit-identity
+// of the sharded scatter-gather path against the unsharded executor
+// oracle across shard counts, strategies and live ingestion.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <map>
+#include <mutex>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "core/reachability_engine.h"
+#include "core/tenant_registry.h"
+#include "roadnet/subnetwork.h"
+#include "shard/shard_coordinator.h"
+#include "shard/shard_map.h"
+#include "shard/shared_result_cache.h"
+#include "tests/test_util.h"
+#include "traj/fleet_simulator.h"
+
+namespace strr {
+namespace {
+
+using testing_util::GetSharedStack;
+using testing_util::MakeGridNetwork;
+using testing_util::MakeChainNetwork;
+using testing_util::MakeTempDir;
+
+// --- ShardMap ----------------------------------------------------------------
+
+TEST(ShardMapTest, PartitionCoversEverySegmentExactlyOnce) {
+  RoadNetwork net = MakeGridNetwork(12, 12, 350.0);
+  ShardMap map(net, 4, /*cell_meters=*/700.0);
+  ASSERT_EQ(map.num_shards(), 4);
+  ASSERT_EQ(map.owners().size(), net.NumSegments());
+
+  std::vector<int> seen(net.NumSegments(), 0);
+  for (uint32_t s = 0; s < 4; ++s) {
+    EXPECT_FALSE(map.shard_segments(s).empty()) << "empty shard " << s;
+    EXPECT_TRUE(std::is_sorted(map.shard_segments(s).begin(),
+                               map.shard_segments(s).end()));
+    for (SegmentId seg : map.shard_segments(s)) {
+      EXPECT_EQ(map.owner(seg), s);
+      ++seen[seg];
+    }
+  }
+  for (SegmentId seg = 0; seg < net.NumSegments(); ++seg) {
+    EXPECT_EQ(seen[seg], 1) << "segment " << seg;
+  }
+}
+
+TEST(ShardMapTest, TwinsShareAShard) {
+  RoadNetwork net = MakeGridNetwork(10, 10, 400.0);
+  ShardMap map(net, 4, /*cell_meters=*/800.0);
+  for (SegmentId seg = 0; seg < net.NumSegments(); ++seg) {
+    SegmentId twin = net.segment(seg).reverse_id;
+    if (twin == kInvalidSegment) continue;
+    EXPECT_EQ(map.owner(seg), map.owner(twin))
+        << "twin pair " << seg << "/" << twin << " split across shards";
+  }
+}
+
+TEST(ShardMapTest, DeterministicAcrossRebuilds) {
+  RoadNetwork net = MakeGridNetwork(9, 7, 450.0);
+  ShardMap a(net, 3, 900.0);
+  ShardMap b(net, 3, 900.0);
+  ASSERT_EQ(a.owners().size(), b.owners().size());
+  for (size_t i = 0; i < a.owners().size(); ++i) {
+    EXPECT_EQ(a.owners()[i], b.owners()[i]);
+  }
+}
+
+TEST(ShardMapTest, BoundaryAndHaloAreConsistent) {
+  RoadNetwork net = MakeGridNetwork(10, 10, 400.0);
+  ShardMap map(net, 4, /*cell_meters=*/800.0);
+  for (uint32_t s = 0; s < 4; ++s) {
+    // Boundary segments are owned by s and genuinely touch another shard.
+    for (SegmentId seg : map.boundary(s)) {
+      EXPECT_EQ(map.owner(seg), s);
+      bool touches_other = false;
+      for (SegmentId n : net.NeighborsOf(seg)) {
+        if (map.owner(n) != s) touches_other = true;
+      }
+      SegmentId twin = net.segment(seg).reverse_id;
+      if (twin != kInvalidSegment && map.owner(twin) != s) {
+        touches_other = true;
+      }
+      EXPECT_TRUE(touches_other) << "boundary segment " << seg
+                                 << " has no foreign neighbor";
+    }
+    // Halo segments are foreign-owned and adjacent to the shard.
+    for (SegmentId seg : map.halo(s)) {
+      EXPECT_NE(map.owner(seg), s);
+    }
+    EXPECT_TRUE(std::is_sorted(map.halo(s).begin(), map.halo(s).end()));
+    EXPECT_EQ(std::adjacent_find(map.halo(s).begin(), map.halo(s).end()),
+              map.halo(s).end());
+  }
+  EXPECT_GT(map.boundary_fraction(), 0.0);
+  EXPECT_LT(map.boundary_fraction(), 1.0);
+}
+
+TEST(ShardMapTest, ClampsShardCountToSegments) {
+  RoadNetwork net = MakeChainNetwork(3);
+  ShardMap map(net, 16);
+  EXPECT_LE(map.num_shards(), 3);
+  EXPECT_GE(map.num_shards(), 1);
+  for (SegmentId seg = 0; seg < net.NumSegments(); ++seg) {
+    EXPECT_LT(map.owner(seg), static_cast<uint32_t>(map.num_shards()));
+  }
+}
+
+// --- Subnetwork extraction ---------------------------------------------------
+
+TEST(SubnetworkTest, InducedSubgraphRoundTrips) {
+  RoadNetwork net = MakeGridNetwork(8, 8, 400.0);
+  ShardMap map(net, 2, /*cell_meters=*/800.0);
+
+  // Shard 0's owned segments plus its halo: the per-partition view the
+  // future process-per-shard transport would serve from.
+  std::vector<SegmentId> subset = map.shard_segments(0);
+  subset.insert(subset.end(), map.halo(0).begin(), map.halo(0).end());
+  std::sort(subset.begin(), subset.end());
+
+  auto sub = ExtractSubnetwork(net, subset);
+  ASSERT_TRUE(sub.ok()) << sub.status().ToString();
+  ASSERT_EQ(sub->network.NumSegments(), subset.size());
+  ASSERT_EQ(sub->to_global.size(), subset.size());
+
+  std::set<SegmentId> selected(subset.begin(), subset.end());
+  for (SegmentId local = 0; local < sub->network.NumSegments(); ++local) {
+    SegmentId global = sub->to_global[local];
+    ASSERT_TRUE(selected.count(global));
+    EXPECT_EQ(sub->to_local.at(global), local);
+    const RoadSegment& ls = sub->network.segment(local);
+    const RoadSegment& gs = net.segment(global);
+    EXPECT_DOUBLE_EQ(ls.length, gs.length);
+    EXPECT_EQ(ls.level, gs.level);
+    EXPECT_EQ(sub->node_to_global[ls.from_node], gs.from_node);
+    EXPECT_EQ(sub->node_to_global[ls.to_node], gs.to_node);
+    // Twin links survive exactly when both directions were selected.
+    if (gs.reverse_id != kInvalidSegment && selected.count(gs.reverse_id)) {
+      ASSERT_NE(ls.reverse_id, kInvalidSegment);
+      EXPECT_EQ(sub->to_global[ls.reverse_id], gs.reverse_id);
+    } else {
+      EXPECT_EQ(ls.reverse_id, kInvalidSegment);
+    }
+  }
+}
+
+// --- RegionResult codec + shared cache ---------------------------------------
+
+RegionResult MakeDenseResult() {
+  RegionResult r;
+  r.segments = {2, 3, 5, 8, 13, 21, 34};
+  r.total_length_m = 1234.5;
+  r.stats.wall_ms = 1.25;
+  r.stats.sum_wall_ms = 2.5;
+  r.stats.time_lists_read = 17;
+  r.stats.segments_verified = 29;
+  r.stats.segments_expanded = 31;
+  r.stats.heap_pops = 37;
+  r.stats.parallel_rounds = 3;
+  r.stats.snapshot_version = 41;
+  r.stats.io.disk_page_reads = 43;
+  r.stats.io.cache_hits = 47;
+  r.stats.io.cache_misses = 53;
+  r.stats.io.evictions = 57;
+  r.stats.max_region_segments = 59;
+  r.stats.min_region_segments = 6;
+  r.stats.boundary_segments = 11;
+  return r;
+}
+
+TEST(ResultCodecTest, RoundTripsEveryField) {
+  RegionResult r = MakeDenseResult();
+  std::string bytes = EncodeRegionResult(r);
+  auto back = DecodeRegionResult(bytes);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_EQ(back->segments, r.segments);
+  EXPECT_DOUBLE_EQ(back->total_length_m, r.total_length_m);
+  EXPECT_DOUBLE_EQ(back->stats.wall_ms, r.stats.wall_ms);
+  EXPECT_DOUBLE_EQ(back->stats.sum_wall_ms, r.stats.sum_wall_ms);
+  EXPECT_EQ(back->stats.time_lists_read, r.stats.time_lists_read);
+  EXPECT_EQ(back->stats.segments_verified, r.stats.segments_verified);
+  EXPECT_EQ(back->stats.segments_expanded, r.stats.segments_expanded);
+  EXPECT_EQ(back->stats.heap_pops, r.stats.heap_pops);
+  EXPECT_EQ(back->stats.parallel_rounds, r.stats.parallel_rounds);
+  EXPECT_EQ(back->stats.snapshot_version, r.stats.snapshot_version);
+  EXPECT_EQ(back->stats.io.disk_page_reads, r.stats.io.disk_page_reads);
+  EXPECT_EQ(back->stats.io.cache_hits, r.stats.io.cache_hits);
+  EXPECT_EQ(back->stats.io.cache_misses, r.stats.io.cache_misses);
+  EXPECT_EQ(back->stats.io.evictions, r.stats.io.evictions);
+  EXPECT_EQ(back->stats.max_region_segments, r.stats.max_region_segments);
+  EXPECT_EQ(back->stats.min_region_segments, r.stats.min_region_segments);
+  EXPECT_EQ(back->stats.boundary_segments, r.stats.boundary_segments);
+}
+
+TEST(ResultCodecTest, RejectsTruncationAndTrailingBytes) {
+  std::string bytes = EncodeRegionResult(MakeDenseResult());
+  for (size_t cut : {size_t{0}, size_t{1}, bytes.size() / 2,
+                     bytes.size() - 1}) {
+    auto r = DecodeRegionResult(bytes.substr(0, cut));
+    EXPECT_FALSE(r.ok()) << "accepted a " << cut << "-byte prefix";
+  }
+  auto r = DecodeRegionResult(bytes + "x");
+  EXPECT_FALSE(r.ok()) << "accepted trailing bytes";
+}
+
+TEST(SharedResultCacheTest, HitPromoteEvictLru) {
+  SharedResultCache cache(/*capacity=*/2, /*lock_shards=*/1);
+  RegionResult r = MakeDenseResult();
+  cache.Insert("a", r);
+  cache.Insert("b", r);
+  ASSERT_TRUE(cache.Lookup("a").ok());  // promotes a over b
+  cache.Insert("c", r);                 // evicts b (LRU)
+  EXPECT_TRUE(cache.Lookup("a").ok());
+  EXPECT_FALSE(cache.Lookup("b").ok());
+  EXPECT_TRUE(cache.Lookup("c").ok());
+
+  SharedResultCache::Stats stats = cache.stats();
+  EXPECT_EQ(stats.insertions, 3u);
+  EXPECT_EQ(stats.evictions, 1u);
+  EXPECT_EQ(stats.entries, 2u);
+  EXPECT_EQ(stats.hits, 3u);
+  EXPECT_EQ(stats.misses, 1u);
+}
+
+TEST(SharedResultCacheTest, SnapshotVersionIsPartOfTheKey) {
+  SharedResultCache cache(8, 1);
+  std::string canonical = "plan:deadbeef";
+  std::string k1 = SharedResultCache::MakeKey(canonical, 1);
+  std::string k2 = SharedResultCache::MakeKey(canonical, 2);
+  ASSERT_NE(k1, k2);
+
+  RegionResult r1 = MakeDenseResult();
+  r1.stats.snapshot_version = 1;
+  cache.Insert(k1, r1);
+  EXPECT_FALSE(cache.Lookup(k2).ok())
+      << "a publish must make new-version queries miss, not hit stale";
+  auto hit = cache.Lookup(k1);
+  ASSERT_TRUE(hit.ok());
+  EXPECT_EQ(hit->stats.snapshot_version, 1u);
+}
+
+TEST(SharedResultCacheTest, ZeroCapacityCachesNothing) {
+  SharedResultCache cache(0);
+  cache.Insert("a", MakeDenseResult());
+  EXPECT_FALSE(cache.Lookup("a").ok());
+  EXPECT_EQ(cache.stats().entries, 0u);
+}
+
+// --- Engine-global quota CAS -------------------------------------------------
+
+TEST(ShardQuotaTest, ConcurrentClaimsNeverExceedQuota) {
+  TenantRegistry registry;
+  constexpr TenantId kTenant = 9;
+  constexpr size_t kQuota = 3;
+  constexpr int kThreads = 8;
+  constexpr int kAttemptsPerThread = 500;
+
+  std::atomic<int> concurrent{0};
+  std::atomic<int> peak{0};
+  std::atomic<int> admitted{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kAttemptsPerThread; ++i) {
+        if (!registry.TryClaimInflight(kTenant, kQuota)) continue;
+        int now = concurrent.fetch_add(1) + 1;
+        int prev = peak.load();
+        while (now > prev && !peak.compare_exchange_weak(prev, now)) {
+        }
+        admitted.fetch_add(1);
+        std::this_thread::yield();
+        concurrent.fetch_sub(1);
+        registry.ReleaseClaim(kTenant);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  EXPECT_GT(admitted.load(), 0);
+  EXPECT_LE(peak.load(), static_cast<int>(kQuota))
+      << "CAS quota admitted more concurrent claims than the quota";
+  EXPECT_EQ(registry.counters(kTenant).inflight, 0u);
+}
+
+// --- Sharded vs unsharded oracle --------------------------------------------
+
+void ExpectBitIdentical(const RegionResult& sharded,
+                        const RegionResult& oracle) {
+  EXPECT_EQ(sharded.segments, oracle.segments);
+  EXPECT_DOUBLE_EQ(sharded.total_length_m, oracle.total_length_m);
+  // Deterministic work counters must match exactly; wall/io/rounds are
+  // scheduling-dependent by design and excluded.
+  EXPECT_EQ(sharded.stats.segments_verified, oracle.stats.segments_verified);
+  EXPECT_EQ(sharded.stats.time_lists_read, oracle.stats.time_lists_read);
+  EXPECT_EQ(sharded.stats.segments_expanded, oracle.stats.segments_expanded);
+  EXPECT_EQ(sharded.stats.heap_pops, oracle.stats.heap_pops);
+  EXPECT_EQ(sharded.stats.max_region_segments,
+            oracle.stats.max_region_segments);
+  EXPECT_EQ(sharded.stats.min_region_segments,
+            oracle.stats.min_region_segments);
+  EXPECT_EQ(sharded.stats.boundary_segments, oracle.stats.boundary_segments);
+}
+
+ShardingOptions TestShardingOptions(int num_shards) {
+  ShardingOptions opt;
+  opt.num_shards = num_shards;
+  opt.shard_query_threads = 2;
+  opt.slice_threads = 2;
+  opt.cell_meters = 900.0;
+  // Force the scatter branches even on the small test city's frontiers.
+  opt.min_scatter_frontier = 2;
+  opt.min_scatter_ring = 2;
+  return opt;
+}
+
+TEST(ShardOracleTest, SQueryBitIdenticalAcrossShardCounts) {
+  auto& stack = GetSharedStack();
+  ReachabilityEngine& engine = *stack.engine;
+  const XyPoint c = stack.dataset.center;
+
+  std::vector<SQuery> queries = {
+      {c, HMS(8), 600, 0.1},
+      {c, HMS(11), 300, 0.2},
+      {c, HMS(11), 1200, 0.1},
+      {c, HMS(17), 900, 0.3},
+      {{c.x + 1200.0, c.y - 900.0}, HMS(11), 600, 0.2},
+  };
+
+  for (int num_shards : {2, 4}) {
+    auto coordinator =
+        engine.MakeShardCoordinator(TestShardingOptions(num_shards));
+    ASSERT_EQ(coordinator->num_shards(), num_shards);
+    uint64_t executed = 0;
+    uint64_t scattered_rounds = 0;
+    bool any_nonempty = false;
+    for (const SQuery& q : queries) {
+      auto plan = engine.planner().PlanSQuery(q);
+      ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+      auto oracle = engine.executor().Execute(*plan);
+      ASSERT_TRUE(oracle.ok()) << oracle.status().ToString();
+      auto sharded = coordinator->Execute(*plan);
+      ASSERT_TRUE(sharded.ok()) << sharded.status().ToString();
+      any_nonempty |= !sharded->segments.empty();
+      scattered_rounds += sharded->stats.parallel_rounds;
+      ExpectBitIdentical(*sharded, *oracle);
+      ++executed;
+    }
+    EXPECT_TRUE(any_nonempty) << "every sweep query mined an empty region";
+    EXPECT_GT(scattered_rounds, 0u)
+        << "no cone round ever took the cross-shard scatter branch — the "
+           "sweep would be vacuous";
+    EXPECT_GT(coordinator->stats().cross_shard, 0u)
+        << "no query's region ever left its home shard";
+    EXPECT_EQ(coordinator->stats().routed, executed);
+  }
+}
+
+TEST(ShardOracleTest, ExhaustiveStrategyRoutesWholeAndMatches) {
+  auto& stack = GetSharedStack();
+  ReachabilityEngine& engine = *stack.engine;
+  auto plan = engine.planner().PlanSQuery({stack.dataset.center, HMS(11),
+                                           600, 0.2},
+                                          QueryStrategy::kExhaustive);
+  ASSERT_TRUE(plan.ok());
+  auto coordinator = engine.MakeShardCoordinator(TestShardingOptions(2));
+  auto oracle = engine.executor().Execute(*plan);
+  auto sharded = coordinator->Execute(*plan);
+  ASSERT_TRUE(oracle.ok());
+  ASSERT_TRUE(sharded.ok());
+  ExpectBitIdentical(*sharded, *oracle);
+}
+
+TEST(ShardOracleTest, MQueryLegsScatterAcrossShardsAndMatch) {
+  auto& stack = GetSharedStack();
+  ReachabilityEngine& engine = *stack.engine;
+  const XyPoint c = stack.dataset.center;
+  MQuery m;
+  // Spread wide so the per-location legs land on different shards.
+  m.locations = {{c.x - 1600.0, c.y - 1000.0},
+                 c,
+                 {c.x + 1600.0, c.y + 1000.0}};
+  m.start_tod = HMS(11);
+  m.duration = 600;
+  m.prob = 0.2;
+
+  for (int num_shards : {2, 4}) {
+    auto coordinator =
+        engine.MakeShardCoordinator(TestShardingOptions(num_shards));
+    for (QueryStrategy strategy :
+         {QueryStrategy::kRepeatedS, QueryStrategy::kIndexed}) {
+      auto plan = engine.planner().PlanMQuery(m, strategy);
+      ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+      auto oracle = engine.executor().Execute(*plan);
+      ASSERT_TRUE(oracle.ok()) << oracle.status().ToString();
+      auto sharded = coordinator->Execute(*plan);
+      ASSERT_TRUE(sharded.ok()) << sharded.status().ToString();
+      ASSERT_FALSE(sharded->segments.empty());
+      ExpectBitIdentical(*sharded, *oracle);
+    }
+    // The sweep only demonstrates scatter if the legs genuinely live on
+    // more than one shard.
+    auto plan = engine.planner().PlanMQuery(m, QueryStrategy::kRepeatedS);
+    ASSERT_TRUE(plan.ok());
+    std::set<uint32_t> owners;
+    for (const auto& starts : plan->location_starts) {
+      owners.insert(coordinator->map().owner(starts[0]));
+    }
+    EXPECT_GT(owners.size(), 1u)
+        << num_shards << "-shard map put every m-query leg on one shard";
+  }
+}
+
+TEST(ShardOracleTest, SharedCacheHitsAcrossRepeatsAndTenants) {
+  auto& stack = GetSharedStack();
+  ReachabilityEngine& engine = *stack.engine;
+  ShardingOptions opt = TestShardingOptions(2);
+  opt.shared_cache_entries = 64;
+  auto coordinator = engine.MakeShardCoordinator(opt);
+
+  auto plan = engine.planner().PlanSQuery({stack.dataset.center, HMS(11),
+                                           600, 0.2});
+  ASSERT_TRUE(plan.ok());
+  auto first = coordinator->Execute(*plan);
+  ASSERT_TRUE(first.ok());
+  EXPECT_FALSE(first->stats.cache_hit);
+
+  auto second = coordinator->Execute(*plan);
+  ASSERT_TRUE(second.ok());
+  EXPECT_TRUE(second->stats.cache_hit);
+  EXPECT_EQ(second->segments, first->segments);
+
+  // The shared tier is tenant-agnostic by design: identical plans from
+  // different tenants reuse one entry.
+  QueryPlan other_tenant = *plan;
+  other_tenant.tenant = 7;
+  auto third = coordinator->Execute(other_tenant);
+  ASSERT_TRUE(third.ok());
+  EXPECT_TRUE(third->stats.cache_hit);
+  EXPECT_EQ(third->segments, first->segments);
+
+  SharedResultCache::Stats cache = coordinator->stats().cache;
+  EXPECT_EQ(cache.hits, 2u);
+  EXPECT_EQ(cache.insertions, 1u);
+}
+
+// --- Engine facade integration ----------------------------------------------
+
+TEST(ShardEngineTest, FacadeRoutesThroughCoordinatorBitIdentically) {
+  auto& stack = GetSharedStack();
+  EngineOptions opt;
+  opt.work_dir = MakeTempDir("shard_engine");
+  opt.delta_t_seconds = 300;
+  opt.cache_pages = 4096;
+  opt.sharding = TestShardingOptions(2);
+  auto sharded_engine = ReachabilityEngine::Build(stack.dataset.network,
+                                                  *stack.dataset.store, opt);
+  ASSERT_TRUE(sharded_engine.ok()) << sharded_engine.status().ToString();
+  ReachabilityEngine& engine = **sharded_engine;
+  ASSERT_NE(engine.shard_coordinator(), nullptr);
+
+  SQuery q{stack.dataset.center, HMS(11), 600, 0.2};
+  auto sharded = engine.SQueryIndexed(q);
+  auto oracle = stack.engine->SQueryIndexed(q);
+  ASSERT_TRUE(sharded.ok()) << sharded.status().ToString();
+  ASSERT_TRUE(oracle.ok());
+  EXPECT_EQ(sharded->segments, oracle->segments);
+  EXPECT_DOUBLE_EQ(sharded->total_length_m, oracle->total_length_m);
+  EXPECT_GE(engine.shard_coordinator()->stats().routed, 1u);
+}
+
+TEST(ShardEngineTest, QuotaShedsThroughTheSharedRegistry) {
+  auto& stack = GetSharedStack();
+  EngineOptions opt;
+  opt.work_dir = MakeTempDir("shard_quota");
+  opt.delta_t_seconds = 300;
+  opt.cache_pages = 4096;
+  opt.tenant_fairness = true;
+  opt.sharding = TestShardingOptions(2);
+  auto built = ReachabilityEngine::Build(stack.dataset.network,
+                                         *stack.dataset.store, opt);
+  ASSERT_TRUE(built.ok()) << built.status().ToString();
+  ReachabilityEngine& engine = **built;
+  ASSERT_NE(engine.tenant_registry(), nullptr);
+
+  constexpr TenantId kTenant = 5;
+  TenantConfig config;
+  config.max_inflight = 1;
+  engine.tenant_registry()->Configure(kTenant, config);
+
+  auto plan = engine.planner().PlanSQuery({stack.dataset.center, HMS(11),
+                                           600, 0.2},
+                                          QueryStrategy::kIndexed, kTenant);
+  ASSERT_TRUE(plan.ok());
+
+  // Fill the tenant's one slot out-of-band: the coordinator's CAS claim
+  // must now fail engine-globally, on whichever shard would serve it.
+  engine.tenant_registry()->RecordAdmission(kTenant);
+  auto shed = engine.shard_coordinator()->Execute(*plan);
+  EXPECT_TRUE(shed.status().IsResourceExhausted())
+      << shed.status().ToString();
+  EXPECT_EQ(engine.shard_coordinator()->stats().shed, 1u);
+  EXPECT_EQ(engine.tenant_registry()->counters(kTenant).shed, 1u);
+
+  engine.tenant_registry()->RecordRelease(kTenant);
+  auto served = engine.shard_coordinator()->Execute(*plan);
+  ASSERT_TRUE(served.ok()) << served.status().ToString();
+  EXPECT_EQ(engine.tenant_registry()->counters(kTenant).inflight, 0u);
+}
+
+// --- Sharding x live ingestion ----------------------------------------------
+
+TEST(ShardLiveTest, HammerKeepsSnapshotsConsistentAcrossShards) {
+  auto& stack = GetSharedStack();
+  EngineOptions opt;
+  opt.work_dir = MakeTempDir("shard_live");
+  opt.delta_t_seconds = 300;
+  opt.cache_pages = 4096;
+  opt.live_ingestion = true;
+  opt.live_batch_window_ms = 1;
+  opt.sharding = TestShardingOptions(2);
+  auto built = ReachabilityEngine::Build(stack.dataset.network,
+                                         *stack.dataset.store, opt);
+  ASSERT_TRUE(built.ok()) << built.status().ToString();
+  ReachabilityEngine& engine = **built;
+  ASSERT_NE(engine.shard_coordinator(), nullptr);
+  ASSERT_TRUE(engine.shard_coordinator()->has_ingestors())
+      << "live mode without durability must fan observations per shard";
+
+  auto plan = engine.planner().PlanSQuery({stack.dataset.center, HMS(9),
+                                           600, 0.2});
+  ASSERT_TRUE(plan.ok());
+  const std::vector<SegmentId> starts = plan->location_starts[0];
+
+  constexpr int kQueryThreads = 3;
+  constexpr int kQueriesPerThread = 25;
+  std::mutex mu;
+  std::map<uint64_t, std::vector<SegmentId>> region_by_version;
+  std::atomic<bool> stop_ingest{false};
+  std::atomic<int> mismatches{0};
+  std::atomic<size_t> offered{0};
+
+  std::thread ingester([&] {
+    LiveObservationOptions src_opt;
+    src_opt.seed = 77;
+    src_opt.slow_traversal_prob = 0.5;
+    LiveObservationSource source(engine.network(), src_opt);
+    size_t i = 0;
+    while (!stop_ingest.load()) {
+      SegmentId target = starts[i % starts.size()];
+      if (engine.OfferObservation(source.NextAt(target, HMS(9) + (i % 600)))) {
+        offered.fetch_add(1);
+      }
+      if (engine.OfferObservation(source.Next(HMS(9 + i % 3)))) {
+        offered.fetch_add(1);
+      }
+      ++i;
+      std::this_thread::yield();
+    }
+  });
+
+  std::vector<std::thread> queriers;
+  for (int t = 0; t < kQueryThreads; ++t) {
+    queriers.emplace_back([&] {
+      for (int i = 0; i < kQueriesPerThread; ++i) {
+        auto result = engine.shard_coordinator()->Execute(*plan);
+        ASSERT_TRUE(result.ok()) << result.status().ToString();
+        std::lock_guard<std::mutex> lock(mu);
+        auto [it, inserted] = region_by_version.try_emplace(
+            result->stats.snapshot_version, result->segments);
+        if (!inserted && it->second != result->segments) {
+          mismatches.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& t : queriers) t.join();
+  stop_ingest.store(true);
+  ingester.join();
+
+  EXPECT_EQ(mismatches.load(), 0)
+      << "same snapshot version must always produce the same region";
+  EXPECT_GT(offered.load(), 0u) << "observations routed to shard ingestors";
+  ASSERT_NE(engine.live_manager(), nullptr);
+  for (const auto& [version, region] : region_by_version) {
+    EXPECT_LE(version, engine.live_manager()->version());
+  }
+
+  // Settle and cross-check the final snapshot against a fresh unsharded
+  // executor pinned to it.
+  engine.shard_coordinator()->FlushIngestors();
+  SnapshotRef fin = engine.live_manager()->Acquire();
+  auto live_result = engine.shard_coordinator()->Execute(*plan);
+  ASSERT_TRUE(live_result.ok());
+  ASSERT_EQ(live_result->stats.snapshot_version, fin.version());
+  QueryExecutor static_exec(engine.network(), engine.st_index(),
+                            fin.con_index(), fin.profile(),
+                            engine.delta_t_seconds(),
+                            QueryExecutorOptions{.num_threads = 1});
+  auto static_result = static_exec.Execute(*plan);
+  ASSERT_TRUE(static_result.ok());
+  EXPECT_EQ(live_result->segments, static_result->segments);
+}
+
+}  // namespace
+}  // namespace strr

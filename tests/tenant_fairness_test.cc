@@ -9,6 +9,9 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
+#include <filesystem>
+#include <fstream>
 #include <mutex>
 #include <string>
 #include <thread>
@@ -28,6 +31,16 @@ using testing_util::GetSharedStack;
 using testing_util::MakeTempDir;
 
 // --- TenantRegistry units ----------------------------------------------------
+
+void WriteConfigFile(const std::string& path, const std::string& body) {
+  std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::trunc);
+    out << body;
+  }
+  // Rename so the watcher never reads a half-written file.
+  std::filesystem::rename(tmp, path);
+}
 
 TEST(TenantRegistryTest, UnknownTenantsServeUnderDefaults) {
   TenantRegistry registry({.weight = 3, .max_inflight = 7, .max_queued = 9});
@@ -75,6 +88,106 @@ TEST(TenantRegistryTest, ConfigureOverridesAndCountersAccumulate) {
 }
 
 // --- WfqAdmissionController units --------------------------------------------
+
+TEST(TenantRegistryTest, LoadFromFileParsesAndRejectsAtomically) {
+  std::string dir = MakeTempDir("tenant_cfg");
+  std::string path = dir + "/tenants.cfg";
+  WriteConfigFile(path,
+                  "# tenant weight max_inflight max_queued\n"
+                  "1 4 16 8\n"
+                  "\n"
+                  "2 1 0 64\n");
+  TenantRegistry registry;
+  STRR_ASSERT_OK(registry.LoadFromFile(path));
+  EXPECT_EQ(registry.config(1).weight, 4u);
+  EXPECT_EQ(registry.config(1).max_inflight, 16u);
+  EXPECT_EQ(registry.config(1).max_queued, 8u);
+  EXPECT_EQ(registry.config(2).max_inflight, 0u);
+  EXPECT_EQ(registry.reloads(), 1u);
+
+  // A malformed line rejects the whole load and leaves configs untouched.
+  WriteConfigFile(path, "1 9 9 9\nnot a config line\n");
+  EXPECT_FALSE(registry.LoadFromFile(path).ok());
+  EXPECT_EQ(registry.config(1).weight, 4u) << "partial load applied";
+  EXPECT_EQ(registry.reloads(), 1u);
+
+  EXPECT_FALSE(registry.LoadFromFile(dir + "/absent.cfg").ok());
+}
+
+TEST(TenantRegistryTest, FileWatchReloadsUnderConcurrentTraffic) {
+  std::string dir = MakeTempDir("tenant_watch");
+  std::string path = dir + "/tenants.cfg";
+  WriteConfigFile(path, "7 1 2 64\n");
+
+  TenantRegistry registry;
+  STRR_ASSERT_OK(registry.StartFileWatch(path, /*poll_ms=*/5));
+  ASSERT_EQ(registry.reloads(), 1u) << "initial load is synchronous";
+  EXPECT_EQ(registry.config(7).max_inflight, 2u);
+
+  // Claim traffic hammers the registry while the config is rewritten
+  // underneath it — the reload path must never wedge or corrupt counters.
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> traffic;
+  for (int t = 0; t < 4; ++t) {
+    traffic.emplace_back([&] {
+      while (!stop.load()) {
+        size_t quota = registry.config(7).max_inflight;
+        if (registry.TryClaimInflight(7, quota)) {
+          std::this_thread::yield();
+          registry.ReleaseClaim(7);
+        }
+      }
+    });
+  }
+
+  // Rewrite until the watcher observes a new mtime (coarse-granularity
+  // filesystems may need several attempts), then wait for the reload.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(30);
+  while (registry.reloads() < 2 &&
+         std::chrono::steady_clock::now() < deadline) {
+    WriteConfigFile(path, "7 3 9 64\n");
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  stop.store(true);
+  for (auto& t : traffic) t.join();
+
+  ASSERT_GE(registry.reloads(), 2u) << "watcher never picked up the rewrite";
+  EXPECT_EQ(registry.config(7).weight, 3u);
+  EXPECT_EQ(registry.config(7).max_inflight, 9u);
+  EXPECT_EQ(registry.counters(7).inflight, 0u);
+  registry.StopFileWatch();
+  uint64_t settled = registry.reloads();
+  WriteConfigFile(path, "7 5 5 5\n");
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_EQ(registry.reloads(), settled) << "stopped watcher kept reloading";
+}
+
+TEST(TenantRegistryTest, EngineWiresConfigFileIntoRegistry) {
+  auto& stack = GetSharedStack();
+  std::string dir = MakeTempDir("tenant_engine_cfg");
+  std::string path = dir + "/tenants.cfg";
+  WriteConfigFile(path, "3 2 8 16\n");
+
+  EngineOptions opt;
+  opt.work_dir = MakeTempDir("tenant_engine");
+  opt.delta_t_seconds = 300;
+  opt.tenant_config_path = path;
+  // The config file requires a registry to load into.
+  EXPECT_TRUE(ReachabilityEngine::Build(stack.dataset.network,
+                                        *stack.dataset.store, opt)
+                  .status()
+                  .IsInvalidArgument());
+
+  opt.tenant_fairness = true;
+  auto engine = ReachabilityEngine::Build(stack.dataset.network,
+                                          *stack.dataset.store, opt);
+  ASSERT_TRUE(engine.ok()) << engine.status().ToString();
+  ASSERT_NE((*engine)->tenant_registry(), nullptr);
+  EXPECT_EQ((*engine)->tenant_registry()->config(3).weight, 2u);
+  EXPECT_EQ((*engine)->tenant_registry()->config(3).max_inflight, 8u);
+  EXPECT_GE((*engine)->tenant_registry()->reloads(), 1u);
+}
 
 TEST(WfqAdmissionTest, DisabledControllerAdmitsEverything) {
   TenantRegistry registry;

@@ -4,7 +4,9 @@
 #define STRR_TESTS_TEST_UTIL_H_
 
 #include <gtest/gtest.h>
+#include <unistd.h>
 
+#include <atomic>
 #include <cstdlib>
 #include <filesystem>
 #include <memory>
@@ -77,10 +79,15 @@ inline RoadNetwork MakeChainNetwork(int n, double len = 300.0) {
   return net;
 }
 
-/// Fresh unique temp directory for a test.
+/// Fresh unique temp directory for a test. pid + counter, not rand():
+/// unseeded rand() repeats across test binaries, and two binaries racing
+/// into the same dir (GetSharedStack's work_dir) corrupt each other's
+/// on-disk index under parallel ctest.
 inline std::string MakeTempDir(const std::string& tag) {
+  static std::atomic<uint64_t> next{0};
   std::string path = ::testing::TempDir() + "strr_" + tag + "_" +
-                     std::to_string(::rand());
+                     std::to_string(static_cast<long>(::getpid())) + "_" +
+                     std::to_string(next.fetch_add(1));
   std::filesystem::create_directories(path);
   return path;
 }
