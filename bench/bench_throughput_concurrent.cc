@@ -37,6 +37,18 @@
 // fraction of queries whose region crossed shards. Every sharded answer
 // is checked bit-identical to the unsharded reference.
 //
+// A fourth sweep measures the storage engine (storage/checkpoint/): the
+// same acked observation stream is journaled twice — once bare, once
+// with profile checkpointing — and cold restart (Recover + Replay into a
+// fresh LiveProfileManager) is timed for both; a compaction config
+// reports sealed-table count before/after background merges; and the
+// block cache is driven through a scan-polluted hot-set workload under
+// LRU vs TinyLFU. check_regression.py gates the checkpointed restart
+// against the full-replay wall with a speedup floor.
+// STRR_STORAGE_DISABLE_CHECKPOINT=1 skips committing the checkpoint (the
+// gate's negative test: the speedup collapses to ~1x and the floor must
+// catch it).
+//
 // Set STRR_BENCH_JSON=<path> to also record the rows as JSON — the
 // committed BENCH_throughput.json baseline is produced this way.
 #include <algorithm>
@@ -45,6 +57,7 @@
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
 #include <string>
 #include <thread>
 #include <vector>
@@ -54,11 +67,16 @@
 #include "live/epoch_manager.h"
 #include "live/live_profile_manager.h"
 #include "live/observation_ingestor.h"
+#include "live/observation_journal.h"
+#include "live/recovery_manager.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "query/query_plan.h"
 #include "shard/shard_coordinator.h"
 #include "shard/shard_options.h"
+#include "storage/buffer_pool.h"
+#include "storage/file_manager.h"
+#include "tools/crash_stream.h"
 #include "traj/fleet_simulator.h"
 #include "util/rng.h"
 #include "util/stopwatch.h"
@@ -147,6 +165,20 @@ struct ShardRow {
   /// the scatter-gather path vs being shard-local.
   double cross_shard_fraction = 0.0;
   bool identical = true;  ///< bit-identical to the unsharded reference
+};
+
+struct StorageRow {
+  /// "replay" / "checkpoint" — cold-restart configs over the same acked
+  /// stream; "compaction" — table-count shrink; "block_cache_lru" /
+  /// "block_cache_tinylfu" — page-cache policies under a scan-polluted
+  /// hot-set workload.
+  std::string config;
+  double restart_ms = -1.0;  ///< best-of-3 Recover+Replay wall (-1 = n/a)
+  uint64_t replayed_batches = 0;  ///< batches folded beyond the checkpoint
+  int64_t tables_before = -1;     ///< compaction: sealed tables flushed
+  int64_t tables_after = -1;      ///< compaction: live tables after merges
+  double hit_rate = -1.0;         ///< block-cache rows (-1 = n/a)
+  uint64_t admission_rejects = 0;  ///< TinyLFU pages denied a frame
 };
 
 }  // namespace
@@ -733,6 +765,253 @@ int main() {
     }
   }
 
+  // --- Storage engine sweep --------------------------------------------------
+  // Cold restart measured end to end (Recover + Replay into a fresh
+  // LiveProfileManager) over the same deterministic acked stream, once
+  // bare and once checkpointed; best-of-3 because recovery is
+  // single-threaded and scheduling noise only ever adds time. The
+  // compaction and block-cache rows are scale-free counts/rates.
+  std::vector<StorageRow> storage_rows;
+  {
+    namespace fs = std::filesystem;
+    const char* scale_env = std::getenv("STRR_BENCH_SCALE");
+    const bool small_scale =
+        scale_env != nullptr && std::string(scale_env) == "small";
+    // Negative hook for the CI gate: with checkpointing silently off, the
+    // "checkpoint" row's restart collapses to a full replay and
+    // check_regression.py's speedup floor must catch it.
+    const bool disable_checkpoint =
+        std::getenv("STRR_STORAGE_DISABLE_CHECKPOINT") != nullptr;
+    const uint64_t kStorageBatches = small_scale ? 4000 : 12000;
+    const uint32_t num_segments =
+        static_cast<uint32_t>(stack.dataset.network.NumSegments());
+
+    auto fresh_dir = [](const std::string& tag) {
+      std::string dir =
+          (fs::temp_directory_path() / ("strr_bench_storage_" + tag))
+              .string();
+      fs::remove_all(dir);
+      fs::create_directories(dir);
+      return dir;
+    };
+
+    // Journals the deterministic stream batch by batch (small memtable so
+    // many tables seal; WAL sync off — build cost is not what's timed).
+    auto build_journal =
+        [&](const std::string& dir, bool checkpoint,
+            bool compaction) -> StatusOr<ObservationJournal::Stats> {
+      STRR_ASSIGN_OR_RETURN(RecoveredLog recovered,
+                            RecoveryManager::Recover(dir));
+      ObservationJournalOptions jopt;
+      jopt.dir = dir;
+      jopt.memtable_flush_bytes = 8 * 1024;
+      jopt.sync_each_batch = false;
+      jopt.slot_seconds = 3600;
+      if (checkpoint) jopt.checkpoint_interval_batches = kStorageBatches / 4;
+      jopt.compaction = compaction;
+      jopt.compaction_small_bytes = 64 * 1024;
+      jopt.compaction_min_tables = 3;
+      STRR_ASSIGN_OR_RETURN(auto journal,
+                            ObservationJournal::Open(jopt, recovered));
+      for (uint64_t seq = 1; seq <= kStorageBatches; ++seq) {
+        STRR_RETURN_IF_ERROR(
+            journal->AppendBatch(crash_stream::GenBatch(seq, num_segments))
+                .status());
+      }
+      // Final checkpoint covers the whole acked stream, so the restart
+      // below replays ~nothing — the best case the knob is sold on.
+      if (checkpoint) STRR_RETURN_IF_ERROR(journal->Checkpoint());
+      journal->WaitForMaintenance();
+      return journal->stats();
+    };
+
+    auto time_restart = [&](const std::string& dir,
+                            StorageRow& row) -> Status {
+      double best_ms = -1.0;
+      for (int run = 0; run < 3; ++run) {
+        EpochManager epochs;
+        LiveProfileManager live(epochs, stack.engine->speed_profile(),
+                                stack.engine->con_index());
+        Stopwatch watch;
+        STRR_ASSIGN_OR_RETURN(RecoveredLog recovered,
+                              RecoveryManager::Recover(dir));
+        STRR_RETURN_IF_ERROR(
+            RecoveryManager::Replay(recovered, live).status());
+        double ms = watch.ElapsedMillis();
+        row.replayed_batches = recovered.replay_batches();
+        if (best_ms < 0.0 || ms < best_ms) best_ms = ms;
+      }
+      row.restart_ms = best_ms;
+      return Status::OK();
+    };
+
+    auto run_cache = [&](CachePolicy policy, StorageRow& row) -> Status {
+      std::string dir = fresh_dir(policy == CachePolicy::kTinyLfu
+                                      ? "cache_tinylfu"
+                                      : "cache_lru");
+      constexpr PageId kPages = 128;
+      constexpr PageId kHotPages = 8;
+      STRR_ASSIGN_OR_RETURN(auto file,
+                            FileManager::Create(dir + "/pages.dat", 4096));
+      for (PageId i = 0; i < kPages; ++i) {
+        STRR_ASSIGN_OR_RETURN(PageId id, file->AllocatePage());
+        Page page(4096);
+        char tag = static_cast<char>('A' + (id % 26));
+        page.Write(0, &tag, 1);
+        STRR_RETURN_IF_ERROR(file->WritePage(id, page));
+      }
+      BufferPoolOptions popt;
+      popt.capacity_pages = 16;
+      popt.policy = policy;
+      popt.protected_share = 0.5;
+      popt.role = "bench_storage";
+      BufferPool pool(file.get(), popt);
+      // Scan-polluted hot set: the recurring pages earn frequency, then
+      // every round drags a one-shot scan through the pool. TinyLFU's
+      // admission contest keeps the hot set resident; LRU surrenders it
+      // to the scan each round.
+      for (int round = 0; round < 4; ++round) {
+        for (int rep = 0; rep < 4; ++rep) {
+          for (PageId id = 0; id < kHotPages; ++id) {
+            char byte = 0;
+            STRR_RETURN_IF_ERROR(pool.ReadInto(id, 0, &byte, 1));
+          }
+        }
+        for (PageId id = kHotPages; id < kPages; ++id) {
+          char byte = 0;
+          STRR_RETURN_IF_ERROR(pool.ReadInto(id, 0, &byte, 1));
+        }
+      }
+      StorageStats stats = pool.stats();
+      uint64_t lookups = stats.cache_hits + stats.cache_misses;
+      row.hit_rate = lookups == 0
+                         ? 0.0
+                         : static_cast<double>(stats.cache_hits) /
+                               static_cast<double>(lookups);
+      row.admission_rejects = pool.detail().admission_rejects;
+      return Status::OK();
+    };
+
+    auto storage_fatal = [](const std::string& what, const Status& status) {
+      std::fprintf(stderr, "FATAL: storage sweep %s: %s\n", what.c_str(),
+                   status.ToString().c_str());
+    };
+
+    std::printf("\nStorage engine: cold restart, compaction, block cache "
+                "(%llu-batch journal)\n",
+                static_cast<unsigned long long>(kStorageBatches));
+    PrintRow({"config", "restart_ms", "replayed", "tbl_before", "tbl_after",
+              "hit_rate", "adm_rejects"});
+    auto print_storage_row = [&](const StorageRow& r) {
+      PrintRow({r.config, r.restart_ms < 0 ? "-" : Cell(r.restart_ms, 2),
+                std::to_string(r.replayed_batches),
+                r.tables_before < 0 ? "-" : std::to_string(r.tables_before),
+                r.tables_after < 0 ? "-" : std::to_string(r.tables_after),
+                r.hit_rate < 0 ? "-" : Cell(r.hit_rate, 3),
+                std::to_string(r.admission_rejects)});
+    };
+
+    {
+      StorageRow row;
+      row.config = "replay";
+      std::string dir = fresh_dir("replay");
+      auto stats = build_journal(dir, /*checkpoint=*/false,
+                                 /*compaction=*/false);
+      if (!stats.ok()) {
+        storage_fatal("replay build", stats.status());
+        return 1;
+      }
+      if (Status s = time_restart(dir, row); !s.ok()) {
+        storage_fatal("replay restart", s);
+        return 1;
+      }
+      row.tables_before = static_cast<int64_t>(stats->tables_flushed);
+      row.tables_after = static_cast<int64_t>(stats->live_tables);
+      print_storage_row(row);
+      storage_rows.push_back(row);
+      fs::remove_all(dir);
+    }
+    {
+      StorageRow row;
+      row.config = "checkpoint";
+      std::string dir = fresh_dir("checkpoint");
+      auto stats = build_journal(dir, /*checkpoint=*/!disable_checkpoint,
+                                 /*compaction=*/false);
+      if (!stats.ok()) {
+        storage_fatal("checkpoint build", stats.status());
+        return 1;
+      }
+      if (Status s = time_restart(dir, row); !s.ok()) {
+        storage_fatal("checkpoint restart", s);
+        return 1;
+      }
+      row.tables_before = static_cast<int64_t>(stats->tables_flushed);
+      row.tables_after = static_cast<int64_t>(stats->live_tables);
+      print_storage_row(row);
+      storage_rows.push_back(row);
+      fs::remove_all(dir);
+    }
+    {
+      StorageRow row;
+      row.config = "compaction";
+      std::string dir = fresh_dir("compact");
+      auto stats = build_journal(dir, /*checkpoint=*/false,
+                                 /*compaction=*/true);
+      if (!stats.ok()) {
+        storage_fatal("compaction build", stats.status());
+        return 1;
+      }
+      row.tables_before = static_cast<int64_t>(stats->tables_flushed);
+      row.tables_after = static_cast<int64_t>(stats->live_tables);
+      print_storage_row(row);
+      storage_rows.push_back(row);
+      fs::remove_all(dir);
+    }
+    for (CachePolicy policy : {CachePolicy::kLru, CachePolicy::kTinyLfu}) {
+      StorageRow row;
+      row.config = policy == CachePolicy::kTinyLfu ? "block_cache_tinylfu"
+                                                   : "block_cache_lru";
+      if (Status s = run_cache(policy, row); !s.ok()) {
+        storage_fatal(row.config, s);
+        return 1;
+      }
+      print_storage_row(row);
+      storage_rows.push_back(row);
+    }
+
+    const StorageRow& replay_row = storage_rows[0];
+    const StorageRow& ckpt_row = storage_rows[1];
+    const StorageRow& compact_row = storage_rows[2];
+    double speedup = ckpt_row.restart_ms > 0.0
+                         ? replay_row.restart_ms / ckpt_row.restart_ms
+                         : 0.0;
+    ShapeCheck("checkpoint_restart_beats_full_replay",
+               speedup >= 1.25 &&
+                   ckpt_row.replayed_batches < replay_row.replayed_batches,
+               "restart " + Cell(ckpt_row.restart_ms, 2) + " ms replaying " +
+                   std::to_string(ckpt_row.replayed_batches) +
+                   " batches vs full replay " +
+                   Cell(replay_row.restart_ms, 2) + " ms over " +
+                   std::to_string(replay_row.replayed_batches) +
+                   " (speedup " + Cell(speedup, 2) + "x, floor 1.25x)");
+    ShapeCheck("compaction_reduces_table_count",
+               compact_row.tables_after >= 0 &&
+                   compact_row.tables_after < compact_row.tables_before,
+               std::to_string(compact_row.tables_before) +
+                   " sealed tables merged down to " +
+                   std::to_string(compact_row.tables_after));
+    const StorageRow& lru_row = storage_rows[3];
+    const StorageRow& tinylfu_row = storage_rows[4];
+    ShapeCheck("tinylfu_beats_lru_under_scan",
+               tinylfu_row.hit_rate > lru_row.hit_rate &&
+                   tinylfu_row.admission_rejects > 0,
+               "scan-polluted hit rate " + Cell(tinylfu_row.hit_rate, 3) +
+                   " (TinyLFU, " +
+                   std::to_string(tinylfu_row.admission_rejects) +
+                   " admission rejects) vs " + Cell(lru_row.hit_rate, 3) +
+                   " (LRU)");
+  }
+
   bool scale_ok = qps4 >= 2.0 * qps1;
   ShapeCheck("throughput_scales_with_workers", scale_ok,
              "4-worker qps " + Cell(qps4, 1) + " vs 1-worker " +
@@ -824,6 +1103,21 @@ int main() {
                    r.shards, r.workers, r.qps, r.p99_ms,
                    r.cross_shard_fraction, r.identical ? "true" : "false",
                    i + 1 < shard_rows.size() ? "," : "");
+    }
+    std::fprintf(f, "  ],\n  \"storage_rows\": [\n");
+    for (size_t i = 0; i < storage_rows.size(); ++i) {
+      const StorageRow& r = storage_rows[i];
+      std::fprintf(f,
+                   "    {\"config\": \"%s\", \"restart_ms\": %.3f, "
+                   "\"replayed_batches\": %llu, \"tables_before\": %lld, "
+                   "\"tables_after\": %lld, \"hit_rate\": %.3f, "
+                   "\"admission_rejects\": %llu}%s\n",
+                   r.config.c_str(), r.restart_ms,
+                   static_cast<unsigned long long>(r.replayed_batches),
+                   static_cast<long long>(r.tables_before),
+                   static_cast<long long>(r.tables_after), r.hit_rate,
+                   static_cast<unsigned long long>(r.admission_rejects),
+                   i + 1 < storage_rows.size() ? "," : "");
     }
     std::fprintf(f, "  ]\n}\n");
     std::fclose(f);

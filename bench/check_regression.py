@@ -28,7 +28,12 @@ checks three kinds of signals:
     bit-identical to the unsharded reference (hard failure), and within
     the fresh run the 4-shard config must sustain at least
     --min-shard-speedup x the 1-shard qps at 4 clients whenever the
-    fresh host has >= 4 hardware threads.
+    fresh host has >= 4 hardware threads;
+  * storage engine — within the fresh run, the checkpointed cold restart
+    must beat the full-replay restart by --min-restart-speedup while
+    replaying fewer batches, background compaction must end with fewer
+    live tables than were sealed, and the block-cache hit-rate rows must
+    be present with TinyLFU no worse than LRU under scan pollution.
 
 Exit code 0 = no regression; 1 = regression (reasons printed); 2 = usage
 or malformed input. Rows present in the baseline but missing from the
@@ -255,6 +260,88 @@ def check_shard_rows(gate, base, fresh, min_shard_speedup):
                   f"{hw} hardware thread(s)")
 
 
+def check_storage_rows(gate, base, fresh, min_restart_speedup):
+    """Gate for the storage-engine sweep. All signals are computed within
+    the fresh run (restart walls come from the same host and the same
+    journaled stream, so host speed cancels as a ratio; table counts and
+    hit rates are scale-free):
+
+      * the checkpointed cold restart must beat the full-replay restart by
+        --min-restart-speedup AND must actually replay fewer batches —
+        a checkpoint that silently stops covering the stream fails even
+        if the walls happen to tie;
+      * background compaction must end with fewer live tables than were
+        sealed;
+      * both block-cache rows must be present with a usable hit rate, and
+        TinyLFU may not fall behind LRU on the scan-polluted workload.
+
+    Rows present in the baseline but missing from the fresh run fail via
+    check_presence, so the sweep cannot silently vanish."""
+    base_idx = index_rows(base.get("storage_rows"), ("config",))
+    fresh_idx = index_rows(fresh.get("storage_rows"), ("config",))
+    check_presence(gate, "storage", base_idx, fresh_idx)
+
+    if not fresh_idx:
+        if base_idx:
+            gate.fail("storage rows: baseline has a storage sweep but the "
+                      "fresh run produced none")
+        return
+
+    replay = fresh_idx.get(("replay",))
+    ckpt = fresh_idx.get(("checkpoint",))
+    if not replay or not ckpt:
+        gate.fail("storage rows: replay/checkpoint restart rows missing — "
+                  "cannot check the restart-latency floor")
+    elif replay.get("restart_ms", 0) <= 0 or ckpt.get("restart_ms", 0) <= 0:
+        gate.fail("storage rows: restart walls unusable "
+                  f"(replay {replay.get('restart_ms')} ms, checkpoint "
+                  f"{ckpt.get('restart_ms')} ms)")
+    else:
+        speedup = replay["restart_ms"] / ckpt["restart_ms"]
+        if speedup < min_restart_speedup:
+            gate.fail(
+                f"storage rows: checkpointed restart is only {speedup:.2f}x "
+                f"faster than full replay ({ckpt['restart_ms']} ms vs "
+                f"{replay['restart_ms']} ms) — below the "
+                f"{min_restart_speedup}x floor")
+        elif ckpt.get("replayed_batches", 0) >= replay.get(
+                "replayed_batches", 0):
+            gate.fail(
+                "storage rows: the checkpointed restart replayed "
+                f"{ckpt.get('replayed_batches')} batches, no fewer than the "
+                f"full replay's {replay.get('replayed_batches')} — the "
+                "checkpoint no longer covers the stream")
+        else:
+            gate.note(f"storage rows: checkpointed restart {speedup:.2f}x "
+                      f"faster than full replay (floor "
+                      f"{min_restart_speedup}x)")
+
+    compact = fresh_idx.get(("compaction",))
+    if not compact:
+        gate.fail("storage rows: compaction row missing")
+    elif not (0 <= compact.get("tables_after", -1)
+              < compact.get("tables_before", -1)):
+        gate.fail(
+            f"storage rows: compaction left {compact.get('tables_after')} "
+            f"tables from {compact.get('tables_before')} sealed — the "
+            "background merge stopped reducing the table count")
+
+    lru = fresh_idx.get(("block_cache_lru",))
+    tinylfu = fresh_idx.get(("block_cache_tinylfu",))
+    if not lru or not tinylfu:
+        gate.fail("storage rows: block-cache policy rows missing — the "
+                  "hit-rate measurement silently vanished")
+    elif lru.get("hit_rate", -1) < 0 or tinylfu.get("hit_rate", -1) < 0:
+        gate.fail("storage rows: block-cache hit rates unusable "
+                  f"(lru {lru.get('hit_rate')}, tinylfu "
+                  f"{tinylfu.get('hit_rate')})")
+    elif tinylfu["hit_rate"] < lru["hit_rate"]:
+        gate.fail(
+            f"storage rows: TinyLFU hit rate {tinylfu['hit_rate']} fell "
+            f"below LRU's {lru['hit_rate']} on the scan-polluted workload "
+            "— admission stopped protecting the hot set")
+
+
 def check_fig48(gate, base, fresh, min_speedup4):
     """Gate for the fig4_8 layout x workers interior sweep.
 
@@ -364,6 +451,11 @@ def main():
                         help="minimum 4-shard vs 1-shard qps ratio at 4 "
                              "clients when the fresh host has >= 4 hardware "
                              "threads (default 1.5)")
+    parser.add_argument("--min-restart-speedup", type=float, default=1.25,
+                        help="minimum full-replay vs checkpointed cold-"
+                             "restart wall-clock ratio within the fresh run "
+                             "(default 1.25; the bench itself shape-checks "
+                             "the same floor on the bench host)")
     args = parser.parse_args()
 
     try:
@@ -379,6 +471,7 @@ def main():
     check_tenant_rows(gate, base, fresh, args.fairness_tolerance)
     check_live_rows(gate, base, fresh, args.tolerance)
     check_shard_rows(gate, base, fresh, args.min_shard_speedup)
+    check_storage_rows(gate, base, fresh, args.min_restart_speedup)
 
     if args.fresh_fig48:
         try:

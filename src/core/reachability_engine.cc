@@ -66,6 +66,10 @@ StatusOr<std::unique_ptr<ReachabilityEngine>> ReachabilityEngine::Build(
   st_opt.cache_pages = options.cache_pages;
   st_opt.page_size = options.page_size;
   st_opt.max_locate_distance_m = options.max_locate_distance_m;
+  st_opt.cache_policy = options.block_cache_tinylfu ? CachePolicy::kTinyLfu
+                                                    : CachePolicy::kLru;
+  st_opt.cache_protected_share = options.block_cache_protected_share;
+  st_opt.posting_bloom_bits_per_key = options.posting_bloom_bits_per_key;
   STRR_ASSIGN_OR_RETURN(engine->st_index_,
                         StIndex::Build(network, store, st_opt));
 
@@ -152,15 +156,26 @@ StatusOr<std::unique_ptr<ReachabilityEngine>> ReachabilityEngine::Build(
                             : options.live_durability_dir;
       journal_opt.memtable_flush_bytes = options.live_memtable_flush_bytes;
       journal_opt.sync_each_batch = options.live_wal_sync_each_batch;
+      journal_opt.slot_seconds = options.profile_slot_seconds;
+      journal_opt.checkpoint_interval_batches =
+          options.live_checkpoint_interval_batches;
+      journal_opt.compaction = options.live_compaction;
+      journal_opt.compaction_small_bytes = options.live_compaction_small_bytes;
+      journal_opt.compaction_min_tables = options.live_compaction_min_tables;
       STRR_ASSIGN_OR_RETURN(RecoveredLog recovered,
                             RecoveryManager::Recover(journal_opt.dir));
-      engine->live_recovery_.recovered_batches = recovered.batches.size();
+      engine->live_recovery_.recovered_batches = recovered.replay_batches();
       engine->live_recovery_.last_seq = recovered.last_seq;
+      engine->live_recovery_.checkpoint_seq = recovered.checkpoint_seq;
       engine->live_recovery_.wal_tail_torn = recovered.wal_tail_torn;
       engine->live_recovery_.tables_loaded = recovered.tables_loaded;
       engine->live_recovery_.wal_files_loaded = recovered.wal_files_loaded;
-      engine->live_recovery_.replay_publishes =
-          RecoveryManager::Replay(recovered, *engine->live_manager_);
+      RecoveryManager::ReplayOptions replay_opt;
+      replay_opt.chunk_observations = options.live_replay_chunk;
+      STRR_ASSIGN_OR_RETURN(
+          engine->live_recovery_.replay_publishes,
+          RecoveryManager::Replay(recovered, *engine->live_manager_,
+                                  replay_opt));
       if (recovered.wal_tail_torn) {
         STRR_LOG(Warning)
             << "live recovery: WAL tail torn (crash mid-append); "
@@ -168,8 +183,9 @@ StatusOr<std::unique_ptr<ReachabilityEngine>> ReachabilityEngine::Build(
             << recovered.last_seq;
       }
       STRR_LOG(Info) << "live recovery: replayed "
-                     << recovered.batches.size() << " acked batches (seq "
-                     << recovered.last_seq << ") from "
+                     << recovered.replay_batches() << " acked batches (seq "
+                     << recovered.last_seq << ", checkpoint covers "
+                     << recovered.checkpoint_seq << ") from "
                      << recovered.tables_loaded << " tables + "
                      << recovered.wal_files_loaded << " WAL files, "
                      << engine->live_recovery_.replay_publishes

@@ -168,6 +168,30 @@ struct EngineOptions {
   /// fdatasync the WAL per batch (ack = stable storage). Off trades power-
   /// loss durability for throughput; process crashes still lose nothing.
   bool live_wal_sync_each_batch = true;
+  // --- Storage engine (checkpoint / compaction / block cache; all off by
+  // default — seed behavior is untouched with the knobs off). -----------
+  /// Commit a live-profile checkpoint (then truncate the tables and WAL
+  /// it covers) every N acked batches, so restart replays O(delta)
+  /// instead of the whole stream. 0 disables. Requires live_durability.
+  uint64_t live_checkpoint_interval_batches = 0;
+  /// Background-merge runs of small observation tables into larger
+  /// seq-deduplicated tables (rebuilt blooms, atomic swap). Requires
+  /// live_durability.
+  bool live_compaction = false;
+  /// A sealed table below this many bytes is a compaction candidate.
+  size_t live_compaction_small_bytes = 4 << 20;
+  /// Merge once this many contiguous candidates accumulate.
+  size_t live_compaction_min_tables = 4;
+  /// Observations per snapshot publish during recovery replay (bounds
+  /// replay memory; correctness is chunk-size independent).
+  size_t live_replay_chunk = 4096;
+  /// TinyLFU segmented block cache for the ST-Index buffer pool instead
+  /// of plain LRU (scan-resistant; per-role metric labels).
+  bool block_cache_tinylfu = false;
+  double block_cache_protected_share = 0.8;
+  /// Bloom doorkeeper over ST-Index posting keys: cold-start point probes
+  /// for traffic-less (segment, slot) pairs skip the store. 0 disables.
+  int posting_bloom_bits_per_key = 0;
   /// Location match radius for planning (see
   /// StIndexOptions::max_locate_distance_m); <= 0 restores unconditional
   /// snap-to-nearest.
@@ -305,6 +329,7 @@ class ReachabilityEngine {
   struct LiveRecoveryInfo {
     uint64_t recovered_batches = 0;   ///< acked batches replayed
     uint64_t last_seq = 0;            ///< highest acked sequence number
+    uint64_t checkpoint_seq = 0;      ///< seq the loaded checkpoint covers
     bool wal_tail_torn = false;       ///< crash tore the final WAL record
     size_t tables_loaded = 0;
     size_t wal_files_loaded = 0;

@@ -5,6 +5,7 @@
 #include <utility>
 #include <vector>
 
+#include "storage/checkpoint/profile_checkpoint.h"
 #include "storage/fs_util.h"
 #include "storage/obs_table.h"
 #include "storage/wal/log_reader.h"
@@ -15,11 +16,6 @@ namespace strr {
 namespace fs = std::filesystem;
 
 namespace {
-
-// Observations per Publish during replay. Large enough that replaying a
-// long history costs few snapshot forks, small enough to bound the
-// coalescing map; correctness does not depend on the value (see header).
-constexpr size_t kReplayChunk = 4096;
 
 bool ParseNumberedName(const std::string& name, const char* prefix,
                        const char* suffix, uint64_t* number) {
@@ -42,10 +38,10 @@ bool ParseNumberedName(const std::string& name, const char* prefix,
   return true;
 }
 
-// Appends `batch` to the recovered stream, skipping duplicates (the
+// Appends a WAL batch to the recovered tail, skipping duplicates (the
 // table/WAL crash-window overlap) and rejecting gaps.
-Status FoldBatch(ObservationBatch&& batch, const std::string& origin,
-                 RecoveredLog* out) {
+Status FoldWalBatch(ObservationBatch&& batch, const std::string& origin,
+                    RecoveredLog* out) {
   if (batch.seq <= out->last_seq) return Status::OK();  // duplicate
   if (batch.seq != out->last_seq + 1) {
     return Status::Corruption(
@@ -54,7 +50,7 @@ Status FoldBatch(ObservationBatch&& batch, const std::string& origin,
         std::to_string(batch.seq) + " in " + origin);
   }
   out->last_seq = batch.seq;
-  out->batches.push_back(std::move(batch));
+  out->wal_batches.push_back(std::move(batch));
   return Status::OK();
 }
 
@@ -67,6 +63,7 @@ StatusOr<RecoveredLog> RecoveryManager::Recover(const std::string& dir) {
 
   std::vector<std::pair<uint64_t, std::string>> tables;
   std::vector<std::pair<uint64_t, std::string>> wals;
+  std::vector<std::pair<uint64_t, std::string>> checkpoints;
   uint64_t max_number = 0;
   for (const fs::directory_entry& entry : fs::directory_iterator(dir, ec)) {
     const std::string name = entry.path().filename().string();
@@ -75,6 +72,8 @@ StatusOr<RecoveredLog> RecoveryManager::Recover(const std::string& dir) {
       tables.emplace_back(number, entry.path().string());
     } else if (ParseNumberedName(name, "wal_", ".log", &number)) {
       wals.emplace_back(number, entry.path().string());
+    } else if (ParseNumberedName(name, "ckpt_", ".ckpt", &number)) {
+      checkpoints.emplace_back(number, entry.path().string());
     } else {
       continue;  // .tmp leftovers etc.; Open() cleans them up
     }
@@ -85,17 +84,74 @@ StatusOr<RecoveredLog> RecoveryManager::Recover(const std::string& dir) {
                            ec.message());
   }
   out.next_file_number = max_number + 1;
-  std::sort(tables.begin(), tables.end());
   std::sort(wals.begin(), wals.end());
 
-  // Sealed tables: strict. They were published atomically, so any damage
-  // is real corruption, not a crash artifact.
+  // Checkpoints: strict (committed via atomic rename — a crash mid-write
+  // leaves only a .tmp). The crash window between committing a new
+  // checkpoint and deleting the old one leaves two; the one covering more
+  // wins and the other is redundant.
+  for (const auto& [number, path] : checkpoints) {
+    STRR_ASSIGN_OR_RETURN(ProfileCheckpoint ckpt, ReadProfileCheckpoint(path));
+    const bool newer = ckpt.covered_seq > out.checkpoint_seq ||
+                       (ckpt.covered_seq == out.checkpoint_seq &&
+                        number > out.checkpoint_number);
+    if (out.checkpoint_path.empty()) {
+      out.checkpoint_path = path;
+      out.checkpoint_number = number;
+      out.checkpoint_seq = ckpt.covered_seq;
+    } else if (newer) {
+      out.redundant_paths.push_back(out.checkpoint_path);
+      out.checkpoint_path = path;
+      out.checkpoint_number = number;
+      out.checkpoint_seq = ckpt.covered_seq;
+    } else {
+      out.redundant_paths.push_back(path);
+    }
+  }
+  out.last_seq = out.checkpoint_seq;
+
+  // Sealed tables: strict — they were published atomically, so any damage
+  // is real corruption, not a crash artifact. Validate every file (CRC +
+  // per-table sequence contiguity), keep only footer metadata, and order
+  // by coverage instead of file number: a compaction crash window leaves
+  // a merged table (higher number, wider range) beside surviving inputs,
+  // and widest-range-first makes those inputs fully-covered duplicates.
+  std::vector<RecoveredTableMeta> metas;
+  metas.reserve(tables.size());
   for (const auto& [number, path] : tables) {
     STRR_ASSIGN_OR_RETURN(ObservationTable table, ObservationTable::Open(path));
-    for (ObservationBatch& batch : table.TakeBatches()) {
-      STRR_RETURN_IF_ERROR(FoldBatch(std::move(batch), path, &out));
+    const std::vector<ObservationBatch>& batches = table.batches();
+    for (size_t i = 0; i < batches.size(); ++i) {
+      if (batches[i].seq != table.first_seq() + i) {
+        return Status::Corruption("sequence gap inside table " + path);
+      }
     }
+    metas.push_back(RecoveredTableMeta{number, path, table.first_seq(),
+                                       table.last_seq(),
+                                       table.num_observations()});
+  }
+  std::sort(metas.begin(), metas.end(),
+            [](const RecoveredTableMeta& a, const RecoveredTableMeta& b) {
+              if (a.first_seq != b.first_seq) return a.first_seq < b.first_seq;
+              if (a.last_seq != b.last_seq) return a.last_seq > b.last_seq;
+              return a.number < b.number;
+            });
+  for (RecoveredTableMeta& meta : metas) {
+    if (meta.last_seq <= out.last_seq) {
+      // Whole range already covered by the checkpoint, a merged table, or
+      // an earlier duplicate — a crash-window leftover.
+      out.redundant_paths.push_back(meta.path);
+      continue;
+    }
+    if (meta.first_seq > out.last_seq + 1) {
+      return Status::Corruption(
+          "observation sequence gap: expected " +
+          std::to_string(out.last_seq + 1) + ", found " +
+          std::to_string(meta.first_seq) + " in " + meta.path);
+    }
+    out.last_seq = meta.last_seq;
     ++out.tables_loaded;
+    out.tables.push_back(std::move(meta));
   }
   out.last_table_seq = out.last_seq;
 
@@ -115,7 +171,7 @@ StatusOr<RecoveredLog> RecoveryManager::Recover(const std::string& dir) {
       if (!s.ok()) {
         return Status::Corruption(s.message() + " in " + path);
       }
-      STRR_RETURN_IF_ERROR(FoldBatch(std::move(batch), path, &out));
+      STRR_RETURN_IF_ERROR(FoldWalBatch(std::move(batch), path, &out));
     }
     if (!reader.status().ok()) {
       return Status::Corruption(reader.status().message() + " in " + path);
@@ -126,14 +182,68 @@ StatusOr<RecoveredLog> RecoveryManager::Recover(const std::string& dir) {
   return out;
 }
 
-size_t RecoveryManager::Replay(const RecoveredLog& recovered,
-                               LiveProfileManager& manager) {
-  if (recovered.batches.empty()) return 0;
+Status RecoveryManager::ForEachReplayBatch(const RecoveredLog& recovered,
+                                           const BatchFn& fn) {
+  uint64_t last = recovered.checkpoint_seq;
+  for (const RecoveredTableMeta& meta : recovered.tables) {
+    STRR_ASSIGN_OR_RETURN(ObservationTable table,
+                          ObservationTable::Open(meta.path));
+    for (ObservationBatch& batch : table.TakeBatches()) {
+      if (batch.seq <= last) continue;  // overlap with previous coverage
+      if (batch.seq != last + 1) {
+        return Status::Corruption("sequence gap inside table " + meta.path);
+      }
+      last = batch.seq;
+      STRR_RETURN_IF_ERROR(fn(batch));
+    }
+  }
+  for (const ObservationBatch& batch : recovered.wal_batches) {
+    if (batch.seq <= last) continue;
+    if (batch.seq != last + 1) {
+      return Status::Corruption("sequence gap in recovered WAL tail");
+    }
+    last = batch.seq;
+    STRR_RETURN_IF_ERROR(fn(batch));
+  }
+  return Status::OK();
+}
+
+StatusOr<size_t> RecoveryManager::Replay(const RecoveredLog& recovered,
+                                         LiveProfileManager& manager) {
+  return Replay(recovered, manager, ReplayOptions{});
+}
+
+StatusOr<size_t> RecoveryManager::Replay(const RecoveredLog& recovered,
+                                         LiveProfileManager& manager,
+                                         const ReplayOptions& options) {
+  const size_t chunk_cap = std::max<size_t>(1, options.chunk_observations);
+  size_t publishes = 0;
+
+  // Checkpoint first: its aggregates are already coalesced per (segment,
+  // slot), so publish them directly in bounded slices.
+  if (!recovered.checkpoint_path.empty()) {
+    STRR_ASSIGN_OR_RETURN(ProfileCheckpoint ckpt,
+                          ReadProfileCheckpoint(recovered.checkpoint_path));
+    const int64_t slot_seconds = manager.Acquire().profile().slot_seconds();
+    if (ckpt.slot_seconds != slot_seconds) {
+      return Status::InvalidArgument(
+          "checkpoint slot_seconds " + std::to_string(ckpt.slot_seconds) +
+          " does not match profile slot_seconds " +
+          std::to_string(slot_seconds) + ": " + recovered.checkpoint_path);
+    }
+    for (size_t i = 0; i < ckpt.entries.size(); i += chunk_cap) {
+      const size_t n = std::min(chunk_cap, ckpt.entries.size() - i);
+      manager.Publish(
+          std::span<const CoalescedUpdate>(ckpt.entries.data() + i, n));
+      ++publishes;
+    }
+  }
+
+  if (recovered.replay_batches() == 0) return publishes;
   const int64_t slot_seconds = manager.Acquire().profile().slot_seconds();
 
-  size_t publishes = 0;
   std::vector<SpeedObservation> chunk;
-  chunk.reserve(kReplayChunk);
+  chunk.reserve(chunk_cap);
   auto flush = [&] {
     if (chunk.empty()) return;
     std::vector<CoalescedUpdate> updates =
@@ -142,13 +252,27 @@ size_t RecoveryManager::Replay(const RecoveredLog& recovered,
     ++publishes;
     chunk.clear();
   };
-  for (const ObservationBatch& batch : recovered.batches) {
-    chunk.insert(chunk.end(), batch.observations.begin(),
-                 batch.observations.end());
-    if (chunk.size() >= kReplayChunk) flush();
-  }
+  STRR_RETURN_IF_ERROR(
+      ForEachReplayBatch(recovered, [&](const ObservationBatch& batch) {
+        chunk.insert(chunk.end(), batch.observations.begin(),
+                     batch.observations.end());
+        if (chunk.size() >= chunk_cap) flush();
+        return Status::OK();
+      }));
   flush();
   return publishes;
+}
+
+StatusOr<std::vector<ObservationBatch>> RecoveryManager::CollectBatches(
+    const RecoveredLog& recovered) {
+  std::vector<ObservationBatch> out;
+  out.reserve(recovered.replay_batches());
+  STRR_RETURN_IF_ERROR(
+      ForEachReplayBatch(recovered, [&](const ObservationBatch& batch) {
+        out.push_back(batch);
+        return Status::OK();
+      }));
+  return out;
 }
 
 }  // namespace strr

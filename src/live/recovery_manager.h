@@ -1,25 +1,38 @@
 // RecoveryManager: rebuilds the live tier's acked observation stream from
 // a journal directory after a restart or crash.
 //
-// Recover() loads every sealed observation table (strict: any checksum or
-// structural failure is typed Corruption — sealed files are never torn)
-// and then the WAL(s) through a torn-tail-tolerant LogReader: bytes
-// missing at the end of a log are the expected crash artifact and mark a
-// clean recovery point, while bytes present but inconsistent are
-// Corruption. Batches are deduplicated by sequence number (tables and the
-// WAL overlap in one crash window) and checked for gaps, so the result is
-// exactly the contiguous prefix of acked batches.
+// Recover() finds the newest committed profile checkpoint (strictly
+// validated; crashes mid-write leave only ignored `.tmp` files), then
+// every sealed observation table (strict: any checksum or structural
+// failure is typed Corruption — sealed files are never torn), and then
+// the WAL(s) through a torn-tail-tolerant LogReader: bytes missing at the
+// end of a log are the expected crash artifact and mark a clean recovery
+// point, while bytes present but inconsistent are Corruption.
 //
-// Replay() folds the recovered stream back into a LiveProfileManager in
-// chunks. Chunking is safe because a profile cell's min/max/count are
-// order- and batching-independent; the float sum is the only
+// Tables are ordered by (first_seq asc, last_seq desc) rather than file
+// number: a compaction crash window can leave a merged table (higher file
+// number, wider range) beside surviving inputs, and a checkpoint crash
+// window can leave tables the checkpoint already covers. Files whose
+// whole range is already covered are reported as redundant (the journal
+// deletes them at Open); overlaps deduplicate by sequence number and a
+// residual gap is Corruption — so the result is exactly the contiguous
+// prefix of acked batches, for every crash point.
+//
+// Recover() holds only table *metadata* plus the WAL-tail batches;
+// Replay() re-reads tables one at a time and publishes in bounded chunks,
+// so recovering an arbitrarily large backlog uses O(chunk + largest
+// table) memory. Chunking is safe because a profile cell's min/max/count
+// are order- and batching-independent; the float sum is the only
 // order-sensitive field and nothing on the query path reads it (regions
-// derive from extremes only).
+// derive from extremes only) — the same argument that makes publishing
+// checkpoint aggregates bit-identical to replaying the covered stream.
 #ifndef STRR_LIVE_RECOVERY_MANAGER_H_
 #define STRR_LIVE_RECOVERY_MANAGER_H_
 
 #include <cstddef>
+#include <functional>
 #include <string>
+#include <vector>
 
 #include "live/live_profile_manager.h"
 #include "live/observation_journal.h"
@@ -29,14 +42,38 @@ namespace strr {
 
 class RecoveryManager {
  public:
+  struct ReplayOptions {
+    /// Observations buffered per snapshot publish — the bound on both the
+    /// replay buffer and the re-coalesce map. Correctness does not depend
+    /// on the value (see header); tests force it small.
+    size_t chunk_observations = 4096;
+  };
+
   /// Reconstructs the acked batch stream from `dir`. A missing directory
   /// yields an empty RecoveredLog (fresh start), never an error.
   static StatusOr<RecoveredLog> Recover(const std::string& dir);
 
-  /// Publishes the recovered observations into `manager` in seq order.
-  /// Returns the number of snapshot publishes performed.
-  static size_t Replay(const RecoveredLog& recovered,
-                       LiveProfileManager& manager);
+  /// Publishes the recovered state into `manager` in order: checkpoint
+  /// aggregates first, then every batch beyond the checkpoint. Returns
+  /// the number of snapshot publishes performed.
+  static StatusOr<size_t> Replay(const RecoveredLog& recovered,
+                                 LiveProfileManager& manager);
+  static StatusOr<size_t> Replay(const RecoveredLog& recovered,
+                                 LiveProfileManager& manager,
+                                 const ReplayOptions& options);
+
+  /// Streams every batch beyond the checkpoint in sequence order,
+  /// re-reading tables one at a time (bounded memory), then the WAL tail.
+  /// Stops and propagates the first non-OK status `fn` returns.
+  using BatchFn = std::function<Status(const ObservationBatch&)>;
+  static Status ForEachReplayBatch(const RecoveredLog& recovered,
+                                   const BatchFn& fn);
+
+  /// Materializes every batch beyond the checkpoint. Unbounded memory —
+  /// a convenience for tests and tools over small streams; production
+  /// paths use Replay/ForEachReplayBatch.
+  static StatusOr<std::vector<ObservationBatch>> CollectBatches(
+      const RecoveredLog& recovered);
 };
 
 }  // namespace strr

@@ -1,6 +1,7 @@
 #include "storage/buffer_pool.h"
 
-#include "obs/metrics.h"
+#include <algorithm>
+
 #include "storage/io_context.h"
 
 namespace strr {
@@ -14,39 +15,98 @@ inline void Count(uint64_t StorageStats::* field) {
   if (StorageStats* scope = ScopedIoCounters::Current()) ++(scope->*field);
 }
 
-obs::Counter& PageHitsCounter() {
-  static obs::Counter& c = obs::MetricsRegistry::Global().GetCounter(
-      "strr_bufferpool_hits_total");
-  return c;
+obs::Counter& PoolCounter(const char* name, const std::string& role) {
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+  if (role.empty()) return registry.GetCounter(name);
+  return registry.GetCounter(name, {{"role", role}});
 }
-obs::Counter& PageMissesCounter() {
-  static obs::Counter& c = obs::MetricsRegistry::Global().GetCounter(
-      "strr_bufferpool_misses_total");
-  return c;
-}
-obs::Counter& PageEvictionsCounter() {
-  static obs::Counter& c = obs::MetricsRegistry::Global().GetCounter(
-      "strr_bufferpool_evictions_total");
-  return c;
+
+uint64_t MixPageId(PageId id) {
+  // splitmix64 finalizer: PageIds are sequential, the sketch rows want
+  // well-spread bits.
+  uint64_t x = id + 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
 }
 
 }  // namespace
 
-BufferPool::Frame* BufferPool::InstallLocked(PageId id) {
-  while (capacity_ > 0 && frames_.size() >= capacity_) {
-    PageId victim = lru_.back();
-    lru_.pop_back();
-    frames_.erase(victim);
-    ++pool_stats_.evictions;
-    Count(&StorageStats::evictions);
-    PageEvictionsCounter().Add();
+BufferPool::BufferPool(FileManager* file, const BufferPoolOptions& options)
+    : file_(file),
+      options_(options),
+      hits_counter_(PoolCounter("strr_bufferpool_hits_total", options.role)),
+      misses_counter_(
+          PoolCounter("strr_bufferpool_misses_total", options.role)),
+      evictions_counter_(
+          PoolCounter("strr_bufferpool_evictions_total", options.role)),
+      admission_rejects_counter_(PoolCounter(
+          "strr_bufferpool_admission_rejects_total", options.role)) {
+  if (options_.policy == CachePolicy::kTinyLfu &&
+      options_.capacity_pages > 0) {
+    double share = std::clamp(options_.protected_share, 0.0, 1.0);
+    protected_cap_ = static_cast<size_t>(
+        static_cast<double>(options_.capacity_pages) * share);
+    // Probation keeps at least one frame so every page still enters
+    // through it (and the admission contest has a victim to weigh).
+    protected_cap_ = std::min(protected_cap_, options_.capacity_pages - 1);
+    // ~8 sketch counters per cached frame, the ResultCache density.
+    sketch_ =
+        std::make_unique<FrequencySketch>(options_.capacity_pages * 8);
   }
-  auto frame = std::make_unique<Frame>(file_->page_size());
-  lru_.push_front(id);
-  frame->lru_it = lru_.begin();
-  Frame* raw = frame.get();
-  frames_[id] = std::move(frame);
-  return raw;
+}
+
+void BufferPool::TouchLocked(PageId id, Frame* frame) {
+  if (options_.policy == CachePolicy::kLru || protected_cap_ == 0) {
+    probation_.erase(frame->lru_it);
+    probation_.push_front(id);
+    frame->lru_it = probation_.begin();
+    return;
+  }
+  if (frame->in_protected) {
+    protected_.erase(frame->lru_it);
+    protected_.push_front(id);
+    frame->lru_it = protected_.begin();
+    return;
+  }
+  // Re-use in probation promotes; the protected segment sheds its own LRU
+  // back to probation when over budget (it keeps a second chance there).
+  probation_.erase(frame->lru_it);
+  protected_.push_front(id);
+  frame->lru_it = protected_.begin();
+  frame->in_protected = true;
+  while (protected_.size() > protected_cap_) {
+    PageId demoted = protected_.back();
+    protected_.pop_back();
+    Frame* d = frames_.at(demoted).get();
+    probation_.push_front(demoted);
+    d->lru_it = probation_.begin();
+    d->in_protected = false;
+  }
+}
+
+void BufferPool::EvictOneLocked() {
+  PageId victim;
+  if (!probation_.empty()) {
+    victim = probation_.back();
+    probation_.pop_back();
+  } else {
+    victim = protected_.back();
+    protected_.pop_back();
+  }
+  frames_.erase(victim);
+  ++pool_stats_.evictions;
+  Count(&StorageStats::evictions);
+  evictions_counter_.Add();
+}
+
+StatusOr<const Page*> BufferPool::ReadScratchLocked(PageId id) {
+  if (scratch_ == nullptr) {
+    scratch_ = std::make_unique<Page>(file_->page_size());
+  }
+  STRR_RETURN_IF_ERROR(file_->ReadPage(id, scratch_.get()));
+  Count(&StorageStats::disk_page_reads);
+  return const_cast<const Page*>(scratch_.get());
 }
 
 StatusOr<const Page*> BufferPool::Fetch(PageId id) {
@@ -63,41 +123,56 @@ Status BufferPool::ReadInto(PageId id, uint32_t offset, void* dst,
 }
 
 StatusOr<const Page*> BufferPool::FetchLocked(PageId id) {
-  if (capacity_ == 0) {
+  if (options_.capacity_pages == 0) {
     // Degenerate pool: cache nothing. Every request is a miss served from
     // a private scratch frame (valid until the next Fetch).
     ++pool_stats_.cache_misses;
     Count(&StorageStats::cache_misses);
-    PageMissesCounter().Add();
-    if (scratch_ == nullptr) {
-      scratch_ = std::make_unique<Page>(file_->page_size());
-    }
-    STRR_RETURN_IF_ERROR(file_->ReadPage(id, scratch_.get()));
-    Count(&StorageStats::disk_page_reads);
-    return const_cast<const Page*>(scratch_.get());
+    misses_counter_.Add();
+    return ReadScratchLocked(id);
   }
+  if (sketch_ != nullptr) sketch_->Increment(MixPageId(id));
   auto it = frames_.find(id);
   if (it != frames_.end()) {
     ++pool_stats_.cache_hits;
     Count(&StorageStats::cache_hits);
-    PageHitsCounter().Add();
-    lru_.erase(it->second->lru_it);
-    lru_.push_front(id);
-    it->second->lru_it = lru_.begin();
+    hits_counter_.Add();
+    TouchLocked(id, it->second.get());
     return const_cast<const Page*>(&it->second->page);
   }
   ++pool_stats_.cache_misses;
   Count(&StorageStats::cache_misses);
-  PageMissesCounter().Add();
-  Frame* frame = InstallLocked(id);
-  Status s = file_->ReadPage(id, &frame->page);
+  misses_counter_.Add();
+
+  if (frames_.size() >= options_.capacity_pages) {
+    if (sketch_ != nullptr && !probation_.empty()) {
+      // Admission contest: only displace the probation victim when the
+      // incoming page has proven at least as useful recently. Rejected
+      // pages are served via scratch and earn frequency for next time.
+      PageId victim = probation_.back();
+      if (sketch_->Estimate(MixPageId(id)) <=
+          sketch_->Estimate(MixPageId(victim))) {
+        ++admission_rejects_;
+        admission_rejects_counter_.Add();
+        return ReadScratchLocked(id);
+      }
+    }
+    while (frames_.size() >= options_.capacity_pages) EvictOneLocked();
+  }
+
+  auto frame = std::make_unique<Frame>(file_->page_size());
+  probation_.push_front(id);
+  frame->lru_it = probation_.begin();
+  Frame* raw = frame.get();
+  frames_[id] = std::move(frame);
+  Status s = file_->ReadPage(id, &raw->page);
   if (!s.ok()) {
-    lru_.erase(frame->lru_it);
+    probation_.erase(raw->lru_it);
     frames_.erase(id);
     return s;
   }
   Count(&StorageStats::disk_page_reads);
-  return const_cast<const Page*>(&frame->page);
+  return const_cast<const Page*>(&raw->page);
 }
 
 Status BufferPool::WriteThrough(PageId id, const Page& page) {
@@ -106,9 +181,7 @@ Status BufferPool::WriteThrough(PageId id, const Page& page) {
   auto it = frames_.find(id);
   if (it != frames_.end()) {
     it->second->page = page;
-    lru_.erase(it->second->lru_it);
-    lru_.push_front(id);
-    it->second->lru_it = lru_.begin();
+    TouchLocked(id, it->second.get());
   }
   return Status::OK();
 }
@@ -116,7 +189,8 @@ Status BufferPool::WriteThrough(PageId id, const Page& page) {
 void BufferPool::Clear() {
   std::lock_guard<std::mutex> lock(mu_);
   frames_.clear();
-  lru_.clear();
+  probation_.clear();
+  protected_.clear();
 }
 
 StorageStats BufferPool::stats() const {
@@ -130,7 +204,17 @@ StorageStats BufferPool::stats() const {
 void BufferPool::ResetStats() {
   std::lock_guard<std::mutex> lock(mu_);
   pool_stats_ = StorageStats{};
+  admission_rejects_ = 0;
   file_->ResetStats();
+}
+
+BufferPool::Detail BufferPool::detail() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Detail out;
+  out.admission_rejects = admission_rejects_;
+  out.probation_pages = probation_.size();
+  out.protected_pages = protected_.size();
+  return out;
 }
 
 size_t BufferPool::CachedPages() const {

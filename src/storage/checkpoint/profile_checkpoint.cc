@@ -1,0 +1,168 @@
+#include "storage/checkpoint/profile_checkpoint.h"
+
+#include <algorithm>
+#include <bit>
+
+#include "storage/fs_util.h"
+#include "util/crc32c.h"
+#include "util/serialize.h"
+#include "util/time_util.h"
+
+namespace strr {
+namespace {
+
+constexpr uint64_t kCheckpointMagic = 0x5354525f434b5031ULL;   // "STR_CKP1"
+constexpr uint64_t kCheckpointTailMagic = 0x434b505f454e4431ULL;  // "CKP_END1"
+constexpr uint32_t kCheckpointVersion = 1;
+
+uint64_t CellKey(SegmentId segment, uint32_t slot) {
+  return (static_cast<uint64_t>(segment) << 32) | static_cast<uint64_t>(slot);
+}
+
+}  // namespace
+
+std::string CheckpointFileName(const std::string& dir, uint64_t number) {
+  return dir + "/ckpt_" + std::to_string(number) + ".ckpt";
+}
+
+Status WriteProfileCheckpoint(const std::string& path, uint64_t covered_seq,
+                              int64_t slot_seconds,
+                              std::span<const CoalescedUpdate> entries) {
+  BinaryWriter w;
+  w.PutU64(kCheckpointMagic);
+  w.PutU32(kCheckpointVersion);
+  w.PutU64(covered_seq);
+  w.PutU64(static_cast<uint64_t>(slot_seconds));
+  w.PutU64(entries.size());
+  for (const CoalescedUpdate& u : entries) {
+    w.PutVarint32(static_cast<uint32_t>(u.segment));
+    w.PutVarint64(static_cast<uint64_t>(u.slot_tod));
+    w.PutU32(std::bit_cast<uint32_t>(u.min_speed));
+    w.PutU32(std::bit_cast<uint32_t>(u.max_speed));
+    w.PutU32(std::bit_cast<uint32_t>(u.sum_speed));
+    w.PutVarint32(u.count);
+  }
+  w.PutU32(Crc32c(w.data().data(), w.size()));
+  w.PutU64(kCheckpointTailMagic);
+  return AtomicWriteFile(path, w.data());
+}
+
+StatusOr<ProfileCheckpoint> ParseProfileCheckpoint(const std::string& bytes,
+                                                   const std::string& origin) {
+  constexpr size_t kFooterBytes = sizeof(uint32_t) + sizeof(uint64_t);
+  if (bytes.size() < kFooterBytes) {
+    return Status::Corruption("checkpoint truncated: " + origin);
+  }
+  const size_t body_size = bytes.size() - kFooterBytes;
+  BinaryReader footer(bytes.data() + body_size, kFooterBytes);
+  STRR_ASSIGN_OR_RETURN(uint32_t stored_crc, footer.GetU32());
+  STRR_ASSIGN_OR_RETURN(uint64_t tail_magic, footer.GetU64());
+  if (tail_magic != kCheckpointTailMagic) {
+    return Status::Corruption("checkpoint tail magic mismatch: " + origin);
+  }
+  if (Crc32c(bytes.data(), body_size) != stored_crc) {
+    return Status::Corruption("checkpoint checksum mismatch: " + origin);
+  }
+
+  BinaryReader r(bytes.data(), body_size);
+  STRR_ASSIGN_OR_RETURN(uint64_t magic, r.GetU64());
+  if (magic != kCheckpointMagic) {
+    return Status::Corruption("not a checkpoint file: " + origin);
+  }
+  STRR_ASSIGN_OR_RETURN(uint32_t version, r.GetU32());
+  if (version != kCheckpointVersion) {
+    return Status::Corruption("unsupported checkpoint version: " + origin);
+  }
+  ProfileCheckpoint out;
+  STRR_ASSIGN_OR_RETURN(out.covered_seq, r.GetU64());
+  STRR_ASSIGN_OR_RETURN(uint64_t slot_seconds, r.GetU64());
+  out.slot_seconds = static_cast<int64_t>(slot_seconds);
+  if (out.slot_seconds <= 0) {
+    return Status::Corruption("checkpoint slot_seconds implausible: " + origin);
+  }
+  STRR_ASSIGN_OR_RETURN(uint64_t num_entries, r.GetU64());
+  if (num_entries > body_size) {  // each entry is >= 1 byte
+    return Status::Corruption("checkpoint entry count implausible: " + origin);
+  }
+  out.entries.reserve(num_entries);
+  const CoalescedUpdate* prev = nullptr;
+  for (uint64_t i = 0; i < num_entries; ++i) {
+    CoalescedUpdate u;
+    STRR_ASSIGN_OR_RETURN(uint32_t segment, r.GetVarint32());
+    u.segment = static_cast<SegmentId>(segment);
+    STRR_ASSIGN_OR_RETURN(uint64_t slot_tod, r.GetVarint64());
+    u.slot_tod = static_cast<int64_t>(slot_tod);
+    STRR_ASSIGN_OR_RETURN(uint32_t min_bits, r.GetU32());
+    STRR_ASSIGN_OR_RETURN(uint32_t max_bits, r.GetU32());
+    STRR_ASSIGN_OR_RETURN(uint32_t sum_bits, r.GetU32());
+    u.min_speed = std::bit_cast<float>(min_bits);
+    u.max_speed = std::bit_cast<float>(max_bits);
+    u.sum_speed = std::bit_cast<float>(sum_bits);
+    STRR_ASSIGN_OR_RETURN(u.count, r.GetVarint32());
+    if (u.count == 0) {
+      return Status::Corruption("checkpoint entry with zero count: " + origin);
+    }
+    if (prev != nullptr && (u.segment < prev->segment ||
+                            (u.segment == prev->segment &&
+                             u.slot_tod <= prev->slot_tod))) {
+      return Status::Corruption("checkpoint entries out of order: " + origin);
+    }
+    out.entries.push_back(u);
+    prev = &out.entries.back();
+  }
+  if (!r.AtEnd()) {
+    return Status::Corruption("trailing bytes in checkpoint: " + origin);
+  }
+  return out;
+}
+
+StatusOr<ProfileCheckpoint> ReadProfileCheckpoint(const std::string& path) {
+  STRR_ASSIGN_OR_RETURN(std::string bytes, ReadFileToString(path));
+  return ParseProfileCheckpoint(bytes, path);
+}
+
+CheckpointState::CheckpointState(int64_t slot_seconds)
+    : slot_seconds_(slot_seconds > 0 ? slot_seconds : 1) {}
+
+void CheckpointState::FoldObservations(
+    std::span<const SpeedObservation> observations) {
+  FoldUpdates(CoalesceObservations(observations, slot_seconds_));
+}
+
+void CheckpointState::FoldUpdates(std::span<const CoalescedUpdate> updates) {
+  for (const CoalescedUpdate& in : updates) {
+    int64_t tod = NormalizeTimeOfDay(in.slot_tod);
+    SlotId slot = SlotOfTimeOfDay(tod, slot_seconds_);
+    auto [it, inserted] =
+        cells_.try_emplace(CellKey(in.segment, static_cast<uint32_t>(slot)));
+    CoalescedUpdate& cell = it->second;
+    if (inserted) {
+      cell.segment = in.segment;
+      // Canonical slot start: any tod inside the slot folds identically,
+      // and a fixed representative keeps serialized checkpoints
+      // byte-stable across rebuilds.
+      cell.slot_tod = static_cast<int64_t>(slot) * slot_seconds_;
+      cell.min_speed = in.min_speed;
+      cell.max_speed = in.max_speed;
+    } else {
+      cell.min_speed = std::min(cell.min_speed, in.min_speed);
+      cell.max_speed = std::max(cell.max_speed, in.max_speed);
+    }
+    cell.sum_speed += in.sum_speed;
+    cell.count += in.count;
+  }
+}
+
+std::vector<CoalescedUpdate> CheckpointState::Snapshot() const {
+  std::vector<CoalescedUpdate> out;
+  out.reserve(cells_.size());
+  for (const auto& [key, cell] : cells_) out.push_back(cell);
+  std::sort(out.begin(), out.end(),
+            [](const CoalescedUpdate& a, const CoalescedUpdate& b) {
+              return a.segment != b.segment ? a.segment < b.segment
+                                            : a.slot_tod < b.slot_tod;
+            });
+  return out;
+}
+
+}  // namespace strr

@@ -1,0 +1,102 @@
+// Profile checkpoints: a durable serialization of the coalesced live
+// profile state accumulated from every acked observation up to a covered
+// WAL sequence number.
+//
+// A checkpoint stores one merged CoalescedUpdate per (segment, profile
+// slot) — exact-float min/max plus running sum and count — together with
+// `covered_seq`, the last observation-batch sequence folded in. Recovery
+// publishes the checkpoint aggregates first and then replays only batches
+// with seq > covered_seq, so restart cost is O(delta) instead of
+// O(stream). Publishing the merged aggregates is bit-identical to
+// replaying the covered batches for every statistic the query path reads:
+// per-cell min/max/count are order- and batching-independent, and the
+// float sum (which can differ in the last rounding bit) feeds only the
+// mean, which region expansion never consults.
+//
+// File format (`ckpt_<N>.ckpt`, shared file-number space with WAL/table
+// files, committed via AtomicWriteFile):
+//
+//   u64 magic | u32 version | u64 covered_seq | u64 slot_seconds
+//   u64 num_entries
+//   per entry: varint32 segment, varint64 slot_tod,
+//              u32 min_bits, u32 max_bits, u32 sum_bits (raw float bits),
+//              varint32 count
+//   footer: u32 crc32c over all preceding bytes | u64 tail magic
+//
+// Entries are sorted by (segment, slot_tod) and floats are stored as raw
+// bits, so the same state always encodes to the same bytes. Committed
+// checkpoints are sealed artifacts: any parse/CRC failure is Corruption
+// (a crash mid-write leaves only a `.tmp` the journal ignores).
+#ifndef STRR_STORAGE_CHECKPOINT_PROFILE_CHECKPOINT_H_
+#define STRR_STORAGE_CHECKPOINT_PROFILE_CHECKPOINT_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "live/observation.h"
+#include "util/result.h"
+
+namespace strr {
+
+/// `dir/ckpt_<number>.ckpt`.
+std::string CheckpointFileName(const std::string& dir, uint64_t number);
+
+/// In-memory image of one committed checkpoint file.
+struct ProfileCheckpoint {
+  uint64_t covered_seq = 0;
+  int64_t slot_seconds = 0;  ///< profile slot width the aggregates use
+  std::vector<CoalescedUpdate> entries;  ///< sorted by (segment, slot_tod)
+};
+
+/// Serializes and atomically commits a checkpoint (tmp + fsync + rename).
+Status WriteProfileCheckpoint(const std::string& path, uint64_t covered_seq,
+                              int64_t slot_seconds,
+                              std::span<const CoalescedUpdate> entries);
+
+/// Reads and fully validates a committed checkpoint. Strict: damage of any
+/// kind (magic, truncation, CRC, malformed entries) is Corruption.
+StatusOr<ProfileCheckpoint> ReadProfileCheckpoint(const std::string& path);
+
+/// Parse from an in-memory byte string; `origin` labels errors. Exposed so
+/// corruption tests can sweep mutations without touching the filesystem.
+StatusOr<ProfileCheckpoint> ParseProfileCheckpoint(const std::string& bytes,
+                                                   const std::string& origin);
+
+/// Accumulates the coalesced live profile across observation batches — the
+/// state a checkpoint serializes. The journal folds every acked batch into
+/// one of these; recovery rebuilds it from checkpoint + replayed batches.
+///
+/// Merging is per (segment, profile slot): min/max are exact float
+/// extremes, sum accumulates in fold order (so a state rebuilt by folding
+/// the same batches in the same order is bit-identical, sums included),
+/// and slot_tod is canonicalized to the slot start so snapshots are
+/// deterministic. Not thread-safe — callers serialize (the journal folds
+/// under its mutex).
+class CheckpointState {
+ public:
+  explicit CheckpointState(int64_t slot_seconds);
+
+  /// Coalesces one observation batch (same grouping as live ingest) and
+  /// folds the resulting aggregates.
+  void FoldObservations(std::span<const SpeedObservation> observations);
+
+  /// Folds pre-coalesced aggregates (e.g. entries of a loaded checkpoint).
+  void FoldUpdates(std::span<const CoalescedUpdate> updates);
+
+  /// Snapshot sorted by (segment, slot_tod) — the serialization order.
+  std::vector<CoalescedUpdate> Snapshot() const;
+
+  size_t size() const { return cells_.size(); }
+  int64_t slot_seconds() const { return slot_seconds_; }
+
+ private:
+  int64_t slot_seconds_;
+  std::unordered_map<uint64_t, CoalescedUpdate> cells_;  // (seg<<32|slot)
+};
+
+}  // namespace strr
+
+#endif  // STRR_STORAGE_CHECKPOINT_PROFILE_CHECKPOINT_H_

@@ -61,6 +61,12 @@ void ExpectBitIdentical(const ObservationBatch& got, uint64_t seq) {
   }
 }
 
+std::vector<ObservationBatch> MustCollect(const RecoveredLog& recovered) {
+  auto batches = RecoveryManager::CollectBatches(recovered);
+  EXPECT_TRUE(batches.ok()) << batches.status().ToString();
+  return batches.ok() ? *std::move(batches) : std::vector<ObservationBatch>{};
+}
+
 size_t CountFiles(const std::string& dir, const std::string& suffix) {
   size_t n = 0;
   for (const auto& entry : fs::directory_iterator(dir)) {
@@ -95,9 +101,10 @@ TEST(ObservationJournalTest, RoundTripThroughRestart) {
   auto recovered = RecoveryManager::Recover(dir);
   STRR_ASSERT_OK(recovered.status());
   ASSERT_EQ(recovered->last_seq, 20u);
-  ASSERT_EQ(recovered->batches.size(), 20u);
+  std::vector<ObservationBatch> batches = MustCollect(*recovered);
+  ASSERT_EQ(batches.size(), 20u);
   for (uint64_t seq = 1; seq <= 20; ++seq) {
-    ExpectBitIdentical(recovered->batches[seq - 1], seq);
+    ExpectBitIdentical(batches[seq - 1], seq);
   }
 
   // Restart continues the sequence where the ack stream left off.
@@ -132,8 +139,10 @@ TEST(ObservationJournalTest, MemtableFlushSealsTablesAndRotatesWal) {
   auto recovered = RecoveryManager::Recover(dir);
   STRR_ASSERT_OK(recovered.status());
   ASSERT_EQ(recovered->last_seq, 50u);
+  std::vector<ObservationBatch> batches = MustCollect(*recovered);
+  ASSERT_EQ(batches.size(), 50u);
   for (uint64_t seq = 1; seq <= 50; ++seq) {
-    ExpectBitIdentical(recovered->batches[seq - 1], seq);
+    ExpectBitIdentical(batches[seq - 1], seq);
   }
 }
 
@@ -168,8 +177,10 @@ TEST(RecoveryManagerTest, WalTruncationRecoversAckedPrefix) {
     ASSERT_TRUE(recovered.ok())
         << "cut=" << cut << " " << recovered.status().ToString();
     ASSERT_LE(recovered->last_seq, 6u) << "cut=" << cut;
+    std::vector<ObservationBatch> batches = MustCollect(*recovered);
+    ASSERT_EQ(batches.size(), recovered->last_seq) << "cut=" << cut;
     for (uint64_t seq = 1; seq <= recovered->last_seq; ++seq) {
-      ExpectBitIdentical(recovered->batches[seq - 1], seq);
+      ExpectBitIdentical(batches[seq - 1], seq);
     }
   }
 }
@@ -218,9 +229,10 @@ TEST(RecoveryManagerTest, TableWalOverlapDeduplicatesBySeq) {
   STRR_ASSERT_OK(recovered.status());
   EXPECT_EQ(recovered->last_seq, 5u);
   EXPECT_EQ(recovered->last_table_seq, 3u);
-  ASSERT_EQ(recovered->batches.size(), 5u);
+  std::vector<ObservationBatch> batches = MustCollect(*recovered);
+  ASSERT_EQ(batches.size(), 5u);
   for (uint64_t seq = 1; seq <= 5; ++seq) {
-    ExpectBitIdentical(recovered->batches[seq - 1], seq);
+    ExpectBitIdentical(batches[seq - 1], seq);
   }
 }
 
@@ -387,20 +399,37 @@ TEST(EngineDurabilityTest, RestartServesSameRegionsAsLiveOracle) {
 }
 
 #ifdef STRR_CRASH_HARNESS_PATH
+struct CrashDrillConfig {
+  const char* name;
+  const char* checkpoint_interval;  // "0" disables
+  const char* compaction;           // "0" or "1"
+  int kill_delay_ms;
+};
+
 TEST(DurabilityCrashTest, SigkillMidIngestRecoversExactly) {
-  // End-to-end crash drill: SIGKILL the harness writer mid-stream at two
-  // different points, then let the checker assert recovery reproduces
-  // exactly the acked observation stream (and the same served regions as
-  // an oracle fed that stream live).
-  for (int kill_delay_ms : {150, 700}) {
+  // End-to-end crash drill: SIGKILL the harness writer mid-stream with the
+  // storage-engine knobs off and on (so the kill can land inside the
+  // checkpoint-write, WAL-truncation, and compaction-swap windows), then
+  // let the checker assert recovery reproduces exactly the acked
+  // observation stream (and the same served regions as an oracle fed that
+  // stream live).
+  for (const CrashDrillConfig& config : {
+           CrashDrillConfig{"plain", "0", "0", 150},
+           CrashDrillConfig{"plain", "0", "0", 700},
+           CrashDrillConfig{"checkpoint", "15", "0", 400},
+           CrashDrillConfig{"checkpoint_compaction", "15", "1", 600},
+       }) {
+    SCOPED_TRACE(config.name);
     std::string dir = FreshDir("dur_kill");
     pid_t pid = ::fork();
     ASSERT_GE(pid, 0);
     if (pid == 0) {
       ::execl(STRR_CRASH_HARNESS_PATH, "crash_harness", "write", dir.c_str(),
+              "1000000", config.checkpoint_interval, config.compaction,
               static_cast<char*>(nullptr));
       ::_exit(127);
     }
+    const int kill_delay_ms = config.kill_delay_ms;
     bool ready = false;
     for (int i = 0; i < 2400; ++i) {  // dataset build takes a while
       if (fs::exists(dir + "/READY")) {

@@ -1,16 +1,22 @@
 // Crash-recovery harness for the live tier's durability layer.
 //
-//   crash_harness write <dir> [max_batches]
+//   crash_harness write <dir> [max_batches] [checkpoint_interval] [compaction]
 //     Opens (recovering) the observation journal in <dir>, touches
 //     <dir>/READY, then appends the deterministic crash_stream batches:
 //     each batch is WAL-acked first, then its sequence number is appended
 //     to <dir>/acked.txt and fsynced. Meant to be SIGKILLed mid-stream.
+//     checkpoint_interval > 0 enables profile checkpoints every that many
+//     batches (so the kill lands inside checkpoint-write / WAL-truncation
+//     windows); compaction=1 enables background table compaction (so the
+//     kill lands inside the table-swap window).
 //
 //   crash_harness check <dir>
 //     After the kill: recovers the journal, asserts every acked batch was
-//     recovered, the recovered stream is bit-identical to the regenerated
-//     crash_stream, and an engine recovered from <dir> serves the same
-//     regions as an oracle engine fed the same acked stream live.
+//     recovered, the recovered delta stream is bit-identical to the
+//     regenerated crash_stream, any committed checkpoint's aggregates are
+//     bit-identical (sums included) to an oracle fold of the covered
+//     stream, and an engine recovered from <dir> serves the same regions
+//     as an oracle engine fed the full regenerated stream live.
 //
 // Exit codes: 0 = consistent, 1 = recovery contract violated,
 // 2 = harness/setup error.
@@ -29,12 +35,17 @@
 #include "core/reachability_engine.h"
 #include "live/observation_journal.h"
 #include "live/recovery_manager.h"
+#include "storage/checkpoint/profile_checkpoint.h"
 #include "storage/fs_util.h"
 #include "tools/crash_stream.h"
 #include "util/logging.h"
 
 namespace strr {
 namespace {
+
+// Must match EngineOptions::profile_slot_seconds: the checker recovers an
+// engine from this journal, and Replay rejects a slot-width mismatch.
+constexpr int64_t kSlotSeconds = 3600;
 
 int Fail(int code, const std::string& message) {
   std::fprintf(stderr, "crash_harness: %s\n", message.c_str());
@@ -47,7 +58,8 @@ StatusOr<Dataset> HarnessDataset() {
   return BuildDataset(TestDatasetOptions());
 }
 
-int RunWriter(const std::string& dir, uint64_t max_batches) {
+int RunWriter(const std::string& dir, uint64_t max_batches,
+              uint64_t checkpoint_interval, bool compaction) {
   auto dataset = HarnessDataset();
   if (!dataset.ok()) return Fail(2, dataset.status().ToString());
   const uint32_t num_segments =
@@ -61,6 +73,12 @@ int RunWriter(const std::string& dir, uint64_t max_batches) {
   // rotations, not just a single growing log.
   jopt.memtable_flush_bytes = 8 * 1024;
   jopt.sync_each_batch = true;
+  jopt.slot_seconds = kSlotSeconds;
+  jopt.checkpoint_interval_batches = checkpoint_interval;
+  jopt.compaction = compaction;
+  // Tiny thresholds so compaction actually fires within a short run.
+  jopt.compaction_small_bytes = 64 * 1024;
+  jopt.compaction_min_tables = 3;
   auto journal = ObservationJournal::Open(jopt, *recovered);
   if (!journal.ok()) return Fail(2, journal.status().ToString());
 
@@ -131,18 +149,23 @@ int RunChecker(const std::string& dir) {
                        std::to_string(recovered->last_seq));
   }
 
-  // 2. The recovered stream must be the contiguous prefix 1..last_seq
-  // (Recover enforces gaps/dupes; re-check the shape here) and
-  // bit-identical to the regenerated deterministic stream.
-  if (recovered->batches.size() != recovered->last_seq) {
-    return Fail(1, "recovered stream not contiguous: " +
-                       std::to_string(recovered->batches.size()) +
-                       " batches, last seq " +
-                       std::to_string(recovered->last_seq));
+  // 2. The recovered delta (everything past the checkpoint) must be the
+  // contiguous range checkpoint_seq+1..last_seq (Recover enforces
+  // gaps/dupes; re-check the shape here) and bit-identical to the
+  // regenerated deterministic stream.
+  auto delta = RecoveryManager::CollectBatches(*recovered);
+  if (!delta.ok()) {
+    return Fail(1, "replay stream failed: " + delta.status().ToString());
   }
-  for (size_t i = 0; i < recovered->batches.size(); ++i) {
-    const ObservationBatch& got = recovered->batches[i];
-    if (got.seq != i + 1) {
+  if (delta->size() != recovered->replay_batches()) {
+    return Fail(1, "recovered delta not contiguous: " +
+                       std::to_string(delta->size()) + " batches, ckpt seq " +
+                       std::to_string(recovered->checkpoint_seq) +
+                       ", last seq " + std::to_string(recovered->last_seq));
+  }
+  for (size_t i = 0; i < delta->size(); ++i) {
+    const ObservationBatch& got = (*delta)[i];
+    if (got.seq != recovered->checkpoint_seq + i + 1) {
       return Fail(1, "recovered seq out of order at index " +
                          std::to_string(i));
     }
@@ -162,9 +185,44 @@ int RunChecker(const std::string& dir) {
     }
   }
 
-  // 3. End-to-end: an engine recovered from the journal serves the same
-  // regions as an oracle engine fed the identical acked stream through
-  // the live ingest path.
+  // 3. A committed checkpoint's aggregates must be bit-identical (sums
+  // included) to an oracle fold of the covered regenerated stream: the
+  // journal folds per acked batch in sequence order, and CheckpointState
+  // reproduces exactly those fold boundaries.
+  if (!recovered->checkpoint_path.empty()) {
+    auto ckpt = ReadProfileCheckpoint(recovered->checkpoint_path);
+    if (!ckpt.ok()) {
+      return Fail(1, "committed checkpoint unreadable: " +
+                         ckpt.status().ToString());
+    }
+    if (ckpt->covered_seq != recovered->checkpoint_seq) {
+      return Fail(1, "checkpoint covered_seq mismatch");
+    }
+    CheckpointState oracle(ckpt->slot_seconds);
+    for (uint64_t seq = 1; seq <= ckpt->covered_seq; ++seq) {
+      oracle.FoldObservations(crash_stream::GenBatch(seq, num_segments));
+    }
+    std::vector<CoalescedUpdate> want = oracle.Snapshot();
+    if (want.size() != ckpt->entries.size()) {
+      return Fail(1, "checkpoint entry count " +
+                         std::to_string(ckpt->entries.size()) +
+                         " != oracle " + std::to_string(want.size()));
+    }
+    for (size_t i = 0; i < want.size(); ++i) {
+      const CoalescedUpdate& a = ckpt->entries[i];
+      const CoalescedUpdate& b = want[i];
+      if (a.segment != b.segment || a.slot_tod != b.slot_tod ||
+          a.min_speed != b.min_speed || a.max_speed != b.max_speed ||
+          a.sum_speed != b.sum_speed || a.count != b.count) {
+        return Fail(1, "checkpoint aggregate differs from oracle at entry " +
+                           std::to_string(i));
+      }
+    }
+  }
+
+  // 4. End-to-end: an engine recovered from the journal (checkpoint +
+  // delta replay) serves the same regions as an oracle engine fed the
+  // full regenerated stream 1..last_seq through the live ingest path.
   EngineOptions opt_a;
   opt_a.work_dir = dir + "/check_a";
   opt_a.live_ingestion = true;
@@ -180,8 +238,9 @@ int RunChecker(const std::string& dir) {
   auto engine_b = ReachabilityEngine::Build(dataset->network, *dataset->store,
                                             opt_b);
   if (!engine_b.ok()) return Fail(2, engine_b.status().ToString());
-  for (const ObservationBatch& batch : recovered->batches) {
-    for (const SpeedObservation& obs : batch.observations) {
+  for (uint64_t seq = 1; seq <= recovered->last_seq; ++seq) {
+    for (const SpeedObservation& obs :
+         crash_stream::GenBatch(seq, num_segments)) {
       if (!(*engine_b)->OfferObservation(obs)) {
         return Fail(2, "oracle engine rejected an acked observation");
       }
@@ -208,9 +267,10 @@ int RunChecker(const std::string& dir) {
   }
 
   std::fprintf(stderr,
-               "crash_harness: consistent (%llu batches, %zu acked, "
-               "%zu tables, torn_tail=%d)\n",
+               "crash_harness: consistent (seq %llu, ckpt seq %llu, "
+               "%zu acked, %zu tables, torn_tail=%d)\n",
                static_cast<unsigned long long>(recovered->last_seq),
+               static_cast<unsigned long long>(recovered->checkpoint_seq),
                acked.size(), recovered->tables_loaded,
                recovered->wal_tail_torn ? 1 : 0);
   return 0;
@@ -223,7 +283,8 @@ int main(int argc, char** argv) {
   strr::SetLogLevelFromEnv();
   if (argc < 3) {
     std::fprintf(stderr,
-                 "usage: crash_harness write <dir> [max_batches]\n"
+                 "usage: crash_harness write <dir> [max_batches] "
+                 "[checkpoint_interval] [compaction]\n"
                  "       crash_harness check <dir>\n");
     return 2;
   }
@@ -232,7 +293,10 @@ int main(int argc, char** argv) {
   if (mode == "write") {
     uint64_t max_batches =
         argc > 3 ? std::strtoull(argv[3], nullptr, 10) : 1000000ULL;
-    return strr::RunWriter(dir, max_batches);
+    uint64_t checkpoint_interval =
+        argc > 4 ? std::strtoull(argv[4], nullptr, 10) : 0;
+    bool compaction = argc > 5 && std::strtoull(argv[5], nullptr, 10) != 0;
+    return strr::RunWriter(dir, max_batches, checkpoint_interval, compaction);
   }
   if (mode == "check") return strr::RunChecker(dir);
   return strr::Fail(2, "unknown mode " + mode);
